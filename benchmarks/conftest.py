@@ -1,0 +1,109 @@
+"""Shared fixtures for the benchmark harness.
+
+All experiment data is generated once per benchmark session at "bench
+scale" — large enough that the paper's shapes are visible, small enough
+that the full suite finishes in minutes:
+
+* 30,000-row ListProperty table (paper: 1.7 M),
+* 12,000-query workload (paper: 176,262),
+* simulated study: 8 disjoint subsets of 50 explorations (paper: 8 x 100),
+* user study: 11 simulated subjects, 4 tasks, 3 techniques (as the paper).
+
+Every bench prints the reproduced table/series through
+:mod:`repro.study.report`, so the bench log reads like the paper's
+evaluation section; EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.algorithm import CostBasedCategorizer
+from repro.core.baselines import AttrCostCategorizer, NoCostCategorizer
+from repro.core.config import PAPER_CONFIG
+from repro.data.homes import generate_homes
+from repro.study.simulated import run_simulated_study
+from repro.study.userstudy import run_user_study
+from repro.workload.generator import WorkloadGeneratorConfig, generate_workload
+from repro.workload.preprocess import preprocess_workload
+
+BENCH_ROWS = 30_000
+BENCH_QUERIES = 12_000
+TECHNIQUES = [CostBasedCategorizer, AttrCostCategorizer, NoCostCategorizer]
+
+
+@pytest.fixture(scope="session")
+def bench_homes():
+    """The bench-scale ListProperty relation."""
+    return generate_homes(rows=BENCH_ROWS, seed=7)
+
+
+@pytest.fixture(scope="session")
+def bench_workload():
+    """The bench-scale synthetic query log."""
+    return generate_workload(
+        WorkloadGeneratorConfig(query_count=BENCH_QUERIES, seed=41)
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_statistics(bench_homes, bench_workload):
+    """Count tables over the full bench workload."""
+    return preprocess_workload(
+        bench_workload, bench_homes.schema, PAPER_CONFIG.separation_intervals
+    )
+
+
+@pytest.fixture(scope="session")
+def simulated_result(bench_homes, bench_workload):
+    """The Section 6.2 cross-validated study (Fig 7, Table 1, Fig 8)."""
+    return run_simulated_study(
+        bench_homes,
+        bench_workload,
+        TECHNIQUES,
+        config=PAPER_CONFIG,
+        subset_count=8,
+        subset_size=50,
+        seed=17,
+    )
+
+
+@pytest.fixture(scope="session")
+def userstudy_result(bench_homes, bench_workload):
+    """The Section 6.3 study (Tables 2-4, Figs 9-12).
+
+    33 simulated subjects instead of the paper's 11: each (task,
+    technique) cell then averages ~11 sessions instead of ~4, keeping the
+    stochastic user model's noise below the effect sizes being measured.
+    The protocol (tasks, technique rotation, measurements) is the paper's.
+    """
+    return run_user_study(
+        bench_homes,
+        bench_workload,
+        TECHNIQUES,
+        config=PAPER_CONFIG,
+        subject_count=33,
+        seed=23,
+    )
+
+
+@pytest.fixture(scope="session")
+def categorize_one(bench_homes, bench_statistics):
+    """A representative single categorization call, for timing."""
+    from repro.sql.compiler import parse_query
+    from repro.data.geography import SEATTLE_BELLEVUE
+    from repro.relational.expressions import InPredicate
+    from repro.relational.query import SelectQuery
+
+    query = SelectQuery(
+        "ListProperty",
+        InPredicate("neighborhood", SEATTLE_BELLEVUE.neighborhood_names()),
+    )
+    rows = query.execute(bench_homes)
+
+    def run():
+        return CostBasedCategorizer(bench_statistics, PAPER_CONFIG).categorize(
+            rows, query
+        )
+
+    return run

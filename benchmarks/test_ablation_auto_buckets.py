@@ -1,0 +1,76 @@
+"""Ablation: designer-specified m vs goodness-driven automatic m.
+
+Section 5.1.3: "the goodness metric may be used as a basis for
+automatically determining m instead of being specified externally".
+This bench compares fixed m ∈ {3, 5, 8} against the automatic mode on
+estimated tree cost and replayed exploration cost.
+"""
+
+from repro.core.algorithm import CostBasedCategorizer
+from repro.core.config import PAPER_CONFIG
+from repro.core.cost import CostModel
+from repro.core.probability import ProbabilityEstimator
+from repro.data.geography import SEATTLE_BELLEVUE
+from repro.explore.exploration import replay_all
+from repro.relational.expressions import InPredicate
+from repro.relational.query import SelectQuery
+from repro.study.report import format_table
+
+
+def test_ablation_auto_bucket_count(
+    benchmark, bench_homes, bench_workload, bench_statistics
+):
+    query = SelectQuery(
+        "ListProperty",
+        InPredicate("neighborhood", SEATTLE_BELLEVUE.neighborhood_names()),
+    )
+    rows = query.execute(bench_homes)
+    model = CostModel(ProbabilityEstimator(bench_statistics), PAPER_CONFIG)
+    explorations = [
+        w for w in bench_workload.sample(500, seed=83)
+        if w.constrains("price")
+        and w.in_values("neighborhood")
+        and w.in_values("neighborhood")
+        <= set(SEATTLE_BELLEVUE.neighborhood_names())
+    ][:40]
+    assert explorations
+
+    configs = {
+        "m=3": PAPER_CONFIG.with_overrides(bucket_count=3),
+        "m=5 (paper default)": PAPER_CONFIG,
+        "m=8": PAPER_CONFIG.with_overrides(bucket_count=8),
+        "automatic": PAPER_CONFIG.with_overrides(auto_bucket_count=True),
+    }
+    benchmark(lambda: CostBasedCategorizer(
+        bench_statistics, configs["automatic"]
+    ).categorize(rows, query))
+
+    rows_out, measured = [], {}
+    for name, config in configs.items():
+        tree = CostBasedCategorizer(bench_statistics, config).categorize(
+            rows, query
+        )
+        estimated = model.tree_cost_all(tree)
+        actual = sum(
+            replay_all(tree, w).items_examined for w in explorations
+        ) / len(explorations)
+        measured[name] = (estimated, actual)
+        rows_out.append(
+            [name, tree.category_count(), f"{estimated:.1f}", f"{actual:.1f}"]
+        )
+
+    print()
+    print(
+        format_table(
+            ["mode", "categories", "estimated CostAll", "avg actual cost"],
+            rows_out,
+            title=f"Bucket-count ablation ({len(explorations)} explorations)",
+        )
+    )
+
+    auto_estimated, auto_actual = measured["automatic"]
+    best_fixed_actual = min(v[1] for k, v in measured.items() if k != "automatic")
+    assert auto_actual <= best_fixed_actual * 1.3, (
+        "automatic m should be competitive with the best fixed m"
+    )
+    assert auto_estimated > 0

@@ -1,0 +1,109 @@
+"""Ablation: domain independence — the movie catalog.
+
+Section 1 claims "a domain-independent approach"; every calibrated number
+elsewhere in this suite comes from the real-estate domain.  This bench
+repeats the core comparison (cost-based vs No-Cost, estimated-vs-actual
+correlation) on a structurally different domain — a movie catalog with
+its own schema, value distributions and search personas — with zero
+domain-specific code in the categorizer.
+"""
+
+from repro.core.algorithm import CostBasedCategorizer
+from repro.core.baselines import NoCostCategorizer
+from repro.core.config import CategorizerConfig
+from repro.core.cost import CostModel
+from repro.core.probability import ProbabilityEstimator
+from repro.data.movies import (
+    MOVIE_SEPARATION_INTERVALS,
+    generate_movie_workload,
+    generate_movies,
+)
+from repro.explore.exploration import replay_all
+from repro.explore.metrics import fractional_cost, mean
+from repro.study.report import format_table
+from repro.study.stats import pearson
+from repro.workload.model import WorkloadQuery
+from repro.workload.preprocess import preprocess_workload
+from repro.relational.expressions import RangePredicate
+from repro.relational.query import SelectQuery
+
+
+MOVIE_CONFIG = CategorizerConfig(
+    separation_intervals=MOVIE_SEPARATION_INTERVALS
+)
+
+
+def broaden_movie_query(w: WorkloadQuery) -> SelectQuery:
+    """Movie-domain broadening: keep only a widened rating band."""
+    bounds = w.range_bounds("rating")
+    low = bounds[0] if bounds and bounds[0] > 0 else 5.0
+    return SelectQuery("Movies", RangePredicate("rating", max(1.0, low - 1.5), 10.0))
+
+
+def test_ablation_cross_domain(benchmark):
+    movies = generate_movies(rows=15_000, seed=3)
+    workload = generate_movie_workload(queries=6_000, seed=5)
+    statistics = preprocess_workload(
+        workload, movies.schema, MOVIE_SEPARATION_INTERVALS
+    )
+    cost_based = CostBasedCategorizer(statistics, MOVIE_CONFIG)
+    no_cost = NoCostCategorizer(
+        statistics,
+        MOVIE_CONFIG,
+        attribute_set=("genre", "language", "year", "runtime", "rating"),
+    )
+    model = CostModel(ProbabilityEstimator(statistics), MOVIE_CONFIG)
+
+    explorations = [
+        w for w in workload.sample(300, seed=9)
+        if w.constrains("genre") and w.constrains("rating")
+    ][:50]
+    assert len(explorations) >= 30
+
+    estimated, actual = [], []
+    cb_fractions, nc_fractions = [], []
+    for exploration in explorations:
+        query = broaden_movie_query(exploration)
+        rows = query.execute(movies)
+        if len(rows) < 50:
+            continue
+        cb_tree = cost_based.categorize(rows, query)
+        nc_tree = no_cost.categorize(rows, query)
+        estimated.append(model.tree_cost_all(cb_tree))
+        replayed = replay_all(cb_tree, exploration)
+        actual.append(replayed.items_examined)
+        cb_fractions.append(fractional_cost(replayed.items_examined, len(rows)))
+        nc_fractions.append(
+            fractional_cost(
+                replay_all(nc_tree, exploration).items_examined, len(rows)
+            )
+        )
+
+    benchmark(lambda: cost_based.categorize(
+        broaden_movie_query(explorations[0]).execute(movies),
+        broaden_movie_query(explorations[0]),
+    ))
+
+    r = pearson(estimated, actual)
+    print()
+    print(
+        format_table(
+            ["quantity", "movies domain", "homes domain (EXPERIMENTS.md)"],
+            [
+                ["Pearson r (est vs actual)", f"{r:.2f}", "0.46"],
+                ["cost-based fraction examined", f"{mean(cb_fractions):.3f}", "0.142"],
+                ["no-cost fraction examined", f"{mean(nc_fractions):.3f}", "0.612"],
+            ],
+            title=f"Cross-domain check ({len(actual)} movie explorations)",
+        )
+    )
+
+    assert len(actual) >= 30
+    # The rating-band broadening yields only ~5 distinct result sizes, so
+    # the correlation here is under-powered (the calibrated Fig 7 test
+    # lives in the primary domain); require the sign, not the strength.
+    assert r > 0.0, "the cost model must transfer to the new domain"
+    assert mean(cb_fractions) < mean(nc_fractions) / 2, (
+        "cost-based must clearly beat no-cost on movies too"
+    )
+    assert mean(cb_fractions) < 0.5

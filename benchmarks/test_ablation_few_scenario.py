@@ -1,0 +1,81 @@
+"""Ablation: the scenario spectrum between ONE and ALL.
+
+Section 3.2: "other scenarios (e.g., user interested in two/few tuples)
+fall in between these two ends of the spectrum".  This bench replays
+held-out explorations under the FEW scenario for increasing k and checks
+the interpolation claim empirically: actual cost grows monotonically from
+the ONE cost to the ALL cost, and the analytic CostFew estimate tracks
+the same curve.
+"""
+
+from repro.core.algorithm import CostBasedCategorizer
+from repro.core.config import PAPER_CONFIG
+from repro.core.cost import CostModel
+from repro.core.probability import ProbabilityEstimator
+from repro.explore.exploration import replay_all, replay_few, replay_one
+from repro.study.report import format_table
+from repro.workload.broadening import broaden_to_region
+
+K_VALUES = (1, 2, 3, 5, 10, 25)
+
+
+def test_ablation_few_scenario_spectrum(
+    benchmark, bench_homes, bench_workload, bench_statistics
+):
+    categorizer = CostBasedCategorizer(bench_statistics, PAPER_CONFIG)
+    model = CostModel(ProbabilityEstimator(bench_statistics), PAPER_CONFIG)
+
+    explorations = [
+        w for w in bench_workload.sample(400, seed=91)
+        if w.constrains("neighborhood") and len(w.conditions) >= 3
+    ][:30]
+    prepared = []
+    for exploration in explorations:
+        user_query = broaden_to_region(exploration)
+        rows = user_query.query.execute(bench_homes)
+        if len(rows) < 100:
+            continue
+        prepared.append(
+            (exploration, categorizer.categorize(rows, user_query.query))
+        )
+    assert len(prepared) >= 10
+    benchmark(lambda: replay_few(prepared[0][1], prepared[0][0], k=3))
+
+    actual_by_k = {
+        k: sum(
+            replay_few(tree, w, k).items_examined for w, tree in prepared
+        ) / len(prepared)
+        for k in K_VALUES
+    }
+    one_cost = sum(
+        replay_one(tree, w).items_examined for w, tree in prepared
+    ) / len(prepared)
+    all_cost = sum(
+        replay_all(tree, w).items_examined for w, tree in prepared
+    ) / len(prepared)
+    estimated_by_k = {
+        k: sum(model.tree_cost_few(tree, k) for _, tree in prepared) / len(prepared)
+        for k in K_VALUES
+    }
+
+    print()
+    print(
+        format_table(
+            ["k", "actual avg cost", "estimated CostFew"],
+            [
+                [k, f"{actual_by_k[k]:.1f}", f"{estimated_by_k[k]:.1f}"]
+                for k in K_VALUES
+            ],
+            title=f"FEW-scenario spectrum ({len(prepared)} explorations)",
+        )
+    )
+    print(f"ONE-scenario avg: {one_cost:.1f}   ALL-scenario avg: {all_cost:.1f}")
+
+    actual_curve = [actual_by_k[k] for k in K_VALUES]
+    assert actual_curve == sorted(actual_curve), "actual cost must grow with k"
+    assert abs(actual_by_k[1] - one_cost) < 1e-9, "k=1 must equal the ONE scenario"
+    assert actual_by_k[K_VALUES[-1]] <= all_cost + 1e-9, (
+        "FEW cost is bounded by the ALL cost"
+    )
+    estimated_curve = [estimated_by_k[k] for k in K_VALUES]
+    assert estimated_curve == sorted(estimated_curve)

@@ -1,0 +1,78 @@
+"""Ablation: the greedy Figure 6 algorithm vs exhaustive enumeration.
+
+Section 5 motivates the greedy level-by-level algorithm by noting that
+full enumeration "could be prohibitively expensive".  This bench measures
+what the greediness costs: on result sets small enough to enumerate every
+attribute-to-level assignment, compare the greedy tree's CostAll against
+the enumerated optimum (and count how much more work enumeration does).
+"""
+
+from repro.core.algorithm import CostBasedCategorizer
+from repro.core.config import PAPER_CONFIG
+from repro.core.cost import CostModel
+from repro.core.enumerate import enumerate_optimal_tree
+from repro.core.probability import ProbabilityEstimator
+from repro.study.report import format_table
+from repro.workload.broadening import broaden_to_region
+
+
+def test_ablation_greedy_vs_enumerated_optimum(
+    benchmark, bench_homes, bench_workload, bench_statistics
+):
+    # Use modest result sets (small regions) so 1,956 trees per query stay fast.
+    explorations = [
+        w for w in bench_workload.sample(300, seed=57)
+        if w.constrains("neighborhood") and len(w.conditions) >= 2
+    ]
+    model = CostModel(ProbabilityEstimator(bench_statistics), PAPER_CONFIG)
+    greedy = CostBasedCategorizer(bench_statistics, PAPER_CONFIG)
+
+    rows_out = []
+    ratios = []
+    measured = 0
+    for exploration in explorations:
+        if measured >= 5:
+            break
+        user_query = broaden_to_region(exploration)
+        rows = user_query.query.execute(bench_homes)
+        if not 50 <= len(rows) <= 700:
+            continue
+        measured += 1
+        greedy_tree = greedy.categorize(rows, user_query.query)
+        greedy_cost = model.tree_cost_all(greedy_tree)
+        optimum = enumerate_optimal_tree(
+            rows, user_query.query, bench_statistics, PAPER_CONFIG
+        )
+        ratio = greedy_cost / optimum.best_cost if optimum.best_cost else 1.0
+        ratios.append(ratio)
+        rows_out.append(
+            [
+                len(rows),
+                f"{greedy_cost:.1f}",
+                f"{optimum.best_cost:.1f}",
+                f"{ratio:.3f}",
+                optimum.trees_evaluated,
+            ]
+        )
+
+    assert measured == 5, "expected five enumerable queries"
+    benchmark(lambda: greedy.categorize(
+        broaden_to_region(explorations[0]).query.execute(bench_homes),
+        broaden_to_region(explorations[0]).query,
+    ))
+
+    print()
+    print(
+        format_table(
+            ["|R|", "greedy CostAll", "optimal CostAll", "greedy/optimal",
+             "trees enumerated"],
+            rows_out,
+            title="Greedy (Figure 6) vs exhaustive enumeration",
+        )
+    )
+    print(f"worst ratio: {max(ratios):.3f}")
+
+    assert all(r >= 1.0 - 1e-9 for r in ratios), "optimum must lower-bound greedy"
+    assert max(ratios) <= 1.3, (
+        "the greedy algorithm should stay within 30% of the enumerated optimum"
+    )

@@ -1,0 +1,78 @@
+"""Ablation: the label/tuple cost ratio K (Equations 1 and 2).
+
+The paper keeps K symbolic.  This bench sweeps K and checks two things:
+
+* estimated tree cost grows with K (labels become more expensive), and
+* the categorizer's choice is *self-consistent*: the tree built under a
+  given K is at least as good, evaluated at that K, as the trees built
+  under the other K values — i.e. the optimizer actually responds to K.
+"""
+
+from repro.core.algorithm import CostBasedCategorizer
+from repro.core.config import PAPER_CONFIG
+from repro.core.cost import CostModel
+from repro.core.probability import ProbabilityEstimator
+from repro.data.geography import SEATTLE_BELLEVUE
+from repro.relational.expressions import InPredicate
+from repro.relational.query import SelectQuery
+from repro.study.report import format_table
+
+
+K_VALUES = (0.1, 1.0, 5.0, 20.0)
+
+
+def test_ablation_label_cost(benchmark, bench_homes, bench_statistics):
+    query = SelectQuery(
+        "ListProperty",
+        InPredicate("neighborhood", SEATTLE_BELLEVUE.neighborhood_names()),
+    )
+    rows = query.execute(bench_homes)
+
+    trees = {}
+    for k in K_VALUES:
+        config = PAPER_CONFIG.with_overrides(label_cost=k)
+        trees[k] = CostBasedCategorizer(bench_statistics, config).categorize(
+            rows, query
+        )
+    benchmark(
+        lambda: CostBasedCategorizer(bench_statistics, PAPER_CONFIG).categorize(
+            rows, query
+        )
+    )
+
+    estimator = ProbabilityEstimator(bench_statistics)
+    rows_out = []
+    self_costs = {}
+    for k in K_VALUES:
+        model = CostModel(estimator, PAPER_CONFIG.with_overrides(label_cost=k))
+        self_costs[k] = model.tree_cost_all(trees[k])
+        rows_out.append(
+            [
+                f"{k:g}",
+                f"{self_costs[k]:.1f}",
+                trees[k].category_count(),
+                trees[k].depth(),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["K", "CostAll(T_K) at K", "categories", "depth"],
+            rows_out,
+            title="Label-cost (K) ablation",
+        )
+    )
+
+    costs = [self_costs[k] for k in K_VALUES]
+    assert costs == sorted(costs), "estimated cost must grow with K"
+
+    # Self-consistency: evaluating tree T_K at K never loses to T_K' at K.
+    for k in K_VALUES:
+        model = CostModel(estimator, PAPER_CONFIG.with_overrides(label_cost=k))
+        own = model.tree_cost_all(trees[k])
+        for other_k in K_VALUES:
+            cross = model.tree_cost_all(trees[other_k])
+            assert own <= cross * 1.05, (
+                f"tree built for K={k} should be near-best at K={k} "
+                f"(lost to K={other_k}'s tree)"
+            )

@@ -1,0 +1,95 @@
+"""Ablation: P-descending ordering heuristic vs the Appendix A optimum.
+
+The paper orders a node's subcategories by decreasing P(Ci) rather than by
+the provably optimal increasing 1/P(Ci) + CostOne(Ci), arguing the
+heuristic is cheap and "tantamount to assuming equality of CostOne(Ci)'s".
+This bench measures the gap on real trees: the ONE-scenario SHOWCAT cost
+of each internal node's actual child order vs the optimal order vs a
+workload-blind (value-sorted) order.
+"""
+
+from repro.core.algorithm import CostBasedCategorizer
+from repro.core.config import PAPER_CONFIG
+from repro.core.cost import CostModel
+from repro.core.partition.ordering import (
+    expected_cost_one_of_ordering,
+    order_optimal_one,
+)
+from repro.core.probability import ProbabilityEstimator
+from repro.data.geography import SEATTLE_BELLEVUE
+from repro.relational.expressions import InPredicate
+from repro.relational.query import SelectQuery
+from repro.study.report import format_table
+
+
+def test_ablation_ordering_heuristic_vs_optimal(benchmark, bench_homes, bench_statistics):
+    query = SelectQuery(
+        "ListProperty",
+        InPredicate("neighborhood", SEATTLE_BELLEVUE.neighborhood_names()),
+    )
+    rows = query.execute(bench_homes)
+    categorizer = CostBasedCategorizer(bench_statistics, PAPER_CONFIG)
+    tree = benchmark(lambda: categorizer.categorize(rows, query))
+
+    model = CostModel(ProbabilityEstimator(bench_statistics), PAPER_CONFIG)
+    annotations = model.annotate(tree)
+
+    from repro.core.labels import CategoricalLabel
+    from repro.core.partition.ordering import order_by_probability
+
+    heuristic_total = optimal_total = arbitrary_total = 0.0
+    nodes_measured = 0
+    for node in tree.nodes():
+        if len(node.children) < 2:
+            continue
+        if not isinstance(node.children[0].label, CategoricalLabel):
+            # The ordering heuristic applies to categorical levels only;
+            # numeric buckets are always presented in ascending value order.
+            continue
+        probabilities = [
+            annotations[id(c)].exploration_probability for c in node.children
+        ]
+        costs = [annotations[id(c)].cost_one for c in node.children]
+        indices = list(range(len(costs)))
+        heuristic = order_by_probability(indices, probabilities)
+        heuristic_total += expected_cost_one_of_ordering(
+            [probabilities[i] for i in heuristic], [costs[i] for i in heuristic]
+        )
+        order = order_optimal_one(indices, probabilities, costs)
+        optimal_total += expected_cost_one_of_ordering(
+            [probabilities[i] for i in order], [costs[i] for i in order]
+        )
+        blind = sorted(indices, key=lambda i: node.children[i].display())
+        arbitrary_total += expected_cost_one_of_ordering(
+            [probabilities[i] for i in blind], [costs[i] for i in blind]
+        )
+        nodes_measured += 1
+
+    print()
+    print(
+        format_table(
+            ["ordering", "total ONE-scenario SHOWCAT cost"],
+            [
+                ["optimal (1/P + CostOne, Appendix A)", f"{optimal_total:.1f}"],
+                ["heuristic (P descending, paper)", f"{heuristic_total:.1f}"],
+                ["arbitrary (value-sorted, No-Cost)", f"{arbitrary_total:.1f}"],
+            ],
+            title=f"Ordering ablation over {nodes_measured} internal nodes",
+        )
+    )
+    gap = heuristic_total / optimal_total if optimal_total else 1.0
+    print(f"heuristic / optimal = {gap:.3f}")
+    print(
+        "finding: P-descending fronts popular categories whose subtrees are "
+        "also the most expensive, so when P and CostOne correlate (popular "
+        "neighborhoods have the most homes) the heuristic can trail even an "
+        "arbitrary order — the CostOne-equality assumption Section 5.1.2 "
+        "makes explicit is what it costs."
+    )
+
+    assert nodes_measured > 5
+    assert optimal_total <= heuristic_total + 1e-6, "optimum must be optimal"
+    assert optimal_total <= arbitrary_total + 1e-6
+    assert heuristic_total <= optimal_total * 1.5, (
+        "the paper's heuristic should stay within 1.5x of optimal"
+    )

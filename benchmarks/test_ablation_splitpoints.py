@@ -1,0 +1,102 @@
+"""Ablation: WHERE to cut — workload splitpoints vs evenly spaced cuts.
+
+Section 5.1.3's design choice is boundary *placement*: given the same
+number of buckets m, put the m−1 cuts at the gridpoints where the most
+workload ranges begin/end (goodness score) rather than spacing them
+evenly.  This bench partitions the same result set on price both ways
+with identical m and replays held-out price-constrained explorations:
+goodness-placed cuts let users ignore more buckets, so the actual
+exploration cost must be lower.
+"""
+
+from repro.core.config import PAPER_CONFIG
+from repro.core.cost import CostModel
+from repro.core.partition.numeric import NumericPartitioner, bucketize
+from repro.core.probability import ProbabilityEstimator
+from repro.core.tree import CategoryNode, CategoryTree
+from repro.data.geography import SEATTLE_BELLEVUE
+from repro.explore.exploration import replay_all
+from repro.relational.expressions import InPredicate
+from repro.relational.query import SelectQuery
+from repro.study.report import format_table
+
+
+def build_price_tree(rows, query, partitioning, name):
+    root = CategoryNode(rows)
+    if len(partitioning) >= 2:
+        root.add_children("price", partitioning)
+    return CategoryTree(root, query=query, technique=name)
+
+
+def test_ablation_splitpoint_placement(
+    benchmark, bench_homes, bench_statistics, bench_workload
+):
+    query = SelectQuery(
+        "ListProperty",
+        InPredicate("neighborhood", SEATTLE_BELLEVUE.neighborhood_names()),
+    )
+    rows = query.execute(bench_homes)
+
+    smart = NumericPartitioner(
+        "price", bench_statistics, PAPER_CONFIG, query=query, root_rows=rows
+    )
+    benchmark(lambda: smart.partition(rows))
+    smart_partitioning = smart.partition(rows)
+    cut_count = len(smart_partitioning) - 1
+    assert cut_count >= 2, "need a multi-bucket partitioning to compare"
+
+    # Evenly spaced cuts over the same (vmin, vmax), same bucket count.
+    span = smart.vmax - smart.vmin
+    even_cuts = [
+        smart.vmin + span * (i + 1) / (cut_count + 1) for i in range(cut_count)
+    ]
+    even_partitioning = bucketize("price", rows, smart.vmin, smart.vmax, even_cuts)
+
+    trees = {
+        "goodness splitpoints": build_price_tree(
+            rows, query, smart_partitioning, "splitpoints"
+        ),
+        "evenly spaced": build_price_tree(rows, query, even_partitioning, "even"),
+    }
+
+    explorations = [
+        w for w in bench_workload.sample(600, seed=3)
+        if w.constrains("price")
+        and w.in_values("neighborhood")
+        and w.in_values("neighborhood")
+        <= set(SEATTLE_BELLEVUE.neighborhood_names())
+    ][:60]
+    assert explorations, "need price-constrained Seattle explorations"
+
+    model = CostModel(ProbabilityEstimator(bench_statistics), PAPER_CONFIG)
+    rows_out, measured = [], {}
+    for name, tree in trees.items():
+        estimated = model.tree_cost_all(tree)
+        actual = sum(
+            replay_all(tree, w).items_examined for w in explorations
+        ) / len(explorations)
+        measured[name] = (estimated, actual)
+        rows_out.append(
+            [name, len(tree.root.children), f"{estimated:.1f}", f"{actual:.1f}"]
+        )
+
+    print()
+    print(
+        format_table(
+            ["cut placement", "buckets", "estimated CostAll", "avg actual cost"],
+            rows_out,
+            title=(
+                f"Splitpoint-placement ablation ({cut_count} cuts, "
+                f"{len(explorations)} explorations)"
+            ),
+        )
+    )
+
+    smart_est, smart_act = measured["goodness splitpoints"]
+    even_est, even_act = measured["evenly spaced"]
+    assert smart_act <= even_act * 1.05, (
+        "goodness-placed cuts should cost users less in replay"
+    )
+    assert smart_est <= even_est * 1.15, (
+        "goodness-placed cuts should not lose materially on estimated cost"
+    )

@@ -1,0 +1,66 @@
+"""Ablation: the attribute-elimination threshold x (Section 5.1.1).
+
+The paper eliminates attributes with NAttr(A)/N < x before any
+partitioning is considered, claiming this prunes the search cheaply
+because low-usage attributes yield high-Pw (hence high-cost) trees
+anyway.  This bench sweeps x and reports: attributes retained, tree cost,
+and categorization time — showing cost is flat up to the paper's x = 0.4
+and degrades only when elimination starts removing genuinely useful
+attributes.
+"""
+
+import time
+
+from repro.core.algorithm import CostBasedCategorizer
+from repro.core.config import PAPER_CONFIG
+from repro.core.cost import CostModel
+from repro.core.probability import ProbabilityEstimator
+from repro.data.geography import SEATTLE_BELLEVUE
+from repro.relational.expressions import InPredicate
+from repro.relational.query import SelectQuery
+from repro.study.report import format_table
+
+
+def test_ablation_elimination_threshold(benchmark, bench_homes, bench_statistics):
+    query = SelectQuery(
+        "ListProperty",
+        InPredicate("neighborhood", SEATTLE_BELLEVUE.neighborhood_names()),
+    )
+    rows = query.execute(bench_homes)
+    model = CostModel(ProbabilityEstimator(bench_statistics), PAPER_CONFIG)
+
+    results = []
+    for x in (0.0, 0.2, 0.4, 0.6, 0.8):
+        config = PAPER_CONFIG.with_overrides(elimination_threshold=x)
+        categorizer = CostBasedCategorizer(bench_statistics, config)
+        retained = len(categorizer._candidate_attributes(rows, query))
+        started = time.perf_counter()
+        tree = categorizer.categorize(rows, query)
+        elapsed = time.perf_counter() - started
+        results.append((x, retained, model.tree_cost_all(tree), elapsed))
+
+    benchmark(
+        lambda: CostBasedCategorizer(
+            bench_statistics, PAPER_CONFIG
+        ).categorize(rows, query)
+    )
+
+    print()
+    print(
+        format_table(
+            ["x", "attributes retained", "CostAll(T)", "build seconds"],
+            [
+                [f"{x:.1f}", retained, f"{cost:.1f}", f"{seconds:.3f}"]
+                for x, retained, cost, seconds in results
+            ],
+            title="Elimination-threshold ablation (Seattle/Bellevue query)",
+        )
+    )
+    print("(paper: x=0.4 retains 6 of 53 attributes with no quality loss)")
+
+    by_x = {x: (retained, cost) for x, retained, cost, _ in results}
+    assert by_x[0.0][0] >= by_x[0.4][0] >= by_x[0.8][0]
+    # The paper's x=0.4 should cost essentially the same as no elimination.
+    assert by_x[0.4][1] <= by_x[0.0][1] * 1.25
+    # Aggressive elimination must eventually hurt (fewer levels available).
+    assert by_x[0.8][1] >= by_x[0.4][1]

@@ -1,0 +1,123 @@
+"""Ablation: robustness to workload drift.
+
+The whole technique rests on "assuming that the individual users conform
+to the previous behavior captured by the workload" (footnote 4).  This
+bench stresses that assumption: count tables are trained on one user
+population, then explorations are drawn from progressively drifted
+populations (different attribute-usage profile).  Measured: how the
+fraction of items examined degrades with drift, and whether the
+cost-based technique still beats No-Cost even under heavy drift.
+"""
+
+from repro.core.algorithm import CostBasedCategorizer
+from repro.core.baselines import NoCostCategorizer
+from repro.core.config import PAPER_CONFIG
+from repro.explore.exploration import replay_all
+from repro.explore.metrics import fractional_cost, mean
+from repro.study.report import format_table
+from repro.workload.broadening import broaden_to_region
+from repro.workload.generator import (
+    DEFAULT_ATTRIBUTE_USAGE,
+    WorkloadGeneratorConfig,
+    generate_workload,
+)
+from repro.workload.preprocess import preprocess_workload
+
+
+def drifted_usage(drift: float) -> dict[str, float]:
+    """Interpolate the usage profile toward an inverted-interest population.
+
+    At drift = 0 the future users match the training workload; at
+    drift = 1 they mostly care about year built and square footage and
+    rarely about bedrooms or price — the attributes the trained trees
+    lead with.
+    """
+    inverted = dict(DEFAULT_ATTRIBUTE_USAGE)
+    inverted.update(
+        {
+            "bedroomcount": 0.15,
+            "price": 0.25,
+            "yearbuilt": 0.70,
+            "squarefootage": 0.70,
+            "bathcount": 0.15,
+        }
+    )
+    return {
+        name: (1.0 - drift) * DEFAULT_ATTRIBUTE_USAGE[name] + drift * inverted[name]
+        for name in DEFAULT_ATTRIBUTE_USAGE
+    }
+
+
+def test_ablation_workload_drift(benchmark, bench_homes, bench_workload):
+    statistics = preprocess_workload(
+        bench_workload, bench_homes.schema, PAPER_CONFIG.separation_intervals
+    )
+    cost_based = CostBasedCategorizer(statistics, PAPER_CONFIG)
+    no_cost = NoCostCategorizer(statistics, PAPER_CONFIG)
+    warm = broaden_to_region(
+        next(w for w in bench_workload if w.constrains("neighborhood"))
+    )
+    warm_rows = warm.query.execute(bench_homes)
+    benchmark(lambda: cost_based.categorize(warm_rows, warm.query))
+
+    rows_out = []
+    fractions = {}
+    for drift in (0.0, 0.5, 1.0):
+        future = generate_workload(
+            WorkloadGeneratorConfig(
+                query_count=400, seed=97, attribute_usage=drifted_usage(drift)
+            )
+        )
+        explorations = [
+            w for w in future
+            if w.constrains("neighborhood") and len(w.conditions) >= 2
+        ][:60]
+        cb_fractions, nc_fractions = [], []
+        for exploration in explorations:
+            user_query = broaden_to_region(exploration)
+            result_rows = user_query.query.execute(bench_homes)
+            if len(result_rows) < PAPER_CONFIG.max_tuples_per_category:
+                continue
+            cb_tree = cost_based.categorize(result_rows, user_query.query)
+            nc_tree = no_cost.categorize(result_rows, user_query.query)
+            cb_fractions.append(
+                fractional_cost(
+                    replay_all(cb_tree, exploration).items_examined,
+                    len(result_rows),
+                )
+            )
+            nc_fractions.append(
+                fractional_cost(
+                    replay_all(nc_tree, exploration).items_examined,
+                    len(result_rows),
+                )
+            )
+        fractions[drift] = (mean(cb_fractions), mean(nc_fractions))
+        rows_out.append(
+            [
+                f"{drift:.1f}",
+                len(cb_fractions),
+                f"{fractions[drift][0]:.3f}",
+                f"{fractions[drift][1]:.3f}",
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            ["drift", "explorations", "cost-based fraction", "no-cost fraction"],
+            rows_out,
+            title="Workload-drift robustness (fraction of result set examined)",
+        )
+    )
+
+    in_distribution = fractions[0.0][0]
+    fully_drifted = fractions[1.0][0]
+    assert fully_drifted >= in_distribution, (
+        "drifted users should cost more — the workload assumption matters"
+    )
+    for drift, (cb, nc) in fractions.items():
+        assert cb < nc, (
+            f"drift {drift}: cost-based should still beat no-cost "
+            "(its structure remains generically sensible)"
+        )

@@ -1,0 +1,55 @@
+"""Figure 11: normalized cost — items examined per relevant tuple found.
+
+Paper: the fairest cross-technique metric.  Cost-based beats No-Cost by
+one to two orders of magnitude; cost-based subjects needed only ~5-10
+items per relevant tuple.
+
+Reproduced shape: cost-based lowest normalized cost, No-Cost several
+times worse, cost-based absolute value small (tens of items, not
+hundreds).
+"""
+
+from repro.explore.metrics import mean_finite
+from repro.study.report import format_series
+
+
+def test_fig11_normalized_cost(benchmark, userstudy_result):
+    benchmark(lambda: userstudy_result.figure_series("normalized_cost"))
+
+    series = userstudy_result.figure_series("normalized_cost")
+    print()
+    print(
+        format_series(
+            series,
+            [f"Task {i + 1}" for i in range(4)],
+            title="Figure 11: avg normalized cost (#items per relevant tuple)",
+            value_format="{:.1f}",
+        )
+    )
+    print("(paper: cost-based ~5-10 items/relevant; 1-2 orders better than no-cost)")
+
+    overall = {t: mean_finite(v) for t, v in series.items()}
+    print("means:", {k: round(v, 1) for k, v in overall.items()})
+
+    # 95% bootstrap CIs over the per-session normalized costs quantify the
+    # simulated-subject noise behind the technique gap.
+    import math
+
+    from repro.study.stats import bootstrap_mean_ci
+
+    for technique in userstudy_result.techniques():
+        samples = [
+            r.normalized_cost
+            for r in userstudy_result.records
+            if r.technique == technique and math.isfinite(r.normalized_cost)
+        ]
+        low, high = bootstrap_mean_ci(samples, seed=7)
+        print(f"  {technique}: mean CI95 [{low:.1f}, {high:.1f}] "
+              f"(n={len(samples)})")
+    assert overall["cost-based"] == min(overall.values())
+    assert overall["no-cost"] > 2 * overall["cost-based"], (
+        "no-cost should pay several times more per relevant tuple"
+    )
+    assert overall["cost-based"] < 50, (
+        "cost-based users should pay tens of items per relevant tuple at most"
+    )

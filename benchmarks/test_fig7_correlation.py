@@ -1,0 +1,41 @@
+"""Figure 7: estimated vs actual exploration cost, with zero-intercept fit.
+
+Paper: a scatter of 800 synthetic explorations whose best linear fit with
+intercept 0 is y = 1.1002x, showing "strong positive correlation" between
+the model's estimated average cost and the cost users actually incur.
+
+Reproduced shape: positive correlation, zero-intercept slope near 1.
+"""
+
+from repro.render.figures import scatter_plot
+from repro.study.report import format_table
+
+
+def test_fig7_estimated_vs_actual(benchmark, simulated_result, categorize_one):
+    benchmark(categorize_one)
+
+    estimated, actual = simulated_result.scatter()
+    slope = simulated_result.trend_slope()
+    r = simulated_result.overall_correlation()
+
+    sample = sorted(zip(estimated, actual))[:: max(1, len(estimated) // 12)]
+    print()
+    print(
+        format_table(
+            ["estimated CostAll(T)", "actual CostAll(W,T)"],
+            [[f"{e:.1f}", f"{a:.1f}"] for e, a in sample],
+            title="Figure 7 (sampled scatter points)",
+        )
+    )
+    print()
+    print(scatter_plot(
+        estimated, actual, width=64, height=16,
+        x_label="estimated CostAll(T)", y_label="actual CostAll(W,T)",
+    ))
+    print(f"explorations: {len(estimated)}")
+    print(f"trend line (intercept 0): y = {slope:.4f}x   (paper: y = 1.1002x)")
+    print(f"overall Pearson r: {r:.3f}                   (paper: 0.90)")
+
+    assert len(estimated) >= 300, "study produced too few explorations"
+    assert r > 0.35, "estimated and actual costs must correlate positively"
+    assert 0.4 < slope < 2.5, "trend slope should be near unity"

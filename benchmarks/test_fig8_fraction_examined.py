@@ -1,0 +1,49 @@
+"""Figure 8: fraction of the result set examined, per subset x technique.
+
+Paper: the cost-based technique is 3-8x better than Attr-Cost and No-Cost
+on every subset, and cost-based explorations examine under 10% of the
+result set.
+
+Reproduced shape: cost-based lowest on every subset; No-Cost several times
+worse; Attr-Cost between them.  (Deviation recorded in EXPERIMENTS.md: our
+Attr-Cost gap is smaller than the paper's because CostAll is presentation-
+order-invariant and empty-bucket removal makes naive partitions less
+harmful on our synthetic workload.)
+"""
+
+from repro.study.report import format_series
+
+
+def test_fig8_fraction_of_items_examined(benchmark, simulated_result):
+    benchmark(simulated_result.fraction_examined_series)
+
+    series = simulated_result.fraction_examined_series()
+    x_labels = [f"Subset {i + 1}" for i in range(simulated_result.subset_count)]
+    print()
+    print(
+        format_series(
+            series,
+            x_labels,
+            title="Figure 8: fraction of items examined (actual cost / |result|)",
+        )
+    )
+    means = {
+        technique: simulated_result.mean_fraction_examined(technique)
+        for technique in simulated_result.techniques()
+    }
+    print("means:", {k: round(v, 4) for k, v in means.items()})
+    print("(paper: cost-based 3-8x better than both baselines, <10% examined)")
+
+    cost_based = means["cost-based"]
+    assert cost_based < 0.25, "cost-based should examine a small fraction"
+    assert cost_based == min(means.values()), "cost-based must be the best technique"
+    assert means["no-cost"] > 2.5 * cost_based, (
+        "no-cost should be several times worse"
+    )
+    assert means["attr-cost"] > cost_based, "attr-cost should trail cost-based"
+    for subset in range(simulated_result.subset_count):
+        per_subset = {
+            t: simulated_result.fraction_examined(subset, t)
+            for t in simulated_result.techniques()
+        }
+        assert per_subset["cost-based"] <= min(per_subset.values()) + 1e-9

@@ -1,0 +1,55 @@
+"""Performance: the column-direct partition fast path.
+
+Level construction is the categorizer's inner loop; this bench times one
+full-level partitioning of a large result set through both RowSet APIs —
+the generic per-row path and the column-direct fast path the partitioners
+use — and asserts they agree and that the fast path is not slower.
+"""
+
+import time
+
+from repro.study.report import format_table
+
+
+def test_perf_partition_fast_path(benchmark, bench_homes):
+    rows = bench_homes.all_rows()
+
+    def generic():
+        return rows.partition_by(lambda row: row["neighborhood"])
+
+    def fast():
+        return rows.partition_by_attribute("neighborhood", lambda value: value)
+
+    generic_buckets = generic()
+    fast_buckets = benchmark(fast)
+
+    assert set(generic_buckets) == set(fast_buckets)
+    for key in generic_buckets:
+        assert generic_buckets[key].indices == fast_buckets[key].indices
+
+    # Wall-clock comparison (median of a few runs each).
+    def timed(fn, repeats=5):
+        samples = []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            fn()
+            samples.append(time.perf_counter() - started)
+        return sorted(samples)[repeats // 2]
+
+    generic_seconds = timed(generic)
+    fast_seconds = timed(fast)
+    print()
+    print(
+        format_table(
+            ["path", "median seconds", "rows"],
+            [
+                ["partition_by (Row views)", f"{generic_seconds:.4f}", len(rows)],
+                ["partition_by_attribute (column)", f"{fast_seconds:.4f}", len(rows)],
+            ],
+            title="Partition fast-path comparison",
+        )
+    )
+    print(f"speedup: {generic_seconds / fast_seconds:.2f}x")
+    assert fast_seconds <= generic_seconds * 1.2, (
+        "the fast path must not be slower than the generic one"
+    )

@@ -1,0 +1,38 @@
+"""Table 1: Pearson correlation per cross-validation subset.
+
+Paper: subset correlations range 0.16-0.98 (a mix of weak and strong
+positive), overall correlation 0.90 across the pooled 800 explorations.
+
+Reproduced shape: every subset positively correlated, pooled correlation
+substantially higher than the typical subset (the pooling effect the
+paper's 'All' row shows).
+"""
+
+from repro.study.report import format_table
+from repro.study.stats import classify_correlation
+
+
+def test_table1_subset_correlations(benchmark, simulated_result):
+    benchmark(simulated_result.overall_correlation)
+
+    rows = [
+        [name, f"{r:.2f}", classify_correlation(r)]
+        for name, r in simulated_result.correlation_table()
+    ]
+    print()
+    print(
+        format_table(
+            ["Subset", "Correlation", "band"],
+            rows,
+            title="Table 1: Pearson correlation, estimated vs actual cost",
+        )
+    )
+    print("(paper: subsets 0.16-0.98, All = 0.90)")
+
+    subset_rs = [r for name, r in simulated_result.correlation_table() if name != "All"]
+    overall = simulated_result.overall_correlation()
+    assert all(r > 0 for r in subset_rs), "every subset must correlate positively"
+    assert overall > 0.35
+    assert sum(1 for r in subset_rs if r > 0.2) >= 6, (
+        "most subsets should show at least weak positive correlation"
+    )

@@ -1,0 +1,30 @@
+"""Table 4: post-study survey — which technique worked best.
+
+Paper: 8 of the 9 responding subjects picked the cost-based technique;
+1 picked Attr-Cost; nobody picked No-Cost.
+
+Reproduced shape (votes derived from each subject's best normalized
+cost): cost-based receives a plurality; No-Cost receives the fewest.
+"""
+
+from repro.study.report import format_table
+
+
+def test_table4_survey(benchmark, userstudy_result):
+    benchmark(userstudy_result.survey)
+
+    votes = userstudy_result.survey()
+    print()
+    print(
+        format_table(
+            ["Categorization Technique", "#subjects that called it best"],
+            sorted(votes.items(), key=lambda kv: -kv[1]),
+            title="Table 4: post-study survey",
+        )
+    )
+    print("(paper: cost-based 8, attr-cost 1, no-cost 0, no response 2)")
+
+    assert votes["cost-based"] == max(votes.values()), (
+        "cost-based must win the survey"
+    )
+    assert votes["cost-based"] >= votes.get("no-cost", 0) + 2

@@ -1,0 +1,74 @@
+"""Simulate a user session: drill-down, SHOWTUPLES/SHOWCAT, give-up.
+
+Walks a simulated buyer (hidden preference + finite patience) through the
+cost-based and No-Cost trees for the same task and prints the operation
+log — the expand/ignore/show-tuples trace the paper's user study recorded
+(Section 6.3) — plus the resulting measurements.
+
+Run:  python examples/interactive_exploration.py
+"""
+
+import random
+
+from repro import (
+    CostBasedCategorizer,
+    NoCostCategorizer,
+    PAPER_CONFIG,
+    build_paper_scale_workload,
+    generate_homes,
+    preprocess_workload,
+)
+from repro.explore import SimulatedUser, UserBehavior, derive_preference
+from repro.explore.session import Operation
+from repro.study.userstudy import paper_tasks
+
+
+def describe(session, user, tree) -> None:
+    print(f"  items examined:  {session.items_examined:.0f} "
+          f"({session.labels_examined} labels + {session.tuples_examined} tuples)")
+    print(f"  relevant found:  {session.relevant_found} "
+          f"of {user.relevant_in(tree)} in the result set")
+    print(f"  gave up:         {session.exhausted_patience}")
+    interesting = [
+        event for event in session.events
+        if event.operation in (Operation.EXPAND, Operation.SHOW_TUPLES, Operation.IGNORE)
+    ]
+    print("  first operations:")
+    for event in interesting[:10]:
+        print(f"    {event.operation.value:12s} {event.target}")
+    if len(interesting) > 10:
+        print(f"    ... {len(interesting) - 10} more operations")
+
+
+def main() -> None:
+    homes = generate_homes(rows=20_000, seed=7)
+    workload = build_paper_scale_workload(seed=41, query_count=8_000)
+    statistics = preprocess_workload(
+        workload, homes.schema, PAPER_CONFIG.separation_intervals
+    )
+
+    task = paper_tasks()[3]  # Seattle/Bellevue, 200-400K, 3-4 bedrooms
+    rows = task.execute(homes)
+    print(f"task: {task}")
+    print(f"result set: {len(rows)} homes\n")
+
+    preference = derive_preference(task, random.Random(12))
+    print(f"subject's hidden preference: {preference}\n")
+    user = SimulatedUser(
+        "U1",
+        preference,
+        UserBehavior(sensitivity=0.9, label_error=0.05, recognition=0.95, patience=800),
+        seed=12,
+    )
+
+    for categorizer in (CostBasedCategorizer(statistics), NoCostCategorizer(statistics)):
+        tree = categorizer.categorize(rows, task)
+        print(f"=== exploring the {tree.technique} tree "
+              f"({tree.category_count()} categories) ===")
+        session = user.explore_all(tree)
+        describe(session, user, tree)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Domain independence: categorize a movie catalog.
+
+The paper's approach is "domain-independent" — nothing in the categorizer
+knows about homes.  This example runs the identical pipeline on a movie
+catalog: its own schema (genres, ratings, years), its own search-log
+personas, its own separation intervals — and gets a sensible browse tree.
+
+Run:  python examples/movies.py
+"""
+
+from repro import (
+    CostBasedCategorizer,
+    CostModel,
+    ProbabilityEstimator,
+    preprocess_workload,
+    render_tree,
+)
+from repro.core.config import CategorizerConfig
+from repro.data.movies import (
+    MOVIE_SEPARATION_INTERVALS,
+    generate_movie_workload,
+    generate_movies,
+)
+from repro.relational.expressions import RangePredicate
+from repro.relational.query import SelectQuery
+
+
+def main() -> None:
+    movies = generate_movies(rows=15_000, seed=3)
+    workload = generate_movie_workload(queries=6_000, seed=5)
+    config = CategorizerConfig(separation_intervals=MOVIE_SEPARATION_INTERVALS)
+    statistics = preprocess_workload(
+        workload, movies.schema, MOVIE_SEPARATION_INTERVALS
+    )
+
+    print("what movie searchers care about (NAttr/N):")
+    for name in movies.schema.names():
+        print(f"  {name:12s} {statistics.usage_fraction(name):.2f}")
+
+    query = SelectQuery("Movies", RangePredicate("rating", 7.0, 10.0))
+    rows = query.execute(movies)
+    print(f"\n'well-rated movies' query returned {len(rows)} titles\n")
+
+    tree = CostBasedCategorizer(statistics, config).categorize(rows, query)
+    print(render_tree(tree, max_depth=2, max_children=5))
+
+    model = CostModel(ProbabilityEstimator(statistics), config)
+    print(f"\nestimated exploration cost: {model.tree_cost_all(tree):.0f} "
+          f"items vs {len(rows)} for a full scan "
+          f"({len(rows) / model.tree_cost_all(tree):.1f}x saving)")
+
+
+if __name__ == "__main__":
+    main()

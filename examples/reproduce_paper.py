@@ -1,0 +1,126 @@
+"""Reproduce every table and figure of the paper's evaluation, in one run.
+
+A reduced-scale version of the full benchmark harness (see benchmarks/
+for the calibrated runs): executes the Section 6.2 simulated study, the
+Section 6.3 user study, and the Figure 13 timing study, printing each
+reproduced table/series next to the paper's reported values.
+
+Run:  python examples/reproduce_paper.py           (takes a few minutes)
+Run:  python examples/reproduce_paper.py --small   (reduced, < 1 minute)
+"""
+
+import sys
+
+from repro import (
+    AttrCostCategorizer,
+    CostBasedCategorizer,
+    NoCostCategorizer,
+    PAPER_CONFIG,
+    build_paper_scale_workload,
+    generate_homes,
+    preprocess_workload,
+)
+from repro.study import (
+    format_series,
+    format_table,
+    run_simulated_study,
+    run_timing_study,
+    run_user_study,
+)
+from repro.study.stats import classify_correlation
+
+
+def main() -> None:
+    small = "--small" in sys.argv
+    rows = 10_000 if small else 30_000
+    queries = 5_000 if small else 12_000
+    subsets, subset_size = (2, 20) if small else (8, 50)
+    subjects = 11 if small else 33
+
+    print(f"dataset: {rows} homes; workload: {queries} queries")
+    homes = generate_homes(rows=rows, seed=7)
+    workload = build_paper_scale_workload(seed=41, query_count=queries)
+    techniques = [CostBasedCategorizer, AttrCostCategorizer, NoCostCategorizer]
+
+    print("\n--- simulated cross-validated study (Section 6.2) ---")
+    simulated = run_simulated_study(
+        homes, workload, techniques, subset_count=subsets, subset_size=subset_size
+    )
+    print(
+        format_table(
+            ["Subset", "Correlation", "band"],
+            [
+                [name, f"{r:.2f}", classify_correlation(r)]
+                for name, r in simulated.correlation_table()
+            ],
+            title="Table 1 (paper: subsets 0.16-0.98, All 0.90)",
+        )
+    )
+    print(f"\nFigure 7 trend: y = {simulated.trend_slope():.3f}x "
+          "(paper: y = 1.1002x)")
+    print()
+    print(
+        format_series(
+            simulated.fraction_examined_series(),
+            [f"Subset {i + 1}" for i in range(subsets)],
+            title="Figure 8: fraction of items examined "
+            "(paper: cost-based 3-8x better)",
+        )
+    )
+
+    print("\n--- real-life user study, simulated (Section 6.3) ---")
+    study = run_user_study(homes, workload, techniques, subject_count=subjects)
+    print(
+        format_table(
+            ["User", "Correlation"],
+            [[u, f"{r:.2f}"] for u, r in study.correlation_table()],
+            title="Table 2 (paper: average 0.67)",
+        )
+    )
+    for metric, title in (
+        ("cost_all", "Figure 9: items until all relevant found"),
+        ("relevant_found", "Figure 10: relevant tuples found"),
+        ("normalized_cost", "Figure 11: items per relevant tuple"),
+        ("cost_one", "Figure 12: items until first relevant"),
+    ):
+        print()
+        print(
+            format_series(
+                study.figure_series(metric),
+                [f"Task {i + 1}" for i in range(4)],
+                title=title,
+                value_format="{:.1f}",
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["Task", "Cost-based", "No categorization"],
+            [[t, f"{c:.1f}", size] for t, c, size in study.vs_no_categorization()],
+            title="Table 3 (paper: 17.1/17949 ... 8.0/7147)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["Technique", "votes"],
+            sorted(study.survey().items(), key=lambda kv: -kv[1]),
+            title="Table 4 (paper: cost-based 8 of 9 responses)",
+        )
+    )
+
+    print("\n--- execution time (Figure 13) ---")
+    points = run_timing_study(
+        homes, workload, m_values=(10, 20, 50, 100), query_count=20 if small else 60
+    )
+    print(
+        format_table(
+            ["M", "mean seconds"],
+            [[p.m, f"{p.mean_seconds:.4f}"] for p in points],
+            title="Figure 13 (paper: ~1s at paper scale on 2004 hardware)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

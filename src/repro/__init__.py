@@ -1,0 +1,75 @@
+"""repro: a reproduction of "Automatic Categorization of Query Results"
+(Chakrabarti, Chaudhuri, Hwang — SIGMOD 2004).
+
+Quickstart::
+
+    from repro import (
+        generate_homes, build_paper_scale_workload, preprocess_workload,
+        CostBasedCategorizer, PAPER_CONFIG, render_tree,
+    )
+    from repro.sql import parse_query
+
+    homes = generate_homes(rows=20_000)
+    workload = build_paper_scale_workload()
+    stats = preprocess_workload(workload, homes.schema,
+                                PAPER_CONFIG.separation_intervals)
+    query = parse_query(
+        "SELECT * FROM ListProperty WHERE city IN ('Seattle', 'Bellevue') "
+        "AND price BETWEEN 200000 AND 300000")
+    tree = CostBasedCategorizer(stats).categorize(query.execute(homes), query)
+    print(render_tree(tree, max_depth=2, max_children=5))
+
+Subpackages:
+
+* :mod:`repro.core` — the paper's contribution: cost models, partitioning
+  heuristics, the level-by-level categorization algorithm, baselines.
+* :mod:`repro.relational` — in-memory relational engine (tables, predicates,
+  SPJ queries).
+* :mod:`repro.sql` — SQL dialect for workload logs.
+* :mod:`repro.data` — synthetic MSN House&Home stand-in dataset.
+* :mod:`repro.workload` — query-log handling, count tables, generation.
+* :mod:`repro.explore` — exploration simulation (synthetic replay + users).
+* :mod:`repro.study` — the Section 6 experiment harness.
+* :mod:`repro.render` — ASCII treeview.
+"""
+
+from repro.core import (
+    AttrCostCategorizer,
+    CategorizerConfig,
+    CategoryTree,
+    CostBasedCategorizer,
+    CostModel,
+    NoCostCategorizer,
+    PAPER_CONFIG,
+    ProbabilityEstimator,
+)
+from repro.data import generate_homes, list_property_schema
+from repro.render import render_tree, summarize_tree
+from repro.workload import (
+    Workload,
+    build_paper_scale_workload,
+    generate_workload,
+    preprocess_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttrCostCategorizer",
+    "CategorizerConfig",
+    "CategoryTree",
+    "CostBasedCategorizer",
+    "CostModel",
+    "NoCostCategorizer",
+    "PAPER_CONFIG",
+    "ProbabilityEstimator",
+    "Workload",
+    "__version__",
+    "build_paper_scale_workload",
+    "generate_homes",
+    "generate_workload",
+    "list_property_schema",
+    "preprocess_workload",
+    "render_tree",
+    "summarize_tree",
+]

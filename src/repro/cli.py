@@ -1,0 +1,218 @@
+"""Command-line interface: categorize query results from the shell.
+
+Subcommands::
+
+    repro generate-data   --rows 20000 --out homes.csv
+    repro generate-workload --queries 8000 --out workload.sql
+    repro stats           --workload workload.sql
+    repro categorize      --data homes.csv --workload workload.sql \
+                          --query "SELECT * FROM ListProperty WHERE ..." \
+                          [--technique cost-based] [--m 20] [--depth 3]
+
+``generate-data``/``generate-workload`` emit the synthetic MSN stand-ins;
+``categorize`` works on any CSV whose schema is the built-in ListProperty
+one or is described by ``--schema schema.json``::
+
+    {"name": "Laptops",
+     "attributes": [
+        {"name": "brand", "type": "text", "kind": "categorical"},
+        {"name": "price", "type": "int", "kind": "numeric"}]}
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.algorithm import CostBasedCategorizer
+from repro.core.baselines import AttrCostCategorizer, NoCostCategorizer
+from repro.core.config import CategorizerConfig, PAPER_CONFIG
+from repro.core.cost import CostModel
+from repro.core.probability import ProbabilityEstimator
+from repro.data.homes import generate_homes, list_property_schema
+from repro.relational.csvio import read_csv, write_csv
+from repro.relational.schema import Attribute, TableSchema
+from repro.relational.types import AttributeKind, DataType
+from repro.render.treeview import render_tree, summarize_tree
+from repro.sql.compiler import parse_query
+from repro.study.report import format_table
+from repro.workload.generator import WorkloadGeneratorConfig, generate_workload
+from repro.workload.log import Workload
+from repro.workload.preprocess import preprocess_workload
+
+TECHNIQUES = {
+    "cost-based": CostBasedCategorizer,
+    "attr-cost": AttrCostCategorizer,
+    "no-cost": NoCostCategorizer,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (ValueError, KeyError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Automatic categorization of query results (SIGMOD 2004)",
+    )
+    subparsers = parser.add_subparsers(required=True)
+
+    data = subparsers.add_parser(
+        "generate-data", help="write a synthetic ListProperty CSV"
+    )
+    data.add_argument("--rows", type=int, default=20_000)
+    data.add_argument("--seed", type=int, default=7)
+    data.add_argument("--out", type=Path, required=True)
+    data.set_defaults(handler=_cmd_generate_data)
+
+    wl = subparsers.add_parser(
+        "generate-workload", help="write a synthetic SQL search log"
+    )
+    wl.add_argument("--queries", type=int, default=8_000)
+    wl.add_argument("--seed", type=int, default=41)
+    wl.add_argument("--out", type=Path, required=True)
+    wl.set_defaults(handler=_cmd_generate_workload)
+
+    stats = subparsers.add_parser(
+        "stats", help="print the count tables of a workload (Figure 4a/4b)"
+    )
+    stats.add_argument("--workload", type=Path, required=True)
+    stats.add_argument("--schema", type=Path, default=None)
+    stats.add_argument("--top", type=int, default=10)
+    stats.set_defaults(handler=_cmd_stats)
+
+    cat = subparsers.add_parser(
+        "categorize", help="categorize the results of one query"
+    )
+    cat.add_argument("--data", type=Path, required=True, help="CSV relation")
+    cat.add_argument("--workload", type=Path, required=True, help="SQL log file")
+    cat.add_argument("--query", required=True, help="SQL SELECT string")
+    cat.add_argument("--schema", type=Path, default=None, help="schema JSON")
+    cat.add_argument(
+        "--technique", choices=sorted(TECHNIQUES), default="cost-based"
+    )
+    cat.add_argument("--m", type=int, default=PAPER_CONFIG.max_tuples_per_category,
+                     help="max tuples per un-partitioned category (M)")
+    cat.add_argument("--k", type=float, default=PAPER_CONFIG.label_cost,
+                     help="label cost relative to a tuple (K)")
+    cat.add_argument("--x", type=float, default=PAPER_CONFIG.elimination_threshold,
+                     help="attribute elimination threshold")
+    cat.add_argument("--buckets", type=int, default=PAPER_CONFIG.bucket_count,
+                     help="numeric buckets per partitioning (m)")
+    cat.add_argument("--depth", type=int, default=None, help="render depth")
+    cat.add_argument("--children", type=int, default=8,
+                     help="children rendered per node")
+    cat.set_defaults(handler=_cmd_categorize)
+    return parser
+
+
+# -- handlers --------------------------------------------------------------
+
+
+def _cmd_generate_data(args) -> int:
+    table = generate_homes(rows=args.rows, seed=args.seed)
+    write_csv(table, args.out)
+    print(f"wrote {len(table)} rows to {args.out}")
+    return 0
+
+
+def _cmd_generate_workload(args) -> int:
+    workload = generate_workload(
+        WorkloadGeneratorConfig(query_count=args.queries, seed=args.seed)
+    )
+    workload.save(args.out)
+    print(f"wrote {len(workload)} queries to {args.out}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    schema = load_schema(args.schema)
+    workload = Workload.load(args.workload)
+    statistics = preprocess_workload(
+        workload, schema, PAPER_CONFIG.separation_intervals
+    )
+    print(
+        format_table(
+            ["Attribute", "NAttr(A)", "NAttr(A)/N"],
+            [
+                [name, count, f"{count / statistics.total_queries:.3f}"]
+                for name, count in statistics.usage.as_rows()
+            ],
+            title=f"AttributeUsageCounts (N = {statistics.total_queries})",
+        )
+    )
+    for attribute in schema.categorical_attributes():
+        rows = statistics.occurrence_counts(attribute.name).as_rows()[: args.top]
+        if not rows:
+            continue
+        print()
+        print(
+            format_table(
+                ["Value", "occ(v)"],
+                rows,
+                title=f"OccurrenceCounts: {attribute.name} (top {args.top})",
+            )
+        )
+    return 0
+
+
+def _cmd_categorize(args) -> int:
+    schema = load_schema(args.schema)
+    table = read_csv(schema, args.data)
+    workload = Workload.load(args.workload)
+    config = CategorizerConfig(
+        max_tuples_per_category=args.m,
+        label_cost=args.k,
+        elimination_threshold=args.x,
+        bucket_count=args.buckets,
+        separation_intervals=PAPER_CONFIG.separation_intervals,
+    )
+    statistics = preprocess_workload(workload, schema, config.separation_intervals)
+
+    query = parse_query(args.query)
+    rows = query.execute(table)
+    print(f"result set: {len(rows)} of {len(table)} tuples")
+    categorizer = TECHNIQUES[args.technique](statistics, config)
+    tree = categorizer.categorize(rows, query)
+    print(summarize_tree(tree))
+    print()
+    print(render_tree(tree, max_depth=args.depth, max_children=args.children))
+
+    model = CostModel(ProbabilityEstimator(statistics), config)
+    print()
+    print(f"estimated CostAll: {model.tree_cost_all(tree):.1f}")
+    print(f"estimated CostOne: {model.tree_cost_one(tree):.1f}")
+    print(f"uncategorized scan: {len(rows)}")
+    return 0
+
+
+def load_schema(path: Path | None) -> TableSchema:
+    """Load a schema JSON, or return the built-in ListProperty schema."""
+    if path is None:
+        return list_property_schema()
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    attributes = []
+    for spec in payload["attributes"]:
+        kind = spec.get("kind")
+        attributes.append(
+            Attribute(
+                spec["name"],
+                DataType(spec["type"]),
+                AttributeKind(kind) if kind else None,
+            )
+        )
+    return TableSchema(payload["name"], tuple(attributes))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,249 @@
+"""The categorization algorithm (Section 5, Figure 6).
+
+``CategorizeResults`` builds the tree level by level: at each level it
+collects the categories with more than ``M`` tuples, evaluates every
+remaining candidate attribute by partitioning each such category and
+scoring ``COST_A = Σ_{C∈S} P(C) · CostAll(Tree(C, A))``, attaches the
+partitions of the argmin attribute, and recurses — one attribute per
+level, never repeating an attribute (Section 3.1's validity constraints).
+
+The module provides the shared level-by-level engine
+(:class:`LevelByLevelCategorizer`) parameterized over two policies —
+*how to partition* on an attribute and *how to choose* the level's
+attribute — and the paper's full cost-based instantiation
+(:class:`CostBasedCategorizer`).  The No-Cost / Attr-Cost baselines of
+Section 6.1 instantiate the same engine with degraded policies (see
+:mod:`repro.core.baselines`), exactly as the paper describes ("the 'No
+cost' technique uses the same level-by-level categorization algorithm").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol, Sequence
+
+from repro.core.config import CategorizerConfig, PAPER_CONFIG
+from repro.core.cost import CostModel
+from repro.core.labels import CategoryLabel
+from repro.core.partition.categorical import CategoricalPartitioner
+from repro.core.partition.numeric import NumericPartitioner
+from repro.core.probability import ProbabilityEstimator
+from repro.core.tree import CategoryNode, CategoryTree
+from repro.relational.query import SelectQuery
+from repro.relational.table import RowSet
+from repro.workload.preprocess import WorkloadStatistics
+
+Partitioning = list[tuple[CategoryLabel, RowSet]]
+
+
+class Partitioner(Protocol):
+    """A per-(level, attribute) partitioning policy."""
+
+    def partition(self, rows: RowSet) -> Partitioning: ...
+
+
+class LevelByLevelCategorizer:
+    """The Figure 6 engine, shared by the cost-based algorithm and baselines.
+
+    Subclasses override :meth:`_candidate_attributes`,
+    :meth:`_make_partitioner` and :meth:`_choose_attribute`.
+    """
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        statistics: WorkloadStatistics,
+        config: CategorizerConfig = PAPER_CONFIG,
+        estimator: ProbabilityEstimator | None = None,
+    ) -> None:
+        """Args:
+            statistics: preprocessed workload count tables.
+            config: algorithm tunables (M, K, x, m, ...).
+            estimator: probability estimator; defaults to the paper's
+                independence-assuming :class:`ProbabilityEstimator`.  Pass
+                a :class:`~repro.core.correlation.CorrelationAwareEstimator`
+                to enable the Section 5.2 conditional estimation.
+        """
+        self.statistics = statistics
+        self.config = config
+        self.estimator = estimator or ProbabilityEstimator(statistics)
+        self.cost_model = CostModel(self.estimator, config)
+
+    # -- public API -------------------------------------------------------------
+
+    def categorize(
+        self, rows: RowSet, query: SelectQuery | None = None
+    ) -> CategoryTree:
+        """Build a category tree over the result set ``rows`` of ``query``.
+
+        Terminates when every category holds at most ``M`` tuples, when the
+        candidate attributes are exhausted, or when no remaining attribute
+        can refine any oversized category.
+        """
+        root = CategoryNode(rows)
+        tree = CategoryTree(root, query=query, technique=self.name)
+        available = list(self._candidate_attributes(rows, query))
+        frontier: list[CategoryNode] = [root]
+        threshold = self.config.max_tuples_per_category
+
+        for _level in range(1, self.config.max_levels + 1):
+            oversized = [node for node in frontier if node.tuple_count > threshold]
+            if not oversized or not available:
+                break
+            partitioners = {
+                attribute: self._make_partitioner(attribute, query, rows)
+                for attribute in available
+            }
+            partitionings = {
+                attribute: [partitioners[attribute].partition(node.rows) for node in oversized]
+                for attribute in available
+            }
+            chosen = self._choose_attribute(oversized, available, partitionings)
+            if chosen is None:
+                break
+            frontier = self._attach_level(oversized, chosen, partitionings[chosen])
+            available.remove(chosen)
+            if not frontier:
+                break
+        return tree
+
+    # -- level mechanics ------------------------------------------------------------
+
+    @staticmethod
+    def _attach_level(
+        oversized: list[CategoryNode],
+        attribute: str,
+        partitionings: list[Partitioning],
+    ) -> list[CategoryNode]:
+        """Attach the chosen attribute's partitions; return the new frontier.
+
+        A node whose partitioning has fewer than two categories is left a
+        leaf: a single pass-through category would add a label with no
+        discriminating power.
+        """
+        new_frontier: list[CategoryNode] = []
+        for node, partitioning in zip(oversized, partitionings):
+            if len(partitioning) < 2:
+                continue
+            new_frontier.extend(node.add_children(attribute, partitioning))
+        return new_frontier
+
+    def _level_cost(
+        self,
+        oversized: list[CategoryNode],
+        attribute: str,
+        partitionings: list[Partitioning],
+    ) -> float:
+        """``COST_A = Σ_{C∈S} P(C) · CostAll(Tree(C, A))`` (Figure 6).
+
+        Children are scored as leaves (their own subdivision is decided at
+        later levels).  An attribute that refines no node scores infinity.
+        """
+        if not any(len(partitioning) >= 2 for partitioning in partitionings):
+            return math.inf
+        total = 0.0
+        for node, partitioning in zip(oversized, partitionings):
+            p_node = self.estimator.exploration_probability(node)
+            if len(partitioning) < 2:
+                # The node stays a leaf under this attribute.
+                total += p_node * node.tuple_count
+                continue
+            children = [
+                (
+                    self.estimator.exploration_probability_of_label(
+                        label, context=node
+                    ),
+                    len(child_rows),
+                )
+                for label, child_rows in partitioning
+            ]
+            total += p_node * self.cost_model.one_level_cost_all(
+                node.tuple_count, attribute, children, context=node
+            )
+        return total
+
+    # -- policy hooks --------------------------------------------------------------
+
+    def _candidate_attributes(
+        self, rows: RowSet, query: SelectQuery | None
+    ) -> Sequence[str]:
+        raise NotImplementedError
+
+    def _make_partitioner(
+        self, attribute: str, query: SelectQuery | None, root_rows: RowSet
+    ) -> Partitioner:
+        raise NotImplementedError
+
+    def _choose_attribute(
+        self,
+        oversized: list[CategoryNode],
+        available: list[str],
+        partitionings: dict[str, list[Partitioning]],
+    ) -> str | None:
+        raise NotImplementedError
+
+
+class CostBasedCategorizer(LevelByLevelCategorizer):
+    """The paper's algorithm: cost-based attribute choice AND partitioning.
+
+    * Candidate attributes survive the Section 5.1.1 elimination:
+      ``NAttr(A)/N >= x``.
+    * Categorical attributes get single-value categories ordered by
+      decreasing occ(v) (Section 5.1.2).
+    * Numeric attributes get buckets at the top necessary workload
+      splitpoints, ascending (Section 5.1.3).
+    * Each level's attribute minimizes ``COST_A`` (Figure 6).
+    """
+
+    name = "cost-based"
+
+    def _candidate_attributes(
+        self, rows: RowSet, query: SelectQuery | None
+    ) -> Sequence[str]:
+        schema = rows.table.schema
+        threshold = self.config.elimination_threshold
+        retained = [
+            attribute.name
+            for attribute in schema
+            if self.statistics.usage_fraction(attribute.name) >= threshold
+        ]
+        # Most-used first, so ties in COST_A resolve toward attributes with
+        # more workload evidence.
+        retained.sort(
+            key=lambda name: (-self.statistics.usage_fraction(name), name)
+        )
+        return retained
+
+    def _make_partitioner(
+        self, attribute: str, query: SelectQuery | None, root_rows: RowSet
+    ) -> Partitioner:
+        schema_attribute = root_rows.table.schema.attribute(attribute)
+        if schema_attribute.is_categorical:
+            return CategoricalPartitioner(
+                attribute,
+                self.statistics,
+                query=query,
+                include_missing=self.config.include_missing_category,
+            )
+        return NumericPartitioner(
+            attribute,
+            self.statistics,
+            self.config,
+            query=query,
+            root_rows=root_rows,
+        )
+
+    def _choose_attribute(
+        self,
+        oversized: list[CategoryNode],
+        available: list[str],
+        partitionings: dict[str, list[Partitioning]],
+    ) -> str | None:
+        best_attribute: str | None = None
+        best_cost = math.inf
+        for attribute in available:
+            cost = self._level_cost(oversized, attribute, partitionings[attribute])
+            if cost < best_cost:
+                best_attribute, best_cost = attribute, cost
+        return best_attribute

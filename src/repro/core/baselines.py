@@ -1,0 +1,192 @@
+"""The comparison techniques of Section 6.1: No-Cost and Attr-Cost.
+
+Both reuse the Figure 6 level-by-level engine but degrade one or both
+policies:
+
+* **No-Cost** — "selects the categorizing attribute at each level
+  arbitrarily (without replacement) from a predefined set ... The
+  partitioning based on a categorical attribute simply produces single
+  valued categories in arbitrary order while that based on a numeric
+  attribute partitions the range into equal width buckets of width 5 times
+  the width of the separation interval ... all the empty categories are
+  removed."
+* **Attr-Cost** — "selects the attribute with the lowest cost as the
+  categorizing attribute at each level but considers only those
+  partitionings considered by the 'No cost' technique."
+
+The paper's finding that Attr-Cost is often *worse* than No-Cost
+("cost-based attribute selection is beneficial only when used in
+conjunction with a cost-based intra-level partitioning") is one of the
+shapes the benchmark suite checks.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Sequence
+
+from repro.core.algorithm import LevelByLevelCategorizer, Partitioner, Partitioning
+from repro.core.config import (
+    CategorizerConfig,
+    PAPER_CONFIG,
+    PAPER_RETAINED_ATTRIBUTES,
+)
+from repro.core.labels import CategoricalLabel
+from repro.core.partition.numeric import NumericPartitioner, equi_width_partition
+from repro.core.tree import CategoryNode
+from repro.relational.query import SelectQuery
+from repro.relational.table import RowSet
+from repro.workload.preprocess import WorkloadStatistics
+
+
+class ArbitraryOrderCategoricalPartitioner:
+    """No-Cost categorical partitioning: single-value categories, value order.
+
+    "Arbitrary" must still be deterministic for reproducibility; sorting by
+    value is an order chosen with no reference to the workload, which is
+    the property the baseline needs.
+    """
+
+    def __init__(
+        self,
+        attribute: str,
+        query: SelectQuery | None = None,
+    ) -> None:
+        self.attribute = attribute
+        self._universe: list[Any] | None = None
+        if query is not None:
+            values = query.values_on(attribute)
+            if values is not None:
+                self._universe = sorted(values, key=repr)
+
+    def partition(self, rows: RowSet) -> Partitioning:
+        universe = (
+            self._universe
+            if self._universe is not None
+            else sorted(rows.distinct_values(self.attribute), key=repr)
+        )
+        allowed = set(universe)
+        buckets = rows.partition_by_attribute(
+            self.attribute, lambda value: value if value in allowed else None
+        )
+        return [
+            (CategoricalLabel(self.attribute, (value,)), buckets[value])
+            for value in universe
+            if value in buckets and len(buckets[value]) > 0
+        ]
+
+
+class EquiWidthNumericPartitioner:
+    """No-Cost numeric partitioning: equal-width buckets, empty ones removed."""
+
+    def __init__(
+        self,
+        attribute: str,
+        statistics: WorkloadStatistics,
+        config: CategorizerConfig,
+        query: SelectQuery | None = None,
+        root_rows: RowSet | None = None,
+    ) -> None:
+        self.attribute = attribute
+        self.width = 5.0 * config.separation_interval(attribute)
+        # Reuse the cost-based partitioner's (vmin, vmax) resolution only.
+        resolver = NumericPartitioner(
+            attribute, statistics, config, query=query, root_rows=root_rows
+        )
+        self.vmin, self.vmax = resolver.vmin, resolver.vmax
+
+    def partition(self, rows: RowSet) -> Partitioning:
+        if self.vmin >= self.vmax:
+            return []
+        return equi_width_partition(
+            self.attribute, rows, self.vmin, self.vmax, self.width
+        )
+
+
+class _NoCostPartitioningMixin(LevelByLevelCategorizer):
+    """Shared policy: predefined attribute set + No-Cost partitionings."""
+
+    def __init__(
+        self,
+        statistics: WorkloadStatistics,
+        config: CategorizerConfig = PAPER_CONFIG,
+        attribute_set: Sequence[str] = PAPER_RETAINED_ATTRIBUTES,
+        order_seed: int | None = 13,
+    ) -> None:
+        """Args:
+            attribute_set: the predefined categorizing attributes (the paper
+                uses neighborhood, property-type, bedroomcount, price,
+                year-built and square-footage).
+            order_seed: seeds the "arbitrary" attribute order — each
+                categorize() call draws a fresh shuffle from this stream,
+                as an indifferent (workload-blind) designer would pick.
+                Pass None to use the predefined order verbatim.
+        """
+        super().__init__(statistics, config)
+        self.attribute_set = tuple(attribute_set)
+        self._order_rng = (
+            random.Random(order_seed) if order_seed is not None else None
+        )
+
+    def _candidate_attributes(
+        self, rows: RowSet, query: SelectQuery | None
+    ) -> Sequence[str]:
+        schema_names = set(rows.table.schema.names())
+        candidates = [a for a in self.attribute_set if a in schema_names]
+        if self._order_rng is not None:
+            self._order_rng.shuffle(candidates)
+        return candidates
+
+    def _make_partitioner(
+        self, attribute: str, query: SelectQuery | None, root_rows: RowSet
+    ) -> Partitioner:
+        schema_attribute = root_rows.table.schema.attribute(attribute)
+        if schema_attribute.is_categorical:
+            return ArbitraryOrderCategoricalPartitioner(attribute, query=query)
+        return EquiWidthNumericPartitioner(
+            attribute,
+            self.statistics,
+            self.config,
+            query=query,
+            root_rows=root_rows,
+        )
+
+
+class NoCostCategorizer(_NoCostPartitioningMixin):
+    """The No-Cost baseline: arbitrary attribute order, naive partitionings."""
+
+    name = "no-cost"
+
+    def _choose_attribute(
+        self,
+        oversized: list[CategoryNode],
+        available: list[str],
+        partitionings: dict[str, list[Partitioning]],
+    ) -> str | None:
+        # "Arbitrarily (without replacement)": take the next attribute in
+        # the (possibly shuffled) predefined order that refines any node.
+        for attribute in available:
+            if any(len(p) >= 2 for p in partitionings[attribute]):
+                return attribute
+        return None
+
+
+class AttrCostCategorizer(_NoCostPartitioningMixin):
+    """The Attr-Cost baseline: cost-chosen attribute, naive partitionings."""
+
+    name = "attr-cost"
+
+    def _choose_attribute(
+        self,
+        oversized: list[CategoryNode],
+        available: list[str],
+        partitionings: dict[str, list[Partitioning]],
+    ) -> str | None:
+        best_attribute: str | None = None
+        best_cost = math.inf
+        for attribute in available:
+            cost = self._level_cost(oversized, attribute, partitionings[attribute])
+            if cost < best_cost:
+                best_attribute, best_cost = attribute, cost
+        return best_attribute

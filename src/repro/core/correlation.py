@@ -1,0 +1,152 @@
+"""Correlation-aware probability estimation (Section 5.2's improvement).
+
+The Figure 6 algorithm "relies on the assumption that the values the user
+is interested in for one attribute are independent of those she is
+interested in for another attribute; the quality of the categorization
+can be improved by weakening this independence assumption and leveraging
+the correlations captured in the workload."  This module implements that
+improvement.
+
+Instead of the marginal ``P(C) = NOverlap(C)/NAttr(CA(C))``, the
+:class:`CorrelationAwareEstimator` conditions on the node's full path
+predicate: among the workload queries compatible with every ancestor
+label of C (a query with no condition on an attribute is compatible with
+any label on it), it takes the fraction — restricted to queries that do
+constrain CA(C) — whose condition on CA(C) overlaps label(C).  A buyer
+who searches Bellevue tends to search higher price bands than one who
+searches the Bronx; the conditional estimate sees that, the marginal one
+cannot.
+
+When too few workload queries support a conditional estimate it falls
+back to the marginal (``min_support``), so sparse paths degrade
+gracefully to the paper's estimator instead of to noise.
+"""
+
+from __future__ import annotations
+
+from repro.core.labels import CategoryLabel
+from repro.core.probability import ProbabilityEstimator
+from repro.core.tree import CategoryNode
+from repro.workload.log import Workload
+from repro.workload.model import WorkloadQuery
+from repro.workload.preprocess import WorkloadStatistics
+
+
+class JointWorkloadIndex:
+    """Query-level index supporting conditional overlap counting.
+
+    Holds the normalized workload queries and filters index lists by
+    label compatibility; the estimator threads these lists down the tree
+    so each node's eligible set is computed once from its parent's.
+    """
+
+    def __init__(self, workload: Workload) -> None:
+        self._queries: list[WorkloadQuery] = list(workload)
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def all_indices(self) -> list[int]:
+        """Indices of every workload query."""
+        return list(range(len(self._queries)))
+
+    def query(self, index: int) -> WorkloadQuery:
+        return self._queries[index]
+
+    def compatible(self, indices: list[int], label: CategoryLabel) -> list[int]:
+        """Filter ``indices`` to queries compatible with ``label``.
+
+        A query is compatible when it has no condition on the label's
+        attribute (interested in all values) or its condition overlaps
+        the label.
+        """
+        attribute = label.attribute
+        kept = []
+        for i in indices:
+            condition = self._queries[i].conditions.get(attribute)
+            if label.overlaps_condition(condition):
+                kept.append(i)
+        return kept
+
+    def constraining(self, indices: list[int], attribute: str) -> list[int]:
+        """Filter ``indices`` to queries with a condition on ``attribute``."""
+        return [i for i in indices if self._queries[i].constrains(attribute)]
+
+
+class CorrelationAwareEstimator(ProbabilityEstimator):
+    """Conditional P(C)/Pw(C) estimation over the joint workload.
+
+    Drop-in replacement for :class:`ProbabilityEstimator`: pass it to a
+    categorizer (``CostBasedCategorizer(stats, config, estimator=...)``)
+    or a :class:`~repro.core.cost.CostModel`.
+    """
+
+    def __init__(
+        self,
+        statistics: WorkloadStatistics,
+        workload: Workload,
+        min_support: int = 30,
+    ) -> None:
+        super().__init__(statistics)
+        if min_support < 1:
+            raise ValueError(f"min_support must be >= 1, got {min_support}")
+        self.index = JointWorkloadIndex(workload)
+        self.min_support = min_support
+        self._eligible_cache: dict[int, list[int]] = {}
+
+    # -- eligible-set plumbing ------------------------------------------------
+
+    def _eligible(self, node: CategoryNode | None) -> list[int]:
+        """Workload queries compatible with the node's full path predicate."""
+        if node is None or node.label is None:
+            return self.index.all_indices()
+        cached = self._eligible_cache.get(id(node))
+        if cached is None:
+            parent_eligible = self._eligible(node.parent)
+            cached = self.index.compatible(parent_eligible, node.label)
+            self._eligible_cache[id(node)] = cached
+        return cached
+
+    # -- probabilities ------------------------------------------------------------
+
+    def exploration_probability(self, node: CategoryNode) -> float:
+        if node.label is None:
+            return 1.0
+        return self.exploration_probability_of_label(
+            node.label, context=node.parent
+        )
+
+    def exploration_probability_of_label(
+        self, label: CategoryLabel, context: CategoryNode | None = None
+    ) -> float:
+        """P(C) conditioned on the context node's path, when supported."""
+        if context is None:
+            return super().exploration_probability_of_label(label)
+        eligible = self._eligible(context)
+        constraining = self.index.constraining(eligible, label.attribute)
+        if len(constraining) < self.min_support:
+            return super().exploration_probability_of_label(label)
+        overlapping = self.index.compatible(constraining, label)
+        return len(overlapping) / len(constraining)
+
+    def showtuples_probability(self, node: CategoryNode) -> float:
+        if node.is_leaf:
+            return 1.0
+        assert node.child_attribute is not None
+        return self.showtuples_probability_for(
+            node.child_attribute, context=node
+        )
+
+    def showtuples_probability_for(
+        self, subcategorizing_attribute: str, context: CategoryNode | None = None
+    ) -> float:
+        """Pw conditioned on the path: 1 − (constraining share among eligible)."""
+        if context is None:
+            return super().showtuples_probability_for(subcategorizing_attribute)
+        eligible = self._eligible(context)
+        if len(eligible) < self.min_support:
+            return super().showtuples_probability_for(subcategorizing_attribute)
+        constraining = self.index.constraining(
+            eligible, subcategorizing_attribute
+        )
+        return 1.0 - len(constraining) / len(eligible)

@@ -1,0 +1,200 @@
+"""The analytical cost models: Equations (1) and (2) of Section 4.1.
+
+Information overload cost is "the total number of items (category labels
+and data tuples) examined by the user", estimated in expectation over the
+non-deterministic choices of the exploration models:
+
+Equation (1), ALL scenario::
+
+    CostAll(C) = Pw(C)·|tset(C)|
+               + (1 − Pw(C)) · ( K·n + Σᵢ P(Cᵢ)·CostAll(Cᵢ) )
+
+Equation (2), ONE scenario::
+
+    CostOne(C) = Pw(C)·frac(C)·|tset(C)|
+               + (1 − Pw(C)) · Σᵢ ( Πⱼ₍ⱼ₌₁..ᵢ₋₁₎ (1 − P(Cⱼ)) · P(Cᵢ)
+                                     · ( K·i + CostOne(Cᵢ) ) )
+
+Leaves use Pw = 1, so both equations degenerate to the SHOWTUPLES term.
+``CostAll(T)`` / ``CostOne(T)`` are the root costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import CategorizerConfig
+from repro.core.probability import ProbabilityEstimator
+from repro.core.tree import CategoryNode, CategoryTree
+
+
+@dataclass(frozen=True)
+class NodeCosts:
+    """Per-node cost annotation produced by :meth:`CostModel.annotate`."""
+
+    exploration_probability: float
+    showtuples_probability: float
+    cost_all: float
+    cost_one: float
+
+
+class CostModel:
+    """Evaluates CostAll / CostOne of trees and subtrees."""
+
+    def __init__(
+        self, estimator: ProbabilityEstimator, config: CategorizerConfig
+    ) -> None:
+        self.estimator = estimator
+        self.config = config
+
+    # -- Equation (1) -----------------------------------------------------------
+
+    def cost_all(self, node: CategoryNode) -> float:
+        """``CostAll(C)``: expected items examined to find *all* relevant tuples."""
+        if node.is_leaf:
+            return float(node.tuple_count)
+        pw = self.estimator.showtuples_probability(node)
+        showcat = self.config.label_cost * len(node.children) + sum(
+            self.estimator.exploration_probability(child) * self.cost_all(child)
+            for child in node.children
+        )
+        return pw * node.tuple_count + (1.0 - pw) * showcat
+
+    def tree_cost_all(self, tree: CategoryTree) -> float:
+        """``CostAll(T) = CostAll(root)``."""
+        return self.cost_all(tree.root)
+
+    # -- Equation (2) -------------------------------------------------------------
+
+    def cost_one(self, node: CategoryNode) -> float:
+        """``CostOne(C)``: expected items examined to find the *first* relevant tuple."""
+        if node.is_leaf:
+            return self.config.frac * node.tuple_count
+        pw = self.estimator.showtuples_probability(node)
+        showcat = 0.0
+        none_explored_so_far = 1.0
+        for position, child in enumerate(node.children, start=1):
+            p_child = self.estimator.exploration_probability(child)
+            first_explored = none_explored_so_far * p_child
+            showcat += first_explored * (
+                self.config.label_cost * position + self.cost_one(child)
+            )
+            none_explored_so_far *= 1.0 - p_child
+        return (
+            pw * self.config.frac * node.tuple_count + (1.0 - pw) * showcat
+        )
+
+    def tree_cost_one(self, tree: CategoryTree) -> float:
+        """``CostOne(T) = CostOne(root)``."""
+        return self.cost_one(tree.root)
+
+    # -- intermediate scenarios ------------------------------------------------
+
+    def cost_few(self, node: CategoryNode, k: int) -> float:
+        """Expected items examined to find ``k`` relevant tuples.
+
+        The paper models only the two ends of the scenario spectrum and
+        notes intermediate scenarios "fall in between these two ends"
+        (Section 3.2).  This estimate interpolates accordingly:
+        ``CostFew(C, k) = CostOne(C) + (1 − 1/k)·(CostAll(C) − CostOne(C))``
+        — exact at k = 1, approaching CostAll as the user wants more of
+        the relevant set.  It is a modeling heuristic (the exact
+        expectation depends on the distribution of relevant tuples across
+        categories, which the workload does not reveal); the replay-level
+        counterpart :func:`repro.explore.exploration.replay_few` is exact.
+
+        Raises:
+            ValueError: for ``k < 1``.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        one = self.cost_one(node)
+        if k == 1:
+            return one
+        return one + (1.0 - 1.0 / k) * (self.cost_all(node) - one)
+
+    def tree_cost_few(self, tree: CategoryTree, k: int) -> float:
+        """``CostFew(T, k) = CostFew(root, k)``."""
+        return self.cost_few(tree.root, k)
+
+    # -- helpers -------------------------------------------------------------------
+
+    def one_level_cost_all(
+        self,
+        parent_tuple_count: int,
+        attribute: str,
+        child_labels_and_sizes: list[tuple[float, int]],
+        context: "CategoryNode | None" = None,
+    ) -> float:
+        """Equation (1) for a candidate 1-level partitioning, children as leaves.
+
+        This is the quantity the attribute-selection step of Figure 6
+        evaluates for every (node, candidate attribute) pair:
+        ``CostAll(Tree(C, A))`` where each subcategory Ci is (for now) a
+        leaf, so ``CostAll(Ci) = |tset(Ci)|``.
+
+        Args:
+            parent_tuple_count: ``|tset(C)|``.
+            attribute: the candidate subcategorizing attribute A.
+            child_labels_and_sizes: per child, its exploration probability
+                P(Ci) and tuple count |tset(Ci)|, in presentation order.
+            context: the node being partitioned, for path-conditional
+                estimators (ignored by the default estimator).
+        """
+        pw = self.estimator.showtuples_probability_for(attribute, context=context)
+        showcat = self.config.label_cost * len(child_labels_and_sizes) + sum(
+            p * size for p, size in child_labels_and_sizes
+        )
+        return pw * parent_tuple_count + (1.0 - pw) * showcat
+
+    def annotate(self, tree: CategoryTree) -> dict[int, NodeCosts]:
+        """Compute all four quantities for every node, keyed by ``id(node)``.
+
+        One bottom-up pass, so the whole-tree annotation is O(#nodes)
+        instead of the O(#nodes · depth) of calling :meth:`cost_all` per
+        node.  Useful for rendering and debugging.
+        """
+        annotations: dict[int, NodeCosts] = {}
+        self._annotate_node(tree.root, annotations)
+        return annotations
+
+    def _annotate_node(
+        self, node: CategoryNode, annotations: dict[int, NodeCosts]
+    ) -> NodeCosts:
+        for child in node.children:
+            self._annotate_node(child, annotations)
+        if node.is_leaf:
+            costs = NodeCosts(
+                exploration_probability=self.estimator.exploration_probability(node),
+                showtuples_probability=1.0,
+                cost_all=float(node.tuple_count),
+                cost_one=self.config.frac * node.tuple_count,
+            )
+            annotations[id(node)] = costs
+            return costs
+
+        pw = self.estimator.showtuples_probability(node)
+        k = self.config.label_cost
+        children = [annotations[id(child)] for child in node.children]
+
+        showcat_all = k * len(children) + sum(
+            c.exploration_probability * c.cost_all for c in children
+        )
+        cost_all = pw * node.tuple_count + (1.0 - pw) * showcat_all
+
+        showcat_one = 0.0
+        none_explored = 1.0
+        for position, child_costs in enumerate(children, start=1):
+            p = child_costs.exploration_probability
+            showcat_one += none_explored * p * (k * position + child_costs.cost_one)
+            none_explored *= 1.0 - p
+        cost_one = pw * self.config.frac * node.tuple_count + (1.0 - pw) * showcat_one
+
+        costs = NodeCosts(
+            exploration_probability=self.estimator.exploration_probability(node),
+            showtuples_probability=pw,
+            cost_all=cost_all,
+            cost_one=cost_one,
+        )
+        annotations[id(node)] = costs
+        return costs

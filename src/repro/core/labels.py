@@ -1,0 +1,219 @@
+"""Category labels: the predicates describing tree nodes (Section 3.1).
+
+"Associated with each node C is a category label ... label(C) has the
+following structure: if the categorizing attribute A is categorical,
+label(C) is of the form 'A ∈ B'; if numeric, 'a1 <= A < a2'."
+
+Labels serve three roles, all implemented here:
+
+* **membership** — deciding which of the parent's tuples fall under the
+  node (:meth:`CategoryLabel.matches`);
+* **overlap with workload conditions** — the NOverlap ingredient of the
+  exploration probability P(C) (Section 4.2), and the drill-down rule of
+  synthetic explorations (Section 6.2)
+  (:meth:`CategoryLabel.overlaps_condition`);
+* **display** — the text the user reads ("Price: 200K-225K"),
+  (:meth:`CategoryLabel.display`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.relational.expressions import (
+    InPredicate,
+    IsNullPredicate,
+    Predicate,
+    RangePredicate,
+)
+
+
+class CategoryLabel:
+    """Base class for category labels."""
+
+    attribute: str
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        """True if the tuple belongs under this category."""
+        raise NotImplementedError
+
+    def to_predicate(self) -> Predicate:
+        """The label as a relational predicate (for tset computation)."""
+        raise NotImplementedError
+
+    def overlaps_condition(self, condition: Predicate | None) -> bool:
+        """True if a query's condition on this attribute admits this category.
+
+        ``None`` (the query does not constrain the attribute) counts as
+        overlap: a user with no condition on A is interested in all values
+        of A (Section 4.2).
+        """
+        raise NotImplementedError
+
+    def display(self) -> str:
+        """Human-readable rendering, in the style of Figure 1."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CategoricalLabel(CategoryLabel):
+    """``A ∈ B`` for a categorical attribute.
+
+    ``values`` is usually a single value (Section 5.1.2 considers only
+    single-value partitionings: "the category labels are simple and easy to
+    examine") but the model supports multi-value sets.
+    """
+
+    attribute: str
+    values: frozenset[Any]
+
+    def __init__(self, attribute: str, values) -> None:
+        object.__setattr__(self, "attribute", attribute)
+        object.__setattr__(
+            self,
+            "values",
+            frozenset(values) if not isinstance(values, frozenset) else values,
+        )
+        if not self.values:
+            raise ValueError(f"label on {attribute!r} needs at least one value")
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        return row.get(self.attribute) in self.values
+
+    def to_predicate(self) -> InPredicate:
+        return InPredicate(self.attribute, sorted(self.values, key=repr))
+
+    def overlaps_condition(self, condition: Predicate | None) -> bool:
+        if condition is None:
+            return True
+        if isinstance(condition, InPredicate):
+            return bool(self.values & condition.values)
+        raise TypeError(
+            f"cannot test categorical label {self.attribute!r} against "
+            f"{type(condition).__name__}"
+        )
+
+    @property
+    def single_value(self) -> Any:
+        """The one value of a single-value label.
+
+        Raises:
+            ValueError: for multi-value labels.
+        """
+        if len(self.values) != 1:
+            raise ValueError(f"label {self.display()!r} is not single-value")
+        return next(iter(self.values))
+
+    def display(self) -> str:
+        rendered = ", ".join(str(v) for v in sorted(self.values, key=str))
+        return f"{self.attribute}: {rendered}"
+
+    def __str__(self) -> str:
+        return self.display()
+
+
+@dataclass(frozen=True)
+class NumericLabel(CategoryLabel):
+    """``a1 <= A < a2`` for a numeric attribute.
+
+    The topmost bucket of a partitioning closes its upper end
+    (``high_inclusive=True``) so the attribute's maximum value is not
+    orphaned — the half-open chain of Section 3.1 with an inclusive cap.
+    """
+
+    attribute: str
+    low: float
+    high: float
+    high_inclusive: bool = False
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.low) or math.isnan(self.high):
+            raise ValueError("label bounds may not be NaN")
+        if self.low > self.high:
+            raise ValueError(
+                f"empty label range on {self.attribute!r}: "
+                f"[{self.low}, {self.high})"
+            )
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        value = row.get(self.attribute)
+        if value is None:
+            return False
+        if self.high_inclusive:
+            return self.low <= value <= self.high
+        return self.low <= value < self.high
+
+    def to_predicate(self) -> RangePredicate:
+        return RangePredicate(
+            self.attribute, self.low, self.high, high_inclusive=self.high_inclusive
+        )
+
+    def overlaps_condition(self, condition: Predicate | None) -> bool:
+        if condition is None:
+            return True
+        if isinstance(condition, RangePredicate):
+            return self.to_predicate().overlaps(condition)
+        raise TypeError(
+            f"cannot test numeric label {self.attribute!r} against "
+            f"{type(condition).__name__}"
+        )
+
+    def display(self) -> str:
+        return (
+            f"{self.attribute}: {_format_bound(self.low)}"
+            f"-{_format_bound(self.high)}"
+        )
+
+    def __str__(self) -> str:
+        return self.display()
+
+
+@dataclass(frozen=True)
+class MissingLabel(CategoryLabel):
+    """``A is unknown`` — the category of tuples with a NULL value.
+
+    The paper's label grammar cannot place NULL tuples (neither ``A ∈ B``
+    nor ``a1 <= A < a2`` matches them), so without this label they silently
+    drop out of every level partitioned on A and become unreachable by
+    drill-down.  When ``CategorizerConfig.include_missing_category`` is
+    set, partitioners append this category last.
+
+    Its exploration probability under the workload is always 0 — no
+    selection condition can ask for NULL — which correctly models that
+    only browsing (SHOWTUPLES) users encounter these tuples.
+    """
+
+    attribute: str
+
+    def matches(self, row: Mapping[str, Any]) -> bool:
+        return row.get(self.attribute) is None
+
+    def to_predicate(self) -> IsNullPredicate:
+        return IsNullPredicate(self.attribute)
+
+    def overlaps_condition(self, condition: Predicate | None) -> bool:
+        # A query constraining the attribute can never want NULLs; an
+        # unconstrained query is interested in every category, this one
+        # included.
+        return condition is None
+
+    def display(self) -> str:
+        return f"{self.attribute}: unknown"
+
+    def __str__(self) -> str:
+        return self.display()
+
+
+def _format_bound(value: float) -> str:
+    """Render a bound compactly: 225000 -> '225K', 1500000 -> '1.5M'."""
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    if value == 0:
+        return "0"
+    for divisor, suffix in ((1_000_000, "M"), (1_000, "K")):
+        if abs(value) >= divisor and value % (divisor / 10) == 0:
+            scaled = value / divisor
+            return f"{scaled:g}{suffix}"
+    return f"{value:g}"

@@ -1,0 +1,23 @@
+"""Partitioning strategies: categorical (5.1.2), numeric (5.1.3), ordering (App. A)."""
+
+from repro.core.partition.categorical import CategoricalPartitioner
+from repro.core.partition.numeric import (
+    NumericPartitioner,
+    bucketize,
+    equi_width_partition,
+)
+from repro.core.partition.ordering import (
+    expected_cost_one_of_ordering,
+    order_by_probability,
+    order_optimal_one,
+)
+
+__all__ = [
+    "CategoricalPartitioner",
+    "NumericPartitioner",
+    "bucketize",
+    "equi_width_partition",
+    "expected_cost_one_of_ordering",
+    "order_by_probability",
+    "order_optimal_one",
+]

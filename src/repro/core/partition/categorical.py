@@ -1,0 +1,110 @@
+"""Single-value partitioning for categorical attributes (Section 5.1.2).
+
+"We only consider single-value partitionings ... one category Ci
+corresponding to each value vi ... the only factor that impacts the cost of
+a single-valued partitioning is the order in which the categories are
+presented."  The cost-optimal ONE-scenario order is increasing
+``1/P(Ci) + CostOne(Ci)`` (Appendix A); the paper adopts the
+``P(Ci)``-descending heuristic, which for single-value categories is
+occurrence-count-descending: "we simply sort the values in the IN clause in
+the decreasing order of occ(vi)".
+
+The value inventory comes from the user query's IN clause when present
+(those are the values R can contain), otherwise from the data itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.labels import CategoricalLabel, CategoryLabel, MissingLabel
+from repro.relational.query import SelectQuery
+from repro.relational.table import RowSet
+from repro.workload.preprocess import WorkloadStatistics
+
+
+class CategoricalPartitioner:
+    """Partitions nodes on one categorical attribute, occ-ordered.
+
+    Per Figure 6 the ordered single-category list (SCL) is computed once
+    per level; each node is then partitioned into the non-empty categories
+    in that same order.  Instantiate once per (level, attribute).
+    """
+
+    def __init__(
+        self,
+        attribute: str,
+        statistics: WorkloadStatistics,
+        query: SelectQuery | None = None,
+        universe: Sequence[Any] | None = None,
+        include_missing: bool = False,
+    ) -> None:
+        """Args:
+            attribute: the categorizing attribute A.
+            statistics: workload count tables (for occ(v)).
+            query: the user query; its IN clause on A, if any, fixes the
+                value universe.
+            universe: explicit value universe overriding both query and
+                data (used when the caller has already computed it).
+            include_missing: append an "unknown" category for NULL-valued
+                tuples (last, after every real value).
+        """
+        self.attribute = attribute
+        self.statistics = statistics
+        self.include_missing = include_missing
+        self._universe: list[Any] | None = None
+        if universe is not None:
+            self._universe = list(universe)
+        elif query is not None:
+            values = query.values_on(attribute)
+            if values is not None:
+                self._universe = sorted(values, key=repr)
+
+    def ordered_values(self, rows: RowSet) -> list[Any]:
+        """The SCL value order: the universe sorted by decreasing occ(v).
+
+        When no universe was fixed by the query, the distinct values of the
+        attribute in ``rows`` serve as the universe.
+        """
+        universe = (
+            self._universe
+            if self._universe is not None
+            else sorted(rows.distinct_values(self.attribute), key=repr)
+        )
+        occurrence = self.statistics.occurrence_counts(self.attribute)
+        return occurrence.order_by_occurrence(universe)
+
+    def partition(self, rows: RowSet) -> list[tuple[CategoricalLabel, RowSet]]:
+        """Partition ``rows`` into ordered non-empty single-value categories.
+
+        Tuples whose value is NULL or outside the universe fall under no
+        category (they match no label), mirroring Section 3.1's definition
+        of tset via label predicates.
+        """
+        ordered = self.ordered_values(rows)
+        allowed = set(ordered)
+        missing_key = object()  # sentinel distinct from every real value
+
+        def classify(value):
+            if value is None:
+                return missing_key if self.include_missing else None
+            return value if value in allowed else None
+
+        buckets = rows.partition_by_attribute(self.attribute, classify)
+        partitioning: list[tuple[CategoryLabel, object]] = [
+            (CategoricalLabel(self.attribute, (value,)), buckets[value])
+            for value in ordered
+            if value in buckets and len(buckets[value]) > 0
+        ]
+        if self.include_missing and missing_key in buckets:
+            partitioning.append(
+                (MissingLabel(self.attribute), buckets[missing_key])
+            )
+        return partitioning
+
+    def exploration_probability(self, value: Any) -> float:
+        """``P(Ci) = occ(vi) / NAttr(A)`` for the single-value category of vi."""
+        n_attr = self.statistics.n_attr(self.attribute)
+        if n_attr == 0:
+            return 0.0
+        return self.statistics.occ(self.attribute, value) / n_attr

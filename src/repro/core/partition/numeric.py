@@ -1,0 +1,242 @@
+"""Range partitioning for numeric attributes (Section 5.1.3).
+
+The splitpoint heuristic: a gridpoint ``v`` where many workload query
+ranges *begin or end* separates users who want the left bucket from users
+who want the right one, so its goodness score is ``SUM(start_v, end_v)``.
+To produce ``m`` buckets we take the top ``m−1`` splitpoints by goodness,
+"leaving out the ones that are unnecessary" — a splitpoint being
+unnecessary for a node when a bucket it creates "contains too few tuples".
+Categories are always presented "in ascending order of the values of the
+split points" (Example 5.1).
+
+The module also provides the equi-width partitioning used by the No-Cost
+baseline (Section 6.1: buckets "of width 5 times the width of the
+separation interval").
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+
+from repro.core.config import CategorizerConfig
+from repro.core.labels import MissingLabel, NumericLabel
+from repro.relational.query import SelectQuery
+from repro.relational.table import RowSet
+from repro.workload.preprocess import WorkloadStatistics
+
+
+class NumericPartitioner:
+    """Partitions nodes on one numeric attribute using workload splitpoints.
+
+    Per Figure 6 the goodness-sorted splitpoint list (SPL) is computed once
+    per level from the result set's value range; per node, the top
+    *necessary* splitpoints are selected and the node's tuples bucketed.
+    Instantiate once per (level, attribute).
+    """
+
+    def __init__(
+        self,
+        attribute: str,
+        statistics: WorkloadStatistics,
+        config: CategorizerConfig,
+        query: SelectQuery | None = None,
+        root_rows: RowSet | None = None,
+    ) -> None:
+        """Args:
+            attribute: the categorizing attribute A.
+            statistics: workload count tables (SplitPoints table for A).
+            config: bucket count m, necessity threshold, auto-m settings.
+            query: the user query; a finite range on A fixes (vmin, vmax)
+                directly ("vmin and vmax can be obtained directly from Q").
+            root_rows: the result set R, used to derive data bounds when
+                the query leaves either end open.
+        """
+        self.attribute = attribute
+        self.statistics = statistics
+        self.config = config
+        self.vmin, self.vmax = self._resolve_range(query, root_rows)
+        table = statistics.splitpoints_table(attribute)
+        self._splitpoints_by_goodness = (
+            table.best_splitpoints(self.vmin, self.vmax)
+            if self.vmin < self.vmax
+            else []
+        )
+
+    def _resolve_range(
+        self, query: SelectQuery | None, root_rows: RowSet | None
+    ) -> tuple[float, float]:
+        """Determine (vmin, vmax) from the query, falling back to the data."""
+        low = high = None
+        if query is not None:
+            bounds = query.range_on(self.attribute)
+            if bounds is not None:
+                query_low, query_high = bounds
+                low = None if math.isinf(query_low) else float(query_low)
+                high = None if math.isinf(query_high) else float(query_high)
+        if (low is None or high is None) and root_rows is not None:
+            observed = root_rows.min_max(self.attribute)
+            if observed is not None:
+                data_low, data_high = float(observed[0]), float(observed[1])
+                low = data_low if low is None else low
+                high = data_high if high is None else high
+        if low is None or high is None:
+            # No information at all: an empty range yields no splitpoints
+            # and partition() degenerates to a single bucket.
+            return 0.0, 0.0
+        return low, max(low, high)
+
+    # -- splitpoint selection ------------------------------------------------
+
+    def select_splitpoints(self, rows: RowSet) -> list[float]:
+        """Choose the top necessary splitpoints for this node (Section 5.1.3).
+
+        Walks the SPL in decreasing goodness, skipping any point that would
+        create a bucket with fewer than ``config.min_bucket_tuples`` of the
+        node's tuples, until m−1 points are selected or the SPL runs out.
+        """
+        values = sorted(v for v in rows.values(self.attribute) if v is not None)
+        if not values:
+            return []
+        target = self._target_splitpoint_count()
+        selected: list[float] = []
+        for candidate in self._splitpoints_by_goodness:
+            if len(selected) >= target:
+                break
+            if self._is_necessary(candidate, selected, values):
+                bisect.insort(selected, candidate)
+        return selected
+
+    def _target_splitpoint_count(self) -> int:
+        """m − 1, from config or from the goodness distribution (auto mode)."""
+        if not self.config.auto_bucket_count:
+            return self.config.bucket_count - 1
+        table = self.statistics.splitpoints_table(self.attribute)
+        rows = table.rows_in_range(self.vmin, self.vmax)
+        scores = [row.goodness for row in rows if row.goodness > 0]
+        if not scores:
+            return self.config.bucket_count - 1
+        threshold = sum(scores) / len(scores)
+        strong = sum(1 for score in scores if score >= threshold)
+        return max(1, min(strong, self.config.max_auto_buckets - 1))
+
+    def _is_necessary(
+        self, candidate: float, selected: list[float], sorted_values: list[float]
+    ) -> bool:
+        """True unless the candidate creates a too-small bucket.
+
+        With the already-selected points in place, ``candidate`` splits one
+        existing bucket into two; it is unnecessary if either side would
+        hold fewer than the configured minimum of this node's tuples.
+        """
+        position = bisect.bisect_left(selected, candidate)
+        left_edge = selected[position - 1] if position > 0 else self.vmin
+        right_edge = selected[position] if position < len(selected) else self.vmax
+        left_count = bisect.bisect_left(sorted_values, candidate) - bisect.bisect_left(
+            sorted_values, left_edge
+        )
+        if position == len(selected):
+            # Rightmost bucket is closed at vmax.
+            right_count = bisect.bisect_right(
+                sorted_values, right_edge
+            ) - bisect.bisect_left(sorted_values, candidate)
+        else:
+            right_count = bisect.bisect_left(
+                sorted_values, right_edge
+            ) - bisect.bisect_left(sorted_values, candidate)
+        minimum = self.config.min_bucket_tuples
+        return left_count >= minimum and right_count >= minimum
+
+    # -- partitioning ------------------------------------------------------------
+
+    def partition(self, rows: RowSet) -> list[tuple[NumericLabel, RowSet]]:
+        """Bucket ``rows`` on the selected splitpoints, ascending, non-empty.
+
+        Returns a single-bucket "partitioning" (no refinement) when no
+        splitpoint is both available and necessary — the caller treats a
+        one-child partitioning as a failure to subdivide.
+        """
+        splitpoints = self.select_splitpoints(rows)
+        partitioning = bucketize(
+            self.attribute, rows, self.vmin, self.vmax, splitpoints
+        )
+        if self.config.include_missing_category:
+            label = MissingLabel(self.attribute)
+            missing = rows.select(label.to_predicate())
+            if len(missing) > 0:
+                partitioning.append((label, missing))
+        return partitioning
+
+    def exploration_probability(self, label: NumericLabel) -> float:
+        """``P(Ci) = NOverlap(Ci) / NAttr(A)`` for a bucket label."""
+        n_attr = self.statistics.n_attr(self.attribute)
+        if n_attr == 0:
+            return 0.0
+        overlap = self.statistics.n_overlap_range(
+            self.attribute, label.low, label.high, high_inclusive=label.high_inclusive
+        )
+        return overlap / n_attr
+
+
+def bucketize(
+    attribute: str,
+    rows: RowSet,
+    vmin: float,
+    vmax: float,
+    splitpoints: list[float],
+) -> list[tuple[NumericLabel, RowSet]]:
+    """Build ordered non-empty buckets from boundary points.
+
+    Buckets are half-open ``[a, b)`` except the last, which closes at vmax
+    so the maximum value is included.  Tuples outside ``[vmin, vmax]`` (or
+    NULL) belong to no bucket.
+    """
+    boundaries = [vmin, *sorted(splitpoints), vmax]
+    labels = []
+    for i in range(len(boundaries) - 1):
+        is_last = i == len(boundaries) - 2
+        labels.append(
+            NumericLabel(
+                attribute,
+                boundaries[i],
+                boundaries[i + 1],
+                high_inclusive=is_last,
+            )
+        )
+
+    def classify(value):
+        if value is None or not (vmin <= value <= vmax):
+            return None
+        index = bisect.bisect_right(boundaries, value) - 1
+        return min(index, len(labels) - 1)
+
+    buckets = rows.partition_by_attribute(attribute, classify)
+    return [
+        (labels[i], buckets[i])
+        for i in range(len(labels))
+        if i in buckets and len(buckets[i]) > 0
+    ]
+
+
+def equi_width_partition(
+    attribute: str,
+    rows: RowSet,
+    vmin: float,
+    vmax: float,
+    width: float,
+) -> list[tuple[NumericLabel, RowSet]]:
+    """The No-Cost baseline's partitioning (Section 6.1).
+
+    Splits ``(vmin, vmax]`` at every multiple of ``width`` ("for price, the
+    range is split at every multiple of 25000"), then removes empty
+    buckets.
+    """
+    if width <= 0:
+        raise ValueError(f"bucket width must be positive, got {width}")
+    splitpoints: list[float] = []
+    point = math.floor(vmin / width) * width + width
+    while point < vmax:
+        if point > vmin:
+            splitpoints.append(point)
+        point += width
+    return bucketize(attribute, rows, vmin, vmax, splitpoints)

@@ -1,0 +1,96 @@
+"""Workload-driven probability estimation (Section 4.2).
+
+Two probabilities parameterize the cost models:
+
+* **SHOWTUPLES probability** ``Pw(C)``: given that the user explores C, the
+  probability she browses C's tuples directly instead of its subcategory
+  labels.  "The SHOWCAT probability of C is NAttr(SA(C))/N", so
+  ``Pw(C) = 1 − NAttr(SA(C))/N``; for a leaf, ``Pw(C) = 1``.
+* **Exploration probability** ``P(C)``: the probability the user explores C
+  upon examining its label, ``P(C) = NOverlap(C) / NAttr(CA(C))`` — the
+  fraction of attribute-interested workload users whose condition on CA(C)
+  overlaps label(C).
+
+Both are pure functions of the label / subcategorizing attribute and the
+precomputed :class:`~repro.workload.preprocess.WorkloadStatistics`.
+"""
+
+from __future__ import annotations
+
+from repro.core.labels import (
+    CategoricalLabel,
+    CategoryLabel,
+    MissingLabel,
+    NumericLabel,
+)
+from repro.core.tree import CategoryNode
+from repro.workload.preprocess import WorkloadStatistics
+
+
+class ProbabilityEstimator:
+    """Computes P(C) and Pw(C) from workload statistics."""
+
+    def __init__(self, statistics: WorkloadStatistics) -> None:
+        self.statistics = statistics
+
+    # -- SHOWTUPLES probability ------------------------------------------------
+
+    def showtuples_probability(self, node: CategoryNode) -> float:
+        """``Pw(C)`` for a tree node: 1 for leaves, else 1 − NAttr(SA(C))/N."""
+        if node.is_leaf:
+            return 1.0
+        assert node.child_attribute is not None
+        return self.showtuples_probability_for(node.child_attribute)
+
+    def showtuples_probability_for(
+        self, subcategorizing_attribute: str, context: "CategoryNode | None" = None
+    ) -> float:
+        """``Pw`` of a non-leaf node whose children partition on the attribute.
+
+        ``context`` (the node being partitioned) is accepted so that
+        correlation-aware subclasses can condition on the node's path; the
+        independence-assuming base estimator ignores it (Section 4.2).
+        """
+        return 1.0 - self.statistics.usage_fraction(subcategorizing_attribute)
+
+    # -- exploration probability ---------------------------------------------------
+
+    def exploration_probability(self, node: CategoryNode) -> float:
+        """``P(C)`` for a tree node; the root is always explored (P = 1)."""
+        if node.label is None:
+            return 1.0
+        return self.exploration_probability_of_label(node.label)
+
+    def exploration_probability_of_label(
+        self, label: CategoryLabel, context: "CategoryNode | None" = None
+    ) -> float:
+        """``P(C) = NOverlap(C) / NAttr(CA(C))`` for a label.
+
+        ``context`` (the would-be parent node) is accepted for
+        correlation-aware subclasses; ignored here (independence
+        assumption of Section 4.2).
+
+        When no workload query constrains the attribute (NAttr = 0) the
+        ratio is undefined; we return 0.0 — such attributes offer no
+        evidence that any category would be selectively explored, and the
+        elimination step (Section 5.1.1) discards them anyway.
+        """
+        n_attr = self.statistics.n_attr(label.attribute)
+        if n_attr == 0:
+            return 0.0
+        return self.n_overlap(label) / n_attr
+
+    def n_overlap(self, label: CategoryLabel) -> int:
+        """``NOverlap(C)``: workload queries overlapping the label."""
+        if isinstance(label, MissingLabel):
+            return 0  # no selection condition can ask for NULL
+        if isinstance(label, CategoricalLabel):
+            return self.statistics.n_overlap_values(label.attribute, label.values)
+        if isinstance(label, NumericLabel):
+            return self.statistics.n_overlap_range(
+                label.attribute,
+                label.low,
+                label.high,
+                high_inclusive=label.high_inclusive,
+            )
+        raise TypeError(f"unknown label type {type(label).__name__}")

@@ -1,0 +1,177 @@
+"""JSON serialization of category trees.
+
+The paper's system shipped trees to a web treeview; any real deployment
+needs a wire format.  ``tree_to_dict`` produces a UI-ready nested
+structure (labels, display strings, counts, optional cost annotations);
+``tree_from_dict`` reconstructs a tree against the original result set by
+re-applying the serialized labels — so a tree can round-trip through a
+cache or an API boundary without shipping tuple data.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+from repro.core.cost import CostModel
+from repro.core.labels import (
+    CategoricalLabel,
+    CategoryLabel,
+    MissingLabel,
+    NumericLabel,
+)
+from repro.core.tree import CategoryNode, CategoryTree
+from repro.relational.query import SelectQuery
+from repro.relational.table import RowSet
+from repro.sql.compiler import parse_query
+from repro.sql.formatter import format_query
+
+
+def tree_to_dict(tree: CategoryTree, cost_model: CostModel | None = None) -> dict:
+    """Serialize a tree to a JSON-compatible dict.
+
+    Args:
+        cost_model: when given, each node carries its P(C), Pw(C),
+            CostAll and CostOne annotations.
+    """
+    annotations = cost_model.annotate(tree) if cost_model is not None else None
+    return {
+        "technique": tree.technique,
+        "query": format_query(tree.query) if tree.query is not None else None,
+        "result_size": tree.result_size,
+        "root": _node_to_dict(tree.root, annotations),
+    }
+
+
+def tree_to_json(tree: CategoryTree, cost_model: CostModel | None = None, **kwargs) -> str:
+    """Serialize a tree to a JSON string (kwargs go to ``json.dumps``)."""
+    return json.dumps(tree_to_dict(tree, cost_model), **kwargs)
+
+
+def tree_from_dict(payload: dict, rows: RowSet) -> CategoryTree:
+    """Rebuild a tree from its dict form against the original result set.
+
+    Tuple sets are recomputed by re-applying each node's label to its
+    parent's rows, so the reconstruction is exact whenever ``rows`` is the
+    same result set the tree was built over.
+
+    Raises:
+        ValueError: if the payload's result size does not match ``rows``
+            (a sign the wrong result set was supplied), or a node's
+            recorded tuple count disagrees with the recomputed tset.
+    """
+    if payload["result_size"] != len(rows):
+        raise ValueError(
+            f"payload was built over {payload['result_size']} tuples but "
+            f"got a result set of {len(rows)}"
+        )
+    root = CategoryNode(rows)
+    _rebuild_children(root, payload["root"], rows)
+    query = (
+        parse_query(payload["query"]) if payload.get("query") else None
+    )
+    return CategoryTree(root, query=query, technique=payload.get("technique", "unspecified"))
+
+
+def tree_from_json(text: str, rows: RowSet) -> CategoryTree:
+    """Rebuild a tree from its JSON string form."""
+    return tree_from_dict(json.loads(text), rows)
+
+
+# -- node encoding ------------------------------------------------------------
+
+
+def _node_to_dict(node: CategoryNode, annotations: dict | None) -> dict:
+    payload: dict[str, Any] = {
+        "label": _label_to_dict(node.label),
+        "display": node.display(),
+        "tuple_count": node.tuple_count,
+    }
+    if annotations is not None:
+        costs = annotations[id(node)]
+        payload["costs"] = {
+            "exploration_probability": costs.exploration_probability,
+            "showtuples_probability": costs.showtuples_probability,
+            "cost_all": costs.cost_all,
+            "cost_one": costs.cost_one,
+        }
+    if node.children:
+        payload["child_attribute"] = node.child_attribute
+        payload["children"] = [
+            _node_to_dict(child, annotations) for child in node.children
+        ]
+    return payload
+
+
+def _label_to_dict(label: CategoryLabel | None) -> dict | None:
+    if label is None:
+        return None
+    if isinstance(label, CategoricalLabel):
+        return {
+            "kind": "categorical",
+            "attribute": label.attribute,
+            "values": sorted(label.values, key=repr),
+        }
+    if isinstance(label, NumericLabel):
+        return {
+            "kind": "numeric",
+            "attribute": label.attribute,
+            "low": _encode_bound(label.low),
+            "high": _encode_bound(label.high),
+            "high_inclusive": label.high_inclusive,
+        }
+    if isinstance(label, MissingLabel):
+        return {"kind": "missing", "attribute": label.attribute}
+    raise TypeError(f"cannot serialize label type {type(label).__name__}")
+
+
+def _label_from_dict(payload: dict) -> CategoryLabel:
+    if payload["kind"] == "categorical":
+        return CategoricalLabel(payload["attribute"], payload["values"])
+    if payload["kind"] == "numeric":
+        return NumericLabel(
+            payload["attribute"],
+            _decode_bound(payload["low"]),
+            _decode_bound(payload["high"]),
+            high_inclusive=payload["high_inclusive"],
+        )
+    if payload["kind"] == "missing":
+        return MissingLabel(payload["attribute"])
+    raise ValueError(f"unknown label kind {payload['kind']!r}")
+
+
+def _encode_bound(value: float):
+    """JSON has no infinity; encode unbounded ends as strings."""
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    return value
+
+
+def _decode_bound(value) -> float:
+    if value == "inf":
+        return math.inf
+    if value == "-inf":
+        return -math.inf
+    return float(value)
+
+
+def _rebuild_children(node: CategoryNode, payload: dict, rows: RowSet) -> None:
+    children = payload.get("children")
+    if not children:
+        return
+    attribute = payload["child_attribute"]
+    partitions = []
+    for child_payload in children:
+        label = _label_from_dict(child_payload["label"])
+        child_rows = rows.select(label.to_predicate())
+        if len(child_rows) != child_payload["tuple_count"]:
+            raise ValueError(
+                f"category {label.display()!r}: payload says "
+                f"{child_payload['tuple_count']} tuples, result set yields "
+                f"{len(child_rows)}"
+            )
+        partitions.append((label, child_rows))
+    attached = node.add_children(attribute, partitions)
+    for child_node, child_payload in zip(attached, children):
+        _rebuild_children(child_node, child_payload, child_node.rows)

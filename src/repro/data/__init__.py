@@ -1,0 +1,48 @@
+"""Synthetic dataset substrate: the MSN House&Home stand-in.
+
+Generates a schema-identical ``ListProperty`` relation (paper Section 6.1)
+over a fixed US housing geography, with correlated, realistically skewed
+attribute values, fully deterministic under a seed.
+"""
+
+from repro.data.geography import (
+    ALL_REGIONS,
+    AUSTIN,
+    BAY_AREA,
+    CHICAGO,
+    NYC,
+    SEATTLE_BELLEVUE,
+    City,
+    Neighborhood,
+    Region,
+    region_by_name,
+    region_of_neighborhood,
+)
+from repro.data.homes import ListPropertyGenerator, generate_homes, list_property_schema
+from repro.data.star import (
+    listing_fact_schema,
+    location_dimension_schema,
+    normalize_homes,
+    widen_star,
+)
+
+__all__ = [
+    "ALL_REGIONS",
+    "AUSTIN",
+    "BAY_AREA",
+    "CHICAGO",
+    "City",
+    "ListPropertyGenerator",
+    "NYC",
+    "Neighborhood",
+    "Region",
+    "SEATTLE_BELLEVUE",
+    "generate_homes",
+    "list_property_schema",
+    "listing_fact_schema",
+    "location_dimension_schema",
+    "normalize_homes",
+    "widen_star",
+    "region_by_name",
+    "region_of_neighborhood",
+]

@@ -1,0 +1,116 @@
+"""Seeded samplers for realistic home-listing attribute values.
+
+Real listing data is heavily structured: prices are log-normal within a
+market and *round* (clustered at 5K grid points, which is why the paper's
+splitpoint heuristic works); bedrooms and square footage are positively
+correlated with price; condos are smaller and newer than single-family
+homes.  These samplers encode that structure so the synthetic dataset
+presents the categorizer with the same statistical texture the MSN data
+did, while remaining fully deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+#: Property types used by the dataset and workload generators.
+PROPERTY_TYPES = ("Single Family Home", "Condo/Townhome", "Multi-Family", "Land")
+
+#: Share of listings per property type conditioned on the city condo share.
+_NON_CONDO_SPLIT = {"Single Family Home": 0.82, "Multi-Family": 0.10, "Land": 0.08}
+
+
+def sample_price(
+    rng: random.Random, base_price: float, sigma: float, price_factor: float = 1.0
+) -> int:
+    """Sample a listing price: log-normal around the market, snapped to 5K.
+
+    The 5K snapping mirrors how sellers actually price homes and is what
+    concentrates workload range endpoints on a coarse grid — the property
+    the paper's SplitPoints table (separation interval 5000 for price)
+    relies on.
+    """
+    mu = math.log(base_price * price_factor)
+    price = rng.lognormvariate(mu, sigma)
+    price = min(max(price, 30_000), 5_000_000)
+    return int(round(price / 5_000) * 5_000)
+
+
+def sample_property_type(rng: random.Random, condo_share: float) -> str:
+    """Sample a property type given the city's condo share."""
+    if rng.random() < condo_share:
+        return "Condo/Townhome"
+    roll = rng.random()
+    cumulative = 0.0
+    for name, share in _NON_CONDO_SPLIT.items():
+        cumulative += share / sum(_NON_CONDO_SPLIT.values())
+        if roll < cumulative:
+            return name
+    return "Single Family Home"
+
+
+def sample_bedrooms(rng: random.Random, price: float, base_price: float, property_type: str) -> int:
+    """Sample a bedroom count, increasing with relative price.
+
+    Condos skew small; land parcels have zero bedrooms.
+    """
+    if property_type == "Land":
+        return 0
+    affluence = price / base_price
+    center = 2.0 + 1.4 * math.log1p(affluence)
+    if property_type == "Condo/Townhome":
+        center -= 1.0
+    bedrooms = int(round(rng.gauss(center, 0.9)))
+    return min(max(bedrooms, 1), 9)
+
+
+def sample_bathrooms(rng: random.Random, bedrooms: int) -> float:
+    """Sample a bathroom count correlated with bedrooms, in 0.5 steps."""
+    if bedrooms == 0:
+        return 0.0
+    center = 1.0 + 0.55 * (bedrooms - 1)
+    baths = rng.gauss(center, 0.5)
+    baths = min(max(baths, 1.0), 7.0)
+    return round(baths * 2) / 2
+
+
+def sample_square_footage(rng: random.Random, bedrooms: int, property_type: str) -> int:
+    """Sample square footage correlated with bedrooms, snapped to 50 sqft.
+
+    The 100-sqft separation interval used by the paper's SplitPoints table
+    for square footage assumes this kind of coarse clustering.
+    """
+    if property_type == "Land":
+        return 0
+    base = 550 + 480 * bedrooms
+    sqft = rng.gauss(base, base * 0.22)
+    sqft = min(max(sqft, 350), 12_000)
+    return int(round(sqft / 50) * 50)
+
+
+def sample_year_built(rng: random.Random, median_year: int, property_type: str) -> int:
+    """Sample a construction year around the city's median era.
+
+    Condos skew newer (most US condo stock post-dates 1970).
+    """
+    center = median_year + (12 if property_type == "Condo/Townhome" else 0)
+    year = int(round(rng.gauss(center, 22)))
+    return min(max(year, 1880), 2004)
+
+
+def weighted_choice(rng: random.Random, items: list, weights: list[float]):
+    """Pick one item with the given relative weights.
+
+    ``random.Random.choices`` exists, but a single-draw helper reads better
+    at call sites and avoids allocating a one-element list per sample.
+    """
+    total = sum(weights)
+    roll = rng.random() * total
+    cumulative = 0.0
+    for item, weight in zip(items, weights):
+        cumulative += weight
+        if roll < cumulative:
+            return item
+    return items[-1]

@@ -1,0 +1,391 @@
+"""US housing-market geography for the synthetic ListProperty dataset.
+
+The paper's dataset covers homes "available for sale in the whole of the
+United States" and its experiments broaden queries to *regions* such as
+"Seattle/Bellevue" and "NYC - Manhattan, Bronx" (Section 6.2).  This module
+defines a fixed geography — regions containing cities containing
+neighborhoods — rich enough to reproduce those broadening semantics, with
+per-region market parameters (price level, spread, construction era) used
+by the value samplers.
+
+The geography is deliberately static data, not random: region/city/
+neighborhood names are the join keys between the dataset generator, the
+workload generator, and the task definitions of the user study, and all
+three must agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Neighborhood:
+    """A neighborhood: the finest location granularity in the dataset.
+
+    Attributes:
+        name: rendered as ``"<neighborhood>, <state>"`` in the data to match
+            the paper's occurrence-count examples ("Seattle,WA").
+        city: owning city name.
+        price_factor: multiplier on the city's base price (captures that
+            e.g. Medina is pricier than average Bellevue).
+        weight: relative share of the city's listings in this neighborhood.
+    """
+
+    name: str
+    city: str
+    price_factor: float = 1.0
+    weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class City:
+    """A city with market-level parameters shared by its neighborhoods."""
+
+    name: str
+    state: str
+    base_price: float
+    price_sigma: float
+    median_year_built: int
+    condo_share: float
+    weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class Region:
+    """A metropolitan region: the unit of query broadening (Section 6.2)."""
+
+    name: str
+    cities: tuple[City, ...]
+    neighborhoods: tuple[Neighborhood, ...]
+
+    def neighborhood_names(self) -> tuple[str, ...]:
+        """All neighborhood display names in this region."""
+        return tuple(n.name for n in self.neighborhoods)
+
+    def city(self, name: str) -> City:
+        """Return the city called ``name``.
+
+        Raises:
+            KeyError: when the city is not in this region.
+        """
+        for city in self.cities:
+            if city.name == name:
+                return city
+        raise KeyError(f"no city {name!r} in region {self.name!r}")
+
+
+def _hoods(city: str, state: str, specs: list[tuple[str, float, float]]) -> list[Neighborhood]:
+    """Build neighborhoods for one city from (name, price_factor, weight) specs."""
+    return [
+        Neighborhood(name=f"{name}, {state}", city=city, price_factor=pf, weight=w)
+        for name, pf, w in specs
+    ]
+
+
+#: Seattle/Bellevue — the paper's running example region.
+SEATTLE_BELLEVUE = Region(
+    name="Seattle/Bellevue",
+    cities=(
+        City("Seattle", "WA", base_price=380_000, price_sigma=0.45,
+             median_year_built=1955, condo_share=0.30, weight=8.0),
+        City("Bellevue", "WA", base_price=520_000, price_sigma=0.40,
+             median_year_built=1978, condo_share=0.25, weight=3.0),
+        City("Redmond", "WA", base_price=460_000, price_sigma=0.35,
+             median_year_built=1985, condo_share=0.20, weight=2.0),
+        City("Kirkland", "WA", base_price=470_000, price_sigma=0.38,
+             median_year_built=1980, condo_share=0.25, weight=1.5),
+        City("Issaquah", "WA", base_price=430_000, price_sigma=0.32,
+             median_year_built=1990, condo_share=0.15, weight=1.0),
+        City("Sammamish", "WA", base_price=480_000, price_sigma=0.30,
+             median_year_built=1995, condo_share=0.05, weight=0.8),
+    ),
+    neighborhoods=tuple(
+        _hoods("Seattle", "WA", [
+            ("Queen Anne", 1.25, 1.2), ("Capitol Hill", 1.15, 1.4),
+            ("Ballard", 1.05, 1.3), ("Fremont", 1.10, 1.0),
+            ("Greenwood", 0.90, 1.0), ("Rainier Valley", 0.65, 1.2),
+            ("West Seattle", 0.85, 1.3), ("Northgate", 0.80, 0.9),
+            ("Magnolia", 1.20, 0.7), ("Beacon Hill", 0.70, 0.9),
+        ])
+        + _hoods("Bellevue", "WA", [
+            ("Downtown Bellevue", 1.30, 1.0), ("Crossroads", 0.85, 1.0),
+            ("Somerset", 1.15, 0.8), ("Lake Hills", 0.90, 1.1),
+            ("Bridle Trails", 1.20, 0.6),
+        ])
+        + _hoods("Redmond", "WA", [
+            ("Education Hill", 1.05, 1.0), ("Overlake", 0.90, 1.0),
+            ("Bear Creek", 1.00, 0.8),
+        ])
+        + _hoods("Kirkland", "WA", [
+            ("Juanita", 0.95, 1.0), ("Houghton", 1.20, 0.7),
+            ("Totem Lake", 0.85, 0.9),
+        ])
+        + _hoods("Issaquah", "WA", [
+            ("Issaquah Highlands", 1.05, 1.0), ("Squak Mountain", 0.95, 0.7),
+        ])
+        + _hoods("Sammamish", "WA", [
+            ("Pine Lake", 1.00, 1.0), ("Klahanie", 0.90, 1.0),
+        ])
+    ),
+)
+
+#: Bay Area - Peninsula/San Jose — Task 2 of the user study.
+BAY_AREA = Region(
+    name="Bay Area - Penin/SanJose",
+    cities=(
+        City("San Jose", "CA", base_price=550_000, price_sigma=0.45,
+             median_year_built=1972, condo_share=0.30, weight=5.0),
+        City("Palo Alto", "CA", base_price=900_000, price_sigma=0.40,
+             median_year_built=1960, condo_share=0.20, weight=1.0),
+        City("Mountain View", "CA", base_price=700_000, price_sigma=0.38,
+             median_year_built=1968, condo_share=0.35, weight=1.2),
+        City("Sunnyvale", "CA", base_price=620_000, price_sigma=0.35,
+             median_year_built=1970, condo_share=0.30, weight=1.5),
+        City("Santa Clara", "CA", base_price=560_000, price_sigma=0.35,
+             median_year_built=1969, condo_share=0.30, weight=1.3),
+    ),
+    neighborhoods=tuple(
+        _hoods("San Jose", "CA", [
+            ("Willow Glen", 1.15, 1.2), ("Almaden Valley", 1.20, 1.0),
+            ("Evergreen", 0.95, 1.2), ("Berryessa", 0.90, 1.1),
+            ("Cambrian Park", 1.00, 1.0), ("East San Jose", 0.65, 1.3),
+            ("Downtown San Jose", 0.85, 0.9),
+        ])
+        + _hoods("Palo Alto", "CA", [
+            ("Old Palo Alto", 1.40, 0.6), ("Midtown Palo Alto", 1.10, 1.0),
+            ("Barron Park", 1.00, 0.8),
+        ])
+        + _hoods("Mountain View", "CA", [
+            ("Old Mountain View", 1.10, 1.0), ("Whisman", 0.95, 1.0),
+        ])
+        + _hoods("Sunnyvale", "CA", [
+            ("Cherry Chase", 1.10, 0.9), ("Lakewood", 0.90, 1.0),
+            ("Birdland", 1.00, 0.9),
+        ])
+        + _hoods("Santa Clara", "CA", [
+            ("Rivermark", 1.05, 1.0), ("Old Quad", 0.95, 1.0),
+        ])
+    ),
+)
+
+#: NYC - Manhattan, Bronx — Task 3 of the user study.
+NYC = Region(
+    name="NYC - Manhattan, Bronx",
+    cities=(
+        City("Manhattan", "NY", base_price=750_000, price_sigma=0.55,
+             median_year_built=1940, condo_share=0.85, weight=3.0),
+        City("Bronx", "NY", base_price=320_000, price_sigma=0.45,
+             median_year_built=1945, condo_share=0.55, weight=2.0),
+    ),
+    neighborhoods=tuple(
+        _hoods("Manhattan", "NY", [
+            ("Upper East Side", 1.25, 1.3), ("Upper West Side", 1.20, 1.3),
+            ("Harlem", 0.70, 1.2), ("Chelsea", 1.30, 1.0),
+            ("Greenwich Village", 1.45, 0.8), ("Financial District", 1.10, 0.9),
+            ("East Village", 1.05, 1.0), ("Washington Heights", 0.60, 1.1),
+            ("Tribeca", 1.60, 0.6), ("Midtown", 1.15, 1.1),
+        ])
+        + _hoods("Bronx", "NY", [
+            ("Riverdale", 1.20, 1.0), ("Fordham", 0.75, 1.1),
+            ("Pelham Bay", 0.90, 1.0), ("Morris Park", 0.85, 1.0),
+            ("Throgs Neck", 0.95, 0.9),
+        ])
+    ),
+)
+
+#: Chicago — extra coverage so the "whole US" dataset is not two coasts.
+CHICAGO = Region(
+    name="Chicago",
+    cities=(
+        City("Chicago", "IL", base_price=290_000, price_sigma=0.50,
+             median_year_built=1950, condo_share=0.45, weight=2.2),
+        City("Evanston", "IL", base_price=380_000, price_sigma=0.40,
+             median_year_built=1940, condo_share=0.35, weight=0.5),
+        City("Oak Park", "IL", base_price=340_000, price_sigma=0.38,
+             median_year_built=1935, condo_share=0.30, weight=0.3),
+    ),
+    neighborhoods=tuple(
+        _hoods("Chicago", "IL", [
+            ("Lincoln Park", 1.35, 1.0), ("Lakeview", 1.20, 1.2),
+            ("Wicker Park", 1.10, 1.0), ("Hyde Park", 0.85, 1.0),
+            ("Logan Square", 0.95, 1.1), ("Pilsen", 0.70, 1.0),
+            ("South Loop", 1.05, 0.9), ("Edgewater", 0.85, 1.0),
+        ])
+        + _hoods("Evanston", "IL", [
+            ("Downtown Evanston", 1.10, 1.0), ("South Evanston", 0.90, 1.0),
+        ])
+        + _hoods("Oak Park", "IL", [
+            ("Frank Lloyd Wright District", 1.15, 0.8),
+            ("South Oak Park", 0.90, 1.0),
+        ])
+    ),
+)
+
+#: Austin — a sixth market with newer housing stock.
+AUSTIN = Region(
+    name="Austin",
+    cities=(
+        City("Austin", "TX", base_price=310_000, price_sigma=0.42,
+             median_year_built=1988, condo_share=0.25, weight=1.6),
+        City("Round Rock", "TX", base_price=240_000, price_sigma=0.30,
+             median_year_built=1998, condo_share=0.10, weight=0.4),
+    ),
+    neighborhoods=tuple(
+        _hoods("Austin", "TX", [
+            ("Hyde Park Austin", 1.20, 0.9), ("Zilker", 1.30, 0.8),
+            ("Mueller", 1.10, 1.0), ("East Austin", 0.85, 1.2),
+            ("Circle C Ranch", 1.00, 1.0), ("North Loop", 0.95, 1.0),
+        ])
+        + _hoods("Round Rock", "TX", [
+            ("Teravista", 1.05, 1.0), ("Old Town Round Rock", 0.90, 0.9),
+        ])
+    ),
+)
+
+#: Boston — dense, old housing stock, mid-sized market.
+BOSTON = Region(
+    name="Boston",
+    cities=(
+        City("Boston", "MA", base_price=420_000, price_sigma=0.48,
+             median_year_built=1930, condo_share=0.55, weight=1.0),
+        City("Cambridge", "MA", base_price=520_000, price_sigma=0.40,
+             median_year_built=1925, condo_share=0.60, weight=0.4),
+    ),
+    neighborhoods=tuple(
+        _hoods("Boston", "MA", [
+            ("Back Bay", 1.40, 0.8), ("South End", 1.25, 1.0),
+            ("Jamaica Plain", 0.95, 1.1), ("Dorchester", 0.70, 1.3),
+            ("Charlestown", 1.10, 0.8), ("Roslindale", 0.85, 0.9),
+        ])
+        + _hoods("Cambridge", "MA", [
+            ("Harvard Square", 1.30, 0.7), ("Porter Square", 1.05, 0.9),
+            ("East Cambridge", 0.95, 1.0),
+        ])
+    ),
+)
+
+#: Miami — small coastal market, condo-heavy.
+MIAMI = Region(
+    name="Miami",
+    cities=(
+        City("Miami", "FL", base_price=260_000, price_sigma=0.50,
+             median_year_built=1975, condo_share=0.65, weight=0.7),
+        City("Coral Gables", "FL", base_price=430_000, price_sigma=0.42,
+             median_year_built=1955, condo_share=0.30, weight=0.2),
+    ),
+    neighborhoods=tuple(
+        _hoods("Miami", "FL", [
+            ("Brickell", 1.25, 1.0), ("Coconut Grove", 1.20, 0.8),
+            ("Little Havana", 0.65, 1.1), ("Wynwood", 0.90, 0.9),
+            ("Kendall", 0.85, 1.2),
+        ])
+        + _hoods("Coral Gables", "FL", [
+            ("Gables Estates", 1.50, 0.4), ("Granada", 1.00, 0.9),
+        ])
+    ),
+)
+
+#: Denver — mid-sized mountain-west market.
+DENVER = Region(
+    name="Denver",
+    cities=(
+        City("Denver", "CO", base_price=270_000, price_sigma=0.40,
+             median_year_built=1970, condo_share=0.30, weight=0.45),
+        City("Boulder", "CO", base_price=390_000, price_sigma=0.35,
+             median_year_built=1975, condo_share=0.25, weight=0.15),
+    ),
+    neighborhoods=tuple(
+        _hoods("Denver", "CO", [
+            ("Capitol Hill Denver", 0.95, 1.0), ("Washington Park", 1.25, 0.9),
+            ("Highlands", 1.10, 1.0), ("Five Points", 0.85, 1.0),
+            ("Stapleton", 1.00, 0.9),
+        ])
+        + _hoods("Boulder", "CO", [
+            ("North Boulder", 1.10, 0.8), ("Table Mesa", 1.00, 0.9),
+        ])
+    ),
+)
+
+#: Phoenix — small, newer, inexpensive market.
+PHOENIX = Region(
+    name="Phoenix",
+    cities=(
+        City("Phoenix", "AZ", base_price=190_000, price_sigma=0.38,
+             median_year_built=1992, condo_share=0.15, weight=0.25),
+        City("Scottsdale", "AZ", base_price=320_000, price_sigma=0.40,
+             median_year_built=1990, condo_share=0.30, weight=0.1),
+    ),
+    neighborhoods=tuple(
+        _hoods("Phoenix", "AZ", [
+            ("Arcadia", 1.30, 0.7), ("Ahwatukee", 1.00, 1.0),
+            ("Desert Ridge", 1.05, 0.9), ("Maryvale", 0.60, 1.2),
+        ])
+        + _hoods("Scottsdale", "AZ", [
+            ("Old Town Scottsdale", 1.10, 0.8), ("McCormick Ranch", 1.05, 0.9),
+        ])
+    ),
+)
+
+#: Portland — the smallest market in the synthetic US.
+PORTLAND = Region(
+    name="Portland",
+    cities=(
+        City("Portland", "OR", base_price=250_000, price_sigma=0.38,
+             median_year_built=1960, condo_share=0.25, weight=0.15),
+    ),
+    neighborhoods=tuple(
+        _hoods("Portland", "OR", [
+            ("Pearl District", 1.30, 0.7), ("Hawthorne", 1.05, 1.0),
+            ("Alberta", 0.95, 1.0), ("Sellwood", 1.00, 0.9),
+            ("St. Johns", 0.75, 1.0),
+        ])
+    ),
+)
+
+#: All regions in the synthetic United States, in a stable order.  Market
+#: sizes (total city weight) span roughly an order of magnitude, giving the
+#: broadened-query result sizes the spread the Figure 7 correlation needs.
+ALL_REGIONS: tuple[Region, ...] = (
+    SEATTLE_BELLEVUE,
+    BAY_AREA,
+    NYC,
+    CHICAGO,
+    AUSTIN,
+    BOSTON,
+    MIAMI,
+    DENVER,
+    PHOENIX,
+    PORTLAND,
+)
+
+
+def region_by_name(name: str) -> Region:
+    """Look up a region by its display name.
+
+    Raises:
+        KeyError: listing the valid names, since a typo here is the common
+            failure when defining new study tasks.
+    """
+    for region in ALL_REGIONS:
+        if region.name == name:
+            return region
+    raise KeyError(
+        f"unknown region {name!r}; valid: {[r.name for r in ALL_REGIONS]}"
+    )
+
+
+def region_of_neighborhood(neighborhood_name: str) -> Region:
+    """Return the region containing ``neighborhood_name``.
+
+    This implements the broadening direction of Section 6.2: a workload
+    query's neighborhoods are expanded to *all* neighborhoods of their
+    region.
+
+    Raises:
+        KeyError: when the neighborhood is not part of the geography.
+    """
+    for region in ALL_REGIONS:
+        if neighborhood_name in region.neighborhood_names():
+            return region
+    raise KeyError(f"unknown neighborhood {neighborhood_name!r}")

@@ -1,0 +1,35 @@
+"""Exploration simulation: synthetic replay (Section 6.2) and simulated users (Section 6.3)."""
+
+from repro.explore.exploration import (
+    ReplayResult,
+    relevant_count,
+    replay_all,
+    replay_few,
+    replay_one,
+)
+from repro.explore.metrics import (
+    fractional_cost,
+    mean,
+    mean_finite,
+    normalized_cost,
+)
+from repro.explore.session import ExplorationSession, Operation, SessionEvent
+from repro.explore.user import SimulatedUser, UserBehavior, derive_preference
+
+__all__ = [
+    "ExplorationSession",
+    "Operation",
+    "ReplayResult",
+    "SessionEvent",
+    "SimulatedUser",
+    "UserBehavior",
+    "derive_preference",
+    "fractional_cost",
+    "mean",
+    "mean_finite",
+    "normalized_cost",
+    "relevant_count",
+    "replay_all",
+    "replay_few",
+    "replay_one",
+]

@@ -1,0 +1,212 @@
+"""Synthetic exploration replay (Section 6.2).
+
+The simulated study "imagines" a held-out workload query W as a user
+exploration: the user "drills down into those categories of the category
+tree T that satisfy the selection conditions in W and ignores the rest",
+and the actual cost ``CostAll(W, T)`` is "the actual number of items
+examined by the user during the synthetic exploration W using T".
+
+The SHOWTUPLES/SHOWCAT choice is resolved exactly as the estimator's own
+semantics predict a W-shaped user behaves (Section 4.2): at a non-leaf
+node, the user does SHOWCAT iff W has a selection condition on the node's
+subcategorizing attribute (she is interested in only a few of its values);
+otherwise she is interested in all values and browses the tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.tree import CategoryNode, CategoryTree
+from repro.workload.model import WorkloadQuery
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of one synthetic exploration."""
+
+    labels_examined: int
+    tuples_examined: int
+    found_relevant: bool
+    label_cost: float = 1.0
+    relevant_found: int = 0
+
+    @property
+    def items_examined(self) -> float:
+        """Actual cost: K·labels + tuples (Example 4.1's accounting)."""
+        return self.label_cost * self.labels_examined + self.tuples_examined
+
+
+def replay_all(
+    tree: CategoryTree, exploration: WorkloadQuery, label_cost: float = 1.0
+) -> ReplayResult:
+    """Replay W in the ALL scenario; returns the actual CostAll(W, T).
+
+    The user examines every subcategory label of every expanded node,
+    drills into exactly the categories whose label overlaps W's condition
+    on the label's attribute, and examines all tuples of nodes she
+    SHOWTUPLES (Figure 2 with W-determined choices).
+    """
+    labels = 0
+    tuples = 0
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        if _does_showtuples(node, exploration):
+            tuples += node.tuple_count
+            continue
+        labels += len(node.children)
+        for child in node.children:
+            condition = exploration.conditions.get(child.label.attribute)
+            if child.label.overlaps_condition(condition):
+                stack.append(child)
+    return ReplayResult(
+        labels_examined=labels,
+        tuples_examined=tuples,
+        found_relevant=True,
+        label_cost=label_cost,
+    )
+
+
+def replay_one(
+    tree: CategoryTree, exploration: WorkloadQuery, label_cost: float = 1.0
+) -> ReplayResult:
+    """Replay W in the ONE scenario; returns the actual CostOne(W, T).
+
+    Figure 3 with W-determined choices: labels are examined top-down until
+    the first overlapping category, which is explored recursively; tuple
+    scans stop at the first tuple satisfying W.  Unlike the model's
+    assumption, a drilled-into category may contain no W-satisfying tuple
+    (the tree's buckets are coarser than W); the replay then resumes with
+    the next sibling, still counting everything examined.
+    """
+    counter = _Counter()
+    _explore_one(tree.root, exploration, counter)
+    return ReplayResult(
+        labels_examined=counter.labels,
+        tuples_examined=counter.tuples,
+        found_relevant=counter.found,
+        label_cost=label_cost,
+    )
+
+
+class _Counter:
+    """Mutable tally shared by the ONE-scenario recursion."""
+
+    __slots__ = ("labels", "tuples", "found")
+
+    def __init__(self) -> None:
+        self.labels = 0
+        self.tuples = 0
+        self.found = False
+
+
+def _explore_one(
+    node: CategoryNode, exploration: WorkloadQuery, counter: _Counter
+) -> None:
+    if _does_showtuples(node, exploration):
+        for row in node.rows:
+            counter.tuples += 1
+            if _row_matches(row, exploration):
+                counter.found = True
+                return
+        return
+    for child in node.children:
+        counter.labels += 1
+        condition = exploration.conditions.get(child.label.attribute)
+        if child.label.overlaps_condition(condition):
+            _explore_one(child, exploration, counter)
+            if counter.found:
+                return
+
+
+def replay_few(
+    tree: CategoryTree,
+    exploration: WorkloadQuery,
+    k: int,
+    label_cost: float = 1.0,
+) -> ReplayResult:
+    """Replay W in the FEW scenario: stop after ``k`` relevant tuples.
+
+    The paper models the two ends of the spectrum — ONE and ALL — and
+    notes "other scenarios (e.g., user interested in two/few tuples) fall
+    in between these two ends" (Section 3.2).  This replay realizes the
+    intermediate scenarios: Figure 3's exploration, but the user keeps
+    going (next tuples, next sibling labels) until ``k`` relevant tuples
+    are found or the reachable space is exhausted.
+
+    ``replay_few(T, W, 1)`` coincides with :func:`replay_one`;
+    as ``k`` grows past the number of relevant tuples it coincides with
+    :func:`replay_all` (the user ends up examining everything she would
+    have).
+
+    Raises:
+        ValueError: for ``k < 1``.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    counter = _FewCounter(target=k)
+    _explore_few(tree.root, exploration, counter)
+    return ReplayResult(
+        labels_examined=counter.labels,
+        tuples_examined=counter.tuples,
+        found_relevant=counter.found > 0,
+        label_cost=label_cost,
+        relevant_found=counter.found,
+    )
+
+
+class _FewCounter:
+    """Mutable tally for the FEW-scenario recursion."""
+
+    __slots__ = ("labels", "tuples", "found", "target")
+
+    def __init__(self, target: int) -> None:
+        self.labels = 0
+        self.tuples = 0
+        self.found = 0
+        self.target = target
+
+    @property
+    def satisfied(self) -> bool:
+        return self.found >= self.target
+
+
+def _explore_few(
+    node: CategoryNode, exploration: WorkloadQuery, counter: _FewCounter
+) -> None:
+    if _does_showtuples(node, exploration):
+        for row in node.rows:
+            counter.tuples += 1
+            if _row_matches(row, exploration):
+                counter.found += 1
+                if counter.satisfied:
+                    return
+        return
+    for child in node.children:
+        counter.labels += 1
+        condition = exploration.conditions.get(child.label.attribute)
+        if child.label.overlaps_condition(condition):
+            _explore_few(child, exploration, counter)
+            if counter.satisfied:
+                return
+
+
+def _does_showtuples(node: CategoryNode, exploration: WorkloadQuery) -> bool:
+    """The W-determined SHOWTUPLES/SHOWCAT choice at a node."""
+    if node.is_leaf:
+        return True
+    assert node.child_attribute is not None
+    return not exploration.constrains(node.child_attribute)
+
+
+def _row_matches(row, exploration: WorkloadQuery) -> bool:
+    """True if a tuple satisfies every selection condition of W."""
+    return all(
+        condition.matches(row) for condition in exploration.conditions.values()
+    )
+
+
+def relevant_count(tree: CategoryTree, exploration: WorkloadQuery) -> int:
+    """Number of tuples in the result set satisfying W (the relevant set)."""
+    return sum(1 for row in tree.root.rows if _row_matches(row, exploration))

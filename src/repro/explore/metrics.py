@@ -1,0 +1,44 @@
+"""Derived exploration metrics (Section 6's measurement vocabulary).
+
+* **fractional cost** — ``CostAll(W,T) / |Result(Qw)|``, "to be able to
+  average it across different queries (with different result set sizes)
+  meaningfully" (Figure 8);
+* **normalized cost** — items examined per relevant tuple found
+  (Figure 11), the paper's fairest cross-technique comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def fractional_cost(items_examined: float, result_size: int) -> float:
+    """``items examined / |result set|``; 0-result queries cost nothing."""
+    if result_size <= 0:
+        return 0.0
+    return items_examined / result_size
+
+
+def normalized_cost(items_examined: float, relevant_found: int) -> float:
+    """Items examined per relevant tuple found (Figure 11).
+
+    Infinite when nothing relevant was found — the exploration bought no
+    value at any price; callers typically filter or cap these.
+    """
+    if relevant_found <= 0:
+        return math.inf
+    return items_examined / relevant_found
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; NaN for an empty input (distinguishable from 0)."""
+    collected = list(values)
+    if not collected:
+        return math.nan
+    return sum(collected) / len(collected)
+
+
+def mean_finite(values: Iterable[float]) -> float:
+    """Mean over the finite entries only (drops the found-nothing sessions)."""
+    return mean(v for v in values if math.isfinite(v))

@@ -1,0 +1,86 @@
+"""Recorded exploration sessions.
+
+The user study records "the click/expand/collapse operations on the
+treeview nodes and the clicks on the data tuples" (Section 6.3).  An
+:class:`ExplorationSession` is that record for one (user, tree)
+exploration: every operation, every item examined, every relevant tuple
+found — the raw material all study measurements derive from.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class Operation(enum.Enum):
+    """Treeview operations a user can perform."""
+
+    EXAMINE_LABEL = "examine-label"
+    EXPAND = "expand"  # SHOWCAT on a node
+    SHOW_TUPLES = "show-tuples"  # SHOWTUPLES on a node
+    EXAMINE_TUPLE = "examine-tuple"
+    MARK_RELEVANT = "mark-relevant"  # click on a relevant tuple
+    IGNORE = "ignore"  # deliberately skip a category
+
+
+@dataclass(frozen=True)
+class SessionEvent:
+    """One logged operation, with the node/tuple it applied to."""
+
+    operation: Operation
+    target: str
+    detail: Any = None
+
+
+@dataclass
+class ExplorationSession:
+    """The full record of one exploration.
+
+    Costs follow the paper's accounting: "examining a node means reading
+    its label while examining a tuple means reading all the fields in the
+    tuple" (Example 3.1); a label costs ``label_cost`` (K) items and a
+    tuple costs 1.
+    """
+
+    label_cost: float = 1.0
+    events: list[SessionEvent] = field(default_factory=list)
+    labels_examined: int = 0
+    tuples_examined: int = 0
+    relevant_found: int = 0
+    exhausted_patience: bool = False
+
+    @property
+    def items_examined(self) -> float:
+        """Total information-overload cost: K·labels + tuples."""
+        return self.label_cost * self.labels_examined + self.tuples_examined
+
+    def examine_label(self, node_name: str) -> None:
+        """Record reading one category label."""
+        self.labels_examined += 1
+        self.events.append(SessionEvent(Operation.EXAMINE_LABEL, node_name))
+
+    def expand(self, node_name: str) -> None:
+        """Record a SHOWCAT (expand) on a node."""
+        self.events.append(SessionEvent(Operation.EXPAND, node_name))
+
+    def show_tuples(self, node_name: str) -> None:
+        """Record a SHOWTUPLES on a node."""
+        self.events.append(SessionEvent(Operation.SHOW_TUPLES, node_name))
+
+    def ignore(self, node_name: str) -> None:
+        """Record deliberately skipping a category after reading its label."""
+        self.events.append(SessionEvent(Operation.IGNORE, node_name))
+
+    def examine_tuple(self, relevant: bool, detail: Any = None) -> None:
+        """Record reading one data tuple, marking it if relevant."""
+        self.tuples_examined += 1
+        self.events.append(SessionEvent(Operation.EXAMINE_TUPLE, "tuple", detail))
+        if relevant:
+            self.relevant_found += 1
+            self.events.append(SessionEvent(Operation.MARK_RELEVANT, "tuple", detail))
+
+    def give_up(self) -> None:
+        """Record that the user ran out of patience mid-exploration."""
+        self.exhausted_patience = True

@@ -1,0 +1,17 @@
+"""Workload-based ranking: the paper's complementary technique, implemented.
+
+Query-frequency tuple scoring (after Agrawal et al., CIDR'03 — the
+paper's reference [2]) plus integration into category trees: reorder each
+``tset(C)`` so sought-after tuples surface first in SHOWTUPLES scans.
+"""
+
+from repro.ranking.qf import SMOOTHING, QueryFrequencyScorer
+from repro.ranking.ranker import TupleScorer, rank_rowset, rank_tree
+
+__all__ = [
+    "QueryFrequencyScorer",
+    "SMOOTHING",
+    "TupleScorer",
+    "rank_rowset",
+    "rank_tree",
+]

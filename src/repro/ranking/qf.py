@@ -1,0 +1,107 @@
+"""Workload-based tuple scoring (the QF model of Agrawal et al., CIDR'03).
+
+The paper presents ranking as the complementary technique to
+categorization ("categorization and ranking present two complementary
+techniques to manage information overload", Section 1) and cites
+"Automated Ranking of Database Query Results" [2] as the relational
+ranking approach.  This module implements that work's core idea — the
+*query-frequency* (QF) model — on top of the same count tables the
+categorizer already builds:
+
+* a categorical value ``v`` scores ``occ(v) / max_occ`` — how often past
+  users asked for exactly that value;
+* a numeric value ``x`` scores by the fraction of past query ranges on
+  the attribute that contain ``x``;
+* a tuple's score aggregates its per-attribute scores (sum of logs, with
+  additive smoothing so unseen values demote rather than veto).
+
+Scores depend only on the workload, so a scorer is built once and reused
+across queries — exactly like the categorizer's statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+from repro.relational.schema import TableSchema
+from repro.workload.preprocess import WorkloadStatistics
+
+
+#: Additive smoothing applied to every per-attribute score so that a
+#: never-requested value contributes a strong negative (but finite) log.
+SMOOTHING = 1e-3
+
+
+class QueryFrequencyScorer:
+    """Scores tuples by how much past-query attention their values drew."""
+
+    def __init__(
+        self,
+        statistics: WorkloadStatistics,
+        attributes: list[str] | None = None,
+    ) -> None:
+        """Args:
+            statistics: the preprocessed workload count tables.
+            attributes: attributes contributing to the score; defaults to
+                every schema attribute with any workload usage (an unused
+                attribute carries no preference signal).
+        """
+        self.statistics = statistics
+        schema: TableSchema = statistics.schema
+        if attributes is None:
+            attributes = [
+                a.name for a in schema if statistics.n_attr(a.name) > 0
+            ]
+        for name in attributes:
+            schema.attribute(name)  # validate early
+        self.attributes = list(attributes)
+        self._max_occ: dict[str, int] = {}
+
+    # -- per-value scores -------------------------------------------------------
+
+    def value_score(self, attribute: str, value: Any) -> float:
+        """QF score of one attribute value, in [smoothing, 1].
+
+        Returns the neutral score 1.0 for NULLs (no evidence either way)
+        and for attributes the workload never constrains.
+        """
+        if value is None:
+            return 1.0
+        if self.statistics.n_attr(attribute) == 0:
+            return 1.0
+        schema_attribute = self.statistics.schema.attribute(attribute)
+        if schema_attribute.is_categorical:
+            return self._categorical_score(attribute, value)
+        return self._numeric_score(attribute, float(value))
+
+    def _categorical_score(self, attribute: str, value: Any) -> float:
+        maximum = self._max_occurrence(attribute)
+        if maximum == 0:
+            return 1.0
+        occ = self.statistics.occ(attribute, value)
+        return min(1.0, occ / maximum + SMOOTHING)
+
+    def _numeric_score(self, attribute: str, value: float) -> float:
+        index = self.statistics.range_index(attribute)
+        if index.total_ranges == 0:
+            return 1.0
+        containing = index.count_overlapping(value, value, high_inclusive=True)
+        return min(1.0, containing / index.total_ranges + SMOOTHING)
+
+    def _max_occurrence(self, attribute: str) -> int:
+        cached = self._max_occ.get(attribute)
+        if cached is None:
+            rows = self.statistics.occurrence_counts(attribute).as_rows()
+            cached = rows[0][1] if rows else 0
+            self._max_occ[attribute] = cached
+        return cached
+
+    # -- tuple scores ----------------------------------------------------------------
+
+    def tuple_score(self, row: Mapping[str, Any]) -> float:
+        """Log-sum QF score of one tuple (higher = more sought-after)."""
+        return sum(
+            math.log(self.value_score(attribute, row.get(attribute)))
+            for attribute in self.attributes
+        )

@@ -1,0 +1,58 @@
+"""In-memory relational engine: the storage substrate of the reproduction.
+
+Provides typed column-oriented tables, selection predicates with the
+overlap semantics of paper Section 4.2, SPJ query execution, per-attribute
+statistics, and CSV round-trip.
+"""
+
+from repro.relational.csvio import read_csv, write_csv
+from repro.relational.expressions import (
+    ComparisonPredicate,
+    Conjunction,
+    InPredicate,
+    IsNullPredicate,
+    Predicate,
+    RangePredicate,
+    TruePredicate,
+    normalize,
+)
+from repro.relational.join import DimensionJoin, join_star
+from repro.relational.query import SelectQuery
+from repro.relational.schema import Attribute, TableSchema
+from repro.relational.statistics import (
+    CategoricalStats,
+    NumericStats,
+    categorical_stats,
+    numeric_stats,
+    value_counts,
+)
+from repro.relational.table import Row, RowSet, Table
+from repro.relational.types import AttributeKind, DataType
+
+__all__ = [
+    "Attribute",
+    "AttributeKind",
+    "CategoricalStats",
+    "ComparisonPredicate",
+    "Conjunction",
+    "DataType",
+    "DimensionJoin",
+    "InPredicate",
+    "IsNullPredicate",
+    "NumericStats",
+    "Predicate",
+    "RangePredicate",
+    "Row",
+    "RowSet",
+    "SelectQuery",
+    "Table",
+    "TableSchema",
+    "TruePredicate",
+    "categorical_stats",
+    "join_star",
+    "normalize",
+    "numeric_stats",
+    "read_csv",
+    "value_counts",
+    "write_csv",
+]

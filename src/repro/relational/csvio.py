@@ -1,0 +1,66 @@
+"""CSV round-trip for tables.
+
+Lets examples and tests persist synthetic datasets, and lets downstream
+users load their own relations into the categorizer.  NULLs are written as
+empty fields; types are restored from the schema on load.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any
+
+from repro.relational.schema import TableSchema
+from repro.relational.table import Table
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write ``table`` to ``path`` with a header row.
+
+    NULL values become empty fields.
+    """
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        names = table.schema.names()
+        writer.writerow(names)
+        for row in table:
+            writer.writerow(["" if row[n] is None else row[n] for n in names])
+
+
+def read_csv(schema: TableSchema, path: str | Path) -> Table:
+    """Load a CSV written by :func:`write_csv` (or compatible) into a Table.
+
+    The header must contain every schema attribute; extra columns are
+    ignored.  Empty fields become NULL; other fields are coerced via the
+    schema's data types.
+
+    Raises:
+        ValueError: if the header is missing schema attributes.
+    """
+    path = Path(path)
+    table = Table(schema)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty; expected a header row") from None
+        missing = set(schema.names()) - set(header)
+        if missing:
+            raise ValueError(
+                f"{path} is missing attributes {sorted(missing)} "
+                f"required by schema {schema.name!r}"
+            )
+        positions = {name: header.index(name) for name in schema.names()}
+        for line_number, fields in enumerate(reader, start=2):
+            row: dict[str, Any] = {}
+            for name, position in positions.items():
+                raw = fields[position] if position < len(fields) else ""
+                row[name] = None if raw == "" else raw
+            try:
+                table.insert(row)
+            except (TypeError, ValueError) as exc:
+                raise ValueError(f"{path}:{line_number}: {exc}") from exc
+    return table

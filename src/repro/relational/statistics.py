@@ -1,0 +1,106 @@
+"""Per-attribute statistics over tables and row sets.
+
+The categorizer needs only a small statistical surface from its substrate:
+distinct-value inventories for categorical attributes, numeric extents for
+range partitioning, and value-frequency counts for diagnostics.  Computing
+these once per (row set, attribute) pair and caching them keeps the
+level-by-level algorithm's inner loop cheap.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any
+
+from repro.relational.table import RowSet, Table
+
+
+@dataclass(frozen=True)
+class NumericStats:
+    """Summary statistics of a numeric attribute over some row set."""
+
+    attribute: str
+    count: int
+    null_count: int
+    minimum: float
+    maximum: float
+    mean: float
+
+    @property
+    def extent(self) -> float:
+        """Return ``maximum - minimum``."""
+        return self.maximum - self.minimum
+
+
+@dataclass(frozen=True)
+class CategoricalStats:
+    """Summary statistics of a categorical attribute over some row set."""
+
+    attribute: str
+    count: int
+    null_count: int
+    frequencies: tuple[tuple[Any, int], ...]
+
+    @property
+    def distinct_count(self) -> int:
+        """Number of distinct non-NULL values."""
+        return len(self.frequencies)
+
+    def most_common(self, n: int | None = None) -> tuple[tuple[Any, int], ...]:
+        """Return the ``n`` most frequent (value, count) pairs."""
+        if n is None:
+            return self.frequencies
+        return self.frequencies[:n]
+
+
+def numeric_stats(rows: RowSet | Table, attribute: str) -> NumericStats | None:
+    """Compute :class:`NumericStats` for ``attribute`` over ``rows``.
+
+    Returns None when every value is NULL (or the row set is empty), which
+    callers treat as "this attribute cannot partition this node".
+    """
+    view = rows.all_rows() if isinstance(rows, Table) else rows
+    values = [v for v in view.values(attribute) if v is not None]
+    null_count = len(view) - len(values)
+    if not values:
+        return None
+    return NumericStats(
+        attribute=attribute,
+        count=len(values),
+        null_count=null_count,
+        minimum=float(min(values)),
+        maximum=float(max(values)),
+        mean=sum(values) / len(values),
+    )
+
+
+def categorical_stats(rows: RowSet | Table, attribute: str) -> CategoricalStats:
+    """Compute :class:`CategoricalStats` for ``attribute`` over ``rows``.
+
+    Frequencies are ordered most-common first, ties broken by value repr for
+    determinism (the partitioner re-orders by workload occurrence counts
+    anyway; determinism here keeps tests stable).
+    """
+    view = rows.all_rows() if isinstance(rows, Table) else rows
+    counter: Counter[Any] = Counter()
+    null_count = 0
+    for value in view.values(attribute):
+        if value is None:
+            null_count += 1
+        else:
+            counter[value] += 1
+    ordered = tuple(
+        sorted(counter.items(), key=lambda item: (-item[1], repr(item[0])))
+    )
+    return CategoricalStats(
+        attribute=attribute,
+        count=sum(counter.values()),
+        null_count=null_count,
+        frequencies=ordered,
+    )
+
+
+def value_counts(rows: RowSet | Table, attribute: str) -> dict[Any, int]:
+    """Return a plain {value: count} dict of non-NULL values."""
+    return dict(categorical_stats(rows, attribute).frequencies)

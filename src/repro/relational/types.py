@@ -1,0 +1,137 @@
+"""Type system for the in-memory relational engine.
+
+The paper's categorizer distinguishes exactly two *kinds* of attributes:
+
+* **categorical** attributes, whose category labels have the form
+  ``A IN {v1, ..., vk}`` (paper Section 3.1), and
+* **numeric** attributes, whose category labels have the form
+  ``a1 <= A < a2``.
+
+The storage layer additionally needs concrete value types so that values
+parsed from SQL strings, generated synthetically, or loaded from CSV can be
+validated and compared consistently.  This module defines both notions:
+:class:`DataType` (the physical type of a column) and :class:`AttributeKind`
+(the logical role an attribute plays in categorization).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+
+class DataType(enum.Enum):
+    """Physical type of a column in a :class:`~repro.relational.table.Table`.
+
+    Members carry the Python type used for storage so conversion and
+    validation logic can be written generically.
+    """
+
+    INT = "int"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOL = "bool"
+
+    @property
+    def python_type(self) -> type:
+        """Return the Python type used to store values of this data type."""
+        return _PYTHON_TYPES[self]
+
+    def coerce(self, value: Any) -> Any:
+        """Convert ``value`` to this data type, raising on lossy mismatches.
+
+        ``None`` is passed through unchanged (SQL NULL semantics).  Integers
+        are accepted for FLOAT columns; exact floats (``4.0``) are accepted
+        for INT columns; strings are parsed for INT/FLOAT/BOOL.
+
+        Raises:
+            TypeError: if the value cannot be represented in this type
+                without loss.
+        """
+        if value is None:
+            return None
+        if self is DataType.INT:
+            return _coerce_int(value)
+        if self is DataType.FLOAT:
+            return _coerce_float(value)
+        if self is DataType.BOOL:
+            return _coerce_bool(value)
+        return _coerce_text(value)
+
+    def is_numeric(self) -> bool:
+        """Return True for types that support range predicates natively."""
+        return self in (DataType.INT, DataType.FLOAT)
+
+
+class AttributeKind(enum.Enum):
+    """Logical role of an attribute in categorization (paper Section 3.1).
+
+    ``CATEGORICAL`` attributes are partitioned into single-value categories;
+    ``NUMERIC`` attributes are partitioned into contiguous range buckets.
+    The kind is declared in the schema rather than inferred from the data
+    type because an INT column (e.g. a zip code) may well be categorical.
+    """
+
+    CATEGORICAL = "categorical"
+    NUMERIC = "numeric"
+
+
+_PYTHON_TYPES = {
+    DataType.INT: int,
+    DataType.FLOAT: float,
+    DataType.TEXT: str,
+    DataType.BOOL: bool,
+}
+
+
+def _coerce_int(value: Any) -> int:
+    if isinstance(value, bool):
+        raise TypeError(f"cannot store bool {value!r} in an INT column")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if value.is_integer():
+            return int(value)
+        raise TypeError(f"cannot store non-integral float {value!r} in an INT column")
+    if isinstance(value, str):
+        try:
+            return int(value)
+        except ValueError as exc:
+            raise TypeError(f"cannot parse {value!r} as INT") from exc
+    raise TypeError(f"cannot store {type(value).__name__} in an INT column")
+
+
+def _coerce_float(value: Any) -> float:
+    if isinstance(value, bool):
+        raise TypeError(f"cannot store bool {value!r} in a FLOAT column")
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError as exc:
+            raise TypeError(f"cannot parse {value!r} as FLOAT") from exc
+    raise TypeError(f"cannot store {type(value).__name__} in a FLOAT column")
+
+
+def _coerce_bool(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int) and value in (0, 1):
+        return bool(value)
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered in ("true", "t", "1", "yes"):
+            return True
+        if lowered in ("false", "f", "0", "no"):
+            return False
+        raise TypeError(f"cannot parse {value!r} as BOOL")
+    raise TypeError(f"cannot store {type(value).__name__} in a BOOL column")
+
+
+def _coerce_text(value: Any) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, (int, float, bool)):
+        return str(value)
+    raise TypeError(f"cannot store {type(value).__name__} in a TEXT column")

@@ -1,0 +1,6 @@
+"""Rendering: ASCII treeview and chart helpers."""
+
+from repro.render.figures import bar_chart, scatter_plot
+from repro.render.treeview import render_tree, summarize_tree
+
+__all__ = ["bar_chart", "render_tree", "scatter_plot", "summarize_tree"]

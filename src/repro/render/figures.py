@@ -1,0 +1,87 @@
+"""ASCII charts: scatter plots and bar charts for study outputs.
+
+The benchmark harness prints the paper's figures as tables; these helpers
+add terminal-friendly visual forms — a scatter for Figure 7, horizontal
+bars for the per-task comparisons — so a bench log can be eyeballed the
+way the paper's figures are.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+
+def scatter_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render an ASCII scatter of (x, y) points with axis extents.
+
+    Points are binned onto a width x height character grid; cells with
+    multiple points render density (``.`` ``o`` ``@``).
+
+    Raises:
+        ValueError: on mismatched or empty inputs.
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    if not xs:
+        raise ValueError("nothing to plot")
+    x_max = max(max(xs), 1e-12)
+    y_max = max(max(ys), 1e-12)
+    grid = [[0] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        column = min(width - 1, int(x / x_max * (width - 1)))
+        row = min(height - 1, int(y / y_max * (height - 1)))
+        grid[height - 1 - row][column] += 1
+
+    def glyph(count: int) -> str:
+        if count == 0:
+            return " "
+        if count == 1:
+            return "."
+        if count <= 3:
+            return "o"
+        return "@"
+
+    lines = [f"{y_label} (max {y_max:g})"]
+    for row in grid:
+        lines.append("|" + "".join(glyph(c) for c in row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} (max {x_max:g})")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Sequence[str],
+    width: int = 40,
+    value_format: str = "{:.1f}",
+) -> str:
+    """Render grouped horizontal bars: one group per x label, one bar per series.
+
+    NaN values render as an empty bar annotated ``-`` (the paper's missing
+    Task 1/Attr-Cost cell renders this way).
+    """
+    finite = [
+        v for values in series.values() for v in values if not math.isnan(v)
+    ]
+    maximum = max(finite, default=1.0) or 1.0
+    name_width = max((len(name) for name in series), default=0)
+    lines: list[str] = []
+    for i, x_label in enumerate(x_labels):
+        lines.append(f"{x_label}:")
+        for name, values in series.items():
+            value = values[i] if i < len(values) else math.nan
+            if math.isnan(value):
+                bar, rendered = "", "-"
+            else:
+                bar = "#" * max(1, int(value / maximum * width)) if value > 0 else ""
+                rendered = value_format.format(value)
+            lines.append(f"  {name.ljust(name_width)} {bar} {rendered}")
+    return "\n".join(lines)

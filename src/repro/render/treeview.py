@@ -1,0 +1,81 @@
+"""ASCII treeview rendering of category trees (the Figure 1 view).
+
+The paper's user study rendered trees "using a treeview control ... via
+the web browser"; this module is the terminal equivalent, used by the
+examples and handy when debugging partitionings.  Optionally annotates
+each node with its tuple count and its estimated P / CostAll.
+"""
+
+from __future__ import annotations
+
+from repro.core.cost import CostModel
+from repro.core.tree import CategoryNode, CategoryTree
+
+
+def render_tree(
+    tree: CategoryTree,
+    max_depth: int | None = None,
+    max_children: int | None = None,
+    cost_model: CostModel | None = None,
+) -> str:
+    """Render a category tree as indented ASCII.
+
+    Args:
+        tree: the tree to render.
+        max_depth: deepest level to show (None = all).
+        max_children: per node, show at most this many children followed by
+            an ellipsis line (None = all).
+        cost_model: when given, each node is annotated with P(C) and
+            CostAll(C).
+    """
+    annotations = cost_model.annotate(tree) if cost_model is not None else None
+    lines: list[str] = []
+    _render_node(tree.root, "", True, lines, max_depth, max_children, annotations)
+    return "\n".join(lines)
+
+
+def _render_node(
+    node: CategoryNode,
+    prefix: str,
+    is_last: bool,
+    lines: list[str],
+    max_depth: int | None,
+    max_children: int | None,
+    annotations: dict | None,
+) -> None:
+    connector = "" if node.is_root else ("`-- " if is_last else "|-- ")
+    text = f"{node.display()} [{node.tuple_count}]"
+    if annotations is not None:
+        costs = annotations[id(node)]
+        text += (
+            f" (P={costs.exploration_probability:.2f}, "
+            f"CostAll={costs.cost_all:.1f})"
+        )
+    lines.append(prefix + connector + text)
+    if max_depth is not None and node.level >= max_depth:
+        if node.children:
+            child_prefix = prefix + ("" if node.is_root else ("    " if is_last else "|   "))
+            lines.append(child_prefix + f"... ({len(node.children)} subcategories)")
+        return
+    children = node.children
+    shown = children if max_children is None else children[:max_children]
+    child_prefix = prefix + ("" if node.is_root else ("    " if is_last else "|   "))
+    for i, child in enumerate(shown):
+        last = i == len(shown) - 1 and len(shown) == len(children)
+        _render_node(
+            child, child_prefix, last, lines, max_depth, max_children, annotations
+        )
+    if len(shown) < len(children):
+        lines.append(child_prefix + f"`-- ... ({len(children) - len(shown)} more)")
+
+
+def summarize_tree(tree: CategoryTree) -> str:
+    """One-paragraph structural summary: technique, levels, sizes."""
+    attributes = tree.level_attributes()
+    leaf_sizes = [leaf.tuple_count for leaf in tree.leaves()]
+    biggest = max(leaf_sizes, default=0)
+    return (
+        f"technique={tree.technique} result_size={tree.result_size} "
+        f"categories={tree.category_count()} depth={tree.depth()} "
+        f"level_attributes={attributes} max_leaf={biggest}"
+    )

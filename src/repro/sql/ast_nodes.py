@@ -1,0 +1,84 @@
+"""Abstract syntax tree for the workload SQL dialect.
+
+The AST mirrors the restricted grammar the workload preprocessor needs:
+a select list, a single FROM table, and a conjunction of per-attribute
+conditions (IN lists, BETWEEN ranges, comparisons).  Compilation to the
+relational engine's predicate objects lives in :mod:`repro.sql.compiler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+class Condition:
+    """Base class for WHERE-clause condition nodes."""
+
+    attribute: str
+
+
+@dataclass(frozen=True)
+class InCondition(Condition):
+    """``attribute IN (v1, v2, ...)``."""
+
+    attribute: str
+    values: tuple[Any, ...]
+
+    def __str__(self) -> str:
+        return f"{self.attribute} IN ({', '.join(map(repr, self.values))})"
+
+
+@dataclass(frozen=True)
+class BetweenCondition(Condition):
+    """``attribute BETWEEN low AND high`` (both bounds inclusive)."""
+
+    attribute: str
+    low: Any
+    high: Any
+
+    def __str__(self) -> str:
+        return f"{self.attribute} BETWEEN {self.low!r} AND {self.high!r}"
+
+
+@dataclass(frozen=True)
+class ComparisonCondition(Condition):
+    """``attribute op literal`` for op in =, !=, <, <=, >, >=."""
+
+    attribute: str
+    op: str
+    value: Any
+
+    def __str__(self) -> str:
+        return f"{self.attribute} {self.op} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A parsed SELECT statement.
+
+    Attributes:
+        columns: projected attribute names, or None for ``SELECT *``.
+        table: the FROM table name.
+        conditions: conjunctive WHERE conditions in source order.
+    """
+
+    columns: tuple[str, ...] | None
+    table: str
+    conditions: tuple[Condition, ...]
+
+    def condition_attributes(self) -> tuple[str, ...]:
+        """Attribute names constrained by the WHERE clause, in source order."""
+        seen: list[str] = []
+        for condition in self.conditions:
+            if condition.attribute not in seen:
+                seen.append(condition.attribute)
+        return tuple(seen)
+
+    def __str__(self) -> str:
+        columns = "*" if self.columns is None else ", ".join(self.columns)
+        where = (
+            "" if not self.conditions
+            else " WHERE " + " AND ".join(str(c) for c in self.conditions)
+        )
+        return f"SELECT {columns} FROM {self.table}{where}"

@@ -1,0 +1,74 @@
+"""Compile parsed SQL statements into relational-engine queries.
+
+Bridges :mod:`repro.sql` (syntax) and :mod:`repro.relational` (semantics):
+each AST condition becomes the corresponding predicate object, BETWEEN
+becoming an inclusive range (the paper's ``vmin <= A <= vmax`` form).
+"""
+
+from __future__ import annotations
+
+from repro.relational.expressions import (
+    ComparisonPredicate,
+    Conjunction,
+    InPredicate,
+    Predicate,
+    RangePredicate,
+    TruePredicate,
+)
+from repro.relational.query import SelectQuery
+from repro.sql.ast_nodes import (
+    BetweenCondition,
+    ComparisonCondition,
+    Condition,
+    InCondition,
+    SelectStatement,
+)
+from repro.sql.parser import parse
+
+
+def compile_statement(statement: SelectStatement) -> SelectQuery:
+    """Convert a parsed statement into an executable :class:`SelectQuery`."""
+    predicates = [compile_condition(c) for c in statement.conditions]
+    predicate: Predicate
+    if not predicates:
+        predicate = TruePredicate()
+    elif len(predicates) == 1:
+        predicate = predicates[0]
+    else:
+        predicate = Conjunction(predicates)
+    return SelectQuery(
+        table_name=statement.table,
+        predicate=predicate,
+        projection=statement.columns,
+    )
+
+
+def compile_condition(condition: Condition) -> Predicate:
+    """Convert one AST condition into a relational predicate.
+
+    Raises:
+        TypeError: for condition node types this compiler does not know
+            (a safeguard against silently dropping future grammar additions).
+    """
+    if isinstance(condition, InCondition):
+        return InPredicate(condition.attribute, condition.values)
+    if isinstance(condition, BetweenCondition):
+        return RangePredicate(
+            condition.attribute,
+            float(condition.low),
+            float(condition.high),
+            high_inclusive=True,
+        )
+    if isinstance(condition, ComparisonCondition):
+        return ComparisonPredicate(condition.attribute, condition.op, condition.value)
+    raise TypeError(f"unknown condition node {type(condition).__name__}")
+
+
+def parse_query(source: str) -> SelectQuery:
+    """Parse and compile a SQL string in one step.
+
+    This is the entry point the workload loader uses: each logged query
+    string becomes a :class:`SelectQuery` whose normalized conditions feed
+    the count tables of Section 4.2.
+    """
+    return compile_statement(parse(source))

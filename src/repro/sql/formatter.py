@@ -1,0 +1,87 @@
+"""Render queries back to SQL strings.
+
+The workload generator produces :class:`~repro.relational.query.SelectQuery`
+objects but the paper's pipeline consumes *logged SQL strings* ("our
+technique only requires the log of SQL query strings as input", Section
+4.2).  This formatter closes the loop: generated queries are serialized to
+SQL, written to a log file, and re-parsed by :func:`repro.sql.parse_query`
+— so the preprocessor genuinely exercises the string pathway end to end.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.relational.expressions import (
+    ComparisonPredicate,
+    Conjunction,
+    InPredicate,
+    Predicate,
+    RangePredicate,
+    TruePredicate,
+)
+from repro.relational.query import SelectQuery
+
+
+def format_query(query: SelectQuery) -> str:
+    """Serialize a query as a SQL string parseable by :mod:`repro.sql`."""
+    columns = "*" if query.projection is None else ", ".join(query.projection)
+    sql = f"SELECT {columns} FROM {query.table_name}"
+    where = format_predicate(query.predicate)
+    if where:
+        sql += f" WHERE {where}"
+    return sql
+
+
+def format_predicate(predicate: Predicate) -> str:
+    """Serialize a predicate as a SQL WHERE-clause body ('' for TRUE)."""
+    if isinstance(predicate, TruePredicate):
+        return ""
+    if isinstance(predicate, Conjunction):
+        parts = [format_predicate(p) for p in predicate]
+        return " AND ".join(part for part in parts if part)
+    if isinstance(predicate, InPredicate):
+        values = ", ".join(format_literal(v) for v in sorted(predicate.values, key=repr))
+        return f"{predicate.attribute} IN ({values})"
+    if isinstance(predicate, RangePredicate):
+        return _format_range(predicate)
+    if isinstance(predicate, ComparisonPredicate):
+        return (
+            f"{predicate.attribute} {predicate.op} {format_literal(predicate.value)}"
+        )
+    raise TypeError(f"cannot format predicate {type(predicate).__name__}")
+
+
+def format_literal(value: Any) -> str:
+    """Serialize a literal: numbers bare, strings single-quoted with escaping."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return str(int(value)) if value.is_integer() else repr(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"
+
+
+def _format_range(predicate: RangePredicate) -> str:
+    """Render a range; one-sided ranges become single comparisons."""
+    low_finite = not math.isinf(predicate.low)
+    high_finite = not math.isinf(predicate.high)
+    upper_op = "<=" if predicate.high_inclusive else "<"
+    if low_finite and high_finite:
+        if predicate.high_inclusive:
+            return (
+                f"{predicate.attribute} BETWEEN "
+                f"{format_literal(predicate.low)} AND {format_literal(predicate.high)}"
+            )
+        return (
+            f"{predicate.attribute} >= {format_literal(predicate.low)} "
+            f"AND {predicate.attribute} < {format_literal(predicate.high)}"
+        )
+    if low_finite:
+        return f"{predicate.attribute} >= {format_literal(predicate.low)}"
+    if high_finite:
+        return f"{predicate.attribute} {upper_op} {format_literal(predicate.high)}"
+    return ""

@@ -1,0 +1,139 @@
+"""Tokenizer for the workload SQL dialect."""
+
+from __future__ import annotations
+
+from repro.sql.tokens import KEYWORDS, OPERATORS, Token, TokenType
+
+
+class SqlSyntaxError(ValueError):
+    """Raised for malformed workload SQL, with the offending position."""
+
+    def __init__(self, message: str, position: int, source: str) -> None:
+        context = source[max(0, position - 20) : position + 20]
+        super().__init__(f"{message} at position {position} (near {context!r})")
+        self.position = position
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize a SQL string into a Token list ending with an EOF token.
+
+    Identifiers may be bare or double-quoted (quoting permits spaces, as in
+    neighborhood names like ``"Queen Anne"``).  String literals use single
+    quotes with ``''`` escaping.  Numbers may be integers, decimals, or use
+    a trailing ``K``/``M`` multiplier as real-estate logs commonly do
+    (``250K`` == 250000).
+
+    Raises:
+        SqlSyntaxError: on any character sequence outside the dialect.
+    """
+    tokens: list[Token] = []
+    i = 0
+    length = len(source)
+    while i < length:
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == ",":
+            tokens.append(Token(TokenType.COMMA, ",", i))
+            i += 1
+            continue
+        if ch == "(":
+            tokens.append(Token(TokenType.LPAREN, "(", i))
+            i += 1
+            continue
+        if ch == ")":
+            tokens.append(Token(TokenType.RPAREN, ")", i))
+            i += 1
+            continue
+        if ch == "*":
+            tokens.append(Token(TokenType.STAR, "*", i))
+            i += 1
+            continue
+        if ch == "'":
+            literal, i = _read_string(source, i)
+            tokens.append(Token(TokenType.STRING, literal, i))
+            continue
+        if ch == '"':
+            name, i = _read_quoted_identifier(source, i)
+            tokens.append(Token(TokenType.IDENTIFIER, name, i))
+            continue
+        operator = _match_operator(source, i)
+        if operator is not None:
+            tokens.append(Token(TokenType.OPERATOR, operator, i))
+            i += len(operator)
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < length and source[i + 1].isdigit()):
+            number, i = _read_number(source, i)
+            tokens.append(Token(TokenType.NUMBER, number, i))
+            continue
+        if ch.isalpha() or ch == "_":
+            word, i = _read_word(source, i)
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, i))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, i))
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r}", i, source)
+    tokens.append(Token(TokenType.EOF, None, length))
+    return tokens
+
+
+def _read_string(source: str, start: int) -> tuple[str, int]:
+    """Read a single-quoted string literal starting at ``start``."""
+    i = start + 1
+    pieces: list[str] = []
+    while i < len(source):
+        ch = source[i]
+        if ch == "'":
+            if i + 1 < len(source) and source[i + 1] == "'":
+                pieces.append("'")
+                i += 2
+                continue
+            return "".join(pieces), i + 1
+        pieces.append(ch)
+        i += 1
+    raise SqlSyntaxError("unterminated string literal", start, source)
+
+
+def _read_quoted_identifier(source: str, start: int) -> tuple[str, int]:
+    """Read a double-quoted identifier starting at ``start``."""
+    end = source.find('"', start + 1)
+    if end < 0:
+        raise SqlSyntaxError("unterminated quoted identifier", start, source)
+    return source[start + 1 : end], end + 1
+
+
+def _match_operator(source: str, position: int) -> str | None:
+    """Return the operator starting at ``position``, if any (longest match)."""
+    for operator in OPERATORS:
+        if source.startswith(operator, position):
+            return operator
+    return None
+
+
+def _read_number(source: str, start: int) -> tuple[float | int, int]:
+    """Read a numeric literal, supporting K/M suffix multipliers."""
+    i = start
+    seen_dot = False
+    while i < len(source) and (source[i].isdigit() or (source[i] == "." and not seen_dot)):
+        if source[i] == ".":
+            seen_dot = True
+        i += 1
+    text = source[start:i]
+    multiplier = 1
+    if i < len(source) and source[i] in "kKmM":
+        multiplier = 1_000 if source[i] in "kK" else 1_000_000
+        i += 1
+    if seen_dot:
+        return float(text) * multiplier, i
+    return int(text) * multiplier, i
+
+
+def _read_word(source: str, start: int) -> tuple[str, int]:
+    """Read a bare identifier or keyword starting at ``start``."""
+    i = start
+    while i < len(source) and (source[i].isalnum() or source[i] == "_"):
+        i += 1
+    return source[start:i], i

@@ -1,0 +1,164 @@
+"""Recursive-descent parser for the workload SQL dialect.
+
+Grammar (conjunctive SPJ selections, footnote 6 of the paper)::
+
+    statement   := SELECT select_list FROM identifier [WHERE conjunction]
+                   [ORDER BY identifier [ASC|DESC]] [LIMIT number]
+    select_list := '*' | identifier (',' identifier)*
+    conjunction := condition (AND condition)*
+    condition   := identifier IN '(' literal (',' literal)* ')'
+                 | identifier BETWEEN literal AND literal
+                 | identifier op literal
+    op          := '=' | '!=' | '<>' | '<' | '<=' | '>' | '>='
+    literal     := number | string
+
+ORDER BY / LIMIT clauses appear in real search logs; they are parsed and
+discarded because the paper's statistics use only selection conditions.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sql.ast_nodes import (
+    BetweenCondition,
+    ComparisonCondition,
+    Condition,
+    InCondition,
+    SelectStatement,
+)
+from repro.sql.lexer import SqlSyntaxError, tokenize
+from repro.sql.tokens import Token, TokenType
+
+
+def parse(source: str) -> SelectStatement:
+    """Parse one SQL SELECT string into a :class:`SelectStatement`.
+
+    Raises:
+        SqlSyntaxError: on any deviation from the dialect grammar.
+    """
+    return _Parser(source).parse_statement()
+
+
+class _Parser:
+    """Single-use recursive-descent parser over a token list."""
+
+    def __init__(self, source: str) -> None:
+        self._source = source
+        self._tokens = tokenize(source)
+        self._position = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.type is not TokenType.EOF:
+            self._position += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._current.is_keyword(word):
+            self._fail(f"expected {word}")
+        self._advance()
+
+    def _expect(self, token_type: TokenType) -> Token:
+        if self._current.type is not token_type:
+            self._fail(f"expected {token_type.value}")
+        return self._advance()
+
+    def _fail(self, message: str) -> None:
+        token = self._current
+        raise SqlSyntaxError(f"{message}, found {token}", token.position, self._source)
+
+    # -- grammar productions ---------------------------------------------------
+
+    def parse_statement(self) -> SelectStatement:
+        self._expect_keyword("SELECT")
+        columns = self._parse_select_list()
+        self._expect_keyword("FROM")
+        table = str(self._expect(TokenType.IDENTIFIER).value)
+        conditions: tuple[Condition, ...] = ()
+        if self._current.is_keyword("WHERE"):
+            self._advance()
+            conditions = self._parse_conjunction()
+        self._skip_order_by()
+        self._skip_limit()
+        if self._current.type is not TokenType.EOF:
+            self._fail("unexpected trailing input")
+        return SelectStatement(columns=columns, table=table, conditions=conditions)
+
+    def _parse_select_list(self) -> tuple[str, ...] | None:
+        if self._current.type is TokenType.STAR:
+            self._advance()
+            return None
+        names = [str(self._expect(TokenType.IDENTIFIER).value)]
+        while self._current.type is TokenType.COMMA:
+            self._advance()
+            names.append(str(self._expect(TokenType.IDENTIFIER).value))
+        return tuple(names)
+
+    def _parse_conjunction(self) -> tuple[Condition, ...]:
+        conditions = [self._parse_condition()]
+        while self._current.is_keyword("AND"):
+            self._advance()
+            conditions.append(self._parse_condition())
+        return tuple(conditions)
+
+    def _parse_condition(self) -> Condition:
+        attribute = str(self._expect(TokenType.IDENTIFIER).value)
+        token = self._current
+        if token.is_keyword("IN"):
+            self._advance()
+            return self._parse_in_tail(attribute)
+        if token.is_keyword("BETWEEN"):
+            self._advance()
+            low = self._parse_literal()
+            self._expect_keyword("AND")
+            high = self._parse_literal()
+            return BetweenCondition(attribute=attribute, low=low, high=high)
+        if token.type is TokenType.OPERATOR:
+            op = str(self._advance().value)
+            if op == "<>":
+                op = "!="
+            return ComparisonCondition(
+                attribute=attribute, op=op, value=self._parse_literal()
+            )
+        self._fail("expected IN, BETWEEN, or a comparison operator")
+        raise AssertionError("unreachable")
+
+    def _parse_in_tail(self, attribute: str) -> InCondition:
+        self._expect(TokenType.LPAREN)
+        values = [self._parse_literal()]
+        while self._current.type is TokenType.COMMA:
+            self._advance()
+            values.append(self._parse_literal())
+        self._expect(TokenType.RPAREN)
+        return InCondition(attribute=attribute, values=tuple(values))
+
+    def _parse_literal(self) -> Any:
+        token = self._current
+        if token.type in (TokenType.NUMBER, TokenType.STRING):
+            return self._advance().value
+        self._fail("expected a literal")
+        raise AssertionError("unreachable")
+
+    # -- discarded clauses -------------------------------------------------------
+
+    def _skip_order_by(self) -> None:
+        if not self._current.is_keyword("ORDER"):
+            return
+        self._advance()
+        self._expect_keyword("BY")
+        self._expect(TokenType.IDENTIFIER)
+        if self._current.is_keyword("ASC") or self._current.is_keyword("DESC"):
+            self._advance()
+
+    def _skip_limit(self) -> None:
+        if not self._current.is_keyword("LIMIT"):
+            return
+        self._advance()
+        self._expect(TokenType.NUMBER)

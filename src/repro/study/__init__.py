@@ -1,0 +1,57 @@
+"""Experiment harness: the paper's Section 6 studies, end to end."""
+
+from repro.study.persistence import (
+    MetricDrift,
+    compare_to_baseline,
+    load_simulated_result,
+    load_userstudy_result,
+    save_simulated_result,
+    save_userstudy_result,
+    simulated_summary,
+)
+from repro.study.report import format_series, format_table
+from repro.study.simulated import (
+    ExplorationRecord,
+    SimulatedStudyResult,
+    TechniqueFactory,
+    run_simulated_study,
+)
+from repro.study.stats import (
+    bootstrap_mean_ci,
+    classify_correlation,
+    pearson,
+    slope_through_origin,
+)
+from repro.study.timing import TimingPoint, run_timing_study
+from repro.study.userstudy import (
+    SessionRecord,
+    UserStudyResult,
+    paper_tasks,
+    run_user_study,
+)
+
+__all__ = [
+    "ExplorationRecord",
+    "SessionRecord",
+    "SimulatedStudyResult",
+    "TechniqueFactory",
+    "MetricDrift",
+    "TimingPoint",
+    "UserStudyResult",
+    "bootstrap_mean_ci",
+    "classify_correlation",
+    "compare_to_baseline",
+    "format_series",
+    "format_table",
+    "load_simulated_result",
+    "load_userstudy_result",
+    "paper_tasks",
+    "pearson",
+    "run_simulated_study",
+    "run_timing_study",
+    "run_user_study",
+    "save_simulated_result",
+    "save_userstudy_result",
+    "simulated_summary",
+    "slope_through_origin",
+]

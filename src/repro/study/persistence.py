@@ -1,0 +1,164 @@
+"""Persisting study results: archive runs, detect regressions.
+
+EXPERIMENTS.md records paper-vs-measured numbers by hand; this module
+makes the measured side durable and comparable.  A study result is
+flattened to a JSON document (one record per measurement), reloadable
+into the same result type, and two runs can be diffed metric-by-metric
+with a tolerance — the regression check a CI pipeline would run against
+a committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.study.simulated import ExplorationRecord, SimulatedStudyResult
+from repro.study.userstudy import SessionRecord, UserStudyResult
+
+
+# -- simulated study --------------------------------------------------------
+
+
+def save_simulated_result(result: SimulatedStudyResult, path: str | Path) -> None:
+    """Write a simulated-study result as JSON."""
+    payload = {
+        "kind": "simulated-study",
+        "subset_count": result.subset_count,
+        "primary_technique": result.primary_technique,
+        "records": [
+            {
+                "subset": r.subset,
+                "technique": r.technique,
+                "estimated_cost": r.estimated_cost,
+                "actual_cost": r.actual_cost,
+                "result_size": r.result_size,
+            }
+            for r in result.records
+        ],
+    }
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def load_simulated_result(path: str | Path) -> SimulatedStudyResult:
+    """Reload a simulated-study result written by :func:`save_simulated_result`.
+
+    Raises:
+        ValueError: when the file holds a different result kind.
+    """
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("kind") != "simulated-study":
+        raise ValueError(f"{path} holds {payload.get('kind')!r}, not a simulated study")
+    result = SimulatedStudyResult(
+        subset_count=payload["subset_count"],
+        primary_technique=payload["primary_technique"],
+    )
+    result.records = [ExplorationRecord(**record) for record in payload["records"]]
+    return result
+
+
+# -- user study ------------------------------------------------------------------
+
+
+def save_userstudy_result(result: UserStudyResult, path: str | Path) -> None:
+    """Write a user-study result as JSON."""
+    payload = {
+        "kind": "user-study",
+        "task_count": result.task_count,
+        "user_ids": result.user_ids,
+        "records": [
+            {
+                "user_id": r.user_id,
+                "task": r.task,
+                "technique": r.technique,
+                "estimated_cost": r.estimated_cost,
+                "items_all": r.items_all,
+                "items_one": r.items_one,
+                "relevant_found": r.relevant_found,
+                "relevant_total": r.relevant_total,
+                "result_size": r.result_size,
+                "gave_up": r.gave_up,
+            }
+            for r in result.records
+        ],
+    }
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def load_userstudy_result(path: str | Path) -> UserStudyResult:
+    """Reload a user-study result written by :func:`save_userstudy_result`.
+
+    Raises:
+        ValueError: when the file holds a different result kind.
+    """
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("kind") != "user-study":
+        raise ValueError(f"{path} holds {payload.get('kind')!r}, not a user study")
+    result = UserStudyResult(
+        task_count=payload["task_count"], user_ids=list(payload["user_ids"])
+    )
+    result.records = [SessionRecord(**record) for record in payload["records"]]
+    return result
+
+
+# -- regression comparison ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MetricDrift:
+    """One metric that moved between a baseline and a new run."""
+
+    metric: str
+    baseline: float
+    measured: float
+
+    @property
+    def relative_change(self) -> float:
+        """(measured − baseline) / |baseline| (inf for a zero baseline)."""
+        if self.baseline == 0:
+            return math.inf if self.measured != 0 else 0.0
+        return (self.measured - self.baseline) / abs(self.baseline)
+
+
+def simulated_summary(result: SimulatedStudyResult) -> dict[str, float]:
+    """The scalar metrics a regression check compares."""
+    summary = {
+        "overall_correlation": result.overall_correlation(),
+        "trend_slope": result.trend_slope(),
+    }
+    for technique in result.techniques():
+        summary[f"fraction_examined[{technique}]"] = result.mean_fraction_examined(
+            technique
+        )
+    return summary
+
+
+def compare_to_baseline(
+    baseline: dict[str, float],
+    measured: dict[str, float],
+    tolerance: float = 0.10,
+) -> list[MetricDrift]:
+    """Return every metric drifting beyond ``tolerance`` (relative).
+
+    Metrics present in only one of the two summaries always count as
+    drift — silently dropping a metric is exactly the regression this
+    exists to catch.
+
+    Raises:
+        ValueError: for a non-positive tolerance.
+    """
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be positive, got {tolerance}")
+    drifted: list[MetricDrift] = []
+    for metric in sorted(set(baseline) | set(measured)):
+        base = baseline.get(metric, math.nan)
+        new = measured.get(metric, math.nan)
+        if math.isnan(base) or math.isnan(new):
+            drifted.append(MetricDrift(metric, base, new))
+            continue
+        drift = MetricDrift(metric, base, new)
+        if abs(drift.relative_change) > tolerance:
+            drifted.append(drift)
+    return drifted

@@ -1,0 +1,60 @@
+"""Text rendering of study outputs in the paper's table/figure format.
+
+Every benchmark prints its reproduced rows/series through these helpers,
+so the bench output reads like the paper's evaluation section and can be
+diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Sequence[str],
+    title: str | None = None,
+    value_format: str = "{:.3f}",
+) -> str:
+    """Render a figure's bar series as a table: one row per x, one column per series."""
+    headers = ["", *series.keys()]
+    rows = []
+    for i, x_label in enumerate(x_labels):
+        row: list[object] = [x_label]
+        for values in series.values():
+            value = values[i] if i < len(values) else math.nan
+            row.append(value_format.format(value) if not math.isnan(value) else "-")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if math.isinf(value):
+            return "inf"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,246 @@
+"""The large-scale, simulated, cross-validated user study (Section 6.2).
+
+Procedure, exactly as the paper describes it:
+
+1. Draw disjoint subsets of held-out workload queries ("8 mutually
+   disjoint subsets of 100 synthetic explorations each").
+2. For each subset: remove its queries from the workload and build the
+   count tables on the remainder (cross-validation).
+3. Each held-out query W becomes a *synthetic exploration*; the user query
+   Qw is obtained by broadening W (region expansion by default).
+4. For each technique, generate the tree T for Qw's result set, compute
+   the estimated cost ``CostAll(T)`` and the actual cost ``CostAll(W, T)``
+   of replaying W on T.
+
+Outputs feed Figure 7 (estimated-vs-actual scatter + trend slope),
+Table 1 (per-subset and overall Pearson correlation) and Figure 8
+(per-subset fractional cost per technique).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.algorithm import LevelByLevelCategorizer
+from repro.core.config import CategorizerConfig, PAPER_CONFIG
+from repro.core.cost import CostModel
+from repro.core.probability import ProbabilityEstimator
+from repro.explore.exploration import replay_all
+from repro.explore.metrics import fractional_cost, mean
+from repro.relational.table import Table
+from repro.study.stats import pearson, slope_through_origin
+from repro.workload.broadening import broaden_to_region
+from repro.workload.log import Workload
+from repro.workload.model import WorkloadQuery
+from repro.workload.preprocess import WorkloadStatistics, preprocess_workload
+
+TechniqueFactory = Callable[[WorkloadStatistics, CategorizerConfig], LevelByLevelCategorizer]
+
+
+@dataclass(frozen=True)
+class ExplorationRecord:
+    """One (synthetic exploration, technique) measurement."""
+
+    subset: int
+    technique: str
+    estimated_cost: float
+    actual_cost: float
+    result_size: int
+
+    @property
+    def fractional_cost(self) -> float:
+        """``CostAll(W,T) / |Result(Qw)|`` — the Figure 8 quantity."""
+        return fractional_cost(self.actual_cost, self.result_size)
+
+
+@dataclass
+class SimulatedStudyResult:
+    """All measurements of one simulated-study run."""
+
+    records: list[ExplorationRecord] = field(default_factory=list)
+    subset_count: int = 0
+    primary_technique: str = "cost-based"
+
+    # -- selection ---------------------------------------------------------------
+
+    def for_technique(self, technique: str) -> list[ExplorationRecord]:
+        """All records of one technique, across subsets."""
+        return [r for r in self.records if r.technique == technique]
+
+    def for_subset(self, subset: int, technique: str) -> list[ExplorationRecord]:
+        """Records of one (subset, technique) cell."""
+        return [
+            r for r in self.records
+            if r.subset == subset and r.technique == technique
+        ]
+
+    def techniques(self) -> list[str]:
+        """Technique names present, primary first."""
+        names: list[str] = []
+        for record in self.records:
+            if record.technique not in names:
+                names.append(record.technique)
+        names.sort(key=lambda n: (n != self.primary_technique, n))
+        return names
+
+    # -- Figure 7 / Table 1 -----------------------------------------------------------
+
+    def scatter(self) -> tuple[list[float], list[float]]:
+        """(estimated, actual) pairs of the primary technique (Figure 7)."""
+        records = self.for_technique(self.primary_technique)
+        return (
+            [r.estimated_cost for r in records],
+            [r.actual_cost for r in records],
+        )
+
+    def trend_slope(self) -> float:
+        """Zero-intercept best-fit slope (the paper measured 1.1002)."""
+        estimated, actual = self.scatter()
+        return slope_through_origin(estimated, actual)
+
+    def subset_correlation(self, subset: int) -> float:
+        """Pearson r of one subset (a Table 1 row)."""
+        records = self.for_subset(subset, self.primary_technique)
+        return pearson(
+            [r.estimated_cost for r in records],
+            [r.actual_cost for r in records],
+        )
+
+    def overall_correlation(self) -> float:
+        """Pearson r across all subsets (Table 1's 'All' row; paper: 0.90)."""
+        estimated, actual = self.scatter()
+        return pearson(estimated, actual)
+
+    def correlation_table(self) -> list[tuple[str, float]]:
+        """Table 1: one row per subset plus the overall row."""
+        rows = [
+            (str(subset + 1), self.subset_correlation(subset))
+            for subset in range(self.subset_count)
+        ]
+        rows.append(("All", self.overall_correlation()))
+        return rows
+
+    # -- Figure 8 -------------------------------------------------------------------
+
+    def fraction_examined(self, subset: int, technique: str) -> float:
+        """AVG fractional cost for one (subset, technique) cell (Figure 8)."""
+        return mean(r.fractional_cost for r in self.for_subset(subset, technique))
+
+    def fraction_examined_series(self) -> dict[str, list[float]]:
+        """Figure 8's bar series: technique → per-subset fractional cost."""
+        return {
+            technique: [
+                self.fraction_examined(subset, technique)
+                for subset in range(self.subset_count)
+            ]
+            for technique in self.techniques()
+        }
+
+    def mean_fraction_examined(self, technique: str) -> float:
+        """Overall average fraction of the result set examined."""
+        return mean(r.fractional_cost for r in self.for_technique(technique))
+
+
+def run_simulated_study(
+    table: Table,
+    workload: Workload,
+    techniques: Sequence[TechniqueFactory],
+    config: CategorizerConfig = PAPER_CONFIG,
+    subset_count: int = 8,
+    subset_size: int = 100,
+    seed: int = 17,
+    broaden=broaden_to_region,
+    min_result_size: int | None = None,
+    eligible: Callable[[WorkloadQuery], bool] | None = None,
+) -> SimulatedStudyResult:
+    """Run the full cross-validated simulated study.
+
+    Args:
+        table: the (synthetic) ListProperty relation.
+        workload: the full query log; held-out subsets are drawn from it.
+        techniques: factories building each categorizer from (statistics,
+            config); the first is the primary (cost-based) technique.
+        config: categorizer configuration (M, K, x, ...).
+        subset_count, subset_size: the paper uses 8 x 100.
+        seed: determinism for the subset draw.
+        broaden: the W → Qw broadening strategy (Section 6.2).
+        min_result_size: explorations whose broadened result is smaller
+            than this are skipped (a tree over < M tuples is trivial);
+            defaults to ``config.max_tuples_per_category``.
+        eligible: a filter on which workload queries may serve as synthetic
+            explorations.  Defaults to queries with a neighborhood
+            condition — the paper's broadening "expand[s] the set of
+            neighborhoods in W", which presumes one exists.  Statistics are
+            still built from the *whole* remaining workload.
+    """
+    if not techniques:
+        raise ValueError("at least one technique is required")
+    minimum = (
+        config.max_tuples_per_category if min_result_size is None else min_result_size
+    )
+    if eligible is None:
+        eligible = _default_eligible
+    candidates = workload.filter(eligible)
+    subsets = candidates.disjoint_subsets(subset_count, subset_size, seed=seed)
+    result = SimulatedStudyResult(subset_count=subset_count)
+
+    for subset_index, held_out in enumerate(subsets):
+        remaining = workload.without(held_out)
+        statistics = preprocess_workload(
+            remaining, table.schema, config.separation_intervals
+        )
+        categorizers = [factory(statistics, config) for factory in techniques]
+        if subset_index == 0:
+            result.primary_technique = categorizers[0].name
+        cost_model = CostModel(ProbabilityEstimator(statistics), config)
+        for exploration in held_out:
+            _run_exploration(
+                exploration,
+                table,
+                categorizers,
+                cost_model,
+                config,
+                subset_index,
+                minimum,
+                broaden,
+                result,
+            )
+    return result
+
+
+def _default_eligible(query: WorkloadQuery) -> bool:
+    """Default synthetic-exploration eligibility: neighborhood-anchored,
+    multi-condition searches (the explorations Section 6.2 replays)."""
+    return query.constrains("neighborhood") and len(query.conditions) >= 2
+
+
+def _run_exploration(
+    exploration: WorkloadQuery,
+    table: Table,
+    categorizers: list[LevelByLevelCategorizer],
+    cost_model: CostModel,
+    config: CategorizerConfig,
+    subset_index: int,
+    min_result_size: int,
+    broaden,
+    result: SimulatedStudyResult,
+) -> None:
+    """Measure one synthetic exploration under every technique."""
+    user_query = broaden(exploration)
+    rows = user_query.query.execute(table)
+    if len(rows) < min_result_size:
+        return
+    for categorizer in categorizers:
+        tree = categorizer.categorize(rows, user_query.query)
+        estimated = cost_model.tree_cost_all(tree)
+        actual = replay_all(tree, exploration, label_cost=config.label_cost)
+        result.records.append(
+            ExplorationRecord(
+                subset=subset_index,
+                technique=categorizer.name,
+                estimated_cost=estimated,
+                actual_cost=actual.items_examined,
+                result_size=len(rows),
+            )
+        )

@@ -1,0 +1,99 @@
+"""Statistics helpers for the experimental studies.
+
+The paper reports Pearson correlation coefficients (Table 1, Table 2) and
+a zero-intercept linear trend line ("best linear fit with intercept 0 is
+y = 1.1002x", Figure 7).  Both are implemented here from first principles
+— no external stats dependency — with the edge cases the studies actually
+hit (constant series, empty input) handled explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient between two aligned series.
+
+    Returns NaN when either series is constant or shorter than two points
+    (the coefficient is undefined there), rather than raising — study code
+    aggregates over many users, some of whom may have degenerate sessions.
+
+    Raises:
+        ValueError: if the series lengths differ.
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    n = len(xs)
+    if n < 2:
+        return math.nan
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        return math.nan
+    return cov / math.sqrt(var_x * var_y)
+
+
+def slope_through_origin(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of ``y = b·x`` (intercept fixed at 0).
+
+    The closed form is ``b = Σxy / Σx²`` — the trend line of Figure 7.
+
+    Raises:
+        ValueError: on length mismatch or an all-zero x series.
+    """
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    denominator = sum(x * x for x in xs)
+    if denominator == 0:
+        raise ValueError("slope through origin undefined for all-zero x")
+    return sum(x * y for x, y in zip(xs, ys)) / denominator
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2_000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the mean.
+
+    The user-study cells average a handful of stochastic sessions; a CI
+    makes the technique comparisons honest about that noise.  Deterministic
+    under ``seed``.
+
+    Raises:
+        ValueError: for empty input or a confidence outside (0, 1).
+    """
+    if not values:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    import random
+
+    rng = random.Random(seed)
+    n = len(values)
+    means = sorted(
+        sum(rng.choice(values) for _ in range(n)) / n for _ in range(resamples)
+    )
+    alpha = (1.0 - confidence) / 2.0
+    lower = means[max(0, int(alpha * resamples))]
+    upper = means[min(resamples - 1, int((1.0 - alpha) * resamples))]
+    return lower, upper
+
+
+def classify_correlation(r: float) -> str:
+    """The paper's verbal bands: weak (0.2-0.6) / strong (0.6-1.0) positive."""
+    if math.isnan(r):
+        return "undefined"
+    if r >= 0.6:
+        return "strong positive"
+    if r >= 0.2:
+        return "weak positive"
+    if r > -0.2:
+        return "negligible"
+    return "negative"

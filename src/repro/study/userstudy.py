@@ -1,0 +1,299 @@
+"""The real-life user study, simulated (Section 6.3).
+
+Reproduces the study's design exactly, with :class:`SimulatedUser`
+subjects standing in for the 11 human ones:
+
+* the paper's 4 search tasks over the same three regions;
+* 3 techniques per task, assignments satisfying the paper's constraints
+  (no subject repeats a task; techniques vary within a subject; every
+  task-technique combination is performed by at least 2 subjects);
+* measurements: items examined until all relevant tuples found (Figure 9),
+  relevant tuples found (Figure 10), normalized cost (Figure 11), items
+  until the first relevant tuple (Figure 12), per-user estimated-vs-actual
+  correlation (Table 2), cost vs no categorization (Table 3), and the
+  exit survey (Table 4, derived as each subject's best-normalized-cost
+  technique).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.algorithm import LevelByLevelCategorizer
+from repro.core.config import CategorizerConfig, PAPER_CONFIG
+from repro.core.cost import CostModel
+from repro.core.probability import ProbabilityEstimator
+from repro.core.tree import CategoryTree
+from repro.data.geography import BAY_AREA, NYC, SEATTLE_BELLEVUE
+from repro.explore.metrics import mean, mean_finite, normalized_cost
+from repro.explore.user import SimulatedUser, UserBehavior, derive_preference
+from repro.relational.expressions import Conjunction, InPredicate, RangePredicate
+from repro.relational.query import SelectQuery
+from repro.relational.table import Table
+from repro.study.simulated import TechniqueFactory
+from repro.study.stats import pearson
+from repro.workload.log import Workload
+from repro.workload.preprocess import preprocess_workload
+
+
+def paper_tasks(table_name: str = "ListProperty") -> list[SelectQuery]:
+    """The four search tasks of Section 6.3, as queries over our geography.
+
+    1. Any neighborhood in Seattle/Bellevue, price < 1M.
+    2. Any neighborhood in Bay Area - Penin/SanJose, price 300K-500K.
+    3. 15 selected neighborhoods in NYC - Manhattan/Bronx, price < 1M.
+    4. Any neighborhood in Seattle/Bellevue, price 200K-400K, 3-4 bedrooms.
+    """
+    nyc_hoods = NYC.neighborhood_names()[:15]
+    return [
+        SelectQuery(table_name, Conjunction([
+            InPredicate("neighborhood", SEATTLE_BELLEVUE.neighborhood_names()),
+            RangePredicate("price", 0, 1_000_000, high_inclusive=False),
+        ])),
+        SelectQuery(table_name, Conjunction([
+            InPredicate("neighborhood", BAY_AREA.neighborhood_names()),
+            RangePredicate("price", 300_000, 500_000),
+        ])),
+        SelectQuery(table_name, Conjunction([
+            InPredicate("neighborhood", nyc_hoods),
+            RangePredicate("price", 0, 1_000_000, high_inclusive=False),
+        ])),
+        SelectQuery(table_name, Conjunction([
+            InPredicate("neighborhood", SEATTLE_BELLEVUE.neighborhood_names()),
+            RangePredicate("price", 200_000, 400_000),
+            RangePredicate("bedroomcount", 3, 4),
+        ])),
+    ]
+
+
+@dataclass(frozen=True)
+class SessionRecord:
+    """One (subject, task, technique) exploration's measurements."""
+
+    user_id: str
+    task: int
+    technique: str
+    estimated_cost: float
+    items_all: float
+    items_one: float
+    relevant_found: int
+    relevant_total: int
+    result_size: int
+    gave_up: bool
+
+    @property
+    def normalized_cost(self) -> float:
+        """Items examined per relevant tuple found (Figure 11)."""
+        return normalized_cost(self.items_all, self.relevant_found)
+
+
+@dataclass
+class UserStudyResult:
+    """All session records plus the derived tables and figures."""
+
+    records: list[SessionRecord] = field(default_factory=list)
+    task_count: int = 4
+    user_ids: list[str] = field(default_factory=list)
+
+    # -- selection -------------------------------------------------------------
+
+    def techniques(self) -> list[str]:
+        names: list[str] = []
+        for record in self.records:
+            if record.technique not in names:
+                names.append(record.technique)
+        return names
+
+    def cell(self, task: int, technique: str) -> list[SessionRecord]:
+        """All sessions of one (task, technique) combination."""
+        return [
+            r for r in self.records if r.task == task and r.technique == technique
+        ]
+
+    def for_user(self, user_id: str) -> list[SessionRecord]:
+        return [r for r in self.records if r.user_id == user_id]
+
+    # -- Table 2 -----------------------------------------------------------------
+
+    def user_correlation(self, user_id: str) -> float:
+        """Pearson r between estimated and actual cost for one subject."""
+        sessions = self.for_user(user_id)
+        return pearson(
+            [s.estimated_cost for s in sessions],
+            [s.items_all for s in sessions],
+        )
+
+    def correlation_table(self) -> list[tuple[str, float]]:
+        """Table 2: per-user correlation plus the average row."""
+        rows = [(uid, self.user_correlation(uid)) for uid in self.user_ids]
+        finite = [r for _, r in rows if not math.isnan(r)]
+        rows.append(("average", mean(finite)))
+        return rows
+
+    # -- Figures 9-12 ----------------------------------------------------------------
+
+    def average_cost_all(self, task: int, technique: str) -> float:
+        """Figure 9: mean items examined until all relevant tuples found."""
+        return mean(s.items_all for s in self.cell(task, technique))
+
+    def average_relevant_found(self, task: int, technique: str) -> float:
+        """Figure 10: mean relevant tuples found."""
+        return mean(float(s.relevant_found) for s in self.cell(task, technique))
+
+    def average_normalized_cost(self, task: int, technique: str) -> float:
+        """Figure 11: mean items-per-relevant-tuple (finite sessions)."""
+        return mean_finite(s.normalized_cost for s in self.cell(task, technique))
+
+    def average_cost_one(self, task: int, technique: str) -> float:
+        """Figure 12: mean items examined until the first relevant tuple."""
+        return mean(s.items_one for s in self.cell(task, technique))
+
+    def figure_series(self, metric: str) -> dict[str, list[float]]:
+        """A figure's bar series: technique → per-task averages.
+
+        ``metric`` is one of 'cost_all', 'relevant_found',
+        'normalized_cost', 'cost_one'.
+        """
+        accessor = {
+            "cost_all": self.average_cost_all,
+            "relevant_found": self.average_relevant_found,
+            "normalized_cost": self.average_normalized_cost,
+            "cost_one": self.average_cost_one,
+        }[metric]
+        return {
+            technique: [accessor(task, technique) for task in range(self.task_count)]
+            for technique in self.techniques()
+        }
+
+    # -- Table 3 ---------------------------------------------------------------------
+
+    def vs_no_categorization(self, primary: str = "cost-based") -> list[tuple[int, float, int]]:
+        """Table 3: (task, primary technique's normalized cost, |result set|).
+
+        The paper compares the cost-based per-relevant-tuple cost against
+        the result-set size, "which is the cost if no categorization is
+        used".
+        """
+        rows: list[tuple[int, float, int]] = []
+        for task in range(self.task_count):
+            sessions = self.cell(task, primary)
+            if not sessions:
+                continue
+            rows.append((
+                task + 1,
+                mean_finite(s.normalized_cost for s in sessions),
+                sessions[0].result_size,
+            ))
+        return rows
+
+    # -- Table 4 ----------------------------------------------------------------------
+
+    def survey(self) -> dict[str, int]:
+        """Table 4: votes for the technique that 'worked best' per subject.
+
+        A subject votes for the technique with the lowest average
+        normalized cost among those she tried; subjects who found nothing
+        relevant anywhere abstain ("did not respond").
+        """
+        votes = {technique: 0 for technique in self.techniques()}
+        votes["did-not-respond"] = 0
+        for user_id in self.user_ids:
+            best_technique, best_score = None, math.inf
+            by_technique: dict[str, list[float]] = {}
+            for session in self.for_user(user_id):
+                by_technique.setdefault(session.technique, []).append(
+                    session.normalized_cost
+                )
+            for technique, scores in by_technique.items():
+                score = mean_finite(scores)
+                if not math.isnan(score) and score < best_score:
+                    best_technique, best_score = technique, score
+            if best_technique is None:
+                votes["did-not-respond"] += 1
+            else:
+                votes[best_technique] += 1
+        return votes
+
+
+def run_user_study(
+    table: Table,
+    workload: Workload,
+    techniques: Sequence[TechniqueFactory],
+    config: CategorizerConfig = PAPER_CONFIG,
+    subject_count: int = 11,
+    seed: int = 23,
+    tasks: Sequence[SelectQuery] | None = None,
+) -> UserStudyResult:
+    """Run the simulated real-life study end to end.
+
+    Assignment scheme: subject ``u`` performs every task ``t`` with
+    technique ``(t + u) mod #techniques`` — a cyclic design guaranteeing
+    the paper's three constraints for any subject count >= 2·#techniques.
+    """
+    if not techniques:
+        raise ValueError("at least one technique is required")
+    statistics = preprocess_workload(workload, table.schema, config.separation_intervals)
+    categorizers = [factory(statistics, config) for factory in techniques]
+    cost_model = CostModel(ProbabilityEstimator(statistics), config)
+    task_queries = list(tasks if tasks is not None else paper_tasks(table.schema.name))
+
+    # Build each (task, technique) tree once; all subjects explore the same
+    # tree, exactly as in the paper's web interface.
+    trees: dict[tuple[int, str], CategoryTree] = {}
+    estimated: dict[tuple[int, str], float] = {}
+    result_sizes: dict[int, int] = {}
+    for task_index, task_query in enumerate(task_queries):
+        rows = task_query.execute(table)
+        result_sizes[task_index] = len(rows)
+        for categorizer in categorizers:
+            tree = categorizer.categorize(rows, task_query)
+            trees[(task_index, categorizer.name)] = tree
+            estimated[(task_index, categorizer.name)] = cost_model.tree_cost_all(tree)
+
+    rng = random.Random(seed)
+    result = UserStudyResult(task_count=len(task_queries))
+    technique_names = [c.name for c in categorizers]
+
+    for user_index in range(subject_count):
+        user_id = f"U{user_index + 1}"
+        result.user_ids.append(user_id)
+        behavior = UserBehavior(
+            sensitivity=rng.uniform(0.75, 0.98),
+            label_error=rng.uniform(0.02, 0.12),
+            recognition=rng.uniform(0.85, 1.0),
+            patience=rng.randint(1500, 4000),
+        )
+        for task_index in range(len(task_queries)):
+            technique = technique_names[(task_index + user_index) % len(technique_names)]
+            preference = derive_preference(
+                task_queries[task_index],
+                random.Random(f"{seed}|{user_index}|{task_index}"),
+                table_name=table.schema.name,
+            )
+            user = SimulatedUser(
+                user_id,
+                preference,
+                behavior=behavior,
+                seed=seed * 1000 + user_index * 10 + task_index,
+            )
+            tree = trees[(task_index, technique)]
+            session_all = user.explore_all(tree, label_cost=config.label_cost)
+            session_one = user.explore_one(tree, label_cost=config.label_cost)
+            result.records.append(
+                SessionRecord(
+                    user_id=user_id,
+                    task=task_index,
+                    technique=technique,
+                    estimated_cost=estimated[(task_index, technique)],
+                    items_all=session_all.items_examined,
+                    items_one=session_one.items_examined,
+                    relevant_found=session_all.relevant_found,
+                    relevant_total=user.relevant_in(tree),
+                    result_size=result_sizes[task_index],
+                    gave_up=session_all.exhausted_patience,
+                )
+            )
+    return result

@@ -1,0 +1,122 @@
+"""Query broadening for the simulated user study (Section 6.2).
+
+The simulated study treats a held-out workload query ``W`` as a *synthetic
+exploration* and derives the user query ``Qw`` (for which the tree is
+built) by broadening ``W`` so that the tree subsumes the exploration: "we
+broaden W by expanding the set of neighborhoods in W to all neighborhoods
+in the region ... and removing all other selection conditions".  The paper
+notes other broadening strategies gave similar results; two alternatives
+are provided for that ablation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Protocol
+
+from repro.data.geography import ALL_REGIONS, Region, region_of_neighborhood
+from repro.relational.expressions import (
+    Conjunction,
+    InPredicate,
+    Predicate,
+    RangePredicate,
+    TruePredicate,
+)
+from repro.relational.query import SelectQuery
+from repro.workload.model import WorkloadQuery
+
+
+class BroadeningStrategy(Protocol):
+    """A function deriving the user query Qw from a synthetic exploration W."""
+
+    def __call__(self, exploration: WorkloadQuery) -> WorkloadQuery: ...
+
+
+def broaden_to_region(exploration: WorkloadQuery) -> WorkloadQuery:
+    """The paper's strategy: expand neighborhoods to the region, drop the rest.
+
+    If ``W`` has no neighborhood condition, its first region-identifying
+    condition (city) is expanded instead; failing that, the broadened query
+    covers the most-weighted region — the tree must subsume the exploration
+    somehow, and an all-US tree would be a different experiment.
+    """
+    region = _region_of(exploration)
+    predicate = InPredicate("neighborhood", region.neighborhood_names())
+    query = SelectQuery(
+        table_name=exploration.query.table_name, predicate=predicate
+    )
+    return WorkloadQuery.from_query(query)
+
+
+def broaden_widen_price(exploration: WorkloadQuery) -> WorkloadQuery:
+    """Alternative: region-expand neighborhoods AND keep a 2x-widened price range.
+
+    Retains more of W's intent, producing smaller result sets — used in the
+    broadening-strategy ablation.
+    """
+    region = _region_of(exploration)
+    parts: list[Predicate] = [InPredicate("neighborhood", region.neighborhood_names())]
+    bounds = exploration.range_bounds("price")
+    if bounds is not None:
+        low, high = bounds
+        if math.isinf(high):
+            high = max(low * 3, 1_000_000.0)
+        if math.isinf(low) or low < 0:
+            low = 0.0
+        center, width = (low + high) / 2, (high - low)
+        widened_low = max(0.0, center - width)
+        widened_high = center + width
+        parts.append(RangePredicate("price", widened_low, widened_high))
+    query = SelectQuery(
+        table_name=exploration.query.table_name, predicate=Conjunction(parts)
+    )
+    return WorkloadQuery.from_query(query)
+
+
+def broaden_drop_all_but_location(exploration: WorkloadQuery) -> WorkloadQuery:
+    """Alternative: keep W's location conditions verbatim, drop everything else.
+
+    The narrowest broadening — the exploration drills straight through the
+    location level.  Used in the broadening-strategy ablation.
+    """
+    parts: list[Predicate] = []
+    for attribute in ("neighborhood", "city", "state"):
+        condition = exploration.conditions.get(attribute)
+        if condition is not None:
+            parts.append(condition)
+    predicate: Predicate = Conjunction(parts) if parts else TruePredicate()
+    if not parts:
+        return broaden_to_region(exploration)
+    query = SelectQuery(
+        table_name=exploration.query.table_name, predicate=predicate
+    )
+    return WorkloadQuery.from_query(query)
+
+
+#: Strategies by name, for benchmark parameterization.
+STRATEGIES: dict[str, Callable[[WorkloadQuery], WorkloadQuery]] = {
+    "region": broaden_to_region,
+    "widen-price": broaden_widen_price,
+    "location-only": broaden_drop_all_but_location,
+}
+
+
+def _region_of(exploration: WorkloadQuery) -> Region:
+    """Identify the region a workload query is searching in."""
+    hoods = exploration.in_values("neighborhood")
+    if hoods:
+        return region_of_neighborhood(next(iter(sorted(hoods))))
+    cities = exploration.in_values("city")
+    if cities:
+        wanted = set(cities)
+        for region in ALL_REGIONS:
+            if wanted & {c.name for c in region.cities}:
+                return region
+    states = exploration.in_values("state")
+    if states:
+        wanted = set(states)
+        for region in ALL_REGIONS:
+            if wanted & {c.state for c in region.cities}:
+                return region
+    # No location signal at all: fall back to the largest market.
+    return max(ALL_REGIONS, key=lambda r: sum(c.weight for c in r.cities))

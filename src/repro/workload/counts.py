@@ -1,0 +1,259 @@
+"""The paper's precomputed count tables (Figures 4a, 4b, 5b).
+
+Three structures are built once from the workload and consulted at query
+time, "eliminating the need to access the workload at query time"
+(Section 5.1.3):
+
+* :class:`AttributeUsageCounts` — Figure 4(a): ``NAttr(A)``, the number of
+  workload queries with a selection condition on attribute ``A``, plus the
+  total query count ``N``.  Drives attribute elimination (Section 5.1.1)
+  and the SHOWTUPLES probability ``Pw`` (Section 4.2).
+* :class:`OccurrenceCounts` — Figure 4(b), one per categorical attribute:
+  ``occ(v)``, the number of queries whose IN-clause on ``A`` contains value
+  ``v``.  Drives single-value category ordering (Section 5.1.2) and equals
+  ``NOverlap(C)`` for a single-value category.
+* :class:`SplitPointsTable` — Figure 5(b), one per numeric attribute:
+  per-gridpoint ``start_v`` / ``end_v`` counts and the goodness score
+  ``SUM(start_v, end_v)`` (Section 5.1.3).
+
+Additionally, :class:`RangeIndex` keeps the sorted range endpoints per
+numeric attribute so that ``NOverlap(C)`` for a range label — the number of
+query ranges intersecting a bucket — is an O(log n) computation rather than
+a workload rescan.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+
+class AttributeUsageCounts:
+    """``NAttr(A)`` per attribute and the workload size ``N`` (Figure 4a)."""
+
+    def __init__(self) -> None:
+        self._counts: Counter[str] = Counter()
+        self._total_queries = 0
+
+    def record_query(self, attributes: Iterable[str]) -> None:
+        """Record one query constraining the given attributes."""
+        self._total_queries += 1
+        for attribute in set(attributes):
+            self._counts[attribute] += 1
+
+    @property
+    def total_queries(self) -> int:
+        """``N``: the number of queries in the workload."""
+        return self._total_queries
+
+    def n_attr(self, attribute: str) -> int:
+        """``NAttr(A)``: queries with a selection condition on ``attribute``."""
+        return self._counts[attribute]
+
+    def usage_fraction(self, attribute: str) -> float:
+        """``NAttr(A) / N`` — the SHOWCAT probability ingredient.
+
+        Returns 0.0 for an empty workload (no evidence of interest).
+        """
+        if self._total_queries == 0:
+            return 0.0
+        return self._counts[attribute] / self._total_queries
+
+    def attributes(self) -> list[str]:
+        """All attributes seen in any selection condition, most-used first."""
+        return [name for name, _ in self._counts.most_common()]
+
+    def as_rows(self) -> list[tuple[str, int]]:
+        """Render as (attribute, NAttr) rows, most-used first — Figure 4(a)."""
+        return list(self._counts.most_common())
+
+
+class OccurrenceCounts:
+    """``occ(v)`` for one categorical attribute (Figure 4b).
+
+    The table is "indexed on the value to make the retrieval efficient" —
+    here a dict, which is exactly that index.
+    """
+
+    def __init__(self, attribute: str) -> None:
+        self.attribute = attribute
+        self._counts: Counter[Any] = Counter()
+
+    def record_values(self, values: Iterable[Any]) -> None:
+        """Record one query whose IN-clause on this attribute lists ``values``."""
+        for value in set(values):
+            self._counts[value] += 1
+
+    def occ(self, value: Any) -> int:
+        """``occ(v)``: queries whose IN-clause contains ``value``."""
+        return self._counts[value]
+
+    def order_by_occurrence(self, values: Iterable[Any]) -> list[Any]:
+        """Sort ``values`` by decreasing occ(v) (Section 5.1.2).
+
+        Ties are broken by value repr so orderings are deterministic.
+        """
+        return sorted(values, key=lambda v: (-self._counts[v], repr(v)))
+
+    def as_rows(self) -> list[tuple[Any, int]]:
+        """Render as (value, occ) rows, most-occurring first — Figure 4(b)."""
+        return sorted(self._counts.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+
+
+@dataclass(frozen=True)
+class SplitPointRow:
+    """One row of the SplitPoints table (Figure 5b)."""
+
+    splitpoint: float
+    start_count: int
+    end_count: int
+
+    @property
+    def goodness(self) -> int:
+        """``SUM(start_v, end_v)`` — the splitpoint goodness score."""
+        return self.start_count + self.end_count
+
+
+class SplitPointsTable:
+    """Per-gridpoint start/end counts for one numeric attribute (Figure 5b).
+
+    Query-range endpoints are snapped to a grid of the attribute's
+    *separation interval* (paper: 5000 for price, 100 for square footage,
+    5 for year built).  Infinite endpoints (one-sided conditions) do not
+    contribute start/end counts — a user with no upper bound expresses no
+    preference for any split.
+    """
+
+    def __init__(self, attribute: str, separation_interval: float) -> None:
+        if separation_interval <= 0:
+            raise ValueError(
+                f"separation interval for {attribute!r} must be positive, "
+                f"got {separation_interval}"
+            )
+        self.attribute = attribute
+        self.separation_interval = separation_interval
+        self._starts: Counter[float] = Counter()
+        self._ends: Counter[float] = Counter()
+
+    def snap(self, value: float) -> float:
+        """Snap a value to the nearest gridpoint."""
+        interval = self.separation_interval
+        return round(value / interval) * interval
+
+    def record_range(self, low: float, high: float) -> None:
+        """Record one query range ``low <= A <= high`` on this attribute."""
+        if not math.isinf(low):
+            self._starts[self.snap(low)] += 1
+        if not math.isinf(high):
+            self._ends[self.snap(high)] += 1
+
+    def start_count(self, splitpoint: float) -> int:
+        """``start_v``: query ranges starting at this gridpoint."""
+        return self._starts[splitpoint]
+
+    def end_count(self, splitpoint: float) -> int:
+        """``end_v``: query ranges ending at this gridpoint."""
+        return self._ends[splitpoint]
+
+    def goodness(self, splitpoint: float) -> int:
+        """``SUM(start_v, end_v)`` for this gridpoint."""
+        return self._starts[splitpoint] + self._ends[splitpoint]
+
+    def rows_in_range(self, vmin: float, vmax: float) -> list[SplitPointRow]:
+        """All non-zero gridpoints strictly inside ``(vmin, vmax)``.
+
+        Endpoints equal to vmin or vmax are excluded: splitting at the
+        boundary of the query range would create an empty bucket.
+        """
+        points = set(self._starts) | set(self._ends)
+        rows = [
+            SplitPointRow(p, self._starts[p], self._ends[p])
+            for p in points
+            if vmin < p < vmax
+        ]
+        rows.sort(key=lambda row: row.splitpoint)
+        return rows
+
+    def best_splitpoints(self, vmin: float, vmax: float) -> list[float]:
+        """Gridpoints in (vmin, vmax) by decreasing goodness (Section 5.1.3).
+
+        Ties broken by ascending value for determinism.  The partitioner
+        walks this list, skipping "unnecessary" points, until it has
+        selected m−1 of them.
+        """
+        rows = self.rows_in_range(vmin, vmax)
+        rows.sort(key=lambda row: (-row.goodness, row.splitpoint))
+        return [row.splitpoint for row in rows]
+
+    def grid_points(self, vmin: float, vmax: float) -> list[float]:
+        """All gridpoints strictly inside (vmin, vmax), whether or not used.
+
+        The equi-width fallback and the No-Cost baseline need the raw grid.
+        """
+        interval = self.separation_interval
+        first = math.floor(vmin / interval) * interval + interval
+        points: list[float] = []
+        point = first
+        while point < vmax:
+            if point > vmin:
+                points.append(point)
+            point += interval
+        return points
+
+
+class RangeIndex:
+    """Sorted endpoint index over all query ranges on one numeric attribute.
+
+    Supports ``NOverlap`` for a bucket label ``a1 <= A < a2`` in O(log n):
+    the number of recorded ranges [low, high] intersecting [a1, a2) equals
+    ``total − #{high < a1} − #{low >= a2}``.
+    """
+
+    def __init__(self, attribute: str) -> None:
+        self.attribute = attribute
+        self._lows: list[float] = []
+        self._highs: list[float] = []
+        self._finalized = False
+
+    def record_range(self, low: float, high: float) -> None:
+        """Record one (inclusive) query range.
+
+        Appending after queries have been counted is allowed — the index
+        marks itself dirty and re-sorts lazily on the next count — so live
+        systems can stream new log entries into existing statistics.
+        """
+        self._lows.append(low)
+        self._highs.append(high)
+        self._finalized = False
+
+    def finalize(self) -> None:
+        """Sort the endpoint lists; called lazily before counting."""
+        self._lows.sort()
+        self._highs.sort()
+        self._finalized = True
+
+    @property
+    def total_ranges(self) -> int:
+        """Number of recorded ranges (== NAttr of the attribute, range part)."""
+        return len(self._lows)
+
+    def count_overlapping(self, low: float, high: float, high_inclusive: bool = False) -> int:
+        """Count recorded ranges intersecting ``[low, high)`` (or ``[low, high]``).
+
+        Category labels are half-open (``a1 <= A < a2``); pass
+        ``high_inclusive=True`` to test against a closed interval instead.
+        """
+        if not self._finalized:
+            self.finalize()
+        total = len(self._lows)
+        # Ranges entirely below the bucket: high < low.
+        below = bisect.bisect_left(self._highs, low)
+        # Ranges entirely above: low > high (closed) or low >= high (half-open).
+        if high_inclusive:
+            above = total - bisect.bisect_right(self._lows, high)
+        else:
+            above = total - bisect.bisect_left(self._lows, high)
+        return total - below - above

@@ -1,0 +1,107 @@
+"""Workload collections: load, save, split.
+
+A :class:`Workload` is an ordered collection of :class:`WorkloadQuery`
+entries with the file round-trip (one SQL string per line, ``--`` comments
+allowed) and the subset/holdout machinery the cross-validated study needs
+(Section 6.2: "we remove those queries from the workload and build the
+count tables based on the remaining workload").
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.workload.model import WorkloadQuery
+
+
+class Workload:
+    """An ordered, immutable collection of logged queries."""
+
+    def __init__(self, queries: Iterable[WorkloadQuery]) -> None:
+        self._queries: tuple[WorkloadQuery, ...] = tuple(queries)
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __iter__(self) -> Iterator[WorkloadQuery]:
+        return iter(self._queries)
+
+    def __getitem__(self, index: int) -> WorkloadQuery:
+        return self._queries[index]
+
+    @classmethod
+    def from_sql_strings(cls, statements: Iterable[str]) -> "Workload":
+        """Parse an iterable of SQL strings; blank lines are skipped.
+
+        Raises:
+            ValueError: identifying the offending statement index, when a
+                string fails to parse or normalize.
+        """
+        queries: list[WorkloadQuery] = []
+        for index, sql in enumerate(statements):
+            stripped = sql.strip()
+            if not stripped or stripped.startswith("--"):
+                continue
+            try:
+                queries.append(WorkloadQuery.from_sql(stripped))
+            except ValueError as exc:
+                raise ValueError(f"workload entry {index}: {exc}") from exc
+        return cls(queries)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Workload":
+        """Load a workload file: one SQL statement per line."""
+        with Path(path).open("r", encoding="utf-8") as handle:
+            return cls.from_sql_strings(handle)
+
+    def save(self, path: str | Path) -> None:
+        """Write the workload as one SQL statement per line."""
+        with Path(path).open("w", encoding="utf-8") as handle:
+            for query in self._queries:
+                handle.write(query.to_sql() + "\n")
+
+    def without(self, held_out: Sequence[WorkloadQuery]) -> "Workload":
+        """Return a workload excluding the given queries (by identity).
+
+        Identity (not equality) is intentional: real logs contain duplicate
+        query strings, and holding out one user's query must not delete
+        every identical query from the statistics basis.
+        """
+        excluded = {id(query) for query in held_out}
+        return Workload(q for q in self._queries if id(q) not in excluded)
+
+    def sample(self, count: int, seed: int = 0) -> list[WorkloadQuery]:
+        """Draw ``count`` queries without replacement, deterministically."""
+        if count > len(self._queries):
+            raise ValueError(
+                f"cannot sample {count} queries from a workload of {len(self)}"
+            )
+        rng = random.Random(seed)
+        return rng.sample(list(self._queries), count)
+
+    def disjoint_subsets(
+        self, subset_count: int, subset_size: int, seed: int = 0
+    ) -> list[list[WorkloadQuery]]:
+        """Partition a random draw into disjoint subsets (Section 6.2).
+
+        The simulated study uses "8 mutually disjoint subsets of 100
+        synthetic explorations each".
+
+        Raises:
+            ValueError: if the workload is too small for the requested draw.
+        """
+        total = subset_count * subset_size
+        drawn = self.sample(total, seed=seed)
+        return [
+            drawn[i * subset_size : (i + 1) * subset_size]
+            for i in range(subset_count)
+        ]
+
+    def filter(self, predicate) -> "Workload":
+        """Return the sub-workload of queries for which ``predicate(q)`` holds."""
+        return Workload(q for q in self._queries if predicate(q))
+
+    def __repr__(self) -> str:
+        return f"Workload(queries={len(self)})"

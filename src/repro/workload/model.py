@@ -1,0 +1,82 @@
+"""Workload query model.
+
+A workload is "the log of SQL query strings" users have issued in the past
+(Section 4.2).  Each entry, once parsed and normalized, is a set of
+per-attribute selection conditions — that is the only information the
+probability estimator reads.  :class:`WorkloadQuery` wraps a normalized
+:class:`~repro.relational.query.SelectQuery` and exposes exactly that view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.relational.expressions import InPredicate, Predicate, RangePredicate
+from repro.relational.query import SelectQuery
+from repro.sql.compiler import parse_query
+from repro.sql.formatter import format_query
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One logged query, normalized to per-attribute conditions.
+
+    Attributes:
+        query: the underlying (normalized) select query.
+        conditions: mapping from attribute name to its canonical In/Range
+            predicate — the representation Sections 4.2 and 5.1 operate on.
+    """
+
+    query: SelectQuery
+    conditions: dict[str, Predicate]
+
+    @classmethod
+    def from_query(cls, query: SelectQuery) -> "WorkloadQuery":
+        """Build from a SelectQuery, normalizing its predicate.
+
+        Raises:
+            ValueError: if the predicate cannot be normalized (contradictory
+                or mixed-kind conditions) — such log entries should be
+                rejected loudly rather than silently skewing the counts.
+        """
+        normalized = query.normalized()
+        return cls(query=normalized, conditions=normalized.conditions())
+
+    @classmethod
+    def from_sql(cls, sql: str) -> "WorkloadQuery":
+        """Parse one logged SQL string into a workload query."""
+        return cls.from_query(parse_query(sql))
+
+    def to_sql(self) -> str:
+        """Serialize back to a SQL string (the log's storage format)."""
+        return format_query(self.query)
+
+    @property
+    def attributes(self) -> frozenset[str]:
+        """Attributes this query has a selection condition on.
+
+        Presence of an attribute here is what increments ``NAttr(A)``.
+        """
+        return frozenset(self.conditions)
+
+    def constrains(self, attribute: str) -> bool:
+        """True if the query has a selection condition on ``attribute``."""
+        return attribute in self.conditions
+
+    def in_values(self, attribute: str) -> frozenset[Any] | None:
+        """The IN-set on ``attribute``, or None if not an IN condition."""
+        condition = self.conditions.get(attribute)
+        if isinstance(condition, InPredicate):
+            return condition.values
+        return None
+
+    def range_bounds(self, attribute: str) -> tuple[float, float] | None:
+        """The (low, high) range on ``attribute``, or None if not a range."""
+        condition = self.conditions.get(attribute)
+        if isinstance(condition, RangePredicate):
+            return condition.low, condition.high
+        return None
+
+    def __str__(self) -> str:
+        return self.to_sql()

@@ -1,0 +1,90 @@
+"""Personalized workload statistics (the paper's footnote 4).
+
+"We can get some of this knowledge by observing past behavior of this
+particular user (known as 'personalization').  We do not pursue that
+direction in this paper."  This module pursues it: a user's own query
+history is blended into the global workload before preprocessing, so the
+probabilities ``P(C)`` / ``Pw(C)`` — and therefore the generated tree —
+tilt toward that user's demonstrated interests.
+
+The blend is a weighted union: each personal query counts as
+``personal_weight`` global queries.  Because every count table (NAttr,
+occ, splitpoints, range index) is additive over queries, replicating the
+personal queries reproduces exact fractional weighting whenever
+``personal_weight`` is an integer, with no changes to the count-table
+machinery.
+"""
+
+from __future__ import annotations
+
+from repro.relational.schema import TableSchema
+from repro.workload.log import Workload
+from repro.workload.model import WorkloadQuery
+from repro.workload.preprocess import WorkloadStatistics, preprocess_workload
+
+
+def blend_workloads(
+    global_workload: Workload,
+    personal_history: Workload,
+    personal_weight: int = 1,
+) -> Workload:
+    """Union the global log with a user's history at integer weight.
+
+    ``personal_weight`` expresses how many anonymous users one personal
+    query should outweigh; the useful range depends on the global log's
+    size (a weight of N/|history|·α gives the history an α share of every
+    count).
+
+    Raises:
+        ValueError: for non-positive weights.
+    """
+    if personal_weight < 1:
+        raise ValueError(f"personal_weight must be >= 1, got {personal_weight}")
+    queries: list[WorkloadQuery] = list(global_workload)
+    for query in personal_history:
+        queries.extend([query] * personal_weight)
+    return Workload(queries)
+
+
+def personal_share(
+    global_workload: Workload, personal_history: Workload, personal_weight: int
+) -> float:
+    """Fraction of the blended workload contributed by the user's history."""
+    personal = len(personal_history) * personal_weight
+    total = len(global_workload) + personal
+    if total == 0:
+        return 0.0
+    return personal / total
+
+
+def personalized_statistics(
+    global_workload: Workload,
+    personal_history: Workload,
+    schema: TableSchema,
+    separation_intervals=None,
+    personal_weight: int = 1,
+) -> WorkloadStatistics:
+    """Build count tables from the blended workload in one call.
+
+    A convenience wrapper over :func:`blend_workloads` +
+    :func:`repro.workload.preprocess.preprocess_workload`.
+    """
+    blended = blend_workloads(global_workload, personal_history, personal_weight)
+    return preprocess_workload(blended, schema, separation_intervals)
+
+
+def weight_for_share(
+    global_workload: Workload, personal_history: Workload, share: float
+) -> int:
+    """Smallest integer weight giving the history at least ``share`` of counts.
+
+    Raises:
+        ValueError: if the history is empty or the share is not in (0, 1).
+    """
+    if not 0.0 < share < 1.0:
+        raise ValueError(f"share must be in (0, 1), got {share}")
+    if len(personal_history) == 0:
+        raise ValueError("personal history is empty")
+    # share <= h*w / (g + h*w)  <=>  w >= share*g / (h*(1-share))
+    needed = share * len(global_workload) / (len(personal_history) * (1.0 - share))
+    return max(1, int(needed) + (0 if needed == int(needed) else 1))

@@ -1,0 +1,54 @@
+"""Shared fixtures: a small synthetic dataset, workload, and count tables.
+
+Session-scoped because generation and preprocessing dominate test runtime;
+every fixture is deterministic (fixed seeds), so sharing cannot leak state
+between tests — tables and statistics are treated as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PAPER_CONFIG
+from repro.data.homes import generate_homes
+from repro.workload.generator import WorkloadGeneratorConfig, generate_workload
+from repro.workload.preprocess import preprocess_workload
+
+
+@pytest.fixture(scope="session")
+def homes_table():
+    """A 4000-row synthetic ListProperty table (seed 7)."""
+    return generate_homes(rows=4_000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def workload():
+    """A 3000-query synthetic workload (seed 41)."""
+    return generate_workload(WorkloadGeneratorConfig(query_count=3_000, seed=41))
+
+
+@pytest.fixture(scope="session")
+def statistics(homes_table, workload):
+    """Count tables built from the shared workload for the shared schema."""
+    return preprocess_workload(
+        workload, homes_table.schema, PAPER_CONFIG.separation_intervals
+    )
+
+
+@pytest.fixture(scope="session")
+def seattle_query():
+    """A broad Seattle/Bellevue query whose result is worth categorizing."""
+    from repro.data.geography import SEATTLE_BELLEVUE
+    from repro.relational.expressions import InPredicate
+    from repro.relational.query import SelectQuery
+
+    return SelectQuery(
+        "ListProperty",
+        InPredicate("neighborhood", SEATTLE_BELLEVUE.neighborhood_names()),
+    )
+
+
+@pytest.fixture(scope="session")
+def seattle_rows(homes_table, seattle_query):
+    """The result set of the Seattle query over the shared table."""
+    return seattle_query.execute(homes_table)

@@ -1,0 +1,72 @@
+"""Tests for CategorizerConfig validation and defaults."""
+
+import pytest
+
+from repro.core.config import (
+    CategorizerConfig,
+    LIST_PROPERTY_SEPARATION_INTERVALS,
+    PAPER_CONFIG,
+    PAPER_RETAINED_ATTRIBUTES,
+)
+
+
+class TestDefaults:
+    def test_paper_values(self):
+        assert PAPER_CONFIG.max_tuples_per_category == 20
+        assert PAPER_CONFIG.elimination_threshold == 0.4
+        assert PAPER_CONFIG.label_cost == 1.0
+
+    def test_paper_separation_intervals(self):
+        assert LIST_PROPERTY_SEPARATION_INTERVALS["price"] == 5_000
+        assert LIST_PROPERTY_SEPARATION_INTERVALS["squarefootage"] == 100
+        assert LIST_PROPERTY_SEPARATION_INTERVALS["yearbuilt"] == 5
+
+    def test_paper_retained_attributes_are_six(self):
+        assert len(PAPER_RETAINED_ATTRIBUTES) == 6
+
+    def test_separation_interval_fallback(self):
+        assert CategorizerConfig().separation_interval("mystery") == 1.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("max_tuples_per_category", 0),
+            ("label_cost", 0.0),
+            ("label_cost", -1.0),
+            ("elimination_threshold", 1.5),
+            ("elimination_threshold", -0.1),
+            ("bucket_count", 1),
+            ("frac", 1.5),
+            ("min_bucket_tuples", 0),
+            ("max_levels", 0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            CategorizerConfig(**{field: value})
+
+    def test_boundary_values_accepted(self):
+        CategorizerConfig(
+            max_tuples_per_category=1,
+            elimination_threshold=0.0,
+            bucket_count=2,
+            frac=0.0,
+        )
+        CategorizerConfig(elimination_threshold=1.0, frac=1.0)
+
+
+class TestOverrides:
+    def test_with_overrides_copies(self):
+        tweaked = PAPER_CONFIG.with_overrides(max_tuples_per_category=50)
+        assert tweaked.max_tuples_per_category == 50
+        assert PAPER_CONFIG.max_tuples_per_category == 20
+
+    def test_overrides_validated(self):
+        with pytest.raises(ValueError):
+            PAPER_CONFIG.with_overrides(label_cost=-1)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PAPER_CONFIG.label_cost = 2.0  # type: ignore[misc]

@@ -1,0 +1,157 @@
+"""Tests for correlation-aware probability estimation (Section 5.2)."""
+
+import pytest
+
+from repro.core.correlation import CorrelationAwareEstimator, JointWorkloadIndex
+from repro.core.labels import CategoricalLabel, NumericLabel
+from repro.core.tree import CategoryNode
+from repro.data.homes import list_property_schema
+from repro.relational.table import Table
+from repro.workload.log import Workload
+from repro.workload.preprocess import preprocess_workload
+
+
+@pytest.fixture
+def correlated_workload():
+    """Bellevue buyers want expensive homes; Bronx buyers want cheap ones."""
+    statements = (
+        [
+            "SELECT * FROM ListProperty WHERE neighborhood IN ('Bellevue, WA') "
+            "AND price BETWEEN 600000 AND 900000"
+        ]
+        * 10
+        + [
+            "SELECT * FROM ListProperty WHERE neighborhood IN ('Bronx, NY') "
+            "AND price BETWEEN 100000 AND 250000"
+        ]
+        * 10
+        + ["SELECT * FROM ListProperty WHERE bedroomcount BETWEEN 3 AND 4"] * 4
+    )
+    return Workload.from_sql_strings(statements)
+
+
+@pytest.fixture
+def estimator(correlated_workload):
+    stats = preprocess_workload(
+        correlated_workload, list_property_schema(), {"price": 5_000}
+    )
+    return CorrelationAwareEstimator(
+        stats, correlated_workload, min_support=5
+    )
+
+
+def tree_with_neighborhood(name: str) -> CategoryNode:
+    """ALL -> neighborhood:name, returning the child node."""
+    table = Table(list_property_schema())
+    table.insert({"neighborhood": name, "price": 700_000})
+    root = CategoryNode(table.all_rows())
+    (child,) = root.add_children(
+        "neighborhood", [(CategoricalLabel("neighborhood", (name,)), table.all_rows())]
+    )
+    return child
+
+
+class TestJointIndex:
+    def test_all_indices(self, correlated_workload):
+        index = JointWorkloadIndex(correlated_workload)
+        assert len(index.all_indices()) == 24
+
+    def test_compatible_includes_unconstrained(self, correlated_workload):
+        index = JointWorkloadIndex(correlated_workload)
+        label = CategoricalLabel("neighborhood", ("Bellevue, WA",))
+        compatible = index.compatible(index.all_indices(), label)
+        # 10 Bellevue queries + 4 with no neighborhood condition.
+        assert len(compatible) == 14
+
+    def test_constraining(self, correlated_workload):
+        index = JointWorkloadIndex(correlated_workload)
+        constraining = index.constraining(index.all_indices(), "price")
+        assert len(constraining) == 20
+
+
+class TestConditionalProbabilities:
+    def test_conditioning_changes_price_probability(self, estimator):
+        bellevue = tree_with_neighborhood("Bellevue, WA")
+        bronx = tree_with_neighborhood("Bronx, NY")
+        expensive = NumericLabel("price", 600_000, 900_000, high_inclusive=True)
+        p_given_bellevue = estimator.exploration_probability_of_label(
+            expensive, context=bellevue
+        )
+        p_given_bronx = estimator.exploration_probability_of_label(
+            expensive, context=bronx
+        )
+        assert p_given_bellevue == pytest.approx(1.0)
+        assert p_given_bronx == pytest.approx(0.0)
+
+    def test_marginal_sits_between_conditionals(self, estimator):
+        expensive = NumericLabel("price", 600_000, 900_000, high_inclusive=True)
+        marginal = estimator.exploration_probability_of_label(expensive)
+        assert 0.0 < marginal < 1.0
+
+    def test_falls_back_below_min_support(self, correlated_workload):
+        stats = preprocess_workload(
+            correlated_workload, list_property_schema(), {"price": 5_000}
+        )
+        strict = CorrelationAwareEstimator(
+            stats, correlated_workload, min_support=1_000
+        )
+        bellevue = tree_with_neighborhood("Bellevue, WA")
+        label = NumericLabel("price", 600_000, 900_000, high_inclusive=True)
+        conditional = strict.exploration_probability_of_label(label, context=bellevue)
+        marginal = strict.exploration_probability_of_label(label)
+        assert conditional == pytest.approx(marginal)
+
+    def test_root_context_equals_marginal_population(self, estimator):
+        # Conditioning on the root (no labels) uses the whole workload, so
+        # the conditional equals the marginal by construction.
+        table = Table(list_property_schema())
+        table.insert({"neighborhood": "Bellevue, WA", "price": 700_000})
+        root = CategoryNode(table.all_rows())
+        label = NumericLabel("price", 600_000, 900_000, high_inclusive=True)
+        assert estimator.exploration_probability_of_label(
+            label, context=root
+        ) == pytest.approx(estimator.exploration_probability_of_label(label))
+
+    def test_invalid_min_support_rejected(self, correlated_workload):
+        stats = preprocess_workload(
+            correlated_workload, list_property_schema(), {"price": 5_000}
+        )
+        with pytest.raises(ValueError):
+            CorrelationAwareEstimator(stats, correlated_workload, min_support=0)
+
+
+class TestConditionalShowtuples:
+    def test_pw_conditioned_on_path(self, estimator):
+        # Among Bellevue-compatible queries (10 Bellevue + 4 bedroom-only),
+        # 10 constrain price -> Pw = 1 - 10/14.
+        bellevue = tree_with_neighborhood("Bellevue, WA")
+        pw = estimator.showtuples_probability_for("price", context=bellevue)
+        assert pw == pytest.approx(1.0 - 10 / 14)
+
+    def test_leaf_still_one(self, estimator):
+        leaf = tree_with_neighborhood("Bellevue, WA")
+        assert estimator.showtuples_probability(leaf) == 1.0
+
+
+class TestIntegrationWithCategorizer:
+    def test_tree_builds_and_validates(self, homes_table, workload, statistics):
+        from repro.core.algorithm import CostBasedCategorizer
+        from repro.core.config import PAPER_CONFIG
+        from repro.data.geography import SEATTLE_BELLEVUE
+        from repro.relational.expressions import InPredicate
+        from repro.relational.query import SelectQuery
+
+        estimator = CorrelationAwareEstimator(statistics, workload, min_support=25)
+        categorizer = CostBasedCategorizer(
+            statistics, PAPER_CONFIG, estimator=estimator
+        )
+        query = SelectQuery(
+            "ListProperty",
+            InPredicate(
+                "neighborhood", SEATTLE_BELLEVUE.neighborhood_names()[:6]
+            ),
+        )
+        rows = query.execute(homes_table)
+        tree = categorizer.categorize(rows, query)
+        tree.validate()
+        assert tree.depth() >= 1

@@ -1,0 +1,155 @@
+"""Tests for the cost models: Equations (1) and (2) on hand-computed trees."""
+
+import pytest
+
+from repro.core.config import CategorizerConfig
+from repro.core.cost import CostModel
+from repro.core.labels import CategoricalLabel
+from repro.core.tree import CategoryNode, CategoryTree
+from repro.relational.schema import Attribute, TableSchema
+from repro.relational.table import Table
+from repro.relational.types import DataType
+
+
+class StubEstimator:
+    """Fixed probabilities keyed by node display name."""
+
+    def __init__(self, p, pw):
+        self._p = p
+        self._pw = pw
+
+    def showtuples_probability(self, node):
+        if node.is_leaf:
+            return 1.0
+        return self._pw[node.display()]
+
+    def showtuples_probability_for(self, attribute, context=None):
+        return self._pw[attribute]
+
+    def exploration_probability(self, node):
+        if node.label is None:
+            return 1.0
+        return self._p[node.display()]
+
+
+def build_two_level_tree(sizes=(10, 30)):
+    """ALL(40) -> x: a (10), x: b (30)."""
+    schema = TableSchema("T", (Attribute("x", DataType.TEXT),))
+    table = Table(schema)
+    for value, count in zip("ab", sizes):
+        for _ in range(count):
+            table.insert({"x": value})
+    root = CategoryNode(table.all_rows())
+    parts = table.all_rows().partition_by(lambda r: r["x"])
+    root.add_children(
+        "x",
+        [
+            (CategoricalLabel("x", ("a",)), parts["a"]),
+            (CategoricalLabel("x", ("b",)), parts["b"]),
+        ],
+    )
+    return CategoryTree(root, technique="test")
+
+
+@pytest.fixture
+def tree():
+    return build_two_level_tree()
+
+
+@pytest.fixture
+def model(tree):
+    estimator = StubEstimator(
+        p={"x: a": 0.5, "x: b": 0.25},
+        pw={"ALL": 0.3, "x": 0.3},
+    )
+    return CostModel(estimator, CategorizerConfig(label_cost=1.0, frac=0.5))
+
+
+class TestCostAll:
+    def test_leaf_cost_is_tuple_count(self, tree, model):
+        leaf = tree.root.children[0]
+        assert model.cost_all(leaf) == 10.0
+
+    def test_equation_one_by_hand(self, tree, model):
+        # CostAll(root) = 0.3*40 + 0.7*(1*2 + 0.5*10 + 0.25*30)
+        #               = 12 + 0.7*14.5 = 22.15
+        assert model.cost_all(tree.root) == pytest.approx(22.15)
+
+    def test_tree_cost_all_is_root(self, tree, model):
+        assert model.tree_cost_all(tree) == model.cost_all(tree.root)
+
+    def test_label_cost_scales_k_term(self, tree):
+        estimator = StubEstimator(
+            p={"x: a": 0.5, "x: b": 0.25}, pw={"ALL": 0.3, "x": 0.3}
+        )
+        model_k2 = CostModel(estimator, CategorizerConfig(label_cost=2.0))
+        # K term grows from 2 to 4: cost = 12 + 0.7*16.5 = 23.55
+        assert model_k2.cost_all(tree.root) == pytest.approx(23.55)
+
+    def test_pure_showtuples_degenerates(self, tree):
+        estimator = StubEstimator(p={"x: a": 1, "x: b": 1}, pw={"ALL": 1.0})
+        model = CostModel(estimator, CategorizerConfig())
+        assert model.cost_all(tree.root) == 40.0
+
+
+class TestCostOne:
+    def test_leaf_cost_uses_frac(self, tree, model):
+        leaf = tree.root.children[1]
+        assert model.cost_one(leaf) == pytest.approx(0.5 * 30)
+
+    def test_equation_two_by_hand(self, tree, model):
+        # SHOWCAT term:
+        #   i=1: P(a)*(K*1 + 0.5*10)      = 0.5 * 6        = 3.0
+        #   i=2: (1-0.5)*P(b)*(K*2 + 15)  = 0.5*0.25*17    = 2.125
+        # CostOne = 0.3*0.5*40 + 0.7*(3.0 + 2.125) = 6 + 3.5875 = 9.5875
+        assert model.cost_one(tree.root) == pytest.approx(9.5875)
+
+    def test_tree_cost_one_is_root(self, tree, model):
+        assert model.tree_cost_one(tree) == model.cost_one(tree.root)
+
+    def test_order_matters_for_cost_one(self):
+        # Same categories, swapped presentation order => different CostOne.
+        tree_fwd = build_two_level_tree()
+        tree_rev = build_two_level_tree()
+        tree_rev.root.children.reverse()
+        estimator = StubEstimator(
+            p={"x: a": 0.9, "x: b": 0.1}, pw={"ALL": 0.0, "x": 0.0}
+        )
+        model = CostModel(estimator, CategorizerConfig())
+        assert model.cost_one(tree_fwd.root) < model.cost_one(tree_rev.root)
+
+    def test_order_does_not_matter_for_cost_all(self):
+        tree_fwd = build_two_level_tree()
+        tree_rev = build_two_level_tree()
+        tree_rev.root.children.reverse()
+        estimator = StubEstimator(
+            p={"x: a": 0.9, "x: b": 0.1}, pw={"ALL": 0.0, "x": 0.0}
+        )
+        model = CostModel(estimator, CategorizerConfig())
+        assert model.cost_all(tree_fwd.root) == pytest.approx(
+            model.cost_all(tree_rev.root)
+        )
+
+
+class TestOneLevelCost:
+    def test_matches_full_equation(self, tree, model):
+        direct = model.one_level_cost_all(40, "x", [(0.5, 10), (0.25, 30)])
+        assert direct == pytest.approx(model.cost_all(tree.root))
+
+
+class TestAnnotate:
+    def test_annotations_match_direct_computation(self, tree, model):
+        annotations = model.annotate(tree)
+        assert annotations[id(tree.root)].cost_all == pytest.approx(
+            model.cost_all(tree.root)
+        )
+        assert annotations[id(tree.root)].cost_one == pytest.approx(
+            model.cost_one(tree.root)
+        )
+        leaf = tree.root.children[0]
+        assert annotations[id(leaf)].showtuples_probability == 1.0
+        assert annotations[id(leaf)].cost_all == 10.0
+
+    def test_every_node_annotated(self, tree, model):
+        annotations = model.annotate(tree)
+        assert len(annotations) == 3

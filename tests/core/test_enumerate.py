@@ -1,0 +1,158 @@
+"""Tests for the exhaustive categorization search and fixed-order builder."""
+
+import pytest
+
+from repro.core.algorithm import CostBasedCategorizer
+from repro.core.config import CategorizerConfig
+from repro.core.cost import CostModel
+from repro.core.enumerate import (
+    FixedOrderCategorizer,
+    _count_orders,
+    enumerate_optimal_tree,
+)
+from repro.core.probability import ProbabilityEstimator
+from repro.relational.query import SelectQuery
+from repro.relational.schema import Attribute, TableSchema
+from repro.relational.table import Table
+from repro.relational.types import AttributeKind, DataType
+from repro.workload.log import Workload
+from repro.workload.preprocess import preprocess_workload
+
+
+SCHEMA = TableSchema(
+    "T",
+    (
+        Attribute("color", DataType.TEXT, AttributeKind.CATEGORICAL),
+        Attribute("size", DataType.INT, AttributeKind.NUMERIC),
+        Attribute("shape", DataType.TEXT, AttributeKind.CATEGORICAL),
+    ),
+)
+
+CONFIG = CategorizerConfig(
+    max_tuples_per_category=4,
+    elimination_threshold=0.0,
+    bucket_count=3,
+    separation_intervals={"size": 10.0},
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    import random
+
+    rng = random.Random(3)
+    table = Table(SCHEMA)
+    for _ in range(80):
+        table.insert(
+            {
+                "color": rng.choice(["red", "green", "blue"]),
+                "size": rng.randrange(0, 100),
+                "shape": rng.choice(["round", "square"]),
+            }
+        )
+    statements = []
+    for _ in range(40):
+        parts = []
+        if rng.random() < 0.8:
+            parts.append(f"color IN ('{rng.choice(['red', 'green', 'blue'])}')")
+        if rng.random() < 0.6:
+            low = rng.randrange(0, 60, 10)
+            parts.append(f"size BETWEEN {low} AND {low + 30}")
+        if rng.random() < 0.3:
+            parts.append(f"shape IN ('{rng.choice(['round', 'square'])}')")
+        if not parts:
+            parts.append("size BETWEEN 0 AND 50")
+        statements.append("SELECT * FROM T WHERE " + " AND ".join(parts))
+    workload = Workload.from_sql_strings(statements)
+    stats = preprocess_workload(workload, SCHEMA, {"size": 10.0})
+    return table, stats
+
+
+class TestFixedOrder:
+    def test_respects_prescribed_order(self, setup):
+        table, stats = setup
+        tree = FixedOrderCategorizer(stats, ("size", "color"), CONFIG).categorize(
+            table.all_rows(), SelectQuery("T")
+        )
+        tree.validate()
+        used = tree.level_attributes()
+        assert used == ["size", "color"][: len(used)]
+
+    def test_stops_when_head_cannot_refine(self, setup):
+        table, stats = setup
+        # A constant attribute cannot refine; the fixed order must stop
+        # rather than skip ahead.
+        single = table.select(
+            __import__("repro.relational.expressions", fromlist=["InPredicate"])
+            .InPredicate("shape", ["round"])
+        )
+        tree = FixedOrderCategorizer(stats, ("shape", "color"), CONFIG).categorize(
+            single, SelectQuery("T")
+        )
+        assert tree.root.is_leaf or tree.level_attributes()[0] == "shape"
+
+
+class TestEnumeration:
+    def test_count_orders(self):
+        # 3 attributes: 3 + 6 + 6 = 15 orders.
+        assert _count_orders(3) == 15
+        assert _count_orders(0) == 0
+
+    def test_enumerates_all_orders(self, setup):
+        table, stats = setup
+        result = enumerate_optimal_tree(
+            table.all_rows(), SelectQuery("T"), stats, CONFIG
+        )
+        assert result.trees_evaluated == 15
+        assert set(result.costs_by_order) == {
+            order for order in result.costs_by_order
+        }
+
+    def test_best_is_minimum(self, setup):
+        table, stats = setup
+        result = enumerate_optimal_tree(
+            table.all_rows(), SelectQuery("T"), stats, CONFIG
+        )
+        assert result.best_cost == pytest.approx(min(result.costs_by_order.values()))
+        assert result.costs_by_order[result.best_order] == pytest.approx(
+            result.best_cost
+        )
+
+    def test_best_tree_matches_reported_cost(self, setup):
+        table, stats = setup
+        result = enumerate_optimal_tree(
+            table.all_rows(), SelectQuery("T"), stats, CONFIG
+        )
+        model = CostModel(ProbabilityEstimator(stats), CONFIG)
+        assert model.tree_cost_all(result.best_tree) == pytest.approx(
+            result.best_cost
+        )
+
+    def test_greedy_is_near_optimal(self, setup):
+        """The Figure 6 greedy algorithm should land close to the optimum."""
+        table, stats = setup
+        result = enumerate_optimal_tree(
+            table.all_rows(), SelectQuery("T"), stats, CONFIG
+        )
+        greedy = CostBasedCategorizer(stats, CONFIG).categorize(
+            table.all_rows(), SelectQuery("T")
+        )
+        model = CostModel(ProbabilityEstimator(stats), CONFIG)
+        greedy_cost = model.tree_cost_all(greedy)
+        assert greedy_cost <= result.best_cost * 1.25
+
+    def test_max_orders_guardrail(self, setup):
+        table, stats = setup
+        with pytest.raises(ValueError, match="max_orders"):
+            enumerate_optimal_tree(
+                table.all_rows(), SelectQuery("T"), stats, CONFIG, max_orders=5
+            )
+
+    def test_no_candidates_degenerates_to_root(self, setup):
+        table, stats = setup
+        strict = CONFIG.with_overrides(elimination_threshold=1.0)
+        result = enumerate_optimal_tree(
+            table.all_rows(), SelectQuery("T"), stats, strict
+        )
+        assert result.trees_evaluated == 0
+        assert result.best_tree.root.is_leaf

@@ -1,0 +1,108 @@
+"""Tests for the categorization explainer."""
+
+import math
+
+import pytest
+
+from repro.core.algorithm import CostBasedCategorizer
+from repro.core.config import PAPER_CONFIG
+from repro.core.explain import (
+    ExplainingCategorizer,
+    explain_categorization,
+)
+
+
+@pytest.fixture(scope="module")
+def explanation(request):
+    homes = request.getfixturevalue("homes_table")
+    statistics = request.getfixturevalue("statistics")
+    query = request.getfixturevalue("seattle_query")
+    rows = query.execute(homes)
+    return explain_categorization(rows, query, statistics), rows, statistics, query
+
+
+class TestTreeEquivalence:
+    def test_same_tree_as_plain_categorizer(self, explanation):
+        result, rows, statistics, query = explanation
+        plain = CostBasedCategorizer(statistics, PAPER_CONFIG).categorize(rows, query)
+        assert result.tree.level_attributes() == plain.level_attributes()
+        assert result.tree.node_count() == plain.node_count()
+        for a, b in zip(result.tree.nodes(), plain.nodes()):
+            assert a.display() == b.display()
+            assert a.rows.indices == b.rows.indices
+
+    def test_tree_validates(self, explanation):
+        result, *_ = explanation
+        result.tree.validate()
+
+
+class TestDecisions:
+    def test_one_decision_per_level(self, explanation):
+        result, *_ = explanation
+        assert len(result.decisions) >= result.tree.depth()
+        assert [d.level for d in result.decisions] == list(
+            range(1, len(result.decisions) + 1)
+        )
+
+    def test_chosen_attribute_matches_tree(self, explanation):
+        result, *_ = explanation
+        chosen = [d.chosen for d in result.decisions if d.chosen]
+        assert chosen[: result.tree.depth()] == result.tree.level_attributes()
+
+    def test_chosen_has_minimal_cost(self, explanation):
+        result, *_ = explanation
+        for decision in result.decisions:
+            if decision.chosen is None:
+                continue
+            viable = [c for c in decision.candidates if c.viable]
+            winner = next(
+                c for c in decision.candidates if c.attribute == decision.chosen
+            )
+            assert winner.cost == min(c.cost for c in viable)
+
+    def test_attributes_never_repeat_across_levels(self, explanation):
+        result, *_ = explanation
+        chosen = [d.chosen for d in result.decisions if d.chosen]
+        assert len(chosen) == len(set(chosen))
+
+    def test_margin(self, explanation):
+        result, *_ = explanation
+        first = result.decisions[0]
+        if sum(1 for c in first.candidates if c.viable) >= 2:
+            assert first.margin() >= 1.0
+
+    def test_unviable_candidates_marked(self, explanation):
+        result, *_ = explanation
+        for decision in result.decisions:
+            for candidate in decision.candidates:
+                assert candidate.viable == math.isfinite(candidate.cost)
+
+
+class TestRendering:
+    def test_render_mentions_every_level_and_winner(self, explanation):
+        result, *_ = explanation
+        text = result.render()
+        for decision in result.decisions:
+            assert f"Level {decision.level}:" in text
+        assert "<- chosen" in text
+
+    def test_render_sorted_by_cost(self, explanation):
+        result, *_ = explanation
+        first_section = result.render().split("\n\n")[0]
+        # Skip title, header and rule lines; the rest are candidate rows.
+        lines = [l for l in first_section.splitlines()[3:] if l.strip()]
+        costs = []
+        for line in lines:
+            cell = line.split()[1]
+            if cell != "-":
+                costs.append(float(cell))
+        assert costs == sorted(costs)
+
+
+class TestReuse:
+    def test_explainer_resets_between_calls(self, explanation):
+        _, rows, statistics, query = explanation
+        explainer = ExplainingCategorizer(statistics, PAPER_CONFIG)
+        first = explainer.explain(rows, query)
+        second = explainer.explain(rows, query)
+        assert len(first.decisions) == len(second.decisions)

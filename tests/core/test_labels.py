@@ -1,0 +1,99 @@
+"""Tests for category labels."""
+
+import math
+
+import pytest
+
+from repro.core.labels import CategoricalLabel, NumericLabel
+from repro.relational.expressions import InPredicate, RangePredicate
+
+
+class TestCategoricalLabel:
+    def test_matches(self):
+        label = CategoricalLabel("city", ("Seattle",))
+        assert label.matches({"city": "Seattle"})
+        assert not label.matches({"city": "Bellevue"})
+        assert not label.matches({"city": None})
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalLabel("city", ())
+
+    def test_to_predicate(self):
+        pred = CategoricalLabel("city", ("a", "b")).to_predicate()
+        assert isinstance(pred, InPredicate)
+        assert pred.values == frozenset({"a", "b"})
+
+    def test_overlaps_none_condition(self):
+        assert CategoricalLabel("city", ("a",)).overlaps_condition(None)
+
+    def test_overlaps_in_condition(self):
+        label = CategoricalLabel("city", ("a",))
+        assert label.overlaps_condition(InPredicate("city", ["a", "b"]))
+        assert not label.overlaps_condition(InPredicate("city", ["b"]))
+
+    def test_overlap_with_wrong_condition_type_rejected(self):
+        label = CategoricalLabel("city", ("a",))
+        with pytest.raises(TypeError):
+            label.overlaps_condition(RangePredicate("city", 0, 1))
+
+    def test_single_value(self):
+        assert CategoricalLabel("city", ("a",)).single_value == "a"
+
+    def test_single_value_rejects_multivalue(self):
+        with pytest.raises(ValueError):
+            CategoricalLabel("city", ("a", "b")).single_value
+
+    def test_display_figure1_style(self):
+        label = CategoricalLabel("Neighborhood", ("Redmond", "Bellevue"))
+        assert label.display() == "Neighborhood: Bellevue, Redmond"
+
+
+class TestNumericLabel:
+    def test_half_open_matching(self):
+        label = NumericLabel("price", 200, 300)
+        assert label.matches({"price": 200})
+        assert label.matches({"price": 299})
+        assert not label.matches({"price": 300})
+
+    def test_inclusive_top_bucket(self):
+        label = NumericLabel("price", 200, 300, high_inclusive=True)
+        assert label.matches({"price": 300})
+
+    def test_null_never_matches(self):
+        assert not NumericLabel("price", 0, 1).matches({"price": None})
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValueError):
+            NumericLabel("price", 300, 200)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            NumericLabel("price", math.nan, 1)
+
+    def test_to_predicate_preserves_openness(self):
+        pred = NumericLabel("price", 1, 2).to_predicate()
+        assert isinstance(pred, RangePredicate)
+        assert not pred.high_inclusive
+
+    def test_overlaps_none_condition(self):
+        assert NumericLabel("price", 0, 1).overlaps_condition(None)
+
+    def test_overlaps_range_condition(self):
+        label = NumericLabel("price", 200_000, 225_000)
+        assert label.overlaps_condition(RangePredicate("price", 210_000, 400_000))
+        # Query starting exactly at the open end does not overlap.
+        assert not label.overlaps_condition(RangePredicate("price", 225_000, 250_000))
+
+    def test_overlap_with_wrong_condition_type_rejected(self):
+        with pytest.raises(TypeError):
+            NumericLabel("price", 0, 1).overlaps_condition(InPredicate("price", [1]))
+
+    def test_display_compact_bounds(self):
+        assert NumericLabel("price", 200_000, 225_000).display() == "price: 200K-225K"
+
+    def test_display_millions(self):
+        assert NumericLabel("price", 1_500_000, 2_000_000).display() == "price: 1.5M-2M"
+
+    def test_display_small_numbers(self):
+        assert NumericLabel("bedroomcount", 3, 4).display() == "bedroomcount: 3-4"

@@ -1,0 +1,189 @@
+"""Tests for missing-value ("unknown") categories.
+
+The paper assumes non-null attributes; real feeds have gaps.  Without
+``include_missing_category``, NULL-valued tuples silently drop out of any
+level partitioned on the affected attribute; with it, they land in a
+trailing "attribute: unknown" category and stay reachable.
+"""
+
+import pytest
+
+from repro.core.algorithm import CostBasedCategorizer
+from repro.core.config import CategorizerConfig
+from repro.core.labels import MissingLabel
+from repro.core.partition.categorical import CategoricalPartitioner
+from repro.core.partition.numeric import NumericPartitioner
+from repro.core.probability import ProbabilityEstimator
+from repro.core.serialize import tree_from_json, tree_to_json
+from repro.data.homes import ListPropertyGenerator
+from repro.data.geography import SEATTLE_BELLEVUE
+from repro.relational.expressions import InPredicate, IsNullPredicate
+from repro.relational.query import SelectQuery
+from repro.workload.preprocess import preprocess_workload
+
+
+@pytest.fixture(scope="module")
+def gappy_homes():
+    """A dataset where 20% of listings lack year-built and 10% lack sqft."""
+    return ListPropertyGenerator(
+        rows=3_000, seed=9, null_rates={"yearbuilt": 0.2, "squarefootage": 0.1}
+    ).generate()
+
+
+@pytest.fixture(scope="module")
+def gappy_stats(gappy_homes, workload):
+    from repro.core.config import PAPER_CONFIG
+
+    return preprocess_workload(
+        workload, gappy_homes.schema, PAPER_CONFIG.separation_intervals
+    )
+
+
+MISSING_CONFIG = CategorizerConfig(include_missing_category=True)
+
+
+class TestIsNullPredicate:
+    def test_matches_only_null(self):
+        pred = IsNullPredicate("yearbuilt")
+        assert pred.matches({"yearbuilt": None})
+        assert not pred.matches({"yearbuilt": 1990})
+        assert pred.matches({})
+
+
+class TestMissingLabel:
+    def test_matches(self):
+        label = MissingLabel("yearbuilt")
+        assert label.matches({"yearbuilt": None})
+        assert not label.matches({"yearbuilt": 1990})
+
+    def test_overlap_semantics(self):
+        from repro.relational.expressions import RangePredicate
+
+        label = MissingLabel("yearbuilt")
+        assert label.overlaps_condition(None)
+        assert not label.overlaps_condition(RangePredicate("yearbuilt", 1990, 2000))
+
+    def test_display(self):
+        assert MissingLabel("yearbuilt").display() == "yearbuilt: unknown"
+
+    def test_exploration_probability_zero(self, gappy_stats):
+        estimator = ProbabilityEstimator(gappy_stats)
+        assert estimator.exploration_probability_of_label(
+            MissingLabel("yearbuilt")
+        ) == 0.0
+
+
+class TestPartitioners:
+    def test_numeric_partition_appends_missing(self, gappy_homes, gappy_stats):
+        rows = gappy_homes.all_rows()
+        partitioner = NumericPartitioner(
+            "yearbuilt", gappy_stats, MISSING_CONFIG, root_rows=rows
+        )
+        partitioning = partitioner.partition(rows)
+        assert isinstance(partitioning[-1][0], MissingLabel)
+        missing_count = sum(
+            1 for v in gappy_homes.column("yearbuilt") if v is None
+        )
+        assert len(partitioning[-1][1]) == missing_count
+        assert sum(len(r) for _, r in partitioning) == len(rows)
+
+    def test_numeric_partition_drops_nulls_by_default(self, gappy_homes, gappy_stats):
+        from repro.core.config import PAPER_CONFIG
+
+        rows = gappy_homes.all_rows()
+        partitioner = NumericPartitioner(
+            "yearbuilt", gappy_stats, PAPER_CONFIG, root_rows=rows
+        )
+        partitioning = partitioner.partition(rows)
+        assert all(not isinstance(label, MissingLabel) for label, _ in partitioning)
+        assert sum(len(r) for _, r in partitioning) < len(rows)
+
+    def test_categorical_partition_appends_missing(self, gappy_stats):
+        from repro.data.homes import list_property_schema
+        from repro.relational.table import Table
+
+        table = Table(list_property_schema())
+        table.extend(
+            [
+                {"propertytype": "Condo/Townhome"},
+                {"propertytype": None},
+                {"propertytype": "Land"},
+                {"propertytype": None},
+            ]
+        )
+        partitioner = CategoricalPartitioner(
+            "propertytype", gappy_stats, include_missing=True
+        )
+        partitioning = partitioner.partition(table.all_rows())
+        assert isinstance(partitioning[-1][0], MissingLabel)
+        assert len(partitioning[-1][1]) == 2
+
+
+class TestEndToEnd:
+    def test_tree_keeps_every_tuple_reachable(self, gappy_homes, gappy_stats):
+        query = SelectQuery(
+            "ListProperty",
+            InPredicate("neighborhood", SEATTLE_BELLEVUE.neighborhood_names()),
+        )
+        rows = query.execute(gappy_homes)
+        tree = CostBasedCategorizer(gappy_stats, MISSING_CONFIG).categorize(
+            rows, query
+        )
+        tree.validate()
+        # Every tuple of every partitioned node must appear under a child.
+        for node in tree.nodes():
+            if node.children:
+                covered = sum(child.tuple_count for child in node.children)
+                assert covered == node.tuple_count, node.display()
+
+    def test_default_config_loses_null_tuples(self, gappy_homes, gappy_stats):
+        # Force a level on the gapped attribute so the loss is visible.
+        from repro.core.config import PAPER_CONFIG
+        from repro.core.enumerate import FixedOrderCategorizer
+
+        query = SelectQuery(
+            "ListProperty",
+            InPredicate("neighborhood", SEATTLE_BELLEVUE.neighborhood_names()),
+        )
+        rows = query.execute(gappy_homes)
+        tree = FixedOrderCategorizer(
+            gappy_stats, ("yearbuilt",), PAPER_CONFIG
+        ).categorize(rows, query)
+        assert tree.level_attributes() == ["yearbuilt"]
+        covered = sum(c.tuple_count for c in tree.root.children)
+        assert covered < tree.root.tuple_count, (
+            "NULL year-built tuples should fall out of the default tree"
+        )
+
+    def test_missing_categories_serialize(self, gappy_homes, gappy_stats):
+        query = SelectQuery(
+            "ListProperty",
+            InPredicate("neighborhood", SEATTLE_BELLEVUE.neighborhood_names()),
+        )
+        rows = query.execute(gappy_homes)
+        tree = CostBasedCategorizer(gappy_stats, MISSING_CONFIG).categorize(
+            rows, query
+        )
+        rebuilt = tree_from_json(tree_to_json(tree), rows)
+        rebuilt.validate()
+        assert rebuilt.node_count() == tree.node_count()
+
+    def test_replay_reaches_missing_only_via_browse(self, gappy_homes, gappy_stats):
+        from repro.explore.exploration import replay_all
+        from repro.workload.model import WorkloadQuery
+
+        query = SelectQuery(
+            "ListProperty",
+            InPredicate("neighborhood", SEATTLE_BELLEVUE.neighborhood_names()),
+        )
+        rows = query.execute(gappy_homes)
+        tree = CostBasedCategorizer(gappy_stats, MISSING_CONFIG).categorize(
+            rows, query
+        )
+        # A user constraining yearbuilt never drills into the unknowns.
+        w = WorkloadQuery.from_sql(
+            "SELECT * FROM ListProperty WHERE "
+            "neighborhood IN ('Queen Anne, WA') AND yearbuilt >= 1990"
+        )
+        result = replay_all(tree, w)
+        assert result.items_examined > 0

@@ -1,0 +1,81 @@
+"""Tests for category ordering (Section 5.1.2 heuristic and Appendix A)."""
+
+import itertools
+
+import pytest
+
+from repro.core.partition.ordering import (
+    expected_cost_one_of_ordering,
+    order_by_probability,
+    order_optimal_one,
+)
+
+
+class TestProbabilityHeuristic:
+    def test_descending(self):
+        items = ["a", "b", "c"]
+        assert order_by_probability(items, [0.1, 0.9, 0.5]) == ["b", "c", "a"]
+
+    def test_stable_on_ties(self):
+        items = ["first", "second"]
+        assert order_by_probability(items, [0.5, 0.5]) == ["first", "second"]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            order_by_probability(["a"], [0.5, 0.5])
+
+
+class TestOptimalOrdering:
+    def test_increasing_score(self):
+        # scores: a -> 1/0.5 + 10 = 12, b -> 1/0.25 + 2 = 6, c -> 1/1 + 20 = 21
+        items = ["a", "b", "c"]
+        result = order_optimal_one(items, [0.5, 0.25, 1.0], [10, 2, 20])
+        assert result == ["b", "a", "c"]
+
+    def test_zero_probability_sorts_last(self):
+        items = ["dead", "live"]
+        assert order_optimal_one(items, [0.0, 0.1], [0, 100]) == ["live", "dead"]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            order_optimal_one(["a"], [0.5], [1, 2])
+
+    def test_optimal_beats_every_permutation(self):
+        """Exhaustively verify the Appendix A claim for small inputs."""
+        probabilities = [0.9, 0.3, 0.6, 0.15]
+        costs = [40.0, 5.0, 12.0, 80.0]
+        indices = list(range(4))
+        ordered = order_optimal_one(indices, probabilities, costs)
+        optimal_cost = expected_cost_one_of_ordering(
+            [probabilities[i] for i in ordered], [costs[i] for i in ordered]
+        )
+        for permutation in itertools.permutations(indices):
+            cost = expected_cost_one_of_ordering(
+                [probabilities[i] for i in permutation],
+                [costs[i] for i in permutation],
+            )
+            assert optimal_cost <= cost + 1e-9
+
+    def test_heuristic_matches_optimal_when_costs_equal(self):
+        """The P-descending heuristic is exact under equal CostOne values
+        (the assumption Section 5.1.2 makes explicit)."""
+        probabilities = [0.2, 0.8, 0.5, 0.05]
+        items = list(range(4))
+        heuristic = order_by_probability(items, probabilities)
+        optimal = order_optimal_one(items, probabilities, [7.0] * 4)
+        assert heuristic == optimal
+
+
+class TestExpectedCost:
+    def test_hand_computed(self):
+        # i=1: 0.5*(1 + 10) = 5.5 ; i=2: 0.5*1.0*(2 + 4) = 3.0
+        cost = expected_cost_one_of_ordering([0.5, 1.0], [10.0, 4.0])
+        assert cost == pytest.approx(8.5)
+
+    def test_label_cost_scales_positions(self):
+        base = expected_cost_one_of_ordering([1.0], [0.0], label_cost=1.0)
+        doubled = expected_cost_one_of_ordering([1.0], [0.0], label_cost=2.0)
+        assert doubled == 2 * base
+
+    def test_empty_is_zero(self):
+        assert expected_cost_one_of_ordering([], []) == 0.0

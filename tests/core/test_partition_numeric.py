@@ -1,0 +1,209 @@
+"""Tests for numeric splitpoint partitioning (Section 5.1.3)."""
+
+import pytest
+
+from repro.core.config import CategorizerConfig
+from repro.core.partition.numeric import (
+    NumericPartitioner,
+    bucketize,
+    equi_width_partition,
+)
+from repro.data.homes import list_property_schema
+from repro.relational.expressions import RangePredicate
+from repro.relational.query import SelectQuery
+from repro.relational.table import Table
+from repro.workload.log import Workload
+from repro.workload.preprocess import preprocess_workload
+
+
+def make_stats(ranges):
+    sql = [
+        f"SELECT * FROM ListProperty WHERE price BETWEEN {lo} AND {hi}"
+        for lo, hi in ranges
+    ]
+    workload = Workload.from_sql_strings(sql)
+    return preprocess_workload(workload, list_property_schema(), {"price": 1_000})
+
+
+def make_rows(prices):
+    table = Table(list_property_schema())
+    for price in prices:
+        table.insert({"price": price})
+    return table.all_rows()
+
+
+@pytest.fixture
+def stats():
+    # Goodness: 5000 -> 4 (2 ends + 2 starts), 8000 -> 2, 2000 -> 1.
+    return make_stats(
+        [(2_000, 5_000), (1_000, 5_000), (5_000, 8_000), (5_000, 9_000), (8_000, 9_500)]
+    )
+
+
+class TestSplitpointSelection:
+    def test_top_goodness_selected(self, stats):
+        rows = make_rows([1_500, 3_000, 6_000, 7_000, 9_000, 4_000])
+        query = SelectQuery("ListProperty", RangePredicate("price", 1_000, 10_000))
+        partitioner = NumericPartitioner(
+            "price", stats, CategorizerConfig(bucket_count=3), query=query
+        )
+        selected = partitioner.select_splitpoints(rows)
+        assert selected == [5_000, 8_000]
+
+    def test_unnecessary_splitpoint_skipped(self, stats):
+        # No tuples above 5000: splitting at 5000 or 8000 would create an
+        # empty right bucket, so both are unnecessary and the partitioner
+        # falls through to 2000 (Example 5.1's skip behaviour).
+        rows = make_rows([1_500, 2_500, 3_000, 4_000])
+        query = SelectQuery("ListProperty", RangePredicate("price", 1_000, 10_000))
+        partitioner = NumericPartitioner(
+            "price", stats, CategorizerConfig(bucket_count=3), query=query
+        )
+        assert partitioner.select_splitpoints(rows) == [2_000]
+
+    def test_skip_then_take_next_best(self, stats):
+        # Tuples exist on both sides of 5000 and 2000 but not 8000: the
+        # partitioner takes 5000 (goodness 4), skips 8000, selects 2000.
+        rows = make_rows([1_500, 2_500, 3_000, 6_000])
+        query = SelectQuery("ListProperty", RangePredicate("price", 1_000, 10_000))
+        partitioner = NumericPartitioner(
+            "price", stats, CategorizerConfig(bucket_count=3), query=query
+        )
+        assert partitioner.select_splitpoints(rows) == [2_000, 5_000]
+
+    def test_min_bucket_tuples_enforced(self, stats):
+        rows = make_rows([1_500, 3_000, 6_000, 9_000])
+        query = SelectQuery("ListProperty", RangePredicate("price", 1_000, 10_000))
+        config = CategorizerConfig(bucket_count=5, min_bucket_tuples=2)
+        partitioner = NumericPartitioner("price", stats, config, query=query)
+        selected = partitioner.select_splitpoints(rows)
+        for splitpoint in selected:
+            below = sum(1 for p in [1_500, 3_000, 6_000, 9_000] if p < splitpoint)
+            assert below >= 2 and 4 - below >= 2
+
+    def test_empty_rows_select_nothing(self, stats):
+        query = SelectQuery("ListProperty", RangePredicate("price", 1_000, 10_000))
+        partitioner = NumericPartitioner(
+            "price", stats, CategorizerConfig(), query=query
+        )
+        assert partitioner.select_splitpoints(make_rows([])) == []
+
+
+class TestRangeResolution:
+    def test_range_from_query(self, stats):
+        query = SelectQuery("ListProperty", RangePredicate("price", 2_000, 9_000))
+        partitioner = NumericPartitioner("price", stats, CategorizerConfig(), query=query)
+        assert (partitioner.vmin, partitioner.vmax) == (2_000, 9_000)
+
+    def test_range_from_data_when_query_silent(self, stats):
+        rows = make_rows([1_200, 8_800])
+        partitioner = NumericPartitioner(
+            "price", stats, CategorizerConfig(), query=None, root_rows=rows
+        )
+        assert (partitioner.vmin, partitioner.vmax) == (1_200, 8_800)
+
+    def test_one_sided_query_mixes_sources(self, stats):
+        rows = make_rows([1_200, 8_800])
+        query = SelectQuery(
+            "ListProperty",
+            RangePredicate("price", float("-inf"), 6_000),
+        )
+        partitioner = NumericPartitioner(
+            "price", stats, CategorizerConfig(), query=query, root_rows=rows
+        )
+        assert (partitioner.vmin, partitioner.vmax) == (1_200, 6_000)
+
+    def test_no_information_degenerates(self, stats):
+        partitioner = NumericPartitioner("price", stats, CategorizerConfig())
+        assert partitioner.vmin == partitioner.vmax
+
+
+class TestPartition:
+    def test_buckets_ascending_and_cover(self, stats):
+        rows = make_rows([1_500, 3_000, 6_000, 7_000, 9_000, 4_000])
+        query = SelectQuery("ListProperty", RangePredicate("price", 1_000, 10_000))
+        partitioner = NumericPartitioner(
+            "price", stats, CategorizerConfig(bucket_count=3), query=query
+        )
+        parts = partitioner.partition(rows)
+        bounds = [(label.low, label.high) for label, _ in parts]
+        assert bounds == sorted(bounds)
+        assert sum(len(r) for _, r in parts) == 6
+
+    def test_last_bucket_inclusive(self, stats):
+        rows = make_rows([10_000])
+        query = SelectQuery("ListProperty", RangePredicate("price", 1_000, 10_000))
+        partitioner = NumericPartitioner(
+            "price", stats, CategorizerConfig(), query=query
+        )
+        parts = partitioner.partition(rows)
+        assert sum(len(r) for _, r in parts) == 1
+        assert parts[-1][0].high_inclusive
+
+    def test_exploration_probability(self, stats):
+        partitioner = NumericPartitioner(
+            "price",
+            stats,
+            CategorizerConfig(),
+            query=SelectQuery("ListProperty", RangePredicate("price", 1_000, 10_000)),
+        )
+        from repro.core.labels import NumericLabel
+
+        # [6000, 7000) overlaps ranges (5000,8000) and (5000,9000) -> 2/5.
+        label = NumericLabel("price", 6_000, 7_000)
+        assert partitioner.exploration_probability(label) == pytest.approx(2 / 5)
+
+
+class TestBucketize:
+    def test_tuples_outside_range_dropped(self):
+        rows = make_rows([500, 1_500, 2_500, 99_000])
+        parts = bucketize("price", rows, 1_000, 3_000, [2_000])
+        assert sum(len(r) for _, r in parts) == 2
+
+    def test_empty_buckets_removed(self):
+        rows = make_rows([1_500])
+        parts = bucketize("price", rows, 1_000, 3_000, [2_000])
+        assert len(parts) == 1
+
+    def test_no_splitpoints_single_bucket(self):
+        rows = make_rows([1_500, 2_500])
+        parts = bucketize("price", rows, 1_000, 3_000, [])
+        assert len(parts) == 1
+        assert len(parts[0][1]) == 2
+
+    def test_boundary_value_goes_right(self):
+        rows = make_rows([2_000])
+        parts = bucketize("price", rows, 1_000, 3_000, [2_000])
+        label, bucket = parts[0]
+        assert label.low == 2_000 and len(bucket) == 1
+
+
+class TestEquiWidth:
+    def test_splits_at_width_multiples(self):
+        rows = make_rows([1_200, 2_700, 4_100, 4_900])
+        parts = equi_width_partition("price", rows, 1_000, 5_000, 2_000)
+        bounds = [(label.low, label.high) for label, _ in parts]
+        assert bounds == [(1_000, 2_000), (2_000, 4_000), (4_000, 5_000)]
+
+    def test_empty_buckets_removed(self):
+        rows = make_rows([1_200, 9_900])
+        parts = equi_width_partition("price", rows, 1_000, 10_000, 1_000)
+        assert len(parts) == 2
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            equi_width_partition("price", make_rows([1]), 0, 10, 0)
+
+
+class TestAutoBucketCount:
+    def test_auto_mode_uses_goodness_distribution(self):
+        # One dominant splitpoint and many weak ones: auto-m should pick few.
+        ranges = [(2_000, 5_000)] * 20 + [(1_000, 3_000), (6_000, 9_000)]
+        stats = make_stats(ranges)
+        rows = make_rows(list(range(1_000, 10_000, 500)))
+        query = SelectQuery("ListProperty", RangePredicate("price", 1_000, 10_000))
+        config = CategorizerConfig(auto_bucket_count=True, max_auto_buckets=10)
+        partitioner = NumericPartitioner("price", stats, config, query=query)
+        selected = partitioner.select_splitpoints(rows)
+        assert 1 <= len(selected) <= 3
+        assert 5_000 in selected

@@ -1,0 +1,94 @@
+"""Tests for the workload-driven probability estimator (Section 4.2)."""
+
+import pytest
+
+from repro.core.labels import CategoricalLabel, NumericLabel
+from repro.core.probability import ProbabilityEstimator
+from repro.core.tree import CategoryNode
+from repro.data.homes import list_property_schema
+from repro.relational.table import Table
+from repro.workload.log import Workload
+from repro.workload.preprocess import preprocess_workload
+
+
+@pytest.fixture
+def estimator():
+    workload = Workload.from_sql_strings(
+        [
+            # 4 queries; 3 constrain neighborhood, 2 constrain price.
+            "SELECT * FROM ListProperty WHERE neighborhood IN ('A, WA')",
+            "SELECT * FROM ListProperty WHERE neighborhood IN ('A, WA', 'B, WA') "
+            "AND price BETWEEN 200000 AND 300000",
+            "SELECT * FROM ListProperty WHERE neighborhood IN ('B, WA')",
+            "SELECT * FROM ListProperty WHERE price BETWEEN 400000 AND 500000",
+        ]
+    )
+    stats = preprocess_workload(workload, list_property_schema(), {"price": 5_000})
+    return ProbabilityEstimator(stats)
+
+
+def make_node(children_attribute=None):
+    table = Table(list_property_schema())
+    table.insert({"neighborhood": "A, WA", "price": 250_000})
+    node = CategoryNode(table.all_rows())
+    if children_attribute is not None:
+        node.add_children(
+            children_attribute,
+            [(CategoricalLabel(children_attribute, ("A, WA",)), table.all_rows())],
+        )
+    return node
+
+
+class TestShowtuplesProbability:
+    def test_leaf_is_one(self, estimator):
+        assert estimator.showtuples_probability(make_node()) == 1.0
+
+    def test_internal_node_uses_subcategorizing_attribute(self, estimator):
+        node = make_node("neighborhood")
+        # NAttr(neighborhood)/N = 3/4 -> Pw = 1/4.
+        assert estimator.showtuples_probability(node) == pytest.approx(0.25)
+
+    def test_by_attribute_name(self, estimator):
+        assert estimator.showtuples_probability_for("price") == pytest.approx(0.5)
+
+    def test_unused_attribute_forces_showtuples(self, estimator):
+        assert estimator.showtuples_probability_for("yearbuilt") == 1.0
+
+
+class TestExplorationProbability:
+    def test_root_always_explored(self, estimator):
+        assert estimator.exploration_probability(make_node()) == 1.0
+
+    def test_categorical_label(self, estimator):
+        # occ(A)=2 of NAttr(neighborhood)=3.
+        label = CategoricalLabel("neighborhood", ("A, WA",))
+        assert estimator.exploration_probability_of_label(label) == pytest.approx(2 / 3)
+
+    def test_numeric_label(self, estimator):
+        # Bucket [250K, 450K) overlaps both price ranges -> 2/2.
+        label = NumericLabel("price", 250_000, 450_000)
+        assert estimator.exploration_probability_of_label(label) == pytest.approx(1.0)
+
+    def test_numeric_label_partial_overlap(self, estimator):
+        # Bucket [350K, 450K) overlaps only the 400-500K query -> 1/2.
+        label = NumericLabel("price", 350_000, 450_000)
+        assert estimator.exploration_probability_of_label(label) == pytest.approx(0.5)
+
+    def test_unconstrained_attribute_probability_zero(self, estimator):
+        label = NumericLabel("yearbuilt", 1950, 2000)
+        assert estimator.exploration_probability_of_label(label) == 0.0
+
+    def test_probability_bounded(self, estimator):
+        for label in (
+            CategoricalLabel("neighborhood", ("A, WA", "B, WA")),
+            NumericLabel("price", 0, 10_000_000),
+        ):
+            p = estimator.exploration_probability_of_label(label)
+            assert 0.0 <= p <= 1.0
+
+    def test_n_overlap_unknown_label_type_rejected(self, estimator):
+        class Mystery:
+            attribute = "x"
+
+        with pytest.raises(TypeError):
+            estimator.n_overlap(Mystery())

@@ -1,0 +1,98 @@
+"""Tests for category-tree JSON serialization."""
+
+import json
+import math
+
+import pytest
+
+from repro.core.algorithm import CostBasedCategorizer
+from repro.core.config import PAPER_CONFIG
+from repro.core.cost import CostModel
+from repro.core.probability import ProbabilityEstimator
+from repro.core.serialize import (
+    tree_from_dict,
+    tree_from_json,
+    tree_to_dict,
+    tree_to_json,
+)
+
+
+@pytest.fixture(scope="module")
+def built(request):
+    homes = request.getfixturevalue("homes_table")
+    statistics = request.getfixturevalue("statistics")
+    query = request.getfixturevalue("seattle_query")
+    rows = query.execute(homes)
+    tree = CostBasedCategorizer(statistics).categorize(rows, query)
+    model = CostModel(ProbabilityEstimator(statistics), PAPER_CONFIG)
+    return tree, rows, model
+
+
+class TestSerialization:
+    def test_top_level_fields(self, built):
+        tree, _, _ = built
+        payload = tree_to_dict(tree)
+        assert payload["technique"] == "cost-based"
+        assert payload["result_size"] == tree.result_size
+        assert payload["query"].startswith("SELECT")
+        assert payload["root"]["label"] is None
+
+    def test_json_is_valid(self, built):
+        tree, _, _ = built
+        parsed = json.loads(tree_to_json(tree))
+        assert parsed["result_size"] == tree.result_size
+
+    def test_cost_annotations_included(self, built):
+        tree, _, model = built
+        payload = tree_to_dict(tree, cost_model=model)
+        costs = payload["root"]["costs"]
+        assert costs["cost_all"] == pytest.approx(model.tree_cost_all(tree))
+        assert 0 <= costs["showtuples_probability"] <= 1
+
+    def test_no_costs_without_model(self, built):
+        tree, _, _ = built
+        assert "costs" not in tree_to_dict(tree)["root"]
+
+    def test_infinite_bounds_encoded(self):
+        from repro.core.serialize import _decode_bound, _encode_bound
+
+        assert _encode_bound(math.inf) == "inf"
+        assert _decode_bound("-inf") == -math.inf
+        assert _decode_bound(5) == 5.0
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, built):
+        tree, rows, _ = built
+        rebuilt = tree_from_dict(tree_to_dict(tree), rows)
+        rebuilt.validate()
+        assert rebuilt.technique == tree.technique
+        assert rebuilt.node_count() == tree.node_count()
+        assert rebuilt.level_attributes() == tree.level_attributes()
+
+    def test_tuple_sets_identical(self, built):
+        tree, rows, _ = built
+        rebuilt = tree_from_dict(tree_to_dict(tree), rows)
+        for original, restored in zip(tree.nodes(), rebuilt.nodes()):
+            assert original.rows.indices == restored.rows.indices
+            assert original.display() == restored.display()
+
+    def test_costs_identical_after_round_trip(self, built):
+        tree, rows, model = built
+        rebuilt = tree_from_json(tree_to_json(tree), rows)
+        assert model.tree_cost_all(rebuilt) == pytest.approx(
+            model.tree_cost_all(tree)
+        )
+
+    def test_wrong_result_set_rejected(self, built):
+        tree, rows, _ = built
+        truncated = rows.select(tree.root.children[0].label.to_predicate())
+        with pytest.raises(ValueError, match="result set"):
+            tree_from_dict(tree_to_dict(tree), truncated)
+
+    def test_tampered_count_rejected(self, built):
+        tree, rows, _ = built
+        payload = tree_to_dict(tree)
+        payload["root"]["children"][0]["tuple_count"] += 1
+        with pytest.raises(ValueError, match="payload says"):
+            tree_from_dict(payload, rows)

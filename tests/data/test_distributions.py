@@ -1,0 +1,117 @@
+"""Tests for the attribute-value samplers."""
+
+import random
+
+import pytest
+
+from repro.data.distributions import (
+    PROPERTY_TYPES,
+    sample_bathrooms,
+    sample_bedrooms,
+    sample_price,
+    sample_property_type,
+    sample_square_footage,
+    sample_year_built,
+    weighted_choice,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(99)
+
+
+class TestPrice:
+    def test_snapped_to_5k(self, rng):
+        for _ in range(200):
+            assert sample_price(rng, 400_000, 0.4) % 5_000 == 0
+
+    def test_bounded(self, rng):
+        for _ in range(200):
+            assert 30_000 <= sample_price(rng, 400_000, 0.4) <= 5_000_000
+
+    def test_price_factor_shifts_distribution(self):
+        rng_a, rng_b = random.Random(1), random.Random(1)
+        cheap = [sample_price(rng_a, 400_000, 0.3, 0.6) for _ in range(500)]
+        dear = [sample_price(rng_b, 400_000, 0.3, 1.6) for _ in range(500)]
+        assert sum(dear) / len(dear) > sum(cheap) / len(cheap) * 1.5
+
+
+class TestPropertyType:
+    def test_known_types_only(self, rng):
+        for _ in range(200):
+            assert sample_property_type(rng, 0.3) in PROPERTY_TYPES
+
+    def test_condo_share_respected(self):
+        rng = random.Random(5)
+        samples = [sample_property_type(rng, 0.8) for _ in range(1000)]
+        condos = samples.count("Condo/Townhome") / len(samples)
+        assert 0.7 < condos < 0.9
+
+
+class TestBedrooms:
+    def test_range(self, rng):
+        for _ in range(200):
+            beds = sample_bedrooms(rng, 400_000, 400_000, "Single Family Home")
+            assert 1 <= beds <= 9
+
+    def test_land_has_zero(self, rng):
+        assert sample_bedrooms(rng, 400_000, 400_000, "Land") == 0
+
+    def test_price_correlation(self):
+        rng = random.Random(3)
+        cheap = [sample_bedrooms(rng, 150_000, 400_000, "Single Family Home") for _ in range(500)]
+        dear = [sample_bedrooms(rng, 1_200_000, 400_000, "Single Family Home") for _ in range(500)]
+        assert sum(dear) / 500 > sum(cheap) / 500
+
+
+class TestBathrooms:
+    def test_half_steps(self, rng):
+        for beds in range(1, 8):
+            baths = sample_bathrooms(rng, beds)
+            assert (baths * 2) == int(baths * 2)
+
+    def test_zero_bedrooms_zero_baths(self, rng):
+        assert sample_bathrooms(rng, 0) == 0.0
+
+    def test_minimum_one(self, rng):
+        for _ in range(100):
+            assert sample_bathrooms(rng, 1) >= 1.0
+
+
+class TestSquareFootage:
+    def test_snapped_to_50(self, rng):
+        for _ in range(100):
+            assert sample_square_footage(rng, 3, "Single Family Home") % 50 == 0
+
+    def test_land_is_zero(self, rng):
+        assert sample_square_footage(rng, 0, "Land") == 0
+
+    def test_bedroom_correlation(self):
+        rng = random.Random(4)
+        small = [sample_square_footage(rng, 1, "Condo/Townhome") for _ in range(300)]
+        large = [sample_square_footage(rng, 5, "Single Family Home") for _ in range(300)]
+        assert sum(large) / 300 > sum(small) / 300 * 1.5
+
+
+class TestYearBuilt:
+    def test_bounded(self, rng):
+        for _ in range(200):
+            year = sample_year_built(rng, 1960, "Single Family Home")
+            assert 1880 <= year <= 2004
+
+    def test_condos_newer_on_average(self):
+        rng = random.Random(6)
+        houses = [sample_year_built(rng, 1960, "Single Family Home") for _ in range(500)]
+        condos = [sample_year_built(rng, 1960, "Condo/Townhome") for _ in range(500)]
+        assert sum(condos) / 500 > sum(houses) / 500
+
+
+class TestWeightedChoice:
+    def test_respects_weights(self):
+        rng = random.Random(7)
+        picks = [weighted_choice(rng, ["a", "b"], [9.0, 1.0]) for _ in range(1000)]
+        assert picks.count("a") > 800
+
+    def test_single_item(self, rng):
+        assert weighted_choice(rng, ["only"], [1.0]) == "only"

@@ -1,0 +1,86 @@
+"""Tests for the static geography."""
+
+import pytest
+
+from repro.data.geography import (
+    ALL_REGIONS,
+    NYC,
+    SEATTLE_BELLEVUE,
+    region_by_name,
+    region_of_neighborhood,
+)
+
+
+class TestStructure:
+    def test_at_least_ten_regions(self):
+        assert len(ALL_REGIONS) >= 10
+
+    def test_region_names_unique(self):
+        names = [r.name for r in ALL_REGIONS]
+        assert len(names) == len(set(names))
+
+    def test_neighborhood_names_globally_unique(self):
+        names = [n for r in ALL_REGIONS for n in r.neighborhood_names()]
+        assert len(names) == len(set(names))
+
+    def test_every_neighborhood_belongs_to_a_region_city(self):
+        for region in ALL_REGIONS:
+            cities = {c.name for c in region.cities}
+            for hood in region.neighborhoods:
+                assert hood.city in cities, (region.name, hood.name)
+
+    def test_neighborhood_names_carry_state(self):
+        for region in ALL_REGIONS:
+            for hood in region.neighborhoods:
+                state = region.city(hood.city).state
+                assert hood.name.endswith(f", {state}")
+
+    def test_nyc_has_fifteen_neighborhoods(self):
+        # Task 3 of the user study selects "15 selected neighborhoods in
+        # NYC - Manhattan, Bronx"; the geography provides exactly 15.
+        assert len(NYC.neighborhood_names()) == 15
+
+    def test_market_sizes_span_an_order_of_magnitude(self):
+        sizes = [sum(c.weight for c in r.cities) for r in ALL_REGIONS]
+        assert max(sizes) / min(sizes) > 10
+
+
+class TestLookups:
+    def test_region_by_name(self):
+        assert region_by_name("Seattle/Bellevue") is SEATTLE_BELLEVUE
+
+    def test_region_by_name_unknown(self):
+        with pytest.raises(KeyError, match="valid"):
+            region_by_name("Atlantis")
+
+    def test_region_of_neighborhood(self):
+        assert region_of_neighborhood("Queen Anne, WA") is SEATTLE_BELLEVUE
+
+    def test_region_of_unknown_neighborhood(self):
+        with pytest.raises(KeyError):
+            region_of_neighborhood("Nowhere, XX")
+
+    def test_city_lookup(self):
+        assert SEATTLE_BELLEVUE.city("Bellevue").state == "WA"
+
+    def test_city_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            SEATTLE_BELLEVUE.city("Manhattan")
+
+
+class TestMarketParameters:
+    def test_prices_positive(self):
+        for region in ALL_REGIONS:
+            for city in region.cities:
+                assert city.base_price > 0
+                assert city.price_sigma > 0
+
+    def test_condo_shares_are_probabilities(self):
+        for region in ALL_REGIONS:
+            for city in region.cities:
+                assert 0.0 <= city.condo_share <= 1.0
+
+    def test_median_years_plausible(self):
+        for region in ALL_REGIONS:
+            for city in region.cities:
+                assert 1880 <= city.median_year_built <= 2004

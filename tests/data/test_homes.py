@@ -1,0 +1,83 @@
+"""Tests for the ListProperty generator."""
+
+import pytest
+
+from repro.data.geography import ALL_REGIONS, SEATTLE_BELLEVUE
+from repro.data.homes import ListPropertyGenerator, generate_homes, list_property_schema
+
+
+class TestSchema:
+    def test_paper_attributes_present(self):
+        names = set(list_property_schema().names())
+        assert {
+            "neighborhood", "city", "state", "zipcode", "price",
+            "bedroomcount", "bathcount", "yearbuilt", "propertytype",
+            "squarefootage",
+        } <= names
+
+    def test_zipcode_is_categorical_int(self):
+        attr = list_property_schema().attribute("zipcode")
+        assert attr.is_categorical
+        assert attr.data_type.is_numeric()
+
+    def test_price_is_numeric(self):
+        assert list_property_schema().attribute("price").is_numeric
+
+
+class TestGeneration:
+    def test_row_count(self, homes_table):
+        assert len(homes_table) == 4_000
+
+    def test_deterministic(self):
+        a = generate_homes(rows=200, seed=5)
+        b = generate_homes(rows=200, seed=5)
+        assert a.to_dicts() == b.to_dicts()
+
+    def test_different_seeds_differ(self):
+        a = generate_homes(rows=200, seed=5)
+        b = generate_homes(rows=200, seed=6)
+        assert a.to_dicts() != b.to_dicts()
+
+    def test_rejects_nonpositive_rows(self):
+        with pytest.raises(ValueError):
+            ListPropertyGenerator(rows=0).generate()
+
+    def test_neighborhoods_come_from_geography(self, homes_table):
+        valid = {n for r in ALL_REGIONS for n in r.neighborhood_names()}
+        assert set(homes_table.column("neighborhood")) <= valid
+
+    def test_city_consistent_with_neighborhood(self, homes_table):
+        hood_city = {
+            h.name: h.city for r in ALL_REGIONS for h in r.neighborhoods
+        }
+        for row in homes_table:
+            assert row["city"] == hood_city[row["neighborhood"]]
+
+    def test_zipcode_stable_per_neighborhood(self, homes_table):
+        seen: dict[str, int] = {}
+        for row in homes_table:
+            hood = row["neighborhood"]
+            if hood in seen:
+                assert seen[hood] == row["zipcode"]
+            seen[hood] = row["zipcode"]
+
+    def test_no_nulls_in_paper_attributes(self, homes_table):
+        # The paper notes these attributes are non-null in the MSN data.
+        for name in ("neighborhood", "price", "bedroomcount", "yearbuilt"):
+            assert all(v is not None for v in homes_table.column(name))
+
+    def test_prices_on_5k_grid(self, homes_table):
+        assert all(p % 5_000 == 0 for p in homes_table.column("price"))
+
+    def test_market_skew(self, homes_table):
+        seattle_hoods = set(SEATTLE_BELLEVUE.neighborhood_names())
+        seattle = sum(
+            1 for v in homes_table.column("neighborhood") if v in seattle_hoods
+        )
+        # Seattle/Bellevue is the biggest market (~40% of inventory).
+        assert seattle / len(homes_table) > 0.25
+
+    def test_bedrooms_zero_only_for_land(self, homes_table):
+        for row in homes_table:
+            if row["bedroomcount"] == 0:
+                assert row["propertytype"] == "Land"

@@ -1,0 +1,115 @@
+"""Tests for the movie-domain dataset and workload."""
+
+import pytest
+
+from repro.data.movies import (
+    CERTIFICATES,
+    GENRES,
+    MOVIE_SEPARATION_INTERVALS,
+    generate_movie_workload,
+    generate_movies,
+    movie_schema,
+)
+from repro.workload.preprocess import preprocess_workload
+
+
+@pytest.fixture(scope="module")
+def movies():
+    return generate_movies(rows=3_000, seed=3)
+
+
+@pytest.fixture(scope="module")
+def movie_workload():
+    return generate_movie_workload(queries=2_000, seed=5)
+
+
+class TestCatalog:
+    def test_row_count(self, movies):
+        assert len(movies) == 3_000
+
+    def test_deterministic(self):
+        a = generate_movies(rows=100, seed=1)
+        b = generate_movies(rows=100, seed=1)
+        assert a.to_dicts() == b.to_dicts()
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            generate_movies(rows=0)
+
+    def test_domains(self, movies):
+        genres = {g for g, _, _ in GENRES}
+        assert set(movies.column("genre")) <= genres
+        assert set(movies.column("certificate")) <= set(CERTIFICATES)
+        for year in movies.column("year"):
+            assert 1920 <= year <= 2004
+        for rating in movies.column("rating"):
+            assert 1.0 <= rating <= 9.8
+        for runtime in movies.column("runtime"):
+            assert 60 <= runtime <= 240
+
+    def test_genre_skew(self, movies):
+        from collections import Counter
+
+        counts = Counter(movies.column("genre"))
+        assert counts["Drama"] > counts["Western"] * 3
+
+    def test_schema_kinds(self):
+        schema = movie_schema()
+        assert schema.attribute("genre").is_categorical
+        assert schema.attribute("rating").is_numeric
+        assert len(schema) == 7
+
+
+class TestWorkload:
+    def test_count_and_parseability(self, movie_workload):
+        assert len(movie_workload) == 2_000
+        assert all(len(q.conditions) >= 1 for q in movie_workload)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            generate_movie_workload(queries=0)
+
+    def test_elimination_keeps_core_attributes(self, movies, movie_workload):
+        stats = preprocess_workload(
+            movie_workload, movies.schema, MOVIE_SEPARATION_INTERVALS
+        )
+        retained = {
+            a for a in movies.schema.names()
+            if stats.usage_fraction(a) >= 0.4
+        }
+        assert {"genre", "rating", "year"} <= retained
+        assert "certificate" not in retained
+        assert "votes" not in retained
+
+    def test_rating_floors_on_half_grid(self, movie_workload):
+        import math
+
+        floors = []
+        for q in movie_workload:
+            bounds = q.range_bounds("rating")
+            if bounds and not math.isinf(bounds[0]):
+                floors.append(bounds[0])
+        assert floors
+        assert all(f % 0.5 == 0 for f in floors)
+
+
+class TestCrossDomainCategorization:
+    def test_cost_based_tree_on_movies(self, movies, movie_workload):
+        from repro.core.algorithm import CostBasedCategorizer
+        from repro.core.config import CategorizerConfig
+        from repro.relational.expressions import RangePredicate
+        from repro.relational.query import SelectQuery
+
+        config = CategorizerConfig(
+            separation_intervals=MOVIE_SEPARATION_INTERVALS
+        )
+        stats = preprocess_workload(
+            movie_workload, movies.schema, MOVIE_SEPARATION_INTERVALS
+        )
+        query = SelectQuery("Movies", RangePredicate("rating", 6.0, 10.0))
+        rows = query.execute(movies)
+        assert len(rows) > 100
+        tree = CostBasedCategorizer(stats, config).categorize(rows, query)
+        tree.validate()
+        assert tree.depth() >= 2
+        assert tree.level_attributes()[0] in {"genre", "rating", "year"}

@@ -1,0 +1,133 @@
+"""Tests for synthetic exploration replay (Section 6.2) on a hand-built tree."""
+
+import pytest
+
+from repro.core.labels import CategoricalLabel, NumericLabel
+from repro.core.tree import CategoryNode, CategoryTree
+from repro.explore.exploration import relevant_count, replay_all, replay_one
+from repro.relational.schema import Attribute, TableSchema
+from repro.relational.table import Table
+from repro.relational.types import DataType
+from repro.workload.model import WorkloadQuery
+
+
+@pytest.fixture
+def tree():
+    """ALL(8) -> city {a(4), b(4)}; each city -> price {low(2), high(2)}."""
+    schema = TableSchema(
+        "T", (Attribute("city", DataType.TEXT), Attribute("price", DataType.INT))
+    )
+    table = Table(schema)
+    for city in ("a", "b"):
+        for price in (100, 150, 300, 350):
+            table.insert({"city": city, "price": price})
+    root = CategoryNode(table.all_rows())
+    city_parts = table.all_rows().partition_by(lambda r: r["city"])
+    children = root.add_children(
+        "city",
+        [
+            (CategoricalLabel("city", ("a",)), city_parts["a"]),
+            (CategoricalLabel("city", ("b",)), city_parts["b"]),
+        ],
+    )
+    for node in children:
+        low = node.rows.select(NumericLabel("price", 0, 200).to_predicate())
+        high = node.rows.select(
+            NumericLabel("price", 200, 400, high_inclusive=True).to_predicate()
+        )
+        node.add_children(
+            "price",
+            [
+                (NumericLabel("price", 0, 200), low),
+                (NumericLabel("price", 200, 400, high_inclusive=True), high),
+            ],
+        )
+    return CategoryTree(root, technique="test")
+
+
+def w(sql: str) -> WorkloadQuery:
+    return WorkloadQuery.from_sql(sql)
+
+
+class TestReplayAll:
+    def test_fully_constrained_exploration(self, tree):
+        # W: city a, price <= 150.  SHOWCAT at root (city constrained),
+        # 2 labels; drill 'a'; SHOWCAT (price constrained), 2 labels;
+        # drill low bucket; leaf -> 2 tuples.  Total 4 labels + 2 tuples.
+        result = replay_all(tree, w("SELECT * FROM T WHERE city IN ('a') AND price <= 150"))
+        assert result.labels_examined == 4
+        assert result.tuples_examined == 2
+        assert result.items_examined == 6.0
+
+    def test_unconstrained_attribute_forces_showtuples(self, tree):
+        # W constrains only city: at node 'a' the user browses all 4 tuples.
+        result = replay_all(tree, w("SELECT * FROM T WHERE city IN ('a')"))
+        assert result.labels_examined == 2
+        assert result.tuples_examined == 4
+
+    def test_no_city_condition_showtuples_at_root(self, tree):
+        result = replay_all(tree, w("SELECT * FROM T WHERE price <= 150"))
+        assert result.labels_examined == 0
+        assert result.tuples_examined == 8
+
+    def test_multiple_overlapping_branches(self, tree):
+        # Both cities drilled; price spans both buckets under each.
+        result = replay_all(
+            tree, w("SELECT * FROM T WHERE city IN ('a', 'b') AND price BETWEEN 150 AND 300")
+        )
+        assert result.labels_examined == 2 + 2 + 2
+        assert result.tuples_examined == 8  # all four leaf buckets
+
+    def test_label_cost_weighting(self, tree):
+        result = replay_all(
+            tree, w("SELECT * FROM T WHERE city IN ('a') AND price <= 150"),
+            label_cost=0.5,
+        )
+        assert result.items_examined == 0.5 * 4 + 2
+
+
+class TestReplayOne:
+    def test_stops_at_first_relevant_tuple(self, tree):
+        # Drill city 'a' (1 label examined — 'a' is first), price low bucket
+        # (1 label), scan until first tuple <= 150: the first tuple matches.
+        result = replay_one(tree, w("SELECT * FROM T WHERE city IN ('a') AND price <= 150"))
+        assert result.found_relevant
+        assert result.tuples_examined == 1
+        assert result.labels_examined == 2
+
+    def test_second_sibling_costs_more_labels(self, tree):
+        result = replay_one(tree, w("SELECT * FROM T WHERE city IN ('b') AND price <= 150"))
+        # Examines 'a' label (not overlapping), then 'b' (overlap) -> 2, then
+        # price low label -> 1.
+        assert result.labels_examined == 3
+        assert result.found_relevant
+
+    def test_showtuples_scan_stops_early(self, tree):
+        # Only city constrained: browse tuples of 'a' until first match.
+        result = replay_one(tree, w("SELECT * FROM T WHERE city IN ('a')"))
+        assert result.tuples_examined == 1
+
+    def test_not_found_scans_everything_reachable(self, tree):
+        result = replay_one(tree, w("SELECT * FROM T WHERE city IN ('a') AND price >= 400"))
+        assert not result.found_relevant
+        # Drilled the high bucket (overlaps at 400) but no tuple matches.
+        assert result.tuples_examined == 2
+
+    def test_one_cost_never_exceeds_all_cost(self, tree):
+        for sql in (
+            "SELECT * FROM T WHERE city IN ('a') AND price <= 150",
+            "SELECT * FROM T WHERE city IN ('a', 'b')",
+            "SELECT * FROM T WHERE price BETWEEN 100 AND 350",
+        ):
+            one = replay_one(tree, w(sql))
+            all_ = replay_all(tree, w(sql))
+            assert one.items_examined <= all_.items_examined
+
+
+class TestRelevantCount:
+    def test_counts_matching_tuples(self, tree):
+        assert relevant_count(tree, w("SELECT * FROM T WHERE city IN ('a')")) == 4
+        assert relevant_count(
+            tree, w("SELECT * FROM T WHERE city IN ('a') AND price <= 150")
+        ) == 2
+        assert relevant_count(tree, w("SELECT * FROM T WHERE price >= 1000")) == 0

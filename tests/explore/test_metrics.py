@@ -1,0 +1,42 @@
+"""Tests for derived exploration metrics."""
+
+import math
+
+from repro.explore.metrics import fractional_cost, mean, mean_finite, normalized_cost
+
+
+class TestFractionalCost:
+    def test_basic(self):
+        assert fractional_cost(50, 200) == 0.25
+
+    def test_zero_result_is_zero(self):
+        assert fractional_cost(50, 0) == 0.0
+
+    def test_can_exceed_one(self):
+        # Labels examined can push cost past the result size.
+        assert fractional_cost(300, 200) == 1.5
+
+
+class TestNormalizedCost:
+    def test_basic(self):
+        assert normalized_cost(50, 10) == 5.0
+
+    def test_nothing_found_is_infinite(self):
+        assert math.isinf(normalized_cost(50, 0))
+
+
+class TestMeans:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_is_nan(self):
+        assert math.isnan(mean([]))
+
+    def test_mean_finite_drops_inf(self):
+        assert mean_finite([1.0, math.inf, 3.0]) == 2.0
+
+    def test_mean_finite_all_inf_is_nan(self):
+        assert math.isnan(mean_finite([math.inf]))
+
+    def test_mean_accepts_generator(self):
+        assert mean(x for x in (2.0, 4.0)) == 3.0

@@ -1,0 +1,140 @@
+"""Tests for the FEW-scenario replay and its analytic interpolation."""
+
+import pytest
+
+from repro.core.labels import CategoricalLabel, NumericLabel
+from repro.core.tree import CategoryNode, CategoryTree
+from repro.explore.exploration import (
+    relevant_count,
+    replay_all,
+    replay_few,
+    replay_one,
+)
+from repro.relational.schema import Attribute, TableSchema
+from repro.relational.table import Table
+from repro.relational.types import DataType
+from repro.workload.model import WorkloadQuery
+
+
+@pytest.fixture
+def tree():
+    schema = TableSchema(
+        "T", (Attribute("city", DataType.TEXT), Attribute("price", DataType.INT))
+    )
+    table = Table(schema)
+    for city in ("a", "b"):
+        for price in (100, 150, 200, 250, 300, 350):
+            table.insert({"city": city, "price": price})
+    root = CategoryNode(table.all_rows())
+    parts = table.all_rows().partition_by(lambda r: r["city"])
+    children = root.add_children(
+        "city",
+        [
+            (CategoricalLabel("city", ("a",)), parts["a"]),
+            (CategoricalLabel("city", ("b",)), parts["b"]),
+        ],
+    )
+    for node in children:
+        low_label = NumericLabel("price", 0, 225)
+        high_label = NumericLabel("price", 225, 400, high_inclusive=True)
+        node.add_children(
+            "price",
+            [
+                (low_label, node.rows.select(low_label.to_predicate())),
+                (high_label, node.rows.select(high_label.to_predicate())),
+            ],
+        )
+    return CategoryTree(root, technique="test")
+
+
+def w(sql):
+    return WorkloadQuery.from_sql(sql)
+
+
+QUERY = "SELECT * FROM T WHERE city IN ('a') AND price BETWEEN 100 AND 300"
+
+
+class TestReplayFew:
+    def test_k1_equals_replay_one(self, tree):
+        few = replay_few(tree, w(QUERY), k=1)
+        one = replay_one(tree, w(QUERY))
+        assert few.items_examined == one.items_examined
+        assert few.relevant_found == 1
+
+    def test_large_k_equals_replay_all(self, tree):
+        total = relevant_count(tree, w(QUERY))
+        few = replay_few(tree, w(QUERY), k=total + 100)
+        all_ = replay_all(tree, w(QUERY))
+        assert few.items_examined == all_.items_examined
+        assert few.relevant_found == total
+
+    def test_monotone_in_k(self, tree):
+        costs = [
+            replay_few(tree, w(QUERY), k=k).items_examined for k in range(1, 8)
+        ]
+        assert costs == sorted(costs)
+
+    def test_counts_relevant_exactly_k_when_available(self, tree):
+        few = replay_few(tree, w(QUERY), k=3)
+        assert few.relevant_found == 3
+        assert few.found_relevant
+
+    def test_exhausts_when_not_enough_relevant(self, tree):
+        query = "SELECT * FROM T WHERE city IN ('a') AND price BETWEEN 100 AND 120"
+        few = replay_few(tree, w(query), k=5)
+        assert few.relevant_found == relevant_count(tree, w(query)) == 1
+
+    def test_invalid_k_rejected(self, tree):
+        with pytest.raises(ValueError):
+            replay_few(tree, w(QUERY), k=0)
+
+    def test_label_cost_applied(self, tree):
+        cheap = replay_few(tree, w(QUERY), k=2, label_cost=0.25)
+        plain = replay_few(tree, w(QUERY), k=2, label_cost=1.0)
+        assert cheap.items_examined < plain.items_examined
+        assert cheap.labels_examined == plain.labels_examined
+
+
+class TestCostFewModel:
+    @pytest.fixture
+    def model_and_tree(self, statistics):
+        from repro.core.config import PAPER_CONFIG
+        from repro.core.cost import CostModel
+        from repro.core.probability import ProbabilityEstimator
+
+        model = CostModel(ProbabilityEstimator(statistics), PAPER_CONFIG)
+        return model
+
+    def test_k1_equals_cost_one(self, tree, model_and_tree):
+        model = model_and_tree
+        assert model.cost_few(tree.root, 1) == pytest.approx(
+            model.cost_one(tree.root)
+        )
+
+    def test_limit_is_cost_all(self, tree, model_and_tree):
+        model = model_and_tree
+        assert model.cost_few(tree.root, 10_000) == pytest.approx(
+            model.cost_all(tree.root), rel=1e-3
+        )
+
+    def test_monotone_in_k(self, tree, model_and_tree):
+        model = model_and_tree
+        costs = [model.cost_few(tree.root, k) for k in (1, 2, 3, 5, 10)]
+        assert costs == sorted(costs)
+
+    def test_bounded_by_endpoints(self, tree, model_and_tree):
+        model = model_and_tree
+        one = model.cost_one(tree.root)
+        all_ = model.cost_all(tree.root)
+        for k in (2, 3, 7):
+            assert one <= model.cost_few(tree.root, k) <= all_ + 1e-9
+
+    def test_invalid_k_rejected(self, tree, model_and_tree):
+        with pytest.raises(ValueError):
+            model_and_tree.cost_few(tree.root, 0)
+
+    def test_tree_wrapper(self, tree, model_and_tree):
+        model = model_and_tree
+        assert model.tree_cost_few(tree, 3) == pytest.approx(
+            model.cost_few(tree.root, 3)
+        )

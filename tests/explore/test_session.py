@@ -1,0 +1,59 @@
+"""Tests for exploration session recording."""
+
+from repro.explore.session import ExplorationSession, Operation
+
+
+class TestAccounting:
+    def test_items_examined_combines_labels_and_tuples(self):
+        session = ExplorationSession(label_cost=1.0)
+        session.examine_label("c1")
+        session.examine_label("c2")
+        session.examine_tuple(relevant=False)
+        assert session.items_examined == 3.0
+
+    def test_label_cost_k_weights_labels(self):
+        session = ExplorationSession(label_cost=0.5)
+        session.examine_label("c1")
+        session.examine_tuple(relevant=False)
+        assert session.items_examined == 1.5
+
+    def test_relevant_found_counted(self):
+        session = ExplorationSession()
+        session.examine_tuple(relevant=True)
+        session.examine_tuple(relevant=False)
+        session.examine_tuple(relevant=True)
+        assert session.relevant_found == 2
+        assert session.tuples_examined == 3
+
+
+class TestEventLog:
+    def test_operations_logged_in_order(self):
+        session = ExplorationSession()
+        session.expand("root")
+        session.examine_label("c1")
+        session.ignore("c1")
+        session.examine_label("c2")
+        session.show_tuples("c2")
+        session.examine_tuple(relevant=True)
+        ops = [e.operation for e in session.events]
+        assert ops == [
+            Operation.EXPAND,
+            Operation.EXAMINE_LABEL,
+            Operation.IGNORE,
+            Operation.EXAMINE_LABEL,
+            Operation.SHOW_TUPLES,
+            Operation.EXAMINE_TUPLE,
+            Operation.MARK_RELEVANT,
+        ]
+
+    def test_relevant_click_recorded_with_detail(self):
+        session = ExplorationSession()
+        session.examine_tuple(relevant=True, detail=42)
+        marks = [e for e in session.events if e.operation is Operation.MARK_RELEVANT]
+        assert marks[0].detail == 42
+
+    def test_give_up_flag(self):
+        session = ExplorationSession()
+        assert not session.exhausted_patience
+        session.give_up()
+        assert session.exhausted_patience

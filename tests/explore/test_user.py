@@ -1,0 +1,171 @@
+"""Tests for the simulated user model."""
+
+import random
+
+import pytest
+
+from repro.core.labels import CategoricalLabel
+from repro.core.tree import CategoryNode, CategoryTree
+from repro.explore.user import SimulatedUser, UserBehavior, derive_preference
+from repro.relational.expressions import Conjunction, InPredicate, RangePredicate
+from repro.relational.query import SelectQuery
+from repro.relational.schema import Attribute, TableSchema
+from repro.relational.table import Table
+from repro.relational.types import DataType
+from repro.workload.model import WorkloadQuery
+
+
+@pytest.fixture
+def tree():
+    schema = TableSchema(
+        "T", (Attribute("city", DataType.TEXT), Attribute("price", DataType.INT))
+    )
+    table = Table(schema)
+    for city in ("a", "b", "c"):
+        for price in (100, 200, 300, 400):
+            table.insert({"city": city, "price": price})
+    root = CategoryNode(table.all_rows())
+    parts = table.all_rows().partition_by(lambda r: r["city"])
+    root.add_children(
+        "city",
+        [(CategoricalLabel("city", (c,)), parts[c]) for c in ("a", "b", "c")],
+    )
+    return CategoryTree(root, technique="test")
+
+
+def preference(sql="SELECT * FROM T WHERE city IN ('b') AND price <= 200"):
+    return WorkloadQuery.from_sql(sql)
+
+
+def perfect_behavior(patience=10_000):
+    return UserBehavior(
+        sensitivity=1.0, label_error=0.0, recognition=1.0, patience=patience
+    )
+
+
+class TestBehaviorValidation:
+    def test_probability_fields_validated(self):
+        with pytest.raises(ValueError):
+            UserBehavior(sensitivity=1.5)
+        with pytest.raises(ValueError):
+            UserBehavior(label_error=-0.1)
+
+    def test_patience_validated(self):
+        with pytest.raises(ValueError):
+            UserBehavior(patience=0)
+
+
+class TestRelevance:
+    def test_is_relevant(self, tree):
+        user = SimulatedUser("U1", preference(), perfect_behavior())
+        assert user.is_relevant({"city": "b", "price": 150})
+        assert not user.is_relevant({"city": "a", "price": 150})
+
+    def test_relevant_in_tree(self, tree):
+        user = SimulatedUser("U1", preference(), perfect_behavior())
+        assert user.relevant_in(tree) == 2  # b @ 100, 200
+
+
+class TestExploreAll:
+    def test_perfect_user_finds_everything(self, tree):
+        user = SimulatedUser("U1", preference(), perfect_behavior())
+        session = user.explore_all(tree)
+        assert session.relevant_found == 2
+        assert not session.exhausted_patience
+
+    def test_perfect_user_ignores_irrelevant_categories(self, tree):
+        user = SimulatedUser("U1", preference(), perfect_behavior())
+        session = user.explore_all(tree)
+        # Examines 3 labels, drills only 'b' (4 tuples).
+        assert session.labels_examined == 3
+        assert session.tuples_examined == 4
+
+    def test_patience_exhaustion_limits_findings(self, tree):
+        impatient = UserBehavior(
+            sensitivity=1.0, label_error=0.0, recognition=1.0, patience=4
+        )
+        user = SimulatedUser("U1", preference(), impatient)
+        session = user.explore_all(tree)
+        assert session.exhausted_patience
+        assert session.items_examined <= 5  # stops right after the limit
+
+    def test_insensitive_user_browses_tuples(self, tree):
+        browser = UserBehavior(
+            sensitivity=0.0, label_error=0.0, recognition=1.0, patience=10_000
+        )
+        user = SimulatedUser("U1", preference(), browser)
+        session = user.explore_all(tree)
+        # SHOWTUPLES at root: all 12 tuples, no labels.
+        assert session.tuples_examined == 12
+        assert session.labels_examined == 0
+
+    def test_deterministic_given_seed(self, tree):
+        behavior = UserBehavior(sensitivity=0.7, label_error=0.1, recognition=0.9)
+        a = SimulatedUser("U1", preference(), behavior, seed=5).explore_all(tree)
+        b = SimulatedUser("U1", preference(), behavior, seed=5).explore_all(tree)
+        assert a.items_examined == b.items_examined
+        assert a.relevant_found == b.relevant_found
+
+    def test_imperfect_recognition_misses_tuples(self, tree):
+        blind = UserBehavior(
+            sensitivity=1.0, label_error=0.0, recognition=0.0, patience=10_000
+        )
+        user = SimulatedUser("U1", preference(), blind)
+        assert user.explore_all(tree).relevant_found == 0
+
+
+class TestExploreOne:
+    def test_stops_at_first_relevant(self, tree):
+        user = SimulatedUser("U1", preference(), perfect_behavior())
+        session = user.explore_one(tree)
+        assert session.relevant_found == 1
+
+    def test_one_never_costs_more_than_all(self, tree):
+        user = SimulatedUser("U1", preference(), perfect_behavior())
+        one = user.explore_one(tree)
+        all_ = user.explore_all(tree)
+        assert one.items_examined <= all_.items_examined
+
+
+class TestDerivePreference:
+    def make_task(self):
+        return SelectQuery(
+            "ListProperty",
+            Conjunction(
+                [
+                    InPredicate("neighborhood", ("A, WA", "B, WA", "C, WA", "D, WA")),
+                    RangePredicate("price", 200_000, 600_000),
+                ]
+            ),
+        )
+
+    def test_preference_narrows_neighborhoods(self):
+        pref = derive_preference(self.make_task(), random.Random(1))
+        hoods = pref.in_values("neighborhood")
+        assert hoods is not None
+        assert hoods <= {"A, WA", "B, WA", "C, WA", "D, WA"}
+        assert 1 <= len(hoods) <= 3
+
+    def test_preference_price_inside_task_band_when_present(self):
+        saw_price = 0
+        for seed in range(30):
+            pref = derive_preference(self.make_task(), random.Random(seed))
+            bounds = pref.range_bounds("price")
+            if bounds is None:
+                continue  # ~40% of subjects are price-indifferent
+            saw_price += 1
+            low, high = bounds
+            assert 200_000 <= low <= high <= 600_000
+        assert 10 <= saw_price <= 25  # inclusion rate tracks workload usage
+
+    def test_preference_deterministic(self):
+        a = derive_preference(self.make_task(), random.Random(3))
+        b = derive_preference(self.make_task(), random.Random(3))
+        assert str(a) == str(b)
+
+    def test_different_seeds_differ(self):
+        prefs = {
+            str(derive_preference(self.make_task(), random.Random(seed)))
+            for seed in range(8)
+        }
+        assert len(prefs) > 1

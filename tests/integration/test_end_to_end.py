@@ -1,0 +1,120 @@
+"""End-to-end integration: the full pipeline from SQL string to rendered tree.
+
+Mirrors the README quickstart: generate data, generate a workload, persist
+it as a SQL log file, preprocess, run a user query, categorize with all
+three techniques, estimate costs, replay an exploration, and render.
+"""
+
+import pytest
+
+from repro.core.algorithm import CostBasedCategorizer
+from repro.core.baselines import AttrCostCategorizer, NoCostCategorizer
+from repro.core.config import PAPER_CONFIG
+from repro.core.cost import CostModel
+from repro.core.probability import ProbabilityEstimator
+from repro.explore.exploration import replay_all, replay_one
+from repro.render.treeview import render_tree, summarize_tree
+from repro.sql.compiler import parse_query
+from repro.workload.log import Workload
+from repro.workload.model import WorkloadQuery
+from repro.workload.preprocess import preprocess_workload
+
+
+HOMES_QUERY = (
+    "SELECT * FROM ListProperty WHERE neighborhood IN "
+    "('Queen Anne, WA', 'Capitol Hill, WA', 'Ballard, WA', 'Fremont, WA', "
+    "'Greenwood, WA', 'West Seattle, WA') AND price BETWEEN 200000 AND 500000"
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline(request, tmp_path_factory):
+    homes = request.getfixturevalue("homes_table")
+    workload = request.getfixturevalue("workload")
+
+    # Persist and reload the workload: the count tables must be buildable
+    # from nothing but the logged SQL strings (Section 4.2's premise).
+    log_path = tmp_path_factory.mktemp("logs") / "workload.sql"
+    workload.save(log_path)
+    reloaded = Workload.load(log_path)
+
+    statistics = preprocess_workload(
+        reloaded, homes.schema, PAPER_CONFIG.separation_intervals
+    )
+    query = parse_query(HOMES_QUERY)
+    rows = query.execute(homes)
+    return homes, statistics, query, rows
+
+
+class TestPipeline:
+    def test_result_set_nonempty(self, pipeline):
+        _, _, _, rows = pipeline
+        assert len(rows) > PAPER_CONFIG.max_tuples_per_category
+
+    def test_all_techniques_produce_valid_trees(self, pipeline):
+        _, statistics, query, rows = pipeline
+        for factory in (CostBasedCategorizer, AttrCostCategorizer, NoCostCategorizer):
+            tree = factory(statistics).categorize(rows, query)
+            tree.validate()
+            assert tree.result_size == len(rows)
+
+    def test_cost_based_minimizes_estimated_cost(self, pipeline):
+        _, statistics, query, rows = pipeline
+        model = CostModel(ProbabilityEstimator(statistics), PAPER_CONFIG)
+        costs = {}
+        for factory in (CostBasedCategorizer, AttrCostCategorizer, NoCostCategorizer):
+            tree = factory(statistics).categorize(rows, query)
+            costs[tree.technique] = model.tree_cost_all(tree)
+        assert costs["cost-based"] == min(costs.values())
+
+    def test_categorization_beats_no_categorization(self, pipeline):
+        _, statistics, query, rows = pipeline
+        tree = CostBasedCategorizer(statistics).categorize(rows, query)
+        exploration = WorkloadQuery.from_sql(
+            "SELECT * FROM ListProperty WHERE neighborhood IN ('Ballard, WA') "
+            "AND price BETWEEN 250000 AND 350000 AND bedroomcount BETWEEN 2 AND 3"
+        )
+        replay = replay_all(tree, exploration)
+        # Without categorization the user examines the whole result set.
+        assert replay.items_examined < len(rows)
+
+    def test_one_scenario_cheaper_than_all(self, pipeline):
+        _, statistics, query, rows = pipeline
+        tree = CostBasedCategorizer(statistics).categorize(rows, query)
+        exploration = WorkloadQuery.from_sql(
+            "SELECT * FROM ListProperty WHERE neighborhood IN ('Ballard, WA') "
+            "AND price BETWEEN 250000 AND 350000"
+        )
+        one = replay_one(tree, exploration)
+        all_ = replay_all(tree, exploration)
+        assert one.items_examined <= all_.items_examined
+
+    def test_estimated_and_actual_same_order_of_magnitude(self, pipeline):
+        _, statistics, query, rows = pipeline
+        model = CostModel(ProbabilityEstimator(statistics), PAPER_CONFIG)
+        tree = CostBasedCategorizer(statistics).categorize(rows, query)
+        estimated = model.tree_cost_all(tree)
+        exploration = WorkloadQuery.from_sql(
+            "SELECT * FROM ListProperty WHERE neighborhood IN "
+            "('Ballard, WA', 'Fremont, WA') AND price BETWEEN 250000 AND 400000 "
+            "AND bedroomcount BETWEEN 2 AND 4"
+        )
+        actual = replay_all(tree, exploration).items_examined
+        assert estimated / 30 < actual < estimated * 30
+
+    def test_render_is_displayable(self, pipeline):
+        _, statistics, query, rows = pipeline
+        tree = CostBasedCategorizer(statistics).categorize(rows, query)
+        text = render_tree(tree, max_depth=2, max_children=5)
+        assert text.startswith("ALL")
+        assert len(text.splitlines()) > 3
+        summary = summarize_tree(tree)
+        assert "technique=cost-based" in summary
+
+    def test_leaf_sizes_respect_m(self, pipeline):
+        _, statistics, query, rows = pipeline
+        tree = CostBasedCategorizer(statistics).categorize(rows, query)
+        # With six retained attributes on this result size, every leaf
+        # should shrink to at most M tuples.
+        oversized = [l for l in tree.leaves() if l.tuple_count > 20]
+        assert len(oversized) <= tree.category_count() * 0.05

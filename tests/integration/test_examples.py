@@ -1,0 +1,53 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least compile; the fast ones are executed end to
+end (the heavyweight ones are exercised indirectly — they wrap the same
+study harness the benchmark suite runs at full scale).
+"""
+
+import py_compile
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    sorted(path.name for path in EXAMPLES_DIR.glob("*.py")),
+)
+def test_example_compiles(script):
+    py_compile.compile(str(EXAMPLES_DIR / script), doraise=True)
+
+
+def test_expected_examples_present():
+    names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "compare_techniques.py",
+        "interactive_exploration.py",
+        "custom_dataset.py",
+        "star_schema.py",
+        "reproduce_paper.py",
+    } <= names
+
+
+def run_example(name: str, capsys, argv=()) -> str:
+    """Execute one example as __main__ and return its stdout."""
+    old_argv = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+def test_custom_dataset_example_runs(capsys):
+    out = run_example("custom_dataset.py", capsys)
+    assert "attribute usage fractions" in out
+    assert "ALL [" in out
+    assert "estimated exploration cost" in out

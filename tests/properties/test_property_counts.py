@@ -1,0 +1,126 @@
+"""Property-based tests on count tables: the indexes vs brute force."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workload.counts import OccurrenceCounts, RangeIndex, SplitPointsTable
+
+
+bounded = st.floats(min_value=0, max_value=1_000, allow_nan=False)
+
+
+@st.composite
+def range_lists(draw):
+    count = draw(st.integers(min_value=1, max_value=40))
+    ranges = []
+    for _ in range(count):
+        low = draw(bounded)
+        high = draw(bounded.filter(lambda v: v >= low))
+        ranges.append((low, high))
+    return ranges
+
+
+class TestRangeIndexAgainstBruteForce:
+    @given(range_lists(), bounded, bounded)
+    def test_half_open_counts_match(self, ranges, a, b):
+        low, high = min(a, b), max(a, b)
+        index = RangeIndex("x")
+        for r_low, r_high in ranges:
+            index.record_range(r_low, r_high)
+        index.finalize()
+        brute = sum(
+            1 for r_low, r_high in ranges
+            if r_low < high and r_high >= low  # overlap with [low, high)
+        )
+        assert index.count_overlapping(low, high) == brute
+
+    @given(range_lists(), bounded, bounded)
+    def test_closed_counts_match(self, ranges, a, b):
+        low, high = min(a, b), max(a, b)
+        index = RangeIndex("x")
+        for r_low, r_high in ranges:
+            index.record_range(r_low, r_high)
+        brute = sum(
+            1 for r_low, r_high in ranges
+            if r_low <= high and r_high >= low  # overlap with [low, high]
+        )
+        assert index.count_overlapping(low, high, high_inclusive=True) == brute
+
+    @given(range_lists())
+    def test_full_domain_counts_everything(self, ranges):
+        index = RangeIndex("x")
+        for r_low, r_high in ranges:
+            index.record_range(r_low, r_high)
+        assert index.count_overlapping(-math.inf, math.inf) == len(ranges)
+
+
+class TestSplitPointsProperties:
+    @given(
+        st.lists(
+            st.tuples(bounded, bounded).map(lambda t: (min(t), max(t))),
+            min_size=1,
+            max_size=30,
+        ),
+        st.sampled_from([1.0, 5.0, 25.0]),
+    )
+    def test_goodness_mass_conserved(self, ranges, interval):
+        """Total start+end mass equals 2 x #finite-bounded ranges."""
+        table = SplitPointsTable("x", interval)
+        for low, high in ranges:
+            table.record_range(low, high)
+        rows = table.rows_in_range(-math.inf, math.inf)
+        assert sum(r.goodness for r in rows) == 2 * len(ranges)
+
+    @given(bounded, st.sampled_from([1.0, 2.5, 10.0]))
+    def test_snap_idempotent_and_on_grid(self, value, interval):
+        table = SplitPointsTable("x", interval)
+        snapped = table.snap(value)
+        assert table.snap(snapped) == snapped
+        assert abs(snapped / interval - round(snapped / interval)) < 1e-9
+
+    @given(
+        st.lists(st.tuples(bounded, bounded).map(lambda t: (min(t), max(t))),
+                 min_size=1, max_size=30)
+    )
+    def test_best_splitpoints_sorted_by_goodness(self, ranges):
+        table = SplitPointsTable("x", 5.0)
+        for low, high in ranges:
+            table.record_range(low, high)
+        best = table.best_splitpoints(-1, 1_001)
+        scores = [table.goodness(p) for p in best]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestOccurrenceProperties:
+    @given(
+        st.lists(
+            st.lists(st.sampled_from("abcdef"), min_size=1, max_size=4),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    def test_order_by_occurrence_is_a_permutation_sorted_by_occ(self, queries):
+        occ = OccurrenceCounts("x")
+        for values in queries:
+            occ.record_values(values)
+        universe = sorted({v for values in queries for v in values})
+        ordered = occ.order_by_occurrence(universe)
+        assert sorted(ordered) == universe
+        counts = [occ.occ(v) for v in ordered]
+        assert counts == sorted(counts, reverse=True)
+
+    @given(
+        st.lists(
+            st.lists(st.sampled_from("abcdef"), min_size=1, max_size=4),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    def test_occ_never_exceeds_query_count(self, queries):
+        occ = OccurrenceCounts("x")
+        for values in queries:
+            occ.record_values(values)
+        for value in "abcdef":
+            assert 0 <= occ.occ(value) <= len(queries)

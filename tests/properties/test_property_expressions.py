@@ -1,0 +1,59 @@
+"""Property-based tests for predicate semantics (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.expressions import InPredicate, RangePredicate
+
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def ranges(draw):
+    low = draw(finite_floats)
+    high = draw(finite_floats.filter(lambda v: v >= low))
+    inclusive = draw(st.booleans())
+    return RangePredicate("x", low, high, high_inclusive=inclusive)
+
+
+class TestRangeOverlap:
+    @given(ranges(), ranges())
+    def test_overlap_is_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(ranges())
+    def test_overlap_is_reflexive_for_nonempty(self, a):
+        # A closed range always admits a value; a half-open range is empty
+        # only when low == high.
+        if a.high_inclusive or a.low < a.high:
+            assert a.overlaps(a)
+
+    @given(ranges(), ranges(), finite_floats)
+    def test_witness_implies_overlap(self, a, b, point):
+        """A value satisfying both predicates forces overlaps() to be True."""
+        if a.matches({"x": point}) and b.matches({"x": point}):
+            assert a.overlaps(b)
+
+    @given(ranges(), finite_floats)
+    def test_matches_consistent_with_bounds(self, a, point):
+        if a.matches({"x": point}):
+            assert a.low <= point
+            assert point < a.high or (a.high_inclusive and point == a.high)
+
+
+class TestInOverlap:
+    values = st.frozensets(st.integers(min_value=0, max_value=30), min_size=1)
+
+    @given(values, values)
+    def test_overlap_iff_intersection(self, a_values, b_values):
+        a = InPredicate("x", sorted(a_values))
+        b = InPredicate("x", sorted(b_values))
+        assert a.overlaps(b) == bool(a_values & b_values)
+
+    @given(values, st.integers(min_value=0, max_value=40))
+    def test_matches_iff_membership(self, values, probe):
+        pred = InPredicate("x", sorted(values))
+        assert pred.matches({"x": probe}) == (probe in values)

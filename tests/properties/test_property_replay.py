@@ -1,0 +1,132 @@
+"""Property-based tests: replay invariants over random trees and queries."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithm import CostBasedCategorizer
+from repro.core.config import CategorizerConfig
+from repro.explore.exploration import (
+    relevant_count,
+    replay_all,
+    replay_few,
+    replay_one,
+)
+from repro.relational.query import SelectQuery
+from repro.relational.schema import Attribute, TableSchema
+from repro.relational.table import Table
+from repro.relational.types import AttributeKind, DataType
+from repro.workload.log import Workload
+from repro.workload.model import WorkloadQuery
+from repro.workload.preprocess import preprocess_workload
+
+
+SCHEMA = TableSchema(
+    "T",
+    (
+        Attribute("color", DataType.TEXT, AttributeKind.CATEGORICAL),
+        Attribute("size", DataType.INT, AttributeKind.NUMERIC),
+    ),
+)
+
+CONFIG = CategorizerConfig(
+    max_tuples_per_category=5,
+    elimination_threshold=0.0,
+    bucket_count=3,
+    separation_intervals={"size": 10.0},
+)
+
+WORKLOAD = Workload.from_sql_strings(
+    [
+        "SELECT * FROM T WHERE color IN ('red') AND size BETWEEN 10 AND 40",
+        "SELECT * FROM T WHERE color IN ('blue', 'green') AND size BETWEEN 20 AND 60",
+        "SELECT * FROM T WHERE size BETWEEN 30 AND 70",
+        "SELECT * FROM T WHERE size BETWEEN 50 AND 90 AND color IN ('red')",
+        "SELECT * FROM T WHERE color IN ('green')",
+    ]
+)
+
+rows_strategy = st.lists(
+    st.fixed_dictionaries(
+        {
+            "color": st.sampled_from(["red", "green", "blue"]),
+            "size": st.integers(min_value=0, max_value=100),
+        }
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+@st.composite
+def explorations(draw):
+    parts = []
+    if draw(st.booleans()):
+        colors = draw(
+            st.lists(
+                st.sampled_from(["red", "green", "blue"]),
+                min_size=1,
+                max_size=2,
+                unique=True,
+            )
+        )
+        parts.append("color IN (%s)" % ", ".join(f"'{c}'" for c in colors))
+    low = draw(st.integers(min_value=0, max_value=90))
+    high = draw(st.integers(min_value=low, max_value=100))
+    parts.append(f"size BETWEEN {low} AND {high}")
+    return WorkloadQuery.from_sql("SELECT * FROM T WHERE " + " AND ".join(parts))
+
+
+def build_tree(rows):
+    table = Table(SCHEMA)
+    table.extend(rows)
+    stats = preprocess_workload(WORKLOAD, SCHEMA, {"size": 10.0})
+    return CostBasedCategorizer(stats, CONFIG).categorize(
+        table.all_rows(), SelectQuery("T")
+    )
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(rows=rows_strategy, w=explorations())
+def test_replay_cost_ordering(rows, w):
+    """ONE <= FEW(k) <= ALL for every deterministic replay."""
+    tree = build_tree(rows)
+    one = replay_one(tree, w).items_examined
+    all_ = replay_all(tree, w).items_examined
+    for k in (1, 2, 4):
+        few = replay_few(tree, w, k).items_examined
+        assert one - 1e-9 <= few <= all_ + 1e-9
+    assert one <= all_ + 1e-9
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(rows=rows_strategy, w=explorations())
+def test_replay_found_iff_relevant_exists(rows, w):
+    """The ONE replay finds a tuple exactly when the relevant set is reachable.
+
+    Every relevant tuple lives under labels overlapping W (a tuple
+    satisfying W satisfies every label predicate weaker than W on the
+    drill path), so found_relevant must equal relevant_count > 0.
+    """
+    tree = build_tree(rows)
+    total = relevant_count(tree, w)
+    result = replay_one(tree, w)
+    assert result.found_relevant == (total > 0)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(rows=rows_strategy, w=explorations())
+def test_replay_few_finds_min_of_k_and_total(rows, w):
+    tree = build_tree(rows)
+    total = relevant_count(tree, w)
+    for k in (1, 3, 10):
+        assert replay_few(tree, w, k).relevant_found == min(k, total)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(rows=rows_strategy, w=explorations())
+def test_replay_all_examines_at_most_everything(rows, w):
+    tree = build_tree(rows)
+    result = replay_all(tree, w)
+    total_labels = sum(len(n.children) for n in tree.nodes())
+    assert result.tuples_examined <= len(rows)
+    assert result.labels_examined <= total_labels

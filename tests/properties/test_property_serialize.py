@@ -1,0 +1,70 @@
+"""Property-based tests: serialization round-trip on random trees."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithm import CostBasedCategorizer
+from repro.core.config import CategorizerConfig
+from repro.core.serialize import tree_from_json, tree_to_json
+from repro.relational.query import SelectQuery
+from repro.relational.schema import Attribute, TableSchema
+from repro.relational.table import Table
+from repro.relational.types import AttributeKind, DataType
+from repro.workload.log import Workload
+from repro.workload.preprocess import preprocess_workload
+
+
+SCHEMA = TableSchema(
+    "T",
+    (
+        Attribute("color", DataType.TEXT, AttributeKind.CATEGORICAL),
+        Attribute("size", DataType.INT, AttributeKind.NUMERIC),
+    ),
+)
+
+CONFIG = CategorizerConfig(
+    max_tuples_per_category=4,
+    elimination_threshold=0.0,
+    bucket_count=3,
+    separation_intervals={"size": 10.0},
+)
+
+WORKLOAD = Workload.from_sql_strings(
+    [
+        "SELECT * FROM T WHERE color IN ('red') AND size BETWEEN 10 AND 40",
+        "SELECT * FROM T WHERE color IN ('blue', 'green')",
+        "SELECT * FROM T WHERE size BETWEEN 30 AND 70",
+        "SELECT * FROM T WHERE size BETWEEN 50 AND 90 AND color IN ('red')",
+    ]
+)
+
+rows_strategy = st.lists(
+    st.fixed_dictionaries(
+        {
+            "color": st.sampled_from(["red", "green", "blue"]),
+            "size": st.integers(min_value=0, max_value=100),
+        }
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(rows=rows_strategy)
+def test_serialize_round_trip_preserves_everything(rows):
+    table = Table(SCHEMA)
+    table.extend(rows)
+    stats = preprocess_workload(WORKLOAD, SCHEMA, {"size": 10.0})
+    tree = CostBasedCategorizer(stats, CONFIG).categorize(
+        table.all_rows(), SelectQuery("T")
+    )
+    rebuilt = tree_from_json(tree_to_json(tree), table.all_rows())
+    rebuilt.validate()
+    originals = list(tree.nodes())
+    restored = list(rebuilt.nodes())
+    assert len(originals) == len(restored)
+    for a, b in zip(originals, restored):
+        assert a.display() == b.display()
+        assert a.rows.indices == b.rows.indices
+        assert a.child_attribute == b.child_attribute

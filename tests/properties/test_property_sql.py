@@ -1,0 +1,81 @@
+"""Property-based tests for the SQL round-trip (hypothesis).
+
+Random queries in the workload dialect must survive format -> parse ->
+format unchanged (fixed point), and parsing must preserve the semantic
+content (conditions per attribute).
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.relational.expressions import Conjunction, InPredicate, RangePredicate
+from repro.relational.query import SelectQuery
+from repro.sql.compiler import parse_query
+from repro.sql.formatter import format_query
+from repro.workload.model import WorkloadQuery
+
+
+identifiers = st.sampled_from(
+    ["neighborhood", "city", "price", "bedroomcount", "squarefootage"]
+)
+
+text_values = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), whitelist_characters=" ,.'-"),
+    min_size=1,
+    max_size=20,
+).filter(lambda s: s.strip())
+
+int_values = st.integers(min_value=0, max_value=5_000_000)
+
+
+@st.composite
+def in_predicates(draw):
+    attribute = draw(st.sampled_from(["neighborhood", "city", "propertytype"]))
+    values = draw(st.lists(text_values, min_size=1, max_size=5, unique=True))
+    return InPredicate(attribute, values)
+
+
+@st.composite
+def range_predicates(draw):
+    attribute = draw(st.sampled_from(["price", "bedroomcount", "squarefootage"]))
+    low = draw(int_values)
+    high = draw(int_values.filter(lambda v: v >= low))
+    return RangePredicate(attribute, float(low), float(high))
+
+
+@st.composite
+def queries(draw):
+    in_parts = draw(st.lists(in_predicates(), max_size=2))
+    range_parts = draw(st.lists(range_predicates(), max_size=2))
+    parts = in_parts + range_parts
+    seen: set[str] = set()
+    unique_parts = []
+    for part in parts:
+        attribute = next(iter(part.attributes()))
+        if attribute not in seen:
+            seen.add(attribute)
+            unique_parts.append(part)
+    return SelectQuery("ListProperty", Conjunction(unique_parts))
+
+
+class TestRoundTrip:
+    @given(queries())
+    def test_format_parse_fixed_point(self, query):
+        sql = format_query(query)
+        assert format_query(parse_query(sql)) == sql
+
+    @given(queries())
+    def test_conditions_preserved(self, query):
+        original = WorkloadQuery.from_query(query)
+        reparsed = WorkloadQuery.from_sql(original.to_sql())
+        assert set(reparsed.conditions) == set(original.conditions)
+        for attribute in original.conditions:
+            assert reparsed.in_values(attribute) == original.in_values(attribute)
+            assert reparsed.range_bounds(attribute) == original.range_bounds(
+                attribute
+            )
+
+    @given(queries())
+    def test_parsed_query_is_executable_shape(self, query):
+        reparsed = parse_query(format_query(query))
+        assert reparsed.table_name == "ListProperty"

@@ -1,0 +1,132 @@
+"""Property-based tests on category-tree invariants (hypothesis).
+
+Random small relations + random workloads -> the categorizer must always
+produce a structurally valid tree whose tuple bookkeeping is exact.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithm import CostBasedCategorizer
+from repro.core.baselines import AttrCostCategorizer, NoCostCategorizer
+from repro.core.config import CategorizerConfig
+from repro.relational.query import SelectQuery
+from repro.relational.schema import Attribute, TableSchema
+from repro.relational.table import Table
+from repro.relational.types import AttributeKind, DataType
+from repro.workload.log import Workload
+from repro.workload.preprocess import preprocess_workload
+
+
+SCHEMA = TableSchema(
+    "T",
+    (
+        Attribute("color", DataType.TEXT, AttributeKind.CATEGORICAL),
+        Attribute("size", DataType.INT, AttributeKind.NUMERIC),
+    ),
+)
+
+rows_strategy = st.lists(
+    st.fixed_dictionaries(
+        {
+            "color": st.sampled_from(["red", "green", "blue", "black"]),
+            "size": st.integers(min_value=0, max_value=100),
+        }
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+@st.composite
+def workloads(draw):
+    statements = []
+    count = draw(st.integers(min_value=2, max_value=12))
+    for _ in range(count):
+        parts = []
+        if draw(st.booleans()):
+            colors = draw(
+                st.lists(
+                    st.sampled_from(["red", "green", "blue", "black"]),
+                    min_size=1,
+                    max_size=3,
+                    unique=True,
+                )
+            )
+            rendered = ", ".join(f"'{c}'" for c in colors)
+            parts.append(f"color IN ({rendered})")
+        low = draw(st.integers(min_value=0, max_value=90))
+        high = draw(st.integers(min_value=low, max_value=100))
+        parts.append(f"size BETWEEN {low} AND {high}")
+        statements.append("SELECT * FROM T WHERE " + " AND ".join(parts))
+    return Workload.from_sql_strings(statements)
+
+
+def build_table(rows):
+    table = Table(SCHEMA)
+    table.extend(rows)
+    return table
+
+
+CONFIG = CategorizerConfig(
+    max_tuples_per_category=5,
+    elimination_threshold=0.0,
+    bucket_count=3,
+    separation_intervals={"size": 10.0},
+)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(rows=rows_strategy, workload=workloads())
+def test_cost_based_tree_always_valid(rows, workload):
+    table = build_table(rows)
+    stats = preprocess_workload(workload, SCHEMA, {"size": 10.0})
+    tree = CostBasedCategorizer(stats, CONFIG).categorize(
+        table.all_rows(), SelectQuery("T")
+    )
+    tree.validate()
+    assert tree.result_size == len(rows)
+    # Leaf tuple-sets are disjoint and within the root's tuples.
+    leaf_indices = [i for leaf in tree.leaves() for i in leaf.rows.indices]
+    assert len(leaf_indices) == len(set(leaf_indices))
+    assert set(leaf_indices) <= set(tree.root.rows.indices)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(rows=rows_strategy, workload=workloads())
+def test_baseline_trees_always_valid(rows, workload):
+    table = build_table(rows)
+    stats = preprocess_workload(workload, SCHEMA, {"size": 10.0})
+    for categorizer in (
+        NoCostCategorizer(stats, CONFIG, attribute_set=("color", "size")),
+        AttrCostCategorizer(stats, CONFIG, attribute_set=("color", "size")),
+    ):
+        tree = categorizer.categorize(table.all_rows(), SelectQuery("T"))
+        tree.validate()
+        assert tree.result_size == len(rows)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(rows=rows_strategy, workload=workloads())
+def test_estimated_costs_nonnegative_and_bounded(rows, workload):
+    """CostOne <= CostAll <= a generous bound for every subtree."""
+    from repro.core.cost import CostModel
+    from repro.core.probability import ProbabilityEstimator
+
+    table = build_table(rows)
+    stats = preprocess_workload(workload, SCHEMA, {"size": 10.0})
+    tree = CostBasedCategorizer(stats, CONFIG).categorize(
+        table.all_rows(), SelectQuery("T")
+    )
+    model = CostModel(ProbabilityEstimator(stats), CONFIG)
+    annotations = model.annotate(tree)
+    for node in tree.nodes():
+        costs = annotations[id(node)]
+        assert costs.cost_all >= 0
+        assert costs.cost_one >= 0
+        assert costs.cost_one <= costs.cost_all + 1e-9
+        # No exploration can exceed examining every tuple and every label.
+        bound = node.tuple_count + sum(
+            len(n.children) for n in node.walk()
+        ) * CONFIG.label_cost
+        assert costs.cost_all <= bound + 1e-6

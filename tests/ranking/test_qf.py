@@ -1,0 +1,75 @@
+"""Tests for query-frequency tuple scoring."""
+
+import math
+
+import pytest
+
+from repro.data.homes import list_property_schema
+from repro.ranking.qf import QueryFrequencyScorer
+from repro.workload.log import Workload
+from repro.workload.preprocess import preprocess_workload
+
+
+@pytest.fixture
+def scorer():
+    workload = Workload.from_sql_strings(
+        [
+            "SELECT * FROM ListProperty WHERE neighborhood IN ('Hot, WA')",
+            "SELECT * FROM ListProperty WHERE neighborhood IN ('Hot, WA')",
+            "SELECT * FROM ListProperty WHERE neighborhood IN ('Hot, WA', 'Warm, WA')",
+            "SELECT * FROM ListProperty WHERE price BETWEEN 200000 AND 300000",
+            "SELECT * FROM ListProperty WHERE price BETWEEN 250000 AND 400000",
+        ]
+    )
+    stats = preprocess_workload(workload, list_property_schema(), {"price": 5_000})
+    return QueryFrequencyScorer(stats)
+
+
+class TestValueScores:
+    def test_most_requested_value_scores_highest(self, scorer):
+        hot = scorer.value_score("neighborhood", "Hot, WA")
+        warm = scorer.value_score("neighborhood", "Warm, WA")
+        cold = scorer.value_score("neighborhood", "Cold, WA")
+        assert hot > warm > cold
+        assert hot == pytest.approx(1.0)
+
+    def test_unseen_value_gets_smoothing_floor(self, scorer):
+        assert scorer.value_score("neighborhood", "Cold, WA") == pytest.approx(
+            1e-3
+        )
+
+    def test_numeric_score_is_containment_fraction(self, scorer):
+        # 275K is inside both price ranges; 150K inside none; 350K in one.
+        assert scorer.value_score("price", 275_000) == pytest.approx(1.0)
+        assert scorer.value_score("price", 350_000) == pytest.approx(0.5 + 1e-3)
+        assert scorer.value_score("price", 150_000) == pytest.approx(1e-3)
+
+    def test_null_is_neutral(self, scorer):
+        assert scorer.value_score("price", None) == 1.0
+
+    def test_unused_attribute_is_neutral(self, scorer):
+        assert scorer.value_score("yearbuilt", 1990) == 1.0
+
+    def test_unknown_attribute_rejected_at_construction(self, scorer):
+        with pytest.raises(KeyError):
+            QueryFrequencyScorer(scorer.statistics, attributes=["bogus"])
+
+
+class TestTupleScores:
+    def test_popular_tuple_outscores_unpopular(self, scorer):
+        popular = {"neighborhood": "Hot, WA", "price": 275_000}
+        unpopular = {"neighborhood": "Cold, WA", "price": 150_000}
+        assert scorer.tuple_score(popular) > scorer.tuple_score(unpopular)
+
+    def test_scores_are_finite(self, scorer):
+        worst = {"neighborhood": "Cold, WA", "price": 1}
+        assert math.isfinite(scorer.tuple_score(worst))
+
+    def test_default_attributes_are_used_ones(self, scorer):
+        assert set(scorer.attributes) == {"neighborhood", "price"}
+
+    def test_custom_attribute_subset(self, scorer):
+        only_price = QueryFrequencyScorer(scorer.statistics, attributes=["price"])
+        a = {"neighborhood": "Hot, WA", "price": 150_000}
+        b = {"neighborhood": "Cold, WA", "price": 150_000}
+        assert only_price.tuple_score(a) == only_price.tuple_score(b)

@@ -1,0 +1,92 @@
+"""Tests for ranking integration with row sets and trees."""
+
+import pytest
+
+from repro.core.algorithm import CostBasedCategorizer
+from repro.explore.exploration import replay_all, replay_one
+from repro.ranking.qf import QueryFrequencyScorer
+from repro.ranking.ranker import rank_rowset, rank_tree
+from repro.workload.model import WorkloadQuery
+
+
+class ScoreByPrice:
+    """Toy scorer: more expensive first."""
+
+    def tuple_score(self, row):
+        return float(row["price"] or 0)
+
+
+@pytest.fixture
+def rows(homes_table):
+    from repro.relational.expressions import InPredicate
+
+    return homes_table.select(
+        InPredicate("neighborhood", ["Queen Anne, WA", "Ballard, WA"])
+    )
+
+
+class TestRankRowset:
+    def test_descending_order(self, rows):
+        ranked = rank_rowset(rows, ScoreByPrice())
+        prices = ranked.values("price")
+        assert prices == sorted(prices, reverse=True)
+
+    def test_same_tuples(self, rows):
+        ranked = rank_rowset(rows, ScoreByPrice())
+        assert set(ranked.indices) == set(rows.indices)
+
+    def test_stable_on_ties(self, rows):
+        class Constant:
+            def tuple_score(self, row):
+                return 0.0
+
+        ranked = rank_rowset(rows, Constant())
+        assert ranked.indices == rows.indices
+
+
+class TestRankTree:
+    @pytest.fixture
+    def tree(self, rows, statistics, seattle_query):
+        return CostBasedCategorizer(statistics).categorize(rows, seattle_query)
+
+    def test_every_node_reordered_consistently(self, tree, statistics):
+        scorer = QueryFrequencyScorer(statistics)
+        ranked = rank_tree(tree, scorer)
+        assert ranked is tree
+        ranked.validate()
+        for node in ranked.nodes():
+            scores = [scorer.tuple_score(row) for row in node.rows]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_structure_untouched(self, rows, statistics, seattle_query):
+        original = CostBasedCategorizer(statistics).categorize(rows, seattle_query)
+        before = [(n.display(), n.tuple_count) for n in original.nodes()]
+        rank_tree(original, QueryFrequencyScorer(statistics))
+        after = [(n.display(), n.tuple_count) for n in original.nodes()]
+        assert before == after
+
+    def test_all_scenario_cost_unchanged(self, rows, statistics, seattle_query):
+        """Ranking reorders scans; the ALL scenario reads everything anyway."""
+        w = WorkloadQuery.from_sql(
+            "SELECT * FROM ListProperty WHERE neighborhood IN ('Ballard, WA') "
+            "AND price BETWEEN 200000 AND 400000"
+        )
+        tree = CostBasedCategorizer(statistics).categorize(rows, seattle_query)
+        before = replay_all(tree, w).items_examined
+        rank_tree(tree, QueryFrequencyScorer(statistics))
+        after = replay_all(tree, w).items_examined
+        assert before == after
+
+    def test_one_scenario_improves_on_average(self, rows, statistics, seattle_query, workload):
+        """Ranked tuple order should shorten first-relevant scans on average."""
+        tree = CostBasedCategorizer(statistics).categorize(rows, seattle_query)
+        explorations = [
+            w for w in workload.sample(400, seed=13)
+            if w.in_values("neighborhood")
+            and w.in_values("neighborhood") <= {"Queen Anne, WA", "Ballard, WA"}
+        ][:20]
+        assert explorations
+        before = sum(replay_one(tree, w).items_examined for w in explorations)
+        rank_tree(tree, QueryFrequencyScorer(statistics))
+        after = sum(replay_one(tree, w).items_examined for w in explorations)
+        assert after <= before * 1.1

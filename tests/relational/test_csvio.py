@@ -1,0 +1,81 @@
+"""Tests for CSV round-trip."""
+
+import pytest
+
+from repro.relational.csvio import read_csv, write_csv
+from repro.relational.schema import Attribute, TableSchema
+from repro.relational.table import Table
+from repro.relational.types import DataType
+
+
+@pytest.fixture
+def schema():
+    return TableSchema(
+        "T",
+        (Attribute("city", DataType.TEXT), Attribute("price", DataType.INT)),
+    )
+
+
+@pytest.fixture
+def table(schema):
+    t = Table(schema)
+    t.extend(
+        [
+            {"city": "Seattle, WA", "price": 100},
+            {"city": None, "price": 200},
+            {"city": "Bellevue", "price": None},
+        ]
+    )
+    return t
+
+
+class TestRoundTrip:
+    def test_preserves_rows_and_nulls(self, table, schema, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        loaded = read_csv(schema, path)
+        assert loaded.to_dicts() == table.to_dicts()
+
+    def test_comma_in_value_survives(self, table, schema, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        loaded = read_csv(schema, path)
+        assert loaded.row(0)["city"] == "Seattle, WA"
+
+    def test_types_restored(self, table, schema, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        loaded = read_csv(schema, path)
+        assert isinstance(loaded.row(0)["price"], int)
+
+
+class TestReadErrors:
+    def test_empty_file_rejected(self, schema, tmp_path):
+        path = tmp_path / "e.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_csv(schema, path)
+
+    def test_missing_column_rejected(self, schema, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("city\nSeattle\n")
+        with pytest.raises(ValueError, match="missing attributes"):
+            read_csv(schema, path)
+
+    def test_bad_value_reports_line(self, schema, tmp_path):
+        path = tmp_path / "b.csv"
+        path.write_text("city,price\nSeattle,abc\n")
+        with pytest.raises(ValueError, match=":2:"):
+            read_csv(schema, path)
+
+    def test_extra_columns_ignored(self, schema, tmp_path):
+        path = tmp_path / "x.csv"
+        path.write_text("city,price,extra\nSeattle,100,zzz\n")
+        loaded = read_csv(schema, path)
+        assert loaded.to_dicts() == [{"city": "Seattle", "price": 100}]
+
+    def test_short_row_padded_with_nulls(self, schema, tmp_path):
+        path = tmp_path / "s.csv"
+        path.write_text("city,price\nSeattle\n")
+        loaded = read_csv(schema, path)
+        assert loaded.row(0)["price"] is None

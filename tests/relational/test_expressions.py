@@ -1,0 +1,226 @@
+"""Tests for selection predicates: evaluation, overlap, normalization."""
+
+import math
+
+import pytest
+
+from repro.relational.expressions import (
+    ComparisonPredicate,
+    Conjunction,
+    InPredicate,
+    RangePredicate,
+    TruePredicate,
+    normalize,
+)
+
+
+class TestInPredicate:
+    def test_matches(self):
+        pred = InPredicate("city", ["Seattle", "Bellevue"])
+        assert pred.matches({"city": "Seattle"})
+        assert not pred.matches({"city": "Tacoma"})
+
+    def test_null_never_matches(self):
+        assert not InPredicate("city", ["Seattle"]).matches({"city": None})
+
+    def test_missing_attribute_never_matches(self):
+        assert not InPredicate("city", ["Seattle"]).matches({})
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            InPredicate("city", [])
+
+    def test_overlap_on_shared_value(self):
+        a = InPredicate("city", ["Seattle", "Bellevue"])
+        b = InPredicate("city", ["Bellevue", "Redmond"])
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_no_overlap_disjoint(self):
+        a = InPredicate("city", ["Seattle"])
+        b = InPredicate("city", ["Redmond"])
+        assert not a.overlaps(b)
+
+    def test_no_overlap_different_attributes(self):
+        a = InPredicate("city", ["Seattle"])
+        b = InPredicate("state", ["Seattle"])
+        assert not a.overlaps(b)
+
+    def test_attributes(self):
+        assert InPredicate("city", ["a"]).attributes() == frozenset({"city"})
+
+
+class TestRangePredicate:
+    def test_matches_inclusive(self):
+        pred = RangePredicate("price", 100, 200)
+        assert pred.matches({"price": 100})
+        assert pred.matches({"price": 200})
+        assert not pred.matches({"price": 201})
+
+    def test_matches_half_open(self):
+        pred = RangePredicate("price", 100, 200, high_inclusive=False)
+        assert pred.matches({"price": 199})
+        assert not pred.matches({"price": 200})
+
+    def test_null_never_matches(self):
+        assert not RangePredicate("price", 0, 10).matches({"price": None})
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError, match="empty range"):
+            RangePredicate("price", 200, 100)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            RangePredicate("price", math.nan, 10)
+
+    def test_overlap_basic(self):
+        a = RangePredicate("price", 100, 300)
+        b = RangePredicate("price", 200, 400)
+        assert a.overlaps(b)
+
+    def test_no_overlap_disjoint(self):
+        a = RangePredicate("price", 100, 200, high_inclusive=False)
+        b = RangePredicate("price", 200, 300)
+        # a is half-open at 200, so 200 belongs only to b.
+        assert not a.overlaps(b)
+
+    def test_overlap_touching_inclusive(self):
+        a = RangePredicate("price", 100, 200)  # closed at 200
+        b = RangePredicate("price", 200, 300)
+        assert a.overlaps(b)
+
+    def test_overlap_infinite_bounds(self):
+        a = RangePredicate("price", -math.inf, 500_000)
+        b = RangePredicate("price", 400_000, math.inf)
+        assert a.overlaps(b)
+
+    def test_width(self):
+        assert RangePredicate("price", 100, 300).width() == 200
+
+
+class TestComparisonPredicate:
+    @pytest.mark.parametrize(
+        "op,value,row_value,expected",
+        [
+            ("<", 10, 5, True),
+            ("<", 10, 10, False),
+            ("<=", 10, 10, True),
+            (">", 10, 11, True),
+            (">=", 10, 10, True),
+            ("=", "x", "x", True),
+            ("!=", "x", "y", True),
+        ],
+    )
+    def test_operators(self, op, value, row_value, expected):
+        pred = ComparisonPredicate("a", op, value)
+        assert pred.matches({"a": row_value}) is expected
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            ComparisonPredicate("a", "~", 1)
+
+    def test_null_never_matches(self):
+        assert not ComparisonPredicate("a", "<", 10).matches({"a": None})
+
+
+class TestConjunction:
+    def test_matches_all_parts(self):
+        pred = Conjunction(
+            [InPredicate("city", ["Seattle"]), RangePredicate("price", 0, 100)]
+        )
+        assert pred.matches({"city": "Seattle", "price": 50})
+        assert not pred.matches({"city": "Seattle", "price": 150})
+
+    def test_flattens_nested(self):
+        inner = Conjunction([InPredicate("a", [1])])
+        outer = Conjunction([inner, InPredicate("b", [2])])
+        assert len(outer.parts) == 2
+
+    def test_drops_true_predicates(self):
+        pred = Conjunction([TruePredicate(), InPredicate("a", [1])])
+        assert len(pred.parts) == 1
+
+    def test_empty_conjunction_is_true(self):
+        assert Conjunction([]).matches({"anything": 1})
+
+    def test_attributes_union(self):
+        pred = Conjunction(
+            [InPredicate("a", [1]), RangePredicate("b", 0, 1)]
+        )
+        assert pred.attributes() == frozenset({"a", "b"})
+
+
+class TestNormalize:
+    def test_true_stays_true(self):
+        assert isinstance(normalize(TruePredicate()), TruePredicate)
+
+    def test_comparison_becomes_range(self):
+        result = normalize(ComparisonPredicate("price", "<=", 100))
+        assert isinstance(result, RangePredicate)
+        assert result.high == 100 and result.high_inclusive
+
+    def test_strict_less_becomes_exclusive_range(self):
+        result = normalize(ComparisonPredicate("price", "<", 100))
+        assert isinstance(result, RangePredicate)
+        assert not result.high_inclusive
+
+    def test_equality_on_string_becomes_in(self):
+        result = normalize(ComparisonPredicate("city", "=", "Seattle"))
+        assert isinstance(result, InPredicate)
+        assert result.values == frozenset({"Seattle"})
+
+    def test_equality_on_number_becomes_point_range(self):
+        result = normalize(ComparisonPredicate("price", "=", 100))
+        assert isinstance(result, RangePredicate)
+        assert result.low == result.high == 100
+
+    def test_two_ranges_intersected(self):
+        pred = Conjunction(
+            [
+                RangePredicate("price", 100, 500),
+                ComparisonPredicate("price", "<=", 300),
+            ]
+        )
+        result = normalize(pred)
+        assert isinstance(result, RangePredicate)
+        assert (result.low, result.high) == (100, 300)
+
+    def test_contradictory_ranges_rejected(self):
+        pred = Conjunction(
+            [RangePredicate("price", 400, 500), RangePredicate("price", 0, 100)]
+        )
+        with pytest.raises(ValueError, match="contradictory"):
+            normalize(pred)
+
+    def test_in_sets_intersected(self):
+        pred = Conjunction(
+            [InPredicate("city", ["a", "b"]), InPredicate("city", ["b", "c"])]
+        )
+        result = normalize(pred)
+        assert isinstance(result, InPredicate)
+        assert result.values == frozenset({"b"})
+
+    def test_disjoint_in_sets_rejected(self):
+        pred = Conjunction(
+            [InPredicate("city", ["a"]), InPredicate("city", ["b"])]
+        )
+        with pytest.raises(ValueError, match="contradictory"):
+            normalize(pred)
+
+    def test_mixed_in_and_range_on_one_attribute_rejected(self):
+        pred = Conjunction(
+            [InPredicate("x", [1]), RangePredicate("x", 0, 2)]
+        )
+        with pytest.raises(ValueError, match="mixes"):
+            normalize(pred)
+
+    def test_multiple_attributes_sorted_into_conjunction(self):
+        pred = Conjunction(
+            [RangePredicate("price", 0, 1), InPredicate("city", ["a"])]
+        )
+        result = normalize(pred)
+        assert isinstance(result, Conjunction)
+        assert [next(iter(p.attributes())) for p in result.parts] == ["city", "price"]
+
+    def test_not_equal_rejected(self):
+        with pytest.raises(ValueError):
+            normalize(ComparisonPredicate("a", "!=", 1))

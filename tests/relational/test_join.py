@@ -1,0 +1,184 @@
+"""Tests for star-schema joins."""
+
+import pytest
+
+from repro.relational.join import DimensionJoin, join_star
+from repro.relational.schema import Attribute, TableSchema
+from repro.relational.table import Table
+from repro.relational.types import AttributeKind, DataType
+
+
+@pytest.fixture
+def star():
+    location = Table(
+        TableSchema(
+            "Location",
+            (
+                Attribute("locid", DataType.INT, AttributeKind.CATEGORICAL,
+                          nullable=False),
+                Attribute("city", DataType.TEXT),
+            ),
+        )
+    )
+    location.extend([{"locid": 1, "city": "Seattle"}, {"locid": 2, "city": "Bellevue"}])
+    fact = Table(
+        TableSchema(
+            "Listing",
+            (
+                Attribute("locid", DataType.INT, AttributeKind.CATEGORICAL),
+                Attribute("price", DataType.INT),
+            ),
+        )
+    )
+    fact.extend(
+        [
+            {"locid": 1, "price": 300},
+            {"locid": 2, "price": 500},
+            {"locid": 1, "price": 400},
+        ]
+    )
+    return fact, location
+
+
+class TestJoinStar:
+    def test_wide_rows(self, star):
+        fact, location = star
+        wide = join_star(fact, [DimensionJoin(location, "locid", "locid")])
+        assert wide.to_dicts() == [
+            {"price": 300, "city": "Seattle"},
+            {"price": 500, "city": "Bellevue"},
+            {"price": 400, "city": "Seattle"},
+        ]
+
+    def test_default_name(self, star):
+        fact, location = star
+        wide = join_star(fact, [DimensionJoin(location, "locid", "locid")])
+        assert wide.schema.name == "Listing_wide"
+
+    def test_keep_keys(self, star):
+        fact, location = star
+        wide = join_star(
+            fact, [DimensionJoin(location, "locid", "locid")], drop_keys=False
+        )
+        assert "locid" in wide.schema.names()
+
+    def test_null_fk_gives_null_dimension(self, star):
+        fact, location = star
+        fact.insert({"locid": None, "price": 999})
+        wide = join_star(fact, [DimensionJoin(location, "locid", "locid")])
+        assert wide.to_dicts()[-1] == {"price": 999, "city": None}
+
+    def test_dangling_fk_rejected(self, star):
+        fact, location = star
+        fact.insert({"locid": 42, "price": 1})
+        with pytest.raises(ValueError, match="no 'Location' row"):
+            join_star(fact, [DimensionJoin(location, "locid", "locid")])
+
+    def test_duplicate_dimension_key_rejected(self, star):
+        fact, location = star
+        location.insert({"locid": 1, "city": "Duplicate"})
+        with pytest.raises(ValueError, match="duplicate"):
+            join_star(fact, [DimensionJoin(location, "locid", "locid")])
+
+    def test_attribute_collision_rejected(self):
+        dim = Table(
+            TableSchema(
+                "D",
+                (
+                    Attribute("id", DataType.INT, AttributeKind.CATEGORICAL),
+                    Attribute("price", DataType.INT),
+                ),
+            )
+        )
+        dim.insert({"id": 1, "price": 7})
+        fact = Table(
+            TableSchema(
+                "F",
+                (
+                    Attribute("id", DataType.INT, AttributeKind.CATEGORICAL),
+                    Attribute("price", DataType.INT),
+                ),
+            )
+        )
+        fact.insert({"id": 1, "price": 300})
+        with pytest.raises(ValueError, match="both"):
+            join_star(fact, [DimensionJoin(dim, "id", "id")], drop_keys=False)
+
+    def test_unknown_fk_rejected(self, star):
+        fact, location = star
+        with pytest.raises(KeyError):
+            join_star(fact, [DimensionJoin(location, "bogus", "locid")])
+
+    def test_two_dimensions(self, star):
+        fact, location = star
+        agent = Table(
+            TableSchema(
+                "Agent",
+                (
+                    Attribute("agentid", DataType.INT, AttributeKind.CATEGORICAL),
+                    Attribute("agency", DataType.TEXT),
+                ),
+            )
+        )
+        agent.extend([{"agentid": 9, "agency": "Acme"}])
+        fact2 = Table(
+            TableSchema(
+                "Listing2",
+                (
+                    Attribute("locid", DataType.INT, AttributeKind.CATEGORICAL),
+                    Attribute("agentid", DataType.INT, AttributeKind.CATEGORICAL),
+                    Attribute("price", DataType.INT),
+                ),
+            )
+        )
+        fact2.insert({"locid": 1, "agentid": 9, "price": 250})
+        wide = join_star(
+            fact2,
+            [
+                DimensionJoin(location, "locid", "locid"),
+                DimensionJoin(agent, "agentid", "agentid"),
+            ],
+        )
+        assert wide.to_dicts() == [
+            {"price": 250, "city": "Seattle", "agency": "Acme"}
+        ]
+
+
+class TestNormalizedHomes:
+    def test_round_trip_reconstructs_wide_table(self):
+        from repro.data.homes import generate_homes
+        from repro.data.star import normalize_homes, widen_star
+
+        original = generate_homes(rows=500, seed=3)
+        fact, location = normalize_homes(original)
+        assert len(fact) == 500
+        assert len(location) == len(set(original.column("neighborhood")))
+        rebuilt = widen_star(fact, location)
+        # Same tuples, modulo attribute order.
+        original_rows = [
+            {k: row[k] for k in sorted(row)} for row in original.to_dicts()
+        ]
+        rebuilt_rows = [
+            {k: row[k] for k in sorted(row)} for row in rebuilt.to_dicts()
+        ]
+        assert rebuilt_rows == original_rows
+
+    def test_wide_table_categorizes(self, statistics):
+        from repro.data.homes import generate_homes
+        from repro.data.star import normalize_homes, widen_star
+        from repro.core.algorithm import CostBasedCategorizer
+        from repro.relational.expressions import InPredicate
+        from repro.relational.query import SelectQuery
+        from repro.data.geography import SEATTLE_BELLEVUE
+
+        fact, location = normalize_homes(generate_homes(rows=2_000, seed=5))
+        wide = widen_star(fact, location)
+        query = SelectQuery(
+            "ListProperty",
+            InPredicate("neighborhood", SEATTLE_BELLEVUE.neighborhood_names()),
+        )
+        tree = CostBasedCategorizer(statistics).categorize(
+            query.execute(wide), query
+        )
+        tree.validate()
+        assert tree.depth() >= 1

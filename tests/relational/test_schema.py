@@ -1,0 +1,90 @@
+"""Tests for attribute and table-schema definitions."""
+
+import pytest
+
+from repro.relational.schema import Attribute, TableSchema
+from repro.relational.types import AttributeKind, DataType
+
+
+def make_schema() -> TableSchema:
+    return TableSchema(
+        "Homes",
+        (
+            Attribute("city", DataType.TEXT),
+            Attribute("price", DataType.INT),
+            Attribute("zipcode", DataType.INT, AttributeKind.CATEGORICAL),
+        ),
+    )
+
+
+class TestAttribute:
+    def test_kind_defaults_numeric_for_numbers(self):
+        assert Attribute("price", DataType.INT).kind is AttributeKind.NUMERIC
+
+    def test_kind_defaults_categorical_for_text(self):
+        assert Attribute("city", DataType.TEXT).kind is AttributeKind.CATEGORICAL
+
+    def test_kind_override_survives(self):
+        attr = Attribute("zipcode", DataType.INT, AttributeKind.CATEGORICAL)
+        assert attr.is_categorical and not attr.is_numeric
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError, match="invalid attribute name"):
+            Attribute("bad name", DataType.TEXT)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Attribute("", DataType.TEXT)
+
+    def test_non_nullable_rejects_none(self):
+        attr = Attribute("price", DataType.INT, nullable=False)
+        with pytest.raises(ValueError, match="not nullable"):
+            attr.coerce(None)
+
+    def test_nullable_accepts_none(self):
+        assert Attribute("price", DataType.INT).coerce(None) is None
+
+    def test_coerce_delegates_to_type(self):
+        assert Attribute("price", DataType.INT).coerce("5000") == 5000
+
+
+class TestTableSchema:
+    def test_len_and_iteration(self):
+        schema = make_schema()
+        assert len(schema) == 3
+        assert [a.name for a in schema] == ["city", "price", "zipcode"]
+
+    def test_contains(self):
+        schema = make_schema()
+        assert "price" in schema
+        assert "bogus" not in schema
+
+    def test_attribute_lookup(self):
+        assert make_schema().attribute("price").data_type is DataType.INT
+
+    def test_attribute_lookup_error_lists_names(self):
+        with pytest.raises(KeyError, match="available"):
+            make_schema().attribute("bogus")
+
+    def test_index_of(self):
+        assert make_schema().index_of("price") == 1
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TableSchema(
+                "T",
+                (Attribute("a", DataType.INT), Attribute("a", DataType.TEXT)),
+            )
+
+    def test_project_keeps_order_given(self):
+        projected = make_schema().project(["price", "city"])
+        assert projected.names() == ("price", "city")
+
+    def test_project_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_schema().project(["nope"])
+
+    def test_kind_partitions(self):
+        schema = make_schema()
+        assert {a.name for a in schema.categorical_attributes()} == {"city", "zipcode"}
+        assert {a.name for a in schema.numeric_attributes()} == {"price"}

@@ -1,0 +1,71 @@
+"""Tests for per-attribute statistics."""
+
+import pytest
+
+from repro.relational.schema import Attribute, TableSchema
+from repro.relational.statistics import categorical_stats, numeric_stats, value_counts
+from repro.relational.table import Table
+from repro.relational.types import DataType
+
+
+@pytest.fixture
+def table():
+    schema = TableSchema(
+        "T",
+        (Attribute("city", DataType.TEXT), Attribute("price", DataType.INT)),
+    )
+    t = Table(schema)
+    t.extend(
+        [
+            {"city": "Seattle", "price": 100},
+            {"city": "Seattle", "price": 300},
+            {"city": "Bellevue", "price": 200},
+            {"city": None, "price": None},
+        ]
+    )
+    return t
+
+
+class TestNumericStats:
+    def test_basic(self, table):
+        stats = numeric_stats(table, "price")
+        assert stats.count == 3
+        assert stats.null_count == 1
+        assert (stats.minimum, stats.maximum) == (100.0, 300.0)
+        assert stats.mean == pytest.approx(200.0)
+        assert stats.extent == 200.0
+
+    def test_all_null_returns_none(self, table):
+        from repro.relational.expressions import InPredicate
+
+        empty = table.select(InPredicate("price", [999]))
+        assert numeric_stats(empty, "price") is None
+
+    def test_works_on_rowset(self, table):
+        from repro.relational.expressions import InPredicate
+
+        rows = table.select(InPredicate("city", ["Seattle"]))
+        stats = numeric_stats(rows, "price")
+        assert stats.count == 2
+
+
+class TestCategoricalStats:
+    def test_frequencies_most_common_first(self, table):
+        stats = categorical_stats(table, "city")
+        assert stats.frequencies[0] == ("Seattle", 2)
+        assert stats.distinct_count == 2
+        assert stats.null_count == 1
+
+    def test_most_common_limit(self, table):
+        stats = categorical_stats(table, "city")
+        assert len(stats.most_common(1)) == 1
+
+    def test_deterministic_tie_order(self):
+        schema = TableSchema("T", (Attribute("x", DataType.TEXT),))
+        t = Table(schema)
+        t.extend([{"x": "b"}, {"x": "a"}])
+        stats = categorical_stats(t, "x")
+        assert [v for v, _ in stats.frequencies] == ["a", "b"]
+
+    def test_value_counts(self, table):
+        assert value_counts(table, "city") == {"Seattle": 2, "Bellevue": 1}

@@ -1,0 +1,135 @@
+"""Tests for the column-store Table and RowSet views."""
+
+import pytest
+
+from repro.relational.expressions import InPredicate, RangePredicate, TruePredicate
+from repro.relational.schema import Attribute, TableSchema
+from repro.relational.table import Table
+from repro.relational.types import DataType
+
+
+@pytest.fixture
+def table():
+    schema = TableSchema(
+        "Homes",
+        (
+            Attribute("city", DataType.TEXT),
+            Attribute("price", DataType.INT),
+        ),
+    )
+    t = Table(schema)
+    t.extend(
+        [
+            {"city": "Seattle", "price": 300},
+            {"city": "Bellevue", "price": 500},
+            {"city": "Seattle", "price": 400},
+            {"city": "Redmond", "price": None},
+        ]
+    )
+    return t
+
+
+class TestTable:
+    def test_len(self, table):
+        assert len(table) == 4
+
+    def test_row_access(self, table):
+        assert table.row(1)["city"] == "Bellevue"
+
+    def test_row_out_of_range(self, table):
+        with pytest.raises(IndexError):
+            table.row(4)
+
+    def test_row_is_mapping(self, table):
+        row = table.row(0)
+        assert dict(row) == {"city": "Seattle", "price": 300}
+        assert len(row) == 2
+
+    def test_insert_coerces(self, table):
+        table.insert({"city": "Kirkland", "price": "250"})
+        assert table.row(4)["price"] == 250
+
+    def test_insert_unknown_attribute_rejected(self, table):
+        with pytest.raises(KeyError, match="unknown attributes"):
+            table.insert({"city": "X", "bogus": 1})
+
+    def test_missing_attribute_becomes_null(self, table):
+        table.insert({"city": "Kirkland"})
+        assert table.row(4)["price"] is None
+
+    def test_column_access(self, table):
+        assert list(table.column("price")) == [300, 500, 400, None]
+
+    def test_column_unknown_raises(self, table):
+        with pytest.raises(KeyError, match="available"):
+            table.column("bogus")
+
+    def test_iteration_yields_all_rows(self, table):
+        assert sum(1 for _ in table) == 4
+
+    def test_to_dicts(self, table):
+        dicts = table.to_dicts()
+        assert dicts[1] == {"city": "Bellevue", "price": 500}
+
+
+class TestRowSetSelection:
+    def test_select_in(self, table):
+        rows = table.select(InPredicate("city", ["Seattle"]))
+        assert len(rows) == 2
+
+    def test_select_range(self, table):
+        rows = table.select(RangePredicate("price", 350, 600))
+        assert {r["city"] for r in rows} == {"Bellevue", "Seattle"}
+
+    def test_select_true_returns_same_view(self, table):
+        view = table.all_rows()
+        assert view.select(TruePredicate()) is view
+
+    def test_null_excluded_from_range(self, table):
+        rows = table.select(RangePredicate("price", 0, 10_000))
+        assert len(rows) == 3
+
+    def test_chained_selection(self, table):
+        rows = table.select(InPredicate("city", ["Seattle"]))
+        narrowed = rows.select(RangePredicate("price", 350, 600))
+        assert len(narrowed) == 1
+        assert narrowed.to_dicts()[0]["price"] == 400
+
+    def test_empty_rowset_falsy(self, table):
+        rows = table.select(InPredicate("city", ["Nowhere"]))
+        assert not rows
+        assert len(rows) == 0
+
+
+class TestRowSetOperations:
+    def test_partition_by(self, table):
+        parts = table.all_rows().partition_by(lambda r: r["city"])
+        assert set(parts) == {"Seattle", "Bellevue", "Redmond"}
+        assert len(parts["Seattle"]) == 2
+
+    def test_partition_by_drops_none_keys(self, table):
+        parts = table.all_rows().partition_by(lambda r: r["price"])
+        assert None not in parts
+        assert sum(len(p) for p in parts.values()) == 3
+
+    def test_partition_preserves_disjointness(self, table):
+        parts = table.all_rows().partition_by(lambda r: r["city"])
+        all_indices = [i for p in parts.values() for i in p.indices]
+        assert len(all_indices) == len(set(all_indices))
+
+    def test_values(self, table):
+        assert table.all_rows().values("price") == [300, 500, 400, None]
+
+    def test_distinct_values_excludes_null(self, table):
+        assert table.all_rows().distinct_values("price") == {300, 400, 500}
+
+    def test_min_max(self, table):
+        assert table.all_rows().min_max("price") == (300, 500)
+
+    def test_min_max_all_null_is_none(self, table):
+        rows = table.select(InPredicate("city", ["Redmond"]))
+        assert rows.min_max("price") is None
+
+    def test_indices_refer_to_base_table(self, table):
+        rows = table.select(InPredicate("city", ["Seattle"]))
+        assert rows.indices == (0, 2)

@@ -1,0 +1,86 @@
+"""Tests for the relational type system."""
+
+import pytest
+
+from repro.relational.types import AttributeKind, DataType
+
+
+class TestDataTypeCoercion:
+    def test_int_accepts_int(self):
+        assert DataType.INT.coerce(42) == 42
+
+    def test_int_accepts_integral_float(self):
+        assert DataType.INT.coerce(42.0) == 42
+
+    def test_int_rejects_fractional_float(self):
+        with pytest.raises(TypeError, match="non-integral"):
+            DataType.INT.coerce(42.5)
+
+    def test_int_parses_string(self):
+        assert DataType.INT.coerce("250000") == 250_000
+
+    def test_int_rejects_garbage_string(self):
+        with pytest.raises(TypeError, match="cannot parse"):
+            DataType.INT.coerce("many")
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(TypeError, match="bool"):
+            DataType.INT.coerce(True)
+
+    def test_float_accepts_int(self):
+        value = DataType.FLOAT.coerce(3)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_float_parses_string(self):
+        assert DataType.FLOAT.coerce("2.5") == 2.5
+
+    def test_float_rejects_bool(self):
+        with pytest.raises(TypeError):
+            DataType.FLOAT.coerce(False)
+
+    def test_text_accepts_string(self):
+        assert DataType.TEXT.coerce("Seattle") == "Seattle"
+
+    def test_text_stringifies_numbers(self):
+        assert DataType.TEXT.coerce(42) == "42"
+
+    def test_text_rejects_objects(self):
+        with pytest.raises(TypeError):
+            DataType.TEXT.coerce(object())
+
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [("true", True), ("FALSE", False), ("1", True), ("no", False), (1, True)],
+    )
+    def test_bool_parsing(self, raw, expected):
+        assert DataType.BOOL.coerce(raw) is expected
+
+    def test_bool_rejects_unknown_string(self):
+        with pytest.raises(TypeError):
+            DataType.BOOL.coerce("maybe")
+
+    def test_bool_rejects_out_of_range_int(self):
+        with pytest.raises(TypeError):
+            DataType.BOOL.coerce(2)
+
+    @pytest.mark.parametrize("data_type", list(DataType))
+    def test_none_passes_through(self, data_type):
+        assert data_type.coerce(None) is None
+
+
+class TestDataTypeProperties:
+    def test_numeric_types(self):
+        assert DataType.INT.is_numeric()
+        assert DataType.FLOAT.is_numeric()
+        assert not DataType.TEXT.is_numeric()
+        assert not DataType.BOOL.is_numeric()
+
+    def test_python_types(self):
+        assert DataType.INT.python_type is int
+        assert DataType.TEXT.python_type is str
+
+
+class TestAttributeKind:
+    def test_two_kinds_exist(self):
+        assert {k.value for k in AttributeKind} == {"categorical", "numeric"}

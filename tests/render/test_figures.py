@@ -1,0 +1,77 @@
+"""Tests for ASCII chart rendering."""
+
+import math
+
+import pytest
+
+from repro.render.figures import bar_chart, scatter_plot
+
+
+class TestScatter:
+    def test_dimensions(self):
+        text = scatter_plot([1, 2, 3], [1, 2, 3], width=20, height=5)
+        lines = text.splitlines()
+        assert len(lines) == 5 + 3  # header + rows + axis + label
+        assert all(len(line) <= 21 for line in lines[1:6])
+
+    def test_points_present(self):
+        text = scatter_plot([0.0, 10.0], [0.0, 10.0], width=10, height=5)
+        assert "." in text
+
+    def test_density_glyphs(self):
+        xs = [5.0] * 10
+        ys = [5.0] * 10
+        text = scatter_plot(xs, ys, width=10, height=5)
+        assert "@" in text
+
+    def test_axis_labels(self):
+        text = scatter_plot([1], [2], x_label="estimated", y_label="actual")
+        assert "estimated" in text and "actual" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            scatter_plot([], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            scatter_plot([1], [1, 2])
+
+    def test_diagonal_orientation(self):
+        # y grows upward: the max-y point must appear on an earlier line
+        # than the min-y point.
+        text = scatter_plot([0.0, 10.0], [0.0, 10.0], width=11, height=5)
+        lines = text.splitlines()[1:6]
+        top = next(i for i, l in enumerate(lines) if "." in l)
+        bottom = max(i for i, l in enumerate(lines) if "." in l)
+        assert lines[top].rstrip().endswith(".")  # high y, high x -> top right
+        assert lines[bottom].startswith("|.")  # low y, low x -> bottom left
+
+
+class TestBarChart:
+    def test_groups_and_bars(self):
+        text = bar_chart(
+            {"cost-based": [1.0, 2.0], "no-cost": [4.0, 8.0]},
+            ["Task 1", "Task 2"],
+            width=8,
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Task 1:"
+        assert sum(1 for l in lines if "#" in l) == 4
+
+    def test_bar_lengths_proportional(self):
+        text = bar_chart({"a": [2.0], "b": [8.0]}, ["x"], width=8)
+        lines = [l for l in text.splitlines() if "#" in l]
+        assert lines[0].count("#") * 3 <= lines[1].count("#")
+
+    def test_nan_renders_dash(self):
+        text = bar_chart({"a": [math.nan]}, ["x"])
+        assert "-" in text
+        assert "#" not in text
+
+    def test_zero_value(self):
+        text = bar_chart({"a": [0.0]}, ["x"])
+        assert "0.0" in text
+
+    def test_custom_format(self):
+        text = bar_chart({"a": [0.5]}, ["x"], value_format="{:.0%}")
+        assert "50%" in text

@@ -1,0 +1,76 @@
+"""Tests for the ASCII treeview renderer."""
+
+import pytest
+
+from repro.core.labels import CategoricalLabel
+from repro.core.tree import CategoryNode, CategoryTree
+from repro.relational.schema import Attribute, TableSchema
+from repro.relational.table import Table
+from repro.relational.types import DataType
+from repro.render.treeview import render_tree, summarize_tree
+
+
+@pytest.fixture
+def tree():
+    schema = TableSchema("T", (Attribute("city", DataType.TEXT),))
+    table = Table(schema)
+    for city in ("a", "a", "b"):
+        table.insert({"city": city})
+    root = CategoryNode(table.all_rows())
+    parts = table.all_rows().partition_by(lambda r: r["city"])
+    root.add_children(
+        "city",
+        [
+            (CategoricalLabel("city", ("a",)), parts["a"]),
+            (CategoricalLabel("city", ("b",)), parts["b"]),
+        ],
+    )
+    return CategoryTree(root, technique="test")
+
+
+class TestRender:
+    def test_shows_root_and_counts(self, tree):
+        text = render_tree(tree)
+        assert "ALL [3]" in text
+        assert "city: a [2]" in text
+        assert "city: b [1]" in text
+
+    def test_last_child_uses_corner_connector(self, tree):
+        lines = render_tree(tree).splitlines()
+        assert lines[-1].startswith("`-- ")
+
+    def test_max_children_elides(self, tree):
+        text = render_tree(tree, max_children=1)
+        assert "(1 more)" in text
+
+    def test_max_depth_elides(self, tree):
+        text = render_tree(tree, max_depth=0)
+        assert "2 subcategories" in text
+        assert "city: a" not in text
+
+    def test_cost_annotations(self, tree):
+        from repro.core.config import PAPER_CONFIG
+        from repro.core.cost import CostModel
+
+        class Uniform:
+            def showtuples_probability(self, node):
+                return 1.0 if node.is_leaf else 0.5
+
+            def showtuples_probability_for(self, attribute):
+                return 0.5
+
+            def exploration_probability(self, node):
+                return 1.0 if node.label is None else 0.5
+
+        model = CostModel(Uniform(), PAPER_CONFIG)
+        text = render_tree(tree, cost_model=model)
+        assert "P=" in text and "CostAll=" in text
+
+
+class TestSummarize:
+    def test_summary_fields(self, tree):
+        summary = summarize_tree(tree)
+        assert "technique=test" in summary
+        assert "result_size=3" in summary
+        assert "level_attributes=['city']" in summary
+        assert "max_leaf=2" in summary

@@ -1,0 +1,86 @@
+"""Tests for AST → relational-predicate compilation."""
+
+import pytest
+
+from repro.relational.expressions import (
+    ComparisonPredicate,
+    Conjunction,
+    InPredicate,
+    RangePredicate,
+    TruePredicate,
+)
+from repro.sql.ast_nodes import InCondition
+from repro.sql.compiler import compile_condition, parse_query
+
+
+class TestParseQuery:
+    def test_in_compiles_to_in_predicate(self):
+        query = parse_query("SELECT * FROM T WHERE city IN ('a', 'b')")
+        assert isinstance(query.predicate, InPredicate)
+        assert query.predicate.values == frozenset({"a", "b"})
+
+    def test_between_compiles_to_inclusive_range(self):
+        query = parse_query("SELECT * FROM T WHERE price BETWEEN 100 AND 200")
+        pred = query.predicate
+        assert isinstance(pred, RangePredicate)
+        assert pred.high_inclusive
+        assert (pred.low, pred.high) == (100.0, 200.0)
+
+    def test_comparison_compiles(self):
+        query = parse_query("SELECT * FROM T WHERE price <= 100")
+        assert isinstance(query.predicate, ComparisonPredicate)
+
+    def test_conjunction_compiles(self):
+        query = parse_query(
+            "SELECT * FROM T WHERE city IN ('a') AND price <= 100"
+        )
+        assert isinstance(query.predicate, Conjunction)
+        assert len(query.predicate.parts) == 2
+
+    def test_no_where_is_true(self):
+        assert isinstance(parse_query("SELECT * FROM T").predicate, TruePredicate)
+
+    def test_projection_carried(self):
+        query = parse_query("SELECT city, price FROM T")
+        assert query.projection == ("city", "price")
+
+    def test_table_name_carried(self):
+        assert parse_query("SELECT * FROM ListProperty").table_name == "ListProperty"
+
+
+class TestCompileCondition:
+    def test_in_condition(self):
+        pred = compile_condition(InCondition("city", ("a",)))
+        assert isinstance(pred, InPredicate)
+
+    def test_unknown_condition_type_rejected(self):
+        class Mystery:
+            attribute = "x"
+
+        with pytest.raises(TypeError, match="unknown condition"):
+            compile_condition(Mystery())
+
+
+class TestEndToEndSemantics:
+    def test_parse_and_execute(self):
+        from repro.relational.schema import Attribute, TableSchema
+        from repro.relational.table import Table
+        from repro.relational.types import DataType
+
+        schema = TableSchema(
+            "T", (Attribute("city", DataType.TEXT), Attribute("price", DataType.INT))
+        )
+        table = Table(schema)
+        table.extend(
+            [
+                {"city": "a", "price": 150},
+                {"city": "a", "price": 250},
+                {"city": "b", "price": 150},
+            ]
+        )
+        query = parse_query(
+            "SELECT * FROM T WHERE city IN ('a') AND price BETWEEN 100 AND 200"
+        )
+        result = query.execute(table)
+        assert len(result) == 1
+        assert result.to_dicts()[0] == {"city": "a", "price": 150}

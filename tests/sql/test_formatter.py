@@ -1,0 +1,98 @@
+"""Tests for query → SQL formatting and the parse/format round-trip."""
+
+import math
+
+import pytest
+
+from repro.relational.expressions import (
+    Conjunction,
+    InPredicate,
+    RangePredicate,
+    TruePredicate,
+)
+from repro.relational.query import SelectQuery
+from repro.sql.compiler import parse_query
+from repro.sql.formatter import format_literal, format_predicate, format_query
+
+
+class TestFormatLiteral:
+    def test_int(self):
+        assert format_literal(250_000) == "250000"
+
+    def test_integral_float_rendered_as_int(self):
+        assert format_literal(250_000.0) == "250000"
+
+    def test_string_quoted(self):
+        assert format_literal("Seattle") == "'Seattle'"
+
+    def test_quote_escaped(self):
+        assert format_literal("O'Brien") == "'O''Brien'"
+
+    def test_bool(self):
+        assert format_literal(True) == "1"
+
+
+class TestFormatPredicate:
+    def test_true_is_empty(self):
+        assert format_predicate(TruePredicate()) == ""
+
+    def test_in(self):
+        text = format_predicate(InPredicate("city", ["b", "a"]))
+        assert text == "city IN ('a', 'b')"
+
+    def test_closed_range_is_between(self):
+        text = format_predicate(RangePredicate("price", 100, 200))
+        assert text == "price BETWEEN 100 AND 200"
+
+    def test_half_open_range(self):
+        text = format_predicate(
+            RangePredicate("price", 100, 200, high_inclusive=False)
+        )
+        assert text == "price >= 100 AND price < 200"
+
+    def test_lower_only(self):
+        text = format_predicate(RangePredicate("price", 100, math.inf))
+        assert text == "price >= 100"
+
+    def test_upper_only(self):
+        text = format_predicate(RangePredicate("price", -math.inf, 200))
+        assert text == "price <= 200"
+
+    def test_conjunction(self):
+        text = format_predicate(
+            Conjunction(
+                [InPredicate("city", ["a"]), RangePredicate("price", 1, 2)]
+            )
+        )
+        assert " AND " in text
+
+
+class TestFormatQuery:
+    def test_select_star(self):
+        assert format_query(SelectQuery("T")) == "SELECT * FROM T"
+
+    def test_projection(self):
+        query = SelectQuery("T", projection=("city",))
+        assert format_query(query) == "SELECT city FROM T"
+
+    def test_with_where(self):
+        query = SelectQuery("T", InPredicate("city", ["a"]))
+        assert format_query(query) == "SELECT * FROM T WHERE city IN ('a')"
+
+
+@pytest.mark.parametrize(
+    "sql",
+    [
+        "SELECT * FROM T WHERE city IN ('Seattle', 'Queen Anne, WA')",
+        "SELECT * FROM T WHERE price BETWEEN 200000 AND 300000",
+        "SELECT * FROM T WHERE price <= 500000",
+        "SELECT * FROM T WHERE price >= 100000",
+        "SELECT * FROM T WHERE city IN ('a') AND price BETWEEN 1 AND 2",
+        "SELECT city, price FROM T WHERE bedroomcount BETWEEN 2 AND 4",
+    ],
+)
+def test_round_trip_is_fixed_point(sql):
+    """format(parse(x)) re-parses to a query formatting identically."""
+    once = format_query(parse_query(sql))
+    twice = format_query(parse_query(once))
+    assert once == twice

@@ -1,0 +1,118 @@
+"""Tests for study-result persistence and regression comparison."""
+
+import math
+
+import pytest
+
+from repro.core.algorithm import CostBasedCategorizer
+from repro.study.persistence import (
+    MetricDrift,
+    compare_to_baseline,
+    load_simulated_result,
+    load_userstudy_result,
+    save_simulated_result,
+    save_userstudy_result,
+    simulated_summary,
+)
+from repro.study.simulated import run_simulated_study
+from repro.study.userstudy import run_user_study
+
+
+@pytest.fixture(scope="module")
+def small_simulated(request):
+    table = request.getfixturevalue("homes_table")
+    workload = request.getfixturevalue("workload")
+    return run_simulated_study(
+        table, workload, [CostBasedCategorizer], subset_count=2, subset_size=6,
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_userstudy(request):
+    table = request.getfixturevalue("homes_table")
+    workload = request.getfixturevalue("workload")
+    return run_user_study(
+        table, workload, [CostBasedCategorizer], subject_count=3, seed=3
+    )
+
+
+class TestSimulatedRoundTrip:
+    def test_records_preserved(self, small_simulated, tmp_path):
+        path = tmp_path / "sim.json"
+        save_simulated_result(small_simulated, path)
+        loaded = load_simulated_result(path)
+        assert loaded.subset_count == small_simulated.subset_count
+        assert loaded.records == small_simulated.records
+
+    def test_derived_metrics_preserved(self, small_simulated, tmp_path):
+        path = tmp_path / "sim.json"
+        save_simulated_result(small_simulated, path)
+        loaded = load_simulated_result(path)
+        assert loaded.overall_correlation() == pytest.approx(
+            small_simulated.overall_correlation(), nan_ok=True
+        )
+        assert loaded.trend_slope() == pytest.approx(small_simulated.trend_slope())
+
+    def test_wrong_kind_rejected(self, small_userstudy, tmp_path):
+        path = tmp_path / "user.json"
+        save_userstudy_result(small_userstudy, path)
+        with pytest.raises(ValueError, match="not a simulated study"):
+            load_simulated_result(path)
+
+
+class TestUserStudyRoundTrip:
+    def test_records_preserved(self, small_userstudy, tmp_path):
+        path = tmp_path / "user.json"
+        save_userstudy_result(small_userstudy, path)
+        loaded = load_userstudy_result(path)
+        assert loaded.user_ids == small_userstudy.user_ids
+        assert loaded.records == small_userstudy.records
+
+    def test_survey_preserved(self, small_userstudy, tmp_path):
+        path = tmp_path / "user.json"
+        save_userstudy_result(small_userstudy, path)
+        assert load_userstudy_result(path).survey() == small_userstudy.survey()
+
+    def test_wrong_kind_rejected(self, small_simulated, tmp_path):
+        path = tmp_path / "sim.json"
+        save_simulated_result(small_simulated, path)
+        with pytest.raises(ValueError, match="not a user study"):
+            load_userstudy_result(path)
+
+
+class TestRegressionComparison:
+    def test_identical_summaries_have_no_drift(self, small_simulated):
+        summary = simulated_summary(small_simulated)
+        assert compare_to_baseline(summary, dict(summary)) == []
+
+    def test_drift_detected(self):
+        baseline = {"a": 1.0, "b": 10.0}
+        measured = {"a": 1.05, "b": 13.0}
+        drifted = compare_to_baseline(baseline, measured, tolerance=0.10)
+        assert [d.metric for d in drifted] == ["b"]
+        assert drifted[0].relative_change == pytest.approx(0.30)
+
+    def test_missing_metric_always_drifts(self):
+        drifted = compare_to_baseline({"a": 1.0}, {}, tolerance=0.5)
+        assert [d.metric for d in drifted] == ["a"]
+        assert math.isnan(drifted[0].measured)
+
+    def test_new_metric_always_drifts(self):
+        drifted = compare_to_baseline({}, {"new": 2.0})
+        assert [d.metric for d in drifted] == ["new"]
+
+    def test_zero_baseline(self):
+        (drift,) = compare_to_baseline({"a": 0.0}, {"a": 0.5})
+        assert math.isinf(drift.relative_change)
+        assert compare_to_baseline({"a": 0.0}, {"a": 0.0}) == []
+
+    def test_invalid_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare_to_baseline({}, {}, tolerance=0.0)
+
+    def test_summary_has_expected_metrics(self, small_simulated):
+        summary = simulated_summary(small_simulated)
+        assert "overall_correlation" in summary
+        assert "trend_slope" in summary
+        assert "fraction_examined[cost-based]" in summary

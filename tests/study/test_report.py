@@ -1,0 +1,49 @@
+"""Tests for table/series text rendering."""
+
+import math
+
+from repro.study.report import format_series, format_table
+
+
+class TestFormatTable:
+    def test_headers_and_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "----" in lines[1]
+        assert len(lines) == 4
+
+    def test_title_prepended(self):
+        text = format_table(["x"], [["1"]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_float_formatting(self):
+        text = format_table(["r"], [[0.123456]])
+        assert "0.1235" in text
+
+    def test_nan_rendered_as_dash(self):
+        text = format_table(["r"], [[math.nan]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_inf_rendered(self):
+        text = format_table(["r"], [[math.inf]])
+        assert "inf" in text
+
+
+class TestFormatSeries:
+    def test_one_row_per_x_label(self):
+        series = {"a": [1.0, 2.0], "b": [3.0, 4.0]}
+        text = format_series(series, ["Task 1", "Task 2"])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "Task 1" in lines[2]
+
+    def test_missing_values_dashed(self):
+        series = {"a": [1.0]}
+        text = format_series(series, ["x1", "x2"])
+        assert text.splitlines()[-1].strip().endswith("-")
+
+    def test_custom_value_format(self):
+        series = {"a": [0.5]}
+        text = format_series(series, ["x"], value_format="{:.0%}")
+        assert "50%" in text

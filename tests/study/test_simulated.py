@@ -1,0 +1,97 @@
+"""Tests for the cross-validated simulated study harness (small scale)."""
+
+import pytest
+
+from repro.core.algorithm import CostBasedCategorizer
+from repro.core.baselines import NoCostCategorizer
+from repro.study.simulated import run_simulated_study
+
+
+@pytest.fixture(scope="module")
+def study(request):
+    table = request.getfixturevalue("homes_table")
+    workload = request.getfixturevalue("workload")
+    return run_simulated_study(
+        table,
+        workload,
+        [CostBasedCategorizer, NoCostCategorizer],
+        subset_count=2,
+        subset_size=10,
+        seed=5,
+    )
+
+
+class TestStructure:
+    def test_primary_technique_is_first_factory(self, study):
+        assert study.primary_technique == "cost-based"
+
+    def test_techniques_listed_primary_first(self, study):
+        assert study.techniques()[0] == "cost-based"
+        assert set(study.techniques()) == {"cost-based", "no-cost"}
+
+    def test_records_cover_both_techniques_equally(self, study):
+        assert len(study.for_technique("cost-based")) == len(
+            study.for_technique("no-cost")
+        )
+
+    def test_subset_partitioning(self, study):
+        total = sum(
+            len(study.for_subset(s, "cost-based")) for s in range(2)
+        )
+        assert total == len(study.for_technique("cost-based"))
+
+    def test_explorations_filtered_to_eligible(self, study):
+        # With the default filter, every record came from a broadened query
+        # over at least M tuples.
+        assert all(r.result_size >= 20 for r in study.records)
+
+
+class TestMeasurements:
+    def test_costs_positive(self, study):
+        for record in study.records:
+            assert record.estimated_cost > 0
+            assert record.actual_cost > 0
+
+    def test_fractional_cost_definition(self, study):
+        record = study.records[0]
+        assert record.fractional_cost == pytest.approx(
+            record.actual_cost / record.result_size
+        )
+
+    def test_scatter_aligned(self, study):
+        est, act = study.scatter()
+        assert len(est) == len(act) == len(study.for_technique("cost-based"))
+
+    def test_correlation_table_has_all_row(self, study):
+        table = study.correlation_table()
+        assert table[-1][0] == "All"
+        assert len(table) == 3
+
+    def test_trend_slope_positive(self, study):
+        assert study.trend_slope() > 0
+
+    def test_fraction_examined_series_shape(self, study):
+        series = study.fraction_examined_series()
+        assert set(series) == {"cost-based", "no-cost"}
+        assert all(len(v) == 2 for v in series.values())
+
+    def test_cost_based_fraction_below_one(self, study):
+        assert study.mean_fraction_examined("cost-based") < 1.0
+
+
+class TestValidationErrors:
+    def test_requires_techniques(self, homes_table, workload):
+        with pytest.raises(ValueError, match="at least one"):
+            run_simulated_study(homes_table, workload, [])
+
+    def test_custom_eligibility(self, homes_table, workload):
+        result = run_simulated_study(
+            homes_table,
+            workload,
+            [CostBasedCategorizer],
+            subset_count=1,
+            subset_size=5,
+            eligible=lambda q: q.constrains("neighborhood")
+            and q.constrains("price"),
+        )
+        assert len(result.records) <= 5

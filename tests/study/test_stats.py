@@ -1,0 +1,112 @@
+"""Tests for Pearson correlation and the zero-intercept fit."""
+
+import math
+
+import pytest
+
+from repro.study.stats import classify_correlation, pearson, slope_through_origin
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_uncorrelated_symmetric(self):
+        r = pearson([1, 2, 3, 4], [1, -1, -1, 1])
+        assert abs(r) < 1e-9
+
+    def test_translation_invariant(self):
+        xs, ys = [1, 5, 3, 8], [2, 9, 4, 11]
+        assert pearson(xs, ys) == pytest.approx(
+            pearson([x + 100 for x in xs], [y - 50 for y in ys])
+        )
+
+    def test_constant_series_is_nan(self):
+        assert math.isnan(pearson([1, 1, 1], [1, 2, 3]))
+
+    def test_short_series_is_nan(self):
+        assert math.isnan(pearson([1], [2]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1])
+
+
+class TestSlopeThroughOrigin:
+    def test_exact_proportionality(self):
+        assert slope_through_origin([1, 2, 4], [2, 4, 8]) == pytest.approx(2.0)
+
+    def test_least_squares_value(self):
+        # Closed form: sum(xy)/sum(x^2) = (1*2 + 2*2)/(1+4) = 1.2
+        assert slope_through_origin([1, 2], [2, 2]) == pytest.approx(1.2)
+
+    def test_all_zero_x_rejected(self):
+        with pytest.raises(ValueError):
+            slope_through_origin([0, 0], [1, 2])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            slope_through_origin([1], [1, 2])
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "r,expected",
+        [
+            (0.9, "strong positive"),
+            (0.6, "strong positive"),
+            (0.4, "weak positive"),
+            (0.0, "negligible"),
+            (-0.5, "negative"),
+            (math.nan, "undefined"),
+        ],
+    )
+    def test_bands(self, r, expected):
+        assert classify_correlation(r) == expected
+
+
+class TestBootstrapCI:
+    def test_contains_sample_mean(self):
+        from repro.study.stats import bootstrap_mean_ci
+
+        values = [3.0, 5.0, 7.0, 9.0, 11.0, 4.0, 6.0]
+        low, high = bootstrap_mean_ci(values, seed=1)
+        mean = sum(values) / len(values)
+        assert low <= mean <= high
+
+    def test_deterministic_under_seed(self):
+        from repro.study.stats import bootstrap_mean_ci
+
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert bootstrap_mean_ci(values, seed=2) == bootstrap_mean_ci(values, seed=2)
+
+    def test_wider_at_higher_confidence(self):
+        from repro.study.stats import bootstrap_mean_ci
+
+        values = [1.0, 9.0, 2.0, 8.0, 3.0, 7.0]
+        low95, high95 = bootstrap_mean_ci(values, confidence=0.95, seed=3)
+        low50, high50 = bootstrap_mean_ci(values, confidence=0.50, seed=3)
+        assert (high95 - low95) >= (high50 - low50)
+
+    def test_constant_sample_degenerates(self):
+        from repro.study.stats import bootstrap_mean_ci
+
+        low, high = bootstrap_mean_ci([5.0] * 10, seed=4)
+        assert low == high == 5.0
+
+    def test_empty_rejected(self):
+        import pytest
+        from repro.study.stats import bootstrap_mean_ci
+
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])
+
+    def test_bad_confidence_rejected(self):
+        import pytest
+        from repro.study.stats import bootstrap_mean_ci
+
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], confidence=1.0)

@@ -1,0 +1,29 @@
+"""Tests for the execution-time study (Figure 13 harness)."""
+
+import pytest
+
+from repro.study.timing import run_timing_study
+
+
+@pytest.fixture(scope="module")
+def points(request):
+    table = request.getfixturevalue("homes_table")
+    workload = request.getfixturevalue("workload")
+    return run_timing_study(
+        table, workload, m_values=(10, 50), query_count=8, seed=2
+    )
+
+
+class TestTiming:
+    def test_one_point_per_m(self, points):
+        assert [p.m for p in points] == [10, 50]
+
+    def test_times_positive(self, points):
+        assert all(p.mean_seconds > 0 for p in points)
+
+    def test_queries_timed_recorded(self, points):
+        assert all(0 < p.queries_timed <= 8 for p in points)
+        assert points[0].queries_timed == points[1].queries_timed
+
+    def test_mean_result_size_positive(self, points):
+        assert all(p.mean_result_size > 0 for p in points)

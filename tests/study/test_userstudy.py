@@ -1,0 +1,114 @@
+"""Tests for the simulated real-life user study (small scale)."""
+
+import math
+
+import pytest
+
+from repro.core.algorithm import CostBasedCategorizer
+from repro.core.baselines import AttrCostCategorizer, NoCostCategorizer
+from repro.study.userstudy import paper_tasks, run_user_study
+
+
+@pytest.fixture(scope="module")
+def study(request):
+    table = request.getfixturevalue("homes_table")
+    workload = request.getfixturevalue("workload")
+    return run_user_study(
+        table,
+        workload,
+        [CostBasedCategorizer, AttrCostCategorizer, NoCostCategorizer],
+        subject_count=6,
+        seed=11,
+    )
+
+
+class TestTasks:
+    def test_four_paper_tasks(self):
+        tasks = paper_tasks()
+        assert len(tasks) == 4
+
+    def test_task3_selects_fifteen_neighborhoods(self):
+        tasks = paper_tasks()
+        assert len(tasks[2].values_on("neighborhood")) == 15
+
+    def test_task4_constrains_bedrooms(self):
+        tasks = paper_tasks()
+        assert tasks[3].range_on("bedroomcount") == (3.0, 4.0)
+
+
+class TestAssignment:
+    def test_every_subject_does_every_task_once(self, study):
+        for user_id in study.user_ids:
+            tasks = [s.task for s in study.for_user(user_id)]
+            assert sorted(tasks) == [0, 1, 2, 3]
+
+    def test_techniques_vary_within_subject(self, study):
+        for user_id in study.user_ids:
+            techniques = {s.technique for s in study.for_user(user_id)}
+            assert len(techniques) == 3
+
+    def test_every_cell_has_two_or_more_subjects(self, study):
+        for task in range(4):
+            for technique in study.techniques():
+                assert len(study.cell(task, technique)) >= 2
+
+
+class TestMeasurements:
+    def test_items_positive(self, study):
+        for record in study.records:
+            assert record.items_all > 0
+            assert record.items_one > 0
+
+    def test_one_scenario_cheaper_in_aggregate(self, study):
+        # Per-session the two scenarios use independent random draws, so the
+        # ordering only holds in aggregate over sessions that found something.
+        productive = [r for r in study.records if r.relevant_found > 0]
+        assert productive
+        mean_one = sum(r.items_one for r in productive) / len(productive)
+        mean_all = sum(r.items_all for r in productive) / len(productive)
+        assert mean_one <= mean_all
+
+    def test_relevant_found_bounded_by_total(self, study):
+        for record in study.records:
+            assert 0 <= record.relevant_found <= record.relevant_total
+
+    def test_normalized_cost_definition(self, study):
+        record = next(r for r in study.records if r.relevant_found > 0)
+        assert record.normalized_cost == pytest.approx(
+            record.items_all / record.relevant_found
+        )
+
+
+class TestDerivedTables:
+    def test_correlation_table_rows(self, study):
+        table = study.correlation_table()
+        assert len(table) == len(study.user_ids) + 1
+        assert table[-1][0] == "average"
+
+    def test_figure_series_shapes(self, study):
+        for metric in ("cost_all", "relevant_found", "normalized_cost", "cost_one"):
+            series = study.figure_series(metric)
+            assert set(series) == set(study.techniques())
+            assert all(len(v) == 4 for v in series.values())
+
+    def test_vs_no_categorization_rows(self, study):
+        rows = study.vs_no_categorization()
+        assert len(rows) == 4
+        for task, normalized, result_size in rows:
+            assert 1 <= task <= 4
+            assert result_size > 0
+            assert normalized < result_size  # categorization must help
+
+    def test_survey_votes_sum_to_subjects(self, study):
+        votes = study.survey()
+        assert sum(votes.values()) == len(study.user_ids)
+
+    def test_deterministic(self, homes_table, workload):
+        kwargs = dict(subject_count=3, seed=4)
+        a = run_user_study(homes_table, workload, [CostBasedCategorizer], **kwargs)
+        b = run_user_study(homes_table, workload, [CostBasedCategorizer], **kwargs)
+        assert [r.items_all for r in a.records] == [r.items_all for r in b.records]
+
+    def test_requires_techniques(self, homes_table, workload):
+        with pytest.raises(ValueError):
+            run_user_study(homes_table, workload, [])

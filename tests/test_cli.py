@@ -1,0 +1,185 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import load_schema, main
+
+
+@pytest.fixture(scope="module")
+def data_and_workload(tmp_path_factory):
+    """Small CSV + workload files generated through the CLI itself."""
+    root = tmp_path_factory.mktemp("cli")
+    data = root / "homes.csv"
+    workload = root / "workload.sql"
+    assert main(["generate-data", "--rows", "2000", "--out", str(data)]) == 0
+    assert (
+        main(["generate-workload", "--queries", "1500", "--out", str(workload)])
+        == 0
+    )
+    return data, workload
+
+
+class TestGenerate:
+    def test_data_file_written(self, data_and_workload):
+        data, _ = data_and_workload
+        header = data.read_text().splitlines()[0]
+        assert "neighborhood" in header and "price" in header
+
+    def test_workload_file_written(self, data_and_workload):
+        _, workload = data_and_workload
+        first = workload.read_text().splitlines()[0]
+        assert first.startswith("SELECT")
+
+
+class TestStats:
+    def test_prints_usage_table(self, data_and_workload, capsys):
+        _, workload = data_and_workload
+        assert main(["stats", "--workload", str(workload)]) == 0
+        out = capsys.readouterr().out
+        assert "AttributeUsageCounts" in out
+        assert "neighborhood" in out
+        assert "OccurrenceCounts" in out
+
+
+class TestCategorize:
+    QUERY = (
+        "SELECT * FROM ListProperty WHERE neighborhood IN "
+        "('Queen Anne, WA', 'Ballard, WA', 'Capitol Hill, WA', "
+        "'Fremont, WA', 'West Seattle, WA')"
+    )
+
+    def test_cost_based_run(self, data_and_workload, capsys):
+        data, workload = data_and_workload
+        code = main(
+            [
+                "categorize",
+                "--data", str(data),
+                "--workload", str(workload),
+                "--query", self.QUERY,
+                "--depth", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ALL [" in out
+        assert "estimated CostAll" in out
+        assert "technique=cost-based" in out
+
+    @pytest.mark.parametrize("technique", ["attr-cost", "no-cost"])
+    def test_baseline_techniques(self, data_and_workload, technique, capsys):
+        data, workload = data_and_workload
+        code = main(
+            [
+                "categorize",
+                "--data", str(data),
+                "--workload", str(workload),
+                "--query", self.QUERY,
+                "--technique", technique,
+                "--depth", "1",
+            ]
+        )
+        assert code == 0
+        assert f"technique={technique}" in capsys.readouterr().out
+
+    def test_knobs_accepted(self, data_and_workload, capsys):
+        data, workload = data_and_workload
+        code = main(
+            [
+                "categorize",
+                "--data", str(data),
+                "--workload", str(workload),
+                "--query", self.QUERY,
+                "--m", "50", "--k", "0.5", "--x", "0.3", "--buckets", "4",
+            ]
+        )
+        assert code == 0
+
+    def test_bad_query_is_reported(self, data_and_workload, capsys):
+        data, workload = data_and_workload
+        code = main(
+            [
+                "categorize",
+                "--data", str(data),
+                "--workload", str(workload),
+                "--query", "SELECT FROM nope nope",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_is_reported(self, data_and_workload, capsys):
+        _, workload = data_and_workload
+        code = main(
+            [
+                "categorize",
+                "--data", "/nonexistent.csv",
+                "--workload", str(workload),
+                "--query", self.QUERY,
+            ]
+        )
+        assert code == 2
+
+
+class TestSchemaLoading:
+    def test_default_schema(self):
+        assert load_schema(None).name == "ListProperty"
+
+    def test_custom_schema(self, tmp_path):
+        path = tmp_path / "schema.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "Laptops",
+                    "attributes": [
+                        {"name": "brand", "type": "text", "kind": "categorical"},
+                        {"name": "price", "type": "int"},
+                    ],
+                }
+            )
+        )
+        schema = load_schema(path)
+        assert schema.name == "Laptops"
+        assert schema.attribute("brand").is_categorical
+        assert schema.attribute("price").is_numeric
+
+    def test_custom_schema_end_to_end(self, tmp_path, capsys):
+        schema_path = tmp_path / "schema.json"
+        schema_path.write_text(
+            json.dumps(
+                {
+                    "name": "Laptops",
+                    "attributes": [
+                        {"name": "brand", "type": "text"},
+                        {"name": "price", "type": "int"},
+                    ],
+                }
+            )
+        )
+        data = tmp_path / "laptops.csv"
+        lines = ["brand,price"]
+        for i in range(60):
+            lines.append(f"Brand{i % 3},{500 + 10 * i}")
+        data.write_text("\n".join(lines) + "\n")
+        workload = tmp_path / "searches.sql"
+        workload.write_text(
+            "\n".join(
+                ["SELECT * FROM Laptops WHERE brand IN ('Brand0')"] * 4
+                + ["SELECT * FROM Laptops WHERE price BETWEEN 500 AND 800"] * 6
+            )
+            + "\n"
+        )
+        code = main(
+            [
+                "categorize",
+                "--data", str(data),
+                "--workload", str(workload),
+                "--schema", str(schema_path),
+                "--query", "SELECT * FROM Laptops WHERE price BETWEEN 500 AND 1000",
+                "--m", "10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ALL [" in out

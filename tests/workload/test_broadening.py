@@ -1,0 +1,101 @@
+"""Tests for query broadening strategies (Section 6.2)."""
+
+import pytest
+
+from repro.data.geography import SEATTLE_BELLEVUE
+from repro.workload.broadening import (
+    STRATEGIES,
+    broaden_drop_all_but_location,
+    broaden_to_region,
+    broaden_widen_price,
+)
+from repro.workload.model import WorkloadQuery
+
+
+@pytest.fixture
+def seattle_w():
+    return WorkloadQuery.from_sql(
+        "SELECT * FROM ListProperty WHERE "
+        "neighborhood IN ('Queen Anne, WA', 'Ballard, WA') "
+        "AND price BETWEEN 300000 AND 500000 AND bedroomcount >= 3"
+    )
+
+
+class TestRegionBroadening:
+    def test_neighborhoods_expanded_to_region(self, seattle_w):
+        qw = broaden_to_region(seattle_w)
+        assert qw.in_values("neighborhood") == frozenset(
+            SEATTLE_BELLEVUE.neighborhood_names()
+        )
+
+    def test_other_conditions_dropped(self, seattle_w):
+        qw = broaden_to_region(seattle_w)
+        assert set(qw.conditions) == {"neighborhood"}
+
+    def test_subsumes_original(self, seattle_w, homes_table):
+        qw = broaden_to_region(seattle_w)
+        original = seattle_w.query.execute(homes_table)
+        broadened = qw.query.execute(homes_table)
+        assert set(original.indices) <= set(broadened.indices)
+
+    def test_city_query_falls_back_to_city_region(self):
+        w = WorkloadQuery.from_sql(
+            "SELECT * FROM ListProperty WHERE city IN ('Bellevue') AND price <= 500000"
+        )
+        qw = broaden_to_region(w)
+        assert qw.in_values("neighborhood") == frozenset(
+            SEATTLE_BELLEVUE.neighborhood_names()
+        )
+
+    def test_no_location_falls_back_to_biggest_market(self):
+        w = WorkloadQuery.from_sql(
+            "SELECT * FROM ListProperty WHERE price <= 500000"
+        )
+        qw = broaden_to_region(w)
+        assert qw.in_values("neighborhood")  # some region was chosen
+
+
+class TestWidenPrice:
+    def test_price_kept_but_wider(self, seattle_w):
+        qw = broaden_widen_price(seattle_w)
+        low, high = qw.range_bounds("price")
+        assert low <= 300_000 and high >= 500_000
+        assert (high - low) > 200_000
+
+    def test_subsumes_original(self, seattle_w, homes_table):
+        qw = broaden_widen_price(seattle_w)
+        original = seattle_w.query.execute(homes_table)
+        broadened = qw.query.execute(homes_table)
+        assert set(original.indices) <= set(broadened.indices)
+
+    def test_one_sided_price_handled(self):
+        w = WorkloadQuery.from_sql(
+            "SELECT * FROM ListProperty WHERE "
+            "neighborhood IN ('Queen Anne, WA') AND price <= 400000"
+        )
+        qw = broaden_widen_price(w)
+        low, high = qw.range_bounds("price")
+        assert low >= 0 and high > 400_000
+
+
+class TestLocationOnly:
+    def test_keeps_location_verbatim(self, seattle_w):
+        qw = broaden_drop_all_but_location(seattle_w)
+        assert qw.in_values("neighborhood") == seattle_w.in_values("neighborhood")
+        assert not qw.constrains("price")
+
+    def test_falls_back_to_region_without_location(self):
+        w = WorkloadQuery.from_sql(
+            "SELECT * FROM ListProperty WHERE price <= 500000"
+        )
+        qw = broaden_drop_all_but_location(w)
+        assert qw.constrains("neighborhood")
+
+
+class TestRegistry:
+    def test_all_strategies_registered(self):
+        assert set(STRATEGIES) == {"region", "widen-price", "location-only"}
+
+    def test_registered_strategies_callable(self, seattle_w):
+        for strategy in STRATEGIES.values():
+            assert strategy(seattle_w).constrains("neighborhood")

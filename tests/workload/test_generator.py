@@ -1,0 +1,78 @@
+"""Tests for the persona-based workload generator."""
+
+import pytest
+
+from repro.workload.generator import (
+    DEFAULT_ATTRIBUTE_USAGE,
+    WorkloadGeneratorConfig,
+    generate_workload,
+)
+
+
+class TestBasics:
+    def test_count(self, workload):
+        assert len(workload) == 3_000
+
+    def test_deterministic(self):
+        config = WorkloadGeneratorConfig(query_count=100, seed=1)
+        a = generate_workload(config)
+        b = generate_workload(config)
+        assert [str(q) for q in a] == [str(q) for q in b]
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            generate_workload(WorkloadGeneratorConfig(query_count=0))
+
+    def test_every_query_has_a_condition(self, workload):
+        assert all(len(q.conditions) >= 1 for q in workload)
+
+    def test_queries_parse_back(self, workload):
+        from repro.workload.model import WorkloadQuery
+
+        for query in list(workload)[:50]:
+            WorkloadQuery.from_sql(query.to_sql())
+
+
+class TestStatisticalTexture:
+    def test_usage_fractions_near_configured(self, workload):
+        n = len(workload)
+        for attribute, target in DEFAULT_ATTRIBUTE_USAGE.items():
+            if attribute in ("city", "state", "zipcode"):
+                continue  # conditional on neighborhood absence / rare
+            observed = sum(1 for q in workload if q.constrains(attribute)) / n
+            assert abs(observed - target) < 0.06, (attribute, observed, target)
+
+    def test_neighborhood_dominates(self, workload):
+        n = len(workload)
+        observed = sum(1 for q in workload if q.constrains("neighborhood")) / n
+        assert observed > 0.85
+
+    def test_occ_skewed(self, statistics):
+        rows = statistics.occurrence_counts("neighborhood").as_rows()
+        assert len(rows) > 20
+        # Popular neighborhoods are queried far more than the tail.
+        assert rows[0][1] > rows[-1][1] * 3
+
+    def test_price_endpoints_cluster_on_round_grid(self, workload):
+        import math
+
+        endpoints = []
+        for q in workload:
+            bounds = q.range_bounds("price")
+            if bounds:
+                endpoints.extend(b for b in bounds if not math.isinf(b))
+        assert endpoints
+        on_25k = sum(1 for e in endpoints if e % 25_000 == 0) / len(endpoints)
+        on_5k = sum(1 for e in endpoints if e % 5_000 == 0) / len(endpoints)
+        assert on_5k == 1.0  # everything lands on the SplitPoints grid
+        assert on_25k > 0.5  # most mass on the coarse round grid
+
+    def test_neighborhoods_within_one_region_per_query(self, workload):
+        from repro.data.geography import region_of_neighborhood
+
+        for q in list(workload)[:200]:
+            hoods = q.in_values("neighborhood")
+            if not hoods:
+                continue
+            regions = {region_of_neighborhood(h).name for h in hoods}
+            assert len(regions) == 1

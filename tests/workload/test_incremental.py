@@ -1,0 +1,90 @@
+"""Tests for incremental count-table maintenance (streaming log updates)."""
+
+import pytest
+
+from repro.data.homes import list_property_schema
+from repro.workload.log import Workload
+from repro.workload.model import WorkloadQuery
+from repro.workload.preprocess import preprocess_workload
+
+
+BASE_SQL = [
+    "SELECT * FROM ListProperty WHERE neighborhood IN ('A, WA')",
+    "SELECT * FROM ListProperty WHERE price BETWEEN 200000 AND 300000",
+]
+
+NEW_SQL = [
+    "SELECT * FROM ListProperty WHERE neighborhood IN ('B, WA', 'A, WA') "
+    "AND price BETWEEN 250000 AND 400000",
+    "SELECT * FROM ListProperty WHERE bedroomcount >= 3",
+]
+
+
+@pytest.fixture
+def incrementally_updated():
+    stats = preprocess_workload(
+        Workload.from_sql_strings(BASE_SQL),
+        list_property_schema(),
+        {"price": 5_000},
+    )
+    for sql in NEW_SQL:
+        stats.record_query(WorkloadQuery.from_sql(sql))
+    return stats
+
+
+@pytest.fixture
+def batch_rebuilt():
+    return preprocess_workload(
+        Workload.from_sql_strings(BASE_SQL + NEW_SQL),
+        list_property_schema(),
+        {"price": 5_000},
+    )
+
+
+class TestIncrementalEqualsBatch:
+    def test_totals(self, incrementally_updated, batch_rebuilt):
+        assert (
+            incrementally_updated.total_queries == batch_rebuilt.total_queries == 4
+        )
+
+    def test_n_attr(self, incrementally_updated, batch_rebuilt):
+        for attribute in ("neighborhood", "price", "bedroomcount", "yearbuilt"):
+            assert incrementally_updated.n_attr(attribute) == batch_rebuilt.n_attr(
+                attribute
+            )
+
+    def test_occ(self, incrementally_updated, batch_rebuilt):
+        for value in ("A, WA", "B, WA", "C, WA"):
+            assert incrementally_updated.occ(
+                "neighborhood", value
+            ) == batch_rebuilt.occ("neighborhood", value)
+
+    def test_splitpoint_goodness(self, incrementally_updated, batch_rebuilt):
+        for point in (200_000, 250_000, 300_000, 400_000):
+            assert incrementally_updated.splitpoints_table("price").goodness(
+                point
+            ) == batch_rebuilt.splitpoints_table("price").goodness(point)
+
+    def test_range_overlap_counts(self, incrementally_updated, batch_rebuilt):
+        for low, high in ((225_000, 275_000), (350_000, 500_000), (0, 100_000)):
+            assert incrementally_updated.n_overlap_range(
+                "price", low, high
+            ) == batch_rebuilt.n_overlap_range("price", low, high)
+
+
+class TestLiveUpdateChangesTrees:
+    def test_new_interest_shifts_probabilities(self):
+        stats = preprocess_workload(
+            Workload.from_sql_strings(BASE_SQL * 5),
+            list_property_schema(),
+            {"price": 5_000},
+        )
+        before = stats.usage_fraction("bedroomcount")
+        for _ in range(20):
+            stats.record_query(
+                WorkloadQuery.from_sql(
+                    "SELECT * FROM ListProperty WHERE bedroomcount BETWEEN 3 AND 4"
+                )
+            )
+        after = stats.usage_fraction("bedroomcount")
+        assert before == 0.0 and after > 0.5

@@ -1,0 +1,65 @@
+"""Tests for the WorkloadQuery model."""
+
+import math
+
+import pytest
+
+from repro.workload.model import WorkloadQuery
+
+
+class TestFromSql:
+    def test_conditions_extracted(self):
+        w = WorkloadQuery.from_sql(
+            "SELECT * FROM T WHERE city IN ('a') AND price BETWEEN 1 AND 2"
+        )
+        assert set(w.conditions) == {"city", "price"}
+        assert w.attributes == frozenset({"city", "price"})
+
+    def test_constrains(self):
+        w = WorkloadQuery.from_sql("SELECT * FROM T WHERE price <= 100")
+        assert w.constrains("price")
+        assert not w.constrains("city")
+
+    def test_in_values(self):
+        w = WorkloadQuery.from_sql("SELECT * FROM T WHERE city IN ('a', 'b')")
+        assert w.in_values("city") == frozenset({"a", "b"})
+        assert w.in_values("price") is None
+
+    def test_range_bounds(self):
+        w = WorkloadQuery.from_sql("SELECT * FROM T WHERE price BETWEEN 10 AND 20")
+        assert w.range_bounds("price") == (10.0, 20.0)
+
+    def test_one_sided_range_bounds(self):
+        w = WorkloadQuery.from_sql("SELECT * FROM T WHERE price <= 100")
+        low, high = w.range_bounds("price")
+        assert math.isinf(low) and high == 100
+
+    def test_range_bounds_absent(self):
+        w = WorkloadQuery.from_sql("SELECT * FROM T WHERE city IN ('a')")
+        assert w.range_bounds("price") is None
+
+    def test_multiple_comparisons_merged(self):
+        w = WorkloadQuery.from_sql(
+            "SELECT * FROM T WHERE price >= 10 AND price <= 20"
+        )
+        assert w.range_bounds("price") == (10.0, 20.0)
+
+    def test_contradictory_conditions_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadQuery.from_sql(
+                "SELECT * FROM T WHERE price >= 20 AND price <= 10"
+            )
+
+
+class TestRoundTrip:
+    def test_to_sql_reparses_identically(self):
+        sql = "SELECT * FROM T WHERE city IN ('a', 'b') AND price BETWEEN 1 AND 2"
+        w = WorkloadQuery.from_sql(sql)
+        again = WorkloadQuery.from_sql(w.to_sql())
+        assert again.conditions.keys() == w.conditions.keys()
+        assert again.in_values("city") == w.in_values("city")
+        assert again.range_bounds("price") == w.range_bounds("price")
+
+    def test_str_is_sql(self):
+        w = WorkloadQuery.from_sql("SELECT * FROM T WHERE price <= 100")
+        assert str(w).startswith("SELECT")

@@ -1,0 +1,128 @@
+"""Tests for personalized workload statistics (footnote 4)."""
+
+import pytest
+
+from repro.data.homes import list_property_schema
+from repro.workload.log import Workload
+from repro.workload.personalization import (
+    blend_workloads,
+    personal_share,
+    personalized_statistics,
+    weight_for_share,
+)
+
+
+@pytest.fixture
+def global_workload():
+    return Workload.from_sql_strings(
+        ["SELECT * FROM ListProperty WHERE neighborhood IN ('A, WA')"] * 8
+        + ["SELECT * FROM ListProperty WHERE price BETWEEN 100000 AND 200000"] * 2
+    )
+
+
+@pytest.fixture
+def history():
+    return Workload.from_sql_strings(
+        ["SELECT * FROM ListProperty WHERE yearbuilt >= 1990"] * 2
+    )
+
+
+class TestBlend:
+    def test_sizes_add(self, global_workload, history):
+        blended = blend_workloads(global_workload, history, personal_weight=3)
+        assert len(blended) == 10 + 2 * 3
+
+    def test_weight_one_is_plain_union(self, global_workload, history):
+        blended = blend_workloads(global_workload, history)
+        assert len(blended) == 12
+
+    def test_invalid_weight_rejected(self, global_workload, history):
+        with pytest.raises(ValueError):
+            blend_workloads(global_workload, history, personal_weight=0)
+
+    def test_personal_share(self, global_workload, history):
+        assert personal_share(global_workload, history, 5) == pytest.approx(
+            10 / 20
+        )
+
+    def test_personal_share_empty(self):
+        assert personal_share(Workload([]), Workload([]), 3) == 0.0
+
+
+class TestPersonalizedStatistics:
+    def test_counts_shift_toward_history(self, global_workload, history):
+        schema = list_property_schema()
+        plain = personalized_statistics(
+            global_workload, Workload([]), schema
+        ) if False else None
+        base = personalized_statistics(
+            global_workload, history, schema, personal_weight=1
+        )
+        heavy = personalized_statistics(
+            global_workload, history, schema, personal_weight=10
+        )
+        assert heavy.usage_fraction("yearbuilt") > base.usage_fraction("yearbuilt")
+        assert heavy.usage_fraction("neighborhood") < base.usage_fraction(
+            "neighborhood"
+        )
+
+    def test_counts_are_exact(self, global_workload, history):
+        schema = list_property_schema()
+        stats = personalized_statistics(
+            global_workload, history, schema, personal_weight=4
+        )
+        # N = 10 + 2*4 = 18; NAttr(yearbuilt) = 8.
+        assert stats.total_queries == 18
+        assert stats.n_attr("yearbuilt") == 8
+
+
+class TestWeightForShare:
+    def test_achieves_requested_share(self, global_workload, history):
+        weight = weight_for_share(global_workload, history, 0.5)
+        assert personal_share(global_workload, history, weight) >= 0.5
+        # Minimality: one less weight falls short (when weight > 1).
+        if weight > 1:
+            assert personal_share(global_workload, history, weight - 1) < 0.5
+
+    def test_invalid_share_rejected(self, global_workload, history):
+        with pytest.raises(ValueError):
+            weight_for_share(global_workload, history, 1.0)
+
+    def test_empty_history_rejected(self, global_workload):
+        with pytest.raises(ValueError, match="empty"):
+            weight_for_share(global_workload, Workload([]), 0.5)
+
+
+class TestPersonalizationChangesTrees:
+    def test_history_tilts_attribute_choice(self, homes_table, workload):
+        """A user who always filters by year-built gets year-built levels."""
+        from repro.core.algorithm import CostBasedCategorizer
+        from repro.core.config import PAPER_CONFIG
+        from repro.data.geography import SEATTLE_BELLEVUE
+        from repro.relational.expressions import InPredicate
+        from repro.relational.query import SelectQuery
+
+        history = Workload.from_sql_strings(
+            [
+                "SELECT * FROM ListProperty WHERE "
+                "neighborhood IN ('Queen Anne, WA') AND yearbuilt >= 1990"
+            ]
+            * 5
+        )
+        weight = weight_for_share(workload, history, 0.45)
+        stats = personalized_statistics(
+            workload,
+            history,
+            homes_table.schema,
+            PAPER_CONFIG.separation_intervals,
+            personal_weight=weight,
+        )
+        query = SelectQuery(
+            "ListProperty",
+            InPredicate("neighborhood", SEATTLE_BELLEVUE.neighborhood_names()),
+        )
+        rows = query.execute(homes_table)
+        tree = CostBasedCategorizer(stats, PAPER_CONFIG).categorize(rows, query)
+        assert "yearbuilt" in tree.level_attributes(), (
+            "a heavily year-built-biased history should surface that attribute"
+        )
