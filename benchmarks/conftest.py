@@ -88,9 +88,12 @@ def userstudy_result(bench_homes, bench_workload):
 
 
 @pytest.fixture(scope="session")
-def categorize_one(bench_homes, bench_statistics):
-    """A representative single categorization call, for timing."""
-    from repro.sql.compiler import parse_query
+def bench_seattle_query(bench_homes):
+    """The representative large query: Seattle-side neighborhoods.
+
+    Returns ``(query, rows)`` — the biggest single result set the bench
+    table yields, used by the hot-path timing benches.
+    """
     from repro.data.geography import SEATTLE_BELLEVUE
     from repro.relational.expressions import InPredicate
     from repro.relational.query import SelectQuery
@@ -99,7 +102,13 @@ def categorize_one(bench_homes, bench_statistics):
         "ListProperty",
         InPredicate("neighborhood", SEATTLE_BELLEVUE.neighborhood_names()),
     )
-    rows = query.execute(bench_homes)
+    return query, query.execute(bench_homes)
+
+
+@pytest.fixture(scope="session")
+def categorize_one(bench_statistics, bench_seattle_query):
+    """A representative single categorization call, for timing."""
+    query, rows = bench_seattle_query
 
     def run():
         return CostBasedCategorizer(bench_statistics, PAPER_CONFIG).categorize(

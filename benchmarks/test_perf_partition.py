@@ -1,14 +1,77 @@
-"""Performance: the column-direct partition fast path.
+"""Performance: partition fast paths, hot-path caching, instrumentation.
 
-Level construction is the categorizer's inner loop; this bench times one
-full-level partitioning of a large result set through both RowSet APIs —
-the generic per-row path and the column-direct fast path the partitioners
-use — and asserts they agree and that the fast path is not slower.
+Level construction is the categorizer's inner loop.  This module times
+
+* one full-level partitioning through both RowSet APIs (generic per-row
+  vs column-direct),
+* the categorize hot path with the caching layer on vs off (groupby
+  index, RowSet-derived partitionings, memoized workload statistics),
+* the cost of the always-on instrumentation hooks when disabled.
+
+Each bench appends its measurements to ``BENCH_partition.json`` at the
+repo root so successive runs form a trajectory (the file is
+machine-local and git-ignored; see docs/performance.md).
 """
 
+import contextlib
+import json
 import time
+from datetime import datetime, timezone
+from pathlib import Path
 
+from repro import perf
+from repro.core.algorithm import CostBasedCategorizer
+from repro.core.config import PAPER_CONFIG
 from repro.study.report import format_table
+from repro.workload.preprocess import preprocess_workload
+
+BENCH_TRAJECTORY = Path(__file__).resolve().parents[1] / "BENCH_partition.json"
+
+#: Acceptance floor for the caching layer at bench scale.
+REQUIRED_SPEEDUP = 1.5
+
+#: Acceptance ceiling for disabled-mode instrumentation overhead.
+MAX_DISABLED_OVERHEAD = 0.05
+
+
+def _timed(fn, repeats=5, statistic="median"):
+    """Wall-clock ``fn`` ``repeats`` times; return the median (or min)."""
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - started)
+    if statistic == "min":
+        return min(samples)
+    return sorted(samples)[repeats // 2]
+
+
+def _append_bench_record(bench, record):
+    """Append one measurement to the BENCH_partition.json trajectory."""
+    data = {"schema": "bench.partition.v1", "runs": []}
+    if BENCH_TRAJECTORY.exists():
+        try:
+            loaded = json.loads(BENCH_TRAJECTORY.read_text())
+            if isinstance(loaded, dict) and isinstance(loaded.get("runs"), list):
+                data = loaded
+        except (ValueError, OSError):
+            pass  # corrupt trajectory: start a fresh one
+    data["runs"].append(
+        {
+            "bench": bench,
+            "timestamp": datetime.now(timezone.utc).isoformat(),
+            **record,
+        }
+    )
+    BENCH_TRAJECTORY.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def _tree_shape(node):
+    return (
+        len(node.rows),
+        str(node.label),
+        [_tree_shape(child) for child in node.children],
+    )
 
 
 def test_perf_partition_fast_path(benchmark, bench_homes):
@@ -28,16 +91,8 @@ def test_perf_partition_fast_path(benchmark, bench_homes):
         assert generic_buckets[key].indices == fast_buckets[key].indices
 
     # Wall-clock comparison (median of a few runs each).
-    def timed(fn, repeats=5):
-        samples = []
-        for _ in range(repeats):
-            started = time.perf_counter()
-            fn()
-            samples.append(time.perf_counter() - started)
-        return sorted(samples)[repeats // 2]
-
-    generic_seconds = timed(generic)
-    fast_seconds = timed(fast)
+    generic_seconds = _timed(generic)
+    fast_seconds = _timed(fast)
     print()
     print(
         format_table(
@@ -50,6 +105,130 @@ def test_perf_partition_fast_path(benchmark, bench_homes):
         )
     )
     print(f"speedup: {generic_seconds / fast_seconds:.2f}x")
+    _append_bench_record(
+        "partition_fast_path",
+        {
+            "rows": len(rows),
+            "generic_ms": round(generic_seconds * 1e3, 3),
+            "fast_ms": round(fast_seconds * 1e3, 3),
+            "speedup": round(generic_seconds / fast_seconds, 2),
+        },
+    )
     assert fast_seconds <= generic_seconds * 1.2, (
         "the fast path must not be slower than the generic one"
     )
+
+
+def test_perf_categorize_hot_path_caching(
+    bench_homes, bench_workload, bench_seattle_query
+):
+    """The caching layer must speed up steady-state categorize >= 1.5x.
+
+    Cold: statistics memoization off AND ``enable_caches=False`` — every
+    call recomputes partitionings, bounds and probabilities from scratch.
+    Warm: the defaults — the table groupby index, RowSet-derived
+    partitionings and memoized count-table lookups all hit after the
+    first call, which is the serving pattern (the same result set is
+    re-categorized as the exploration UI re-renders).
+    """
+    query, rows = bench_seattle_query
+    cold_statistics = preprocess_workload(
+        bench_workload,
+        bench_homes.schema,
+        PAPER_CONFIG.separation_intervals,
+        memoize=False,
+    )
+    warm_statistics = preprocess_workload(
+        bench_workload, bench_homes.schema, PAPER_CONFIG.separation_intervals
+    )
+    cold = CostBasedCategorizer(
+        cold_statistics, PAPER_CONFIG.with_overrides(enable_caches=False)
+    )
+    warm = CostBasedCategorizer(warm_statistics, PAPER_CONFIG)
+
+    # Correctness first: both configurations build the identical tree.
+    cold_tree = cold.categorize(rows, query)
+    warm_tree = warm.categorize(rows, query)
+    assert _tree_shape(cold_tree.root) == _tree_shape(warm_tree.root)
+
+    cold_seconds = _timed(lambda: cold.categorize(rows, query), repeats=5)
+    warm_seconds = _timed(lambda: warm.categorize(rows, query), repeats=7)
+    speedup = cold_seconds / warm_seconds
+
+    print()
+    print(
+        format_table(
+            ["configuration", "median seconds", "result rows"],
+            [
+                ["cold (caches off)", f"{cold_seconds:.4f}", len(rows)],
+                ["warm (caches on)", f"{warm_seconds:.4f}", len(rows)],
+            ],
+            title="Categorize hot path: caching layer",
+        )
+    )
+    print(f"speedup: {speedup:.2f}x (required >= {REQUIRED_SPEEDUP}x)")
+    _append_bench_record(
+        "categorize_hot_path",
+        {
+            "table_rows": len(bench_homes),
+            "workload_queries": len(bench_workload),
+            "result_rows": len(rows),
+            "cold_ms": round(cold_seconds * 1e3, 3),
+            "warm_ms": round(warm_seconds * 1e3, 3),
+            "speedup": round(speedup, 2),
+        },
+    )
+    assert speedup >= REQUIRED_SPEEDUP
+
+
+def test_perf_instrumentation_disabled_overhead(
+    bench_statistics, bench_seattle_query, monkeypatch
+):
+    """Disabled instrumentation must cost <= 5% on the categorize hot path.
+
+    Baseline: the same run with every perf hook monkeypatched to a no-op,
+    i.e. as if the call sites were never instrumented.  Both sides run
+    warm (caches populated) and take the min of many repeats, the most
+    noise-resistant wall-clock statistic.
+    """
+    query, rows = bench_seattle_query
+    categorizer = CostBasedCategorizer(bench_statistics, PAPER_CONFIG)
+
+    def run():
+        return categorizer.categorize(rows, query)
+
+    run()  # populate every cache so both sides measure steady state
+    assert not perf.enabled()
+    instrumented = _timed(run, repeats=15, statistic="min")
+
+    null_scope = contextlib.nullcontext()
+    monkeypatch.setattr(perf, "count", lambda name, value=1: None)
+    monkeypatch.setattr(perf, "span", lambda name: null_scope)
+    monkeypatch.setattr(perf, "timer", lambda name: null_scope)
+    stubbed = _timed(run, repeats=15, statistic="min")
+
+    overhead = instrumented / stubbed - 1.0
+    print()
+    print(
+        format_table(
+            ["configuration", "min seconds"],
+            [
+                ["disabled instrumentation", f"{instrumented:.4f}"],
+                ["no-op stubs", f"{stubbed:.4f}"],
+            ],
+            title="Instrumentation disabled-mode overhead",
+        )
+    )
+    print(
+        f"overhead: {overhead * 100:+.2f}% "
+        f"(budget {MAX_DISABLED_OVERHEAD * 100:.0f}%)"
+    )
+    _append_bench_record(
+        "instrumentation_disabled_overhead",
+        {
+            "instrumented_ms": round(instrumented * 1e3, 3),
+            "stubbed_ms": round(stubbed * 1e3, 3),
+            "overhead_pct": round(overhead * 100, 2),
+        },
+    )
+    assert instrumented <= stubbed * (1.0 + MAX_DISABLED_OVERHEAD)

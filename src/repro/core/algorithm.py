@@ -20,8 +20,9 @@ cost' technique uses the same level-by-level categorization algorithm").
 from __future__ import annotations
 
 import math
-from typing import Protocol, Sequence
+from typing import Mapping, Protocol, Sequence
 
+from repro import perf
 from repro.core.config import CategorizerConfig, PAPER_CONFIG
 from repro.core.cost import CostModel
 from repro.core.labels import CategoryLabel
@@ -40,6 +41,60 @@ class Partitioner(Protocol):
     """A per-(level, attribute) partitioning policy."""
 
     def partition(self, rows: RowSet) -> Partitioning: ...
+
+
+class LevelPartitionings(Mapping[str, list[Partitioning]]):
+    """Per-attribute candidate partitionings for one level, computed lazily.
+
+    ``partitionings[attribute]`` builds the attribute's partitioner and
+    partitions every oversized node on first access, then serves the cached
+    result.  Choose-policies that inspect every candidate (the cost-based
+    argmin) pay exactly what they paid before; policies that stop early —
+    No-Cost takes the first attribute that refines any node, a fixed order
+    only ever looks at its head — no longer pay for partitionings they
+    never look at.
+    """
+
+    def __init__(
+        self,
+        categorizer: "LevelByLevelCategorizer",
+        available: Sequence[str],
+        oversized: list[CategoryNode],
+        query: SelectQuery | None,
+        root_rows: RowSet,
+    ) -> None:
+        self._categorizer = categorizer
+        self._available = tuple(available)
+        self._available_set = frozenset(available)
+        self._oversized = oversized
+        self._query = query
+        self._root_rows = root_rows
+        self._computed: dict[str, list[Partitioning]] = {}
+
+    def __getitem__(self, attribute: str) -> list[Partitioning]:
+        if attribute not in self._available_set:
+            raise KeyError(attribute)
+        cached = self._computed.get(attribute)
+        if cached is None:
+            perf.count("categorize.partitionings_computed")
+            partitioner = self._categorizer._make_partitioner(
+                attribute, self._query, self._root_rows
+            )
+            cached = self._computed[attribute] = [
+                partitioner.partition(node.rows) for node in self._oversized
+            ]
+        return cached
+
+    def __iter__(self):
+        return iter(self._available)
+
+    def __len__(self) -> int:
+        return len(self._available)
+
+    @property
+    def computed_attributes(self) -> frozenset[str]:
+        """The attributes whose partitionings were actually materialized."""
+        return frozenset(self._computed)
 
 
 class LevelByLevelCategorizer:
@@ -81,32 +136,44 @@ class LevelByLevelCategorizer:
         candidate attributes are exhausted, or when no remaining attribute
         can refine any oversized category.
         """
-        root = CategoryNode(rows)
-        tree = CategoryTree(root, query=query, technique=self.name)
-        available = list(self._candidate_attributes(rows, query))
-        frontier: list[CategoryNode] = [root]
-        threshold = self.config.max_tuples_per_category
+        perf.count("categorize.calls")
+        with perf.span("categorize"):
+            root = CategoryNode(rows)
+            tree = CategoryTree(root, query=query, technique=self.name)
+            available = list(self._candidate_attributes(rows, query))
+            frontier: list[CategoryNode] = [root]
+            threshold = self.config.max_tuples_per_category
 
-        for _level in range(1, self.config.max_levels + 1):
-            oversized = [node for node in frontier if node.tuple_count > threshold]
-            if not oversized or not available:
-                break
-            partitioners = {
-                attribute: self._make_partitioner(attribute, query, rows)
-                for attribute in available
-            }
-            partitionings = {
-                attribute: [partitioners[attribute].partition(node.rows) for node in oversized]
-                for attribute in available
-            }
-            chosen = self._choose_attribute(oversized, available, partitionings)
-            if chosen is None:
-                break
-            frontier = self._attach_level(oversized, chosen, partitionings[chosen])
-            available.remove(chosen)
-            if not frontier:
-                break
-        return tree
+            for _level in range(1, self.config.max_levels + 1):
+                oversized = [
+                    node for node in frontier if node.tuple_count > threshold
+                ]
+                if not oversized or not available:
+                    break
+                with perf.span("categorize.level"):
+                    # Candidate partitionings are materialized on demand:
+                    # the choose-policy decides which attributes ever get
+                    # partitioned (see LevelPartitionings).
+                    partitionings = LevelPartitionings(
+                        self, available, oversized, query, rows
+                    )
+                    chosen = self._choose_attribute(
+                        oversized, available, partitionings
+                    )
+                    if chosen is None:
+                        break
+                    frontier = self._attach_level(
+                        oversized, chosen, partitionings[chosen]
+                    )
+                    perf.count("categorize.levels")
+                    perf.count(
+                        "categorize.partitionings_avoided",
+                        len(available) - len(partitionings.computed_attributes),
+                    )
+                available.remove(chosen)
+                if not frontier:
+                    break
+            return tree
 
     # -- level mechanics ------------------------------------------------------------
 
@@ -179,8 +246,10 @@ class LevelByLevelCategorizer:
         self,
         oversized: list[CategoryNode],
         available: list[str],
-        partitionings: dict[str, list[Partitioning]],
+        partitionings: Mapping[str, list[Partitioning]],
     ) -> str | None:
+        """Pick the level's attribute; ``partitionings`` is lazy — only the
+        entries actually subscripted are ever computed."""
         raise NotImplementedError
 
 
@@ -225,6 +294,7 @@ class CostBasedCategorizer(LevelByLevelCategorizer):
                 self.statistics,
                 query=query,
                 include_missing=self.config.include_missing_category,
+                use_index=self.config.enable_caches,
             )
         return NumericPartitioner(
             attribute,
@@ -232,13 +302,14 @@ class CostBasedCategorizer(LevelByLevelCategorizer):
             self.config,
             query=query,
             root_rows=root_rows,
+            use_cache=self.config.enable_caches,
         )
 
     def _choose_attribute(
         self,
         oversized: list[CategoryNode],
         available: list[str],
-        partitionings: dict[str, list[Partitioning]],
+        partitionings: Mapping[str, list[Partitioning]],
     ) -> str | None:
         best_attribute: str | None = None
         best_cost = math.inf

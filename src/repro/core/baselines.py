@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Any, Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.core.algorithm import LevelByLevelCategorizer, Partitioner, Partitioning
 from repro.core.config import (
@@ -162,7 +162,7 @@ class NoCostCategorizer(_NoCostPartitioningMixin):
         self,
         oversized: list[CategoryNode],
         available: list[str],
-        partitionings: dict[str, list[Partitioning]],
+        partitionings: Mapping[str, list[Partitioning]],
     ) -> str | None:
         # "Arbitrarily (without replacement)": take the next attribute in
         # the (possibly shuffled) predefined order that refines any node.
@@ -181,7 +181,7 @@ class AttrCostCategorizer(_NoCostPartitioningMixin):
         self,
         oversized: list[CategoryNode],
         available: list[str],
-        partitionings: dict[str, list[Partitioning]],
+        partitionings: Mapping[str, list[Partitioning]],
     ) -> str | None:
         best_attribute: str | None = None
         best_cost = math.inf

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import perf
 from repro.core.config import CategorizerConfig
 from repro.core.probability import ProbabilityEstimator
 from repro.core.tree import CategoryNode, CategoryTree
@@ -62,7 +63,9 @@ class CostModel:
 
     def tree_cost_all(self, tree: CategoryTree) -> float:
         """``CostAll(T) = CostAll(root)``."""
-        return self.cost_all(tree.root)
+        perf.count("cost.tree_cost_all")
+        with perf.span("cost.tree_cost_all"):
+            return self.cost_all(tree.root)
 
     # -- Equation (2) -------------------------------------------------------------
 
@@ -86,7 +89,9 @@ class CostModel:
 
     def tree_cost_one(self, tree: CategoryTree) -> float:
         """``CostOne(T) = CostOne(root)``."""
-        return self.cost_one(tree.root)
+        perf.count("cost.tree_cost_one")
+        with perf.span("cost.tree_cost_one"):
+            return self.cost_one(tree.root)
 
     # -- intermediate scenarios ------------------------------------------------
 
@@ -141,6 +146,7 @@ class CostModel:
             context: the node being partitioned, for path-conditional
                 estimators (ignored by the default estimator).
         """
+        perf.count("cost.one_level_evals")
         pw = self.estimator.showtuples_probability_for(attribute, context=context)
         showcat = self.config.label_cost * len(child_labels_and_sizes) + sum(
             p * size for p, size in child_labels_and_sizes

@@ -21,7 +21,7 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.core.algorithm import CostBasedCategorizer, Partitioning
 from repro.core.config import CategorizerConfig, PAPER_CONFIG
@@ -61,7 +61,7 @@ class FixedOrderCategorizer(CostBasedCategorizer):
         self,
         oversized: list[CategoryNode],
         available: list[str],
-        partitionings: dict[str, list[Partitioning]],
+        partitionings: Mapping[str, list[Partitioning]],
     ) -> str | None:
         # ``available`` preserves the prescribed order; take its head if it
         # can refine anything, else stop (a fixed order has no fallback).

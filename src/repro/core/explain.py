@@ -11,6 +11,8 @@ COST_A and the sizes involved, renderable as a report.
 
 from __future__ import annotations
 
+from typing import Mapping
+
 import math
 from dataclasses import dataclass, field
 
@@ -122,7 +124,7 @@ class ExplainingCategorizer(CostBasedCategorizer):
         self,
         oversized: list[CategoryNode],
         available: list[str],
-        partitionings: dict[str, list[Partitioning]],
+        partitionings: Mapping[str, list[Partitioning]],
     ) -> str | None:
         candidates = []
         best_attribute: str | None = None

@@ -19,6 +19,7 @@ from __future__ import annotations
 import bisect
 import math
 
+from repro import perf
 from repro.core.config import CategorizerConfig
 from repro.core.labels import MissingLabel, NumericLabel
 from repro.relational.query import SelectQuery
@@ -42,6 +43,7 @@ class NumericPartitioner:
         config: CategorizerConfig,
         query: SelectQuery | None = None,
         root_rows: RowSet | None = None,
+        use_cache: bool = True,
     ) -> None:
         """Args:
             attribute: the categorizing attribute A.
@@ -51,10 +53,14 @@ class NumericPartitioner:
                 directly ("vmin and vmax can be obtained directly from Q").
             root_rows: the result set R, used to derive data bounds when
                 the query leaves either end open.
+            use_cache: memoize bounds, sorted values and partitionings on
+                the RowSets they derive from (disable only for measurement
+                baselines).
         """
         self.attribute = attribute
         self.statistics = statistics
         self.config = config
+        self.use_cache = use_cache
         self.vmin, self.vmax = self._resolve_range(query, root_rows)
         table = statistics.splitpoints_table(attribute)
         self._splitpoints_by_goodness = (
@@ -75,7 +81,16 @@ class NumericPartitioner:
                 low = None if math.isinf(query_low) else float(query_low)
                 high = None if math.isinf(query_high) else float(query_high)
         if (low is None or high is None) and root_rows is not None:
-            observed = root_rows.min_max(self.attribute)
+            # (vmin, vmax) is re-resolved from the same root rows at every
+            # level; cache the column scan on the view.
+            observed = (
+                root_rows.derive(
+                    ("min_max", self.attribute),
+                    lambda: root_rows.min_max(self.attribute),
+                )
+                if self.use_cache
+                else root_rows.min_max(self.attribute)
+            )
             if observed is not None:
                 data_low, data_high = float(observed[0]), float(observed[1])
                 low = data_low if low is None else low
@@ -95,7 +110,16 @@ class NumericPartitioner:
         create a bucket with fewer than ``config.min_bucket_tuples`` of the
         node's tuples, until m−1 points are selected or the SPL runs out.
         """
-        values = sorted(v for v in rows.values(self.attribute) if v is not None)
+        values = (
+            rows.derive(
+                ("sorted_values", self.attribute),
+                lambda: sorted(
+                    v for v in rows.values(self.attribute) if v is not None
+                ),
+            )
+            if self.use_cache
+            else sorted(v for v in rows.values(self.attribute) if v is not None)
+        )
         if not values:
             return []
         target = self._target_splitpoint_count()
@@ -156,7 +180,32 @@ class NumericPartitioner:
         splitpoint is both available and necessary — the caller treats a
         one-child partitioning as a failure to subdivide.
         """
-        splitpoints = self.select_splitpoints(rows)
+        perf.count("partition.numeric.calls")
+        with perf.span("partition.numeric"):
+            splitpoints = self.select_splitpoints(rows)
+            if not self.use_cache:
+                return self._build_partitioning(rows, splitpoints)
+            # The bucketing is a pure function of (view, boundaries,
+            # missing policy); boundaries capture every way the workload
+            # statistics influence the outcome, so a stats update changes
+            # the key rather than staling the entry.
+            key = (
+                "partition.numeric",
+                self.attribute,
+                self.vmin,
+                self.vmax,
+                tuple(splitpoints),
+                self.config.include_missing_category,
+            )
+            return list(
+                rows.derive(
+                    key, lambda: self._build_partitioning(rows, splitpoints)
+                )
+            )
+
+    def _build_partitioning(
+        self, rows: RowSet, splitpoints: list[float]
+    ) -> list[tuple[NumericLabel, RowSet]]:
         partitioning = bucketize(
             self.attribute, rows, self.vmin, self.vmax, splitpoints
         )

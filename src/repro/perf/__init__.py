@@ -1,0 +1,45 @@
+"""Instrumentation for the serving hot path (counters, timers, spans).
+
+Import the package and call the module-level functions::
+
+    from repro import perf
+
+    perf.enable()
+    ...               # instrumented code runs
+    print(perf.format_report())
+
+See :mod:`repro.perf.instrument` for the full API and the design notes
+(contextvar-based span nesting, disabled-mode overhead budget).
+"""
+
+from repro.perf.instrument import (
+    ACTIVE,
+    Instrumentation,
+    SpanNode,
+    count,
+    disable,
+    enable,
+    enabled,
+    format_report,
+    get,
+    report,
+    reset,
+    span,
+    timer,
+)
+
+__all__ = [
+    "ACTIVE",
+    "Instrumentation",
+    "SpanNode",
+    "count",
+    "disable",
+    "enable",
+    "enabled",
+    "format_report",
+    "get",
+    "report",
+    "reset",
+    "span",
+    "timer",
+]

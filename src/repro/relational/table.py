@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
+from repro import perf
 from repro.relational.expressions import Predicate, TruePredicate
 from repro.relational.schema import Attribute, TableSchema
 
@@ -72,6 +73,7 @@ class Table:
         self.schema = schema
         self._columns: dict[str, list[Any]] = {name: [] for name in schema.names()}
         self._size = 0
+        self._groupby_indexes: dict[str, dict[Any, tuple[int, ...]]] = {}
 
     # -- construction ------------------------------------------------------
 
@@ -80,6 +82,7 @@ class Table:
 
         Missing attributes are stored as NULL (subject to nullability);
         unknown keys raise so that generator bugs surface early.
+        Invalidates every cached groupby index.
         """
         unknown = set(row) - set(self._columns)
         if unknown:
@@ -90,6 +93,8 @@ class Table:
             value = attribute.coerce(row.get(attribute.name))
             self._columns[attribute.name].append(value)
         self._size += 1
+        if self._groupby_indexes:
+            self._groupby_indexes.clear()
 
     def extend(self, rows: Iterable[Mapping[str, Any]]) -> None:
         """Append many tuples."""
@@ -124,6 +129,28 @@ class Table:
         """Return the schema attribute called ``name``."""
         return self.schema.attribute(name)
 
+    def groupby_index(self, name: str) -> Mapping[Any, tuple[int, ...]]:
+        """value → ascending row indices for attribute ``name``, cached.
+
+        Built on first use with one column scan and reused by every
+        categorical partitioning across levels, nodes and repeated
+        ``categorize`` calls; :meth:`insert` invalidates it.  NULLs are
+        grouped under the ``None`` key so callers can decide whether a
+        missing-value category exists.  Callers must not mutate the result.
+        """
+        index = self._groupby_indexes.get(name)
+        if index is None:
+            perf.count("table.groupby_index.build")
+            with perf.span("table.groupby_index.build"):
+                buckets: dict[Any, list[int]] = {}
+                for position, value in enumerate(self.column(name)):
+                    buckets.setdefault(value, []).append(position)
+                index = {value: tuple(ids) for value, ids in buckets.items()}
+            self._groupby_indexes[name] = index
+        else:
+            perf.count("table.groupby_index.hit")
+        return index
+
     # -- relational operations ----------------------------------------------
 
     def select(self, predicate: Predicate) -> "RowSet":
@@ -151,11 +178,13 @@ class RowSet:
     index list without copying data.
     """
 
-    __slots__ = ("table", "_indices")
+    __slots__ = ("table", "_indices", "_ascending", "_derived")
 
     def __init__(self, table: Table, indices: Iterable[int]) -> None:
         self.table = table
         self._indices: tuple[int, ...] = tuple(indices)
+        self._ascending: bool | None = None
+        self._derived: dict[Any, Any] | None = None
 
     def __len__(self) -> int:
         return len(self._indices)
@@ -170,6 +199,48 @@ class RowSet:
     def indices(self) -> tuple[int, ...]:
         """Row positions (in the base table) contained in this view."""
         return self._indices
+
+    @property
+    def is_ascending(self) -> bool:
+        """True when the view's indices are in ascending table order.
+
+        Every RowSet produced by selection/partitioning from
+        :meth:`Table.all_rows` is ascending; the flag is computed once and
+        cached because the index-based partitioning fast path (which emits
+        buckets in table order) is only equivalent to the scan path on
+        ascending views.
+        """
+        ascending = self._ascending
+        if ascending is None:
+            ids = self._indices
+            ascending = all(ids[k] < ids[k + 1] for k in range(len(ids) - 1))
+            self._ascending = ascending
+        return ascending
+
+    def derive(self, key: Any, build: Callable[[], Any]) -> Any:
+        """Memoize an immutable derivation of this view under ``key``.
+
+        The partitioners use this to cache per-(view, attribute) work —
+        sorted value lists, min/max bounds, whole partitionings — directly
+        on the view they derive from.  Because a RowSet is an immutable
+        window over an append-only table (existing rows are never updated
+        or deleted), any pure function of the view's rows stays valid for
+        the view's lifetime, so entries never need invalidation; callers
+        whose derivation also depends on external state (e.g. workload
+        splitpoints) fold that state into ``key``.  Cached values are
+        shared across repeated lookups and must not be mutated.
+        """
+        cache = self._derived
+        if cache is None:
+            cache = self._derived = {}
+        try:
+            value = cache[key]
+        except KeyError:
+            perf.count("rowset.derive.build")
+            value = cache[key] = build()
+        else:
+            perf.count("rowset.derive.hit")
+        return value
 
     def select(self, predicate: Predicate) -> "RowSet":
         """Return the sub-view of rows satisfying ``predicate``."""

@@ -125,9 +125,17 @@ class SplitPointsTable:
     5 for year built).  Infinite endpoints (one-sided conditions) do not
     contribute start/end counts — a user with no upper bound expresses no
     preference for any split.
+
+    The goodness queries (:meth:`rows_in_range`, :meth:`best_splitpoints`)
+    scan and sort every recorded gridpoint, and the partitioner issues them
+    with the same ``(vmin, vmax)`` for every level of every categorization
+    of the same query — so their results are memoized per bounds, and every
+    :meth:`record_range` (a new log entry) drops the memo.
     """
 
-    def __init__(self, attribute: str, separation_interval: float) -> None:
+    def __init__(
+        self, attribute: str, separation_interval: float, memoize: bool = True
+    ) -> None:
         if separation_interval <= 0:
             raise ValueError(
                 f"separation interval for {attribute!r} must be positive, "
@@ -137,6 +145,14 @@ class SplitPointsTable:
         self.separation_interval = separation_interval
         self._starts: Counter[float] = Counter()
         self._ends: Counter[float] = Counter()
+        self._memoize = memoize
+        # (vmin, vmax) -> goodness-sorted splitpoints; dropped on record_range.
+        self._best_memo: dict[tuple[float, float], list[float]] = {}
+
+    def set_memoization(self, enabled: bool) -> None:
+        """Enable/disable the goodness-query memo; disabling drops it."""
+        self._memoize = enabled
+        self._best_memo.clear()
 
     def snap(self, value: float) -> float:
         """Snap a value to the nearest gridpoint."""
@@ -144,11 +160,16 @@ class SplitPointsTable:
         return round(value / interval) * interval
 
     def record_range(self, low: float, high: float) -> None:
-        """Record one query range ``low <= A <= high`` on this attribute."""
+        """Record one query range ``low <= A <= high`` on this attribute.
+
+        Invalidates the memoized goodness queries — new start/end counts
+        can reorder every ``best_splitpoints`` answer.
+        """
         if not math.isinf(low):
             self._starts[self.snap(low)] += 1
         if not math.isinf(high):
             self._ends[self.snap(high)] += 1
+        self._best_memo.clear()
 
     def start_count(self, splitpoint: float) -> int:
         """``start_v``: query ranges starting at this gridpoint."""
@@ -182,11 +203,19 @@ class SplitPointsTable:
 
         Ties broken by ascending value for determinism.  The partitioner
         walks this list, skipping "unnecessary" points, until it has
-        selected m−1 of them.
+        selected m−1 of them.  Memoized per ``(vmin, vmax)`` until the next
+        :meth:`record_range`; callers must not mutate the returned list.
         """
+        if self._memoize:
+            memoized = self._best_memo.get((vmin, vmax))
+            if memoized is not None:
+                return memoized
         rows = self.rows_in_range(vmin, vmax)
         rows.sort(key=lambda row: (-row.goodness, row.splitpoint))
-        return [row.splitpoint for row in rows]
+        best = [row.splitpoint for row in rows]
+        if self._memoize:
+            self._best_memo[(vmin, vmax)] = best
+        return best
 
     def grid_points(self, vmin: float, vmax: float) -> list[float]:
         """All gridpoints strictly inside (vmin, vmax), whether or not used.
@@ -234,6 +263,11 @@ class RangeIndex:
         self._lows.sort()
         self._highs.sort()
         self._finalized = True
+
+    @property
+    def is_finalized(self) -> bool:
+        """False while appended ranges await the lazy re-sort."""
+        return self._finalized
 
     @property
     def total_ranges(self) -> int:

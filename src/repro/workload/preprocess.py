@@ -6,13 +6,25 @@ one OccurrenceCounts table for each potential categorizing attribute that
 is categorical and one SplitPoints table for each ... numeric [attribute]".
 
 The result, :class:`WorkloadStatistics`, is everything the categorizer
-needs at query time — the workload itself is never touched again.
+needs at query time — the workload itself is never touched again.  Both
+ingestion paths — the batch scan of :func:`preprocess_workload` and the
+incremental :meth:`WorkloadStatistics.record_query` — fold conditions
+through the single shared :func:`fold_query_conditions` dispatcher, so the
+two cannot drift apart.
+
+Because the same lookups recur across nodes, levels and repeated
+``categorize`` calls, the query-time accessors (``usage_fraction``,
+``occ``, ``n_overlap_range``) are memoized; :meth:`record_query`
+invalidates exactly the entries the new log entry can change (every usage
+fraction, since ``N`` is their shared denominator, plus the value tables
+of the attributes the query constrains).
 """
 
 from __future__ import annotations
 
 from typing import Any, Mapping
 
+from repro import perf
 from repro.relational.expressions import InPredicate, RangePredicate
 from repro.relational.schema import TableSchema
 from repro.workload.model import WorkloadQuery
@@ -25,12 +37,73 @@ from repro.workload.counts import (
 from repro.workload.log import Workload
 
 
+def fold_query_conditions(
+    query: WorkloadQuery,
+    usage: AttributeUsageCounts,
+    occurrences: Mapping[str, OccurrenceCounts],
+    splitpoints: Mapping[str, SplitPointsTable],
+    range_indexes: Mapping[str, RangeIndex],
+) -> list[str]:
+    """Fold one logged query into the count tables — the single dispatcher.
+
+    Used by both the batch scan (:func:`preprocess_workload`) and the
+    incremental path (:meth:`WorkloadStatistics.record_query`); keeping one
+    copy of the dispatch rules is what guarantees batch ≡ incremental.
+
+    The rules, per condition shape × attribute kind:
+
+    * IN on a categorical attribute → its OccurrenceCounts table.
+    * Range on a numeric attribute → its SplitPoints table + range index.
+    * IN on a *numeric* attribute (e.g. ``zipcode IN (98004)`` when zipcode
+      is numeric in the schema) → each numeric value becomes the degenerate
+      point range ``[v, v]``: it increments start/end counts at ``snap(v)``
+      and contributes to ``NOverlap`` of every bucket containing ``v``.
+    * Range on a categorical attribute → only ``NAttr`` (no value table can
+      represent a range over an unordered domain).
+    * Conditions on attributes missing from the schema → only ``NAttr``
+      (they still evidence user interest).
+
+    Returns:
+        The attributes whose *value tables* changed — the memo-invalidation
+        set for the incremental path.
+    """
+    usage.record_query(query.attributes)
+    touched: list[str] = []
+    for attribute, condition in query.conditions.items():
+        if isinstance(condition, InPredicate):
+            if attribute in occurrences:
+                occurrences[attribute].record_values(condition.values)
+                touched.append(attribute)
+            elif attribute in splitpoints:
+                fed = False
+                for value in condition.values:
+                    if isinstance(value, bool) or not isinstance(
+                        value, (int, float)
+                    ):
+                        continue  # non-numeric literal in a numeric IN-set
+                    point = float(value)
+                    splitpoints[attribute].record_range(point, point)
+                    range_indexes[attribute].record_range(point, point)
+                    fed = True
+                if fed:
+                    touched.append(attribute)
+        elif isinstance(condition, RangePredicate) and attribute in splitpoints:
+            splitpoints[attribute].record_range(condition.low, condition.high)
+            range_indexes[attribute].record_range(condition.low, condition.high)
+            touched.append(attribute)
+    return touched
+
+
 class WorkloadStatistics:
     """All precomputed workload count tables for one schema.
 
     Build via :func:`preprocess_workload`.  Exposes the quantities of
     Sections 4.2 and 5.1: ``N``, ``NAttr(A)``, ``occ(v)``, splitpoint
     goodness scores, and range-overlap counts.
+
+    The accessors backing the categorizer's inner loop are memoized (see
+    the module docstring); pass ``memoize=False`` — or call
+    :meth:`set_memoization` — to measure or serve without the caches.
     """
 
     def __init__(
@@ -40,38 +113,78 @@ class WorkloadStatistics:
         occurrences: Mapping[str, OccurrenceCounts],
         splitpoints: Mapping[str, SplitPointsTable],
         range_indexes: Mapping[str, RangeIndex],
+        memoize: bool = True,
     ) -> None:
         self.schema = schema
         self.usage = usage
         self._occurrences = dict(occurrences)
         self._splitpoints = dict(splitpoints)
         self._range_indexes = dict(range_indexes)
+        self._memoize = memoize
+        # attribute -> fraction; cleared wholesale on every record_query
+        # because N (the shared denominator) changes.
+        self._usage_memo: dict[str, float] = {}
+        # attribute -> {value -> occ}; dropped per touched attribute.
+        self._occ_memo: dict[str, dict[Any, int]] = {}
+        # attribute -> {(low, high, high_inclusive) -> NOverlap};
+        # dropped per touched attribute.
+        self._range_memo: dict[str, dict[tuple[float, float, bool], int]] = {}
+
+    # -- memoization control --------------------------------------------------
+
+    @property
+    def memoization_enabled(self) -> bool:
+        """True when query-time accessors are served from memo caches."""
+        return self._memoize
+
+    def set_memoization(self, enabled: bool) -> None:
+        """Enable/disable memoization; disabling drops every cached entry.
+
+        The split-point goodness memo lives on each
+        :class:`~repro.workload.counts.SplitPointsTable` and is toggled
+        together with the lookup memos here.
+        """
+        self._memoize = enabled
+        self.clear_memos()
+        for table in self._splitpoints.values():
+            table.set_memoization(enabled)
+
+    def clear_memos(self) -> None:
+        """Drop every memoized lookup (the tables themselves are kept)."""
+        self._usage_memo.clear()
+        self._occ_memo.clear()
+        self._range_memo.clear()
+
+    def _invalidate(self, touched: list[str]) -> None:
+        """Invalidate exactly what one new logged query can change."""
+        # N grew, so every cached NAttr(A)/N is stale.
+        self._usage_memo.clear()
+        for attribute in touched:
+            self._occ_memo.pop(attribute, None)
+            self._range_memo.pop(attribute, None)
+        perf.count("stats.invalidations")
 
     # -- incremental maintenance ---------------------------------------------
 
-    def record_query(self, query: "WorkloadQuery") -> None:
+    def record_query(self, query: WorkloadQuery) -> None:
         """Fold one new logged query into every count table.
 
         Commercial DBMSs "log the queries that execute on the system
         anyway" (Section 4.2) — and they keep arriving.  All count tables
         are additive over queries, so statistics can track a live log
         without periodic full rescans; the numeric range index re-sorts
-        lazily on the next overlap count.
+        lazily on the next overlap count.  Dispatch is shared with the
+        batch path via :func:`fold_query_conditions`, and the memo caches
+        are invalidated so no stale probability survives the update.
         """
-        self.usage.record_query(query.attributes)
-        for attribute, condition in query.conditions.items():
-            if isinstance(condition, InPredicate) and attribute in self._occurrences:
-                self._occurrences[attribute].record_values(condition.values)
-            elif (
-                isinstance(condition, RangePredicate)
-                and attribute in self._splitpoints
-            ):
-                self._splitpoints[attribute].record_range(
-                    condition.low, condition.high
-                )
-                self._range_indexes[attribute].record_range(
-                    condition.low, condition.high
-                )
+        touched = fold_query_conditions(
+            query,
+            self.usage,
+            self._occurrences,
+            self._splitpoints,
+            self._range_indexes,
+        )
+        self._invalidate(touched)
 
     # -- workload-size quantities ------------------------------------------
 
@@ -86,7 +199,14 @@ class WorkloadStatistics:
 
     def usage_fraction(self, attribute: str) -> float:
         """``NAttr(A)/N``: the probability a random user constrains ``A``."""
-        return self.usage.usage_fraction(attribute)
+        if not self._memoize:
+            return self.usage.usage_fraction(attribute)
+        fraction = self._usage_memo.get(attribute)
+        if fraction is None:
+            fraction = self._usage_memo[attribute] = self.usage.usage_fraction(
+                attribute
+            )
+        return fraction
 
     # -- per-attribute tables -----------------------------------------------
 
@@ -132,7 +252,18 @@ class WorkloadStatistics:
 
     def occ(self, attribute: str, value: Any) -> int:
         """``occ(v)`` = NOverlap of the single-value category ``A = v``."""
-        return self.occurrence_counts(attribute).occ(value)
+        if not self._memoize:
+            return self.occurrence_counts(attribute).occ(value)
+        per_attribute = self._occ_memo.get(attribute)
+        if per_attribute is None:
+            per_attribute = self._occ_memo[attribute] = {}
+        occ = per_attribute.get(value)
+        if occ is None:
+            perf.count("stats.occ.memo_miss")
+            occ = per_attribute[value] = self.occurrence_counts(attribute).occ(
+                value
+            )
+        return occ
 
     def n_overlap_values(self, attribute: str, values: frozenset | set) -> int:
         """NOverlap of a multi-value categorical label ``A IN B``.
@@ -141,22 +272,35 @@ class WorkloadStatistics:
         categories this equals ``occ(v)``; the general form supports
         broadened labels.
         """
-        index = self.occurrence_counts(attribute)
         # occ() counts per-value; a query listing two values of B would be
         # double-counted by summing, which over-estimates NOverlap.  The
         # paper only ever needs single-value categorical labels, where the
         # two coincide; for multi-value labels we take the sum as an upper
         # bound, clamped to NAttr.
-        total = sum(index.occ(v) for v in values)
+        total = sum(self.occ(attribute, v) for v in values)
         return min(total, self.n_attr(attribute))
 
     def n_overlap_range(
         self, attribute: str, low: float, high: float, high_inclusive: bool = False
     ) -> int:
         """NOverlap of a numeric label ``low <= A < high`` (Section 4.2)."""
-        return self.range_index(attribute).count_overlapping(
-            low, high, high_inclusive=high_inclusive
-        )
+        if not self._memoize:
+            return self.range_index(attribute).count_overlapping(
+                low, high, high_inclusive=high_inclusive
+            )
+        per_attribute = self._range_memo.get(attribute)
+        if per_attribute is None:
+            per_attribute = self._range_memo[attribute] = {}
+        key = (low, high, high_inclusive)
+        overlap = per_attribute.get(key)
+        if overlap is None:
+            perf.count("stats.range.memo_miss")
+            overlap = per_attribute[key] = self.range_index(
+                attribute
+            ).count_overlapping(low, high, high_inclusive=high_inclusive)
+        else:
+            perf.count("stats.range.memo_hit")
+        return overlap
 
 
 #: Default grid spacing for numeric attributes absent an explicit setting.
@@ -167,6 +311,7 @@ def preprocess_workload(
     workload: Workload,
     schema: TableSchema,
     separation_intervals: Mapping[str, float] | None = None,
+    memoize: bool = True,
 ) -> WorkloadStatistics:
     """Scan ``workload`` once and build every count table.
 
@@ -177,11 +322,14 @@ def preprocess_workload(
         separation_intervals: per-attribute splitpoint grid spacing (the
             paper uses 5000/100/5 for price/square footage/year built);
             attributes not listed use :data:`DEFAULT_SEPARATION_INTERVAL`.
+        memoize: enable the query-time lookup memos on the returned
+            statistics (and on each SplitPoints table); disable only for
+            measurement baselines.
 
-    Conditions on attributes missing from the schema are counted in
-    ``NAttr`` (they still evidence user interest) but feed no value tables.
-    Range conditions on categorical attributes and IN conditions on numeric
-    attributes are tolerated: each feeds the table its shape permits.
+    Condition dispatch is :func:`fold_query_conditions` — see its docstring
+    for the exact rules, including IN conditions on numeric attributes
+    (degenerate point ranges) and range conditions on categorical
+    attributes (``NAttr`` only).
     """
     intervals = dict(separation_intervals or {})
     usage = AttributeUsageCounts()
@@ -191,7 +339,9 @@ def preprocess_workload(
     }
     splitpoints = {
         attr.name: SplitPointsTable(
-            attr.name, intervals.get(attr.name, DEFAULT_SEPARATION_INTERVAL)
+            attr.name,
+            intervals.get(attr.name, DEFAULT_SEPARATION_INTERVAL),
+            memoize=memoize,
         )
         for attr in schema.numeric_attributes()
     }
@@ -199,21 +349,18 @@ def preprocess_workload(
         attr.name: RangeIndex(attr.name) for attr in schema.numeric_attributes()
     }
 
-    for query in workload:
-        usage.record_query(query.attributes)
-        for attribute, condition in query.conditions.items():
-            if isinstance(condition, InPredicate) and attribute in occurrences:
-                occurrences[attribute].record_values(condition.values)
-            elif isinstance(condition, RangePredicate) and attribute in splitpoints:
-                splitpoints[attribute].record_range(condition.low, condition.high)
-                range_indexes[attribute].record_range(condition.low, condition.high)
-
-    for index in range_indexes.values():
-        index.finalize()
+    with perf.timer("workload.preprocess"):
+        for query in workload:
+            fold_query_conditions(
+                query, usage, occurrences, splitpoints, range_indexes
+            )
+        for index in range_indexes.values():
+            index.finalize()
     return WorkloadStatistics(
         schema=schema,
         usage=usage,
         occurrences=occurrences,
         splitpoints=splitpoints,
         range_indexes=range_indexes,
+        memoize=memoize,
     )

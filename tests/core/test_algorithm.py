@@ -178,3 +178,70 @@ class TestEdgeCases:
         # Every attribute is eliminated (NAttr/N undefined -> 0), so the
         # tree degenerates to a bare root — no workload, no categorization.
         assert tree.root.is_leaf
+
+
+def _tree_shape(tree):
+    def node_shape(node):
+        return (
+            str(node.label),
+            node.tuple_count,
+            tuple(node_shape(child) for child in node.children),
+        )
+
+    return node_shape(tree.root)
+
+
+class TestLazyPartitionings:
+    def test_cached_and_uncached_trees_identical(
+        self, homes_table_module, statistics_module, seattle_query_module
+    ):
+        rows = seattle_query_module.execute(homes_table_module)
+        cached = CostBasedCategorizer(statistics_module, PAPER_CONFIG).categorize(
+            rows, seattle_query_module
+        )
+        uncached = CostBasedCategorizer(
+            statistics_module, PAPER_CONFIG.with_overrides(enable_caches=False)
+        ).categorize(rows, seattle_query_module)
+        assert _tree_shape(cached) == _tree_shape(uncached)
+
+    def test_no_cost_baseline_skips_unneeded_partitionings(
+        self, homes_table_module, statistics_module, seattle_query_module
+    ):
+        from repro import perf
+        from repro.core.baselines import NoCostCategorizer
+
+        rows = seattle_query_module.execute(homes_table_module)
+        perf.reset()
+        perf.enable()
+        try:
+            NoCostCategorizer(statistics_module, PAPER_CONFIG).categorize(
+                rows, seattle_query_module
+            )
+        finally:
+            perf.disable()
+        counters = dict(perf.get().counters)
+        perf.reset()
+        # No-Cost takes the first refining attribute per level: at least one
+        # candidate partitioning per level is never materialized.
+        assert counters.get("categorize.partitionings_avoided", 0) > 0
+
+    def test_cost_based_still_examines_every_candidate(
+        self, homes_table_module, statistics_module, seattle_query_module
+    ):
+        from repro import perf
+
+        rows = seattle_query_module.execute(homes_table_module)
+        perf.reset()
+        perf.enable()
+        try:
+            CostBasedCategorizer(statistics_module, PAPER_CONFIG).categorize(
+                rows, seattle_query_module
+            )
+        finally:
+            perf.disable()
+        counters = dict(perf.get().counters)
+        perf.reset()
+        # The argmin inspects every available attribute each level, so
+        # nothing can be skipped — laziness must not change that.
+        assert counters.get("categorize.partitionings_avoided", 1) == 0
+        assert counters.get("categorize.partitionings_computed", 0) > 0

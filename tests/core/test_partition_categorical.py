@@ -105,3 +105,86 @@ class TestExplorationProbability:
     def test_zero_when_attribute_unused(self, stats, rows):
         partitioner = CategoricalPartitioner("propertytype", stats)
         assert partitioner.exploration_probability("Condo/Townhome") == 0.0
+
+
+def _as_comparable(partitioning):
+    return [(label, part.indices) for label, part in partitioning]
+
+
+class TestIndexPathEquivalence:
+    """The groupby-index fast path must match the scan path exactly."""
+
+    def test_full_table_partitioning_identical(self, stats, rows):
+        fast = CategoricalPartitioner("neighborhood", stats, use_index=True)
+        slow = CategoricalPartitioner("neighborhood", stats, use_index=False)
+        assert _as_comparable(fast.partition(rows)) == _as_comparable(
+            slow.partition(rows)
+        )
+
+    def test_subset_partitioning_identical(self, stats, rows):
+        subset = rows.select(InPredicate("neighborhood", ["A, WA", "B, WA"]))
+        fast = CategoricalPartitioner("neighborhood", stats, use_index=True)
+        slow = CategoricalPartitioner("neighborhood", stats, use_index=False)
+        assert _as_comparable(fast.partition(subset)) == _as_comparable(
+            slow.partition(subset)
+        )
+
+    def test_query_universe_identical(self, stats, rows):
+        query = SelectQuery(
+            "ListProperty", InPredicate("neighborhood", ["A, WA", "C, WA"])
+        )
+        fast = CategoricalPartitioner(
+            "neighborhood", stats, query=query, use_index=True
+        )
+        slow = CategoricalPartitioner(
+            "neighborhood", stats, query=query, use_index=False
+        )
+        assert _as_comparable(fast.partition(rows)) == _as_comparable(
+            slow.partition(rows)
+        )
+
+    def test_missing_category_identical(self, stats):
+        table = Table(list_property_schema())
+        for hood in ("A, WA", "B, WA", None, "A, WA", None):
+            table.insert({"neighborhood": hood, "price": 1})
+        rows = table.all_rows()
+        fast = CategoricalPartitioner(
+            "neighborhood", stats, include_missing=True, use_index=True
+        )
+        slow = CategoricalPartitioner(
+            "neighborhood", stats, include_missing=True, use_index=False
+        )
+        assert _as_comparable(fast.partition(rows)) == _as_comparable(
+            slow.partition(rows)
+        )
+
+    def test_non_ascending_view_falls_back_to_scan(self, stats, rows):
+        from repro.relational.table import RowSet
+
+        shuffled = RowSet(rows.table, tuple(reversed(rows.indices)))
+        fast = CategoricalPartitioner("neighborhood", stats, use_index=True)
+        assert not fast._index_path_profitable(
+            shuffled, fast.ordered_values(shuffled)
+        )
+        # The partitioning still works (via the scan path) and preserves
+        # the view's own row order inside each bucket.
+        slow = CategoricalPartitioner("neighborhood", stats, use_index=False)
+        assert _as_comparable(fast.partition(shuffled)) == _as_comparable(
+            slow.partition(shuffled)
+        )
+
+    def test_index_path_taken_on_full_table(self, stats, rows):
+        from repro import perf
+
+        perf.reset()
+        perf.enable()
+        try:
+            CategoricalPartitioner(
+                "neighborhood", stats, use_index=True
+            ).partition(rows)
+        finally:
+            perf.disable()
+        counters = dict(perf.get().counters)
+        perf.reset()
+        assert counters.get("partition.categorical.index_path", 0) == 1
+        assert counters.get("partition.categorical.scan_path", 0) == 0

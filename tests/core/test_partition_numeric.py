@@ -207,3 +207,68 @@ class TestAutoBucketCount:
         selected = partitioner.select_splitpoints(rows)
         assert 1 <= len(selected) <= 3
         assert 5_000 in selected
+
+
+class TestPartitionCaching:
+    """use_cache must change only where results come from, never what they are."""
+
+    def test_cached_equals_uncached(self, stats):
+        rows = make_rows([1_500, 3_000, 6_000, 7_000, 9_000, 4_000])
+        query = SelectQuery("ListProperty", RangePredicate("price", 1_000, 10_000))
+        config = CategorizerConfig(bucket_count=3)
+        cached = NumericPartitioner(
+            "price", stats, config, query=query, use_cache=True
+        )
+        uncached = NumericPartitioner(
+            "price", stats, config, query=query, use_cache=False
+        )
+        as_comparable = lambda parts: [(label, r.indices) for label, r in parts]
+        assert as_comparable(cached.partition(rows)) == as_comparable(
+            uncached.partition(rows)
+        )
+
+    def test_repeat_partition_served_from_view_cache(self, stats):
+        from repro import perf
+
+        rows = make_rows([1_500, 3_000, 6_000, 7_000, 9_000, 4_000])
+        query = SelectQuery("ListProperty", RangePredicate("price", 1_000, 10_000))
+        partitioner = NumericPartitioner(
+            "price", stats, CategorizerConfig(bucket_count=3), query=query
+        )
+        first = partitioner.partition(rows)
+        perf.reset()
+        perf.enable()
+        try:
+            second = partitioner.partition(rows)
+        finally:
+            perf.disable()
+        counters = dict(perf.get().counters)
+        perf.reset()
+        assert counters.get("rowset.derive.hit", 0) >= 1
+        # The cached partitioning shares the same RowSet objects...
+        assert [r for _, r in first] == [r for _, r in second]
+        # ...but the list itself is a fresh copy the caller may extend.
+        assert first is not second
+
+    def test_splitpoint_change_misses_stale_entry(self):
+        # New workload evidence changes the selected splitpoints, which are
+        # part of the cache key: the view must NOT serve the old bucketing.
+        from repro.workload.model import WorkloadQuery
+
+        stats = make_stats([(2_000, 5_000), (1_000, 5_000)])
+        rows = make_rows([1_500, 3_000, 6_000, 7_000, 9_000, 4_000])
+        query = SelectQuery("ListProperty", RangePredicate("price", 1_000, 10_000))
+        config = CategorizerConfig(bucket_count=2, min_bucket_tuples=1)
+        before = NumericPartitioner("price", stats, config, query=query).partition(
+            rows
+        )
+        for _ in range(5):
+            stats.record_query(
+                WorkloadQuery.from_sql(
+                    "SELECT * FROM ListProperty WHERE price BETWEEN 7000 AND 9000"
+                )
+            )
+        after = NumericPartitioner("price", stats, config, query=query).partition(
+            rows
+        )
+        assert [label for label, _ in before] != [label for label, _ in after]

@@ -1,0 +1,146 @@
+"""Tests for the instrumentation subsystem (counters, timers, spans)."""
+
+import json
+
+import pytest
+
+from repro import perf
+from repro.perf import Instrumentation
+
+
+@pytest.fixture()
+def inst():
+    return Instrumentation(enabled=True)
+
+
+class TestCounters:
+    def test_count_accumulates(self, inst):
+        inst.count("a")
+        inst.count("a", 2)
+        inst.count("b")
+        assert inst.counters["a"] == 3
+        assert inst.counters["b"] == 1
+
+    def test_disabled_counts_nothing(self):
+        inst = Instrumentation(enabled=False)
+        inst.count("a")
+        assert not inst.counters
+
+    def test_reset_clears(self, inst):
+        inst.count("a")
+        inst.reset()
+        assert not inst.counters
+
+
+class TestTimers:
+    def test_timer_accumulates_calls_and_seconds(self, inst):
+        for _ in range(3):
+            with inst.timer("phase"):
+                pass
+        calls, seconds = inst.timers["phase"]
+        assert calls == 3
+        assert seconds >= 0.0
+
+    def test_disabled_timer_is_noop(self):
+        inst = Instrumentation(enabled=False)
+        with inst.timer("phase"):
+            pass
+        assert not inst.timers
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self, inst):
+        with inst.span("outer"):
+            with inst.span("inner"):
+                pass
+            with inst.span("inner"):
+                pass
+        outer = inst.spans.children["outer"]
+        assert outer.calls == 1
+        inner = outer.children["inner"]
+        assert inner.calls == 2
+        assert outer.seconds >= inner.seconds
+
+    def test_same_name_same_parent_aggregates(self, inst):
+        for _ in range(5):
+            with inst.span("repeated"):
+                pass
+        assert len(inst.spans.children) == 1
+        assert inst.spans.children["repeated"].calls == 5
+
+    def test_sibling_then_child_distinct_nodes(self, inst):
+        with inst.span("a"):
+            with inst.span("b"):
+                pass
+        with inst.span("b"):
+            pass
+        assert inst.spans.children["a"].children["b"].calls == 1
+        assert inst.spans.children["b"].calls == 1
+
+    def test_disabled_span_records_nothing(self):
+        inst = Instrumentation(enabled=False)
+        with inst.span("x"):
+            pass
+        assert not inst.spans.children
+
+    def test_span_survives_exceptions(self, inst):
+        with pytest.raises(RuntimeError):
+            with inst.span("boom"):
+                raise RuntimeError("boom")
+        assert inst.spans.children["boom"].calls == 1
+        # the current-span context is restored
+        with inst.span("after"):
+            pass
+        assert "after" in inst.spans.children
+
+
+class TestReporting:
+    def test_report_is_json_serializable(self, inst):
+        inst.count("hits", 2)
+        with inst.timer("phase"):
+            pass
+        with inst.span("outer"):
+            with inst.span("inner"):
+                pass
+        data = json.loads(inst.to_json())
+        assert data["counters"] == {"hits": 2}
+        assert data["timers"]["phase"]["calls"] == 1
+        assert data["spans"][0]["name"] == "outer"
+        assert data["spans"][0]["children"][0]["name"] == "inner"
+
+    def test_format_report_mentions_everything(self, inst):
+        inst.count("hits")
+        with inst.span("outer"):
+            pass
+        text = inst.format_report()
+        assert "outer" in text
+        assert "hits" in text
+
+    def test_empty_report(self, inst):
+        assert "nothing recorded" in inst.format_report()
+
+
+class TestModuleLevelApi:
+    def test_enable_disable_roundtrip(self):
+        assert not perf.enabled()
+        perf.enable()
+        try:
+            perf.count("module.level")
+            assert perf.get().counters["module.level"] == 1
+            assert perf.enabled()
+        finally:
+            perf.disable()
+            perf.reset()
+        assert not perf.enabled()
+        assert not perf.get().counters
+
+    def test_disabled_module_calls_are_noops(self):
+        perf.reset()
+        perf.count("never")
+        with perf.span("never"):
+            with perf.timer("never"):
+                pass
+        report = perf.report()
+        assert report["counters"] == {}
+        assert report["timers"] == {}
+        assert report["spans"] == []

@@ -133,3 +133,86 @@ class TestRowSetOperations:
     def test_indices_refer_to_base_table(self, table):
         rows = table.select(InPredicate("city", ["Seattle"]))
         assert rows.indices == (0, 2)
+
+
+class TestGroupbyIndex:
+    def test_maps_value_to_ascending_indices(self, table):
+        index = table.groupby_index("city")
+        assert index["Seattle"] == (0, 2)
+        assert index["Bellevue"] == (1,)
+        assert index["Redmond"] == (3,)
+
+    def test_nulls_grouped_under_none(self, table):
+        index = table.groupby_index("price")
+        assert index[None] == (3,)
+
+    def test_cached_instance_reused(self, table):
+        assert table.groupby_index("city") is table.groupby_index("city")
+
+    def test_insert_invalidates(self, table):
+        before = table.groupby_index("city")
+        table.insert({"city": "Seattle", "price": 700})
+        after = table.groupby_index("city")
+        assert after is not before
+        assert after["Seattle"] == (0, 2, 4)
+
+    def test_unknown_attribute_raises(self, table):
+        with pytest.raises(KeyError):
+            table.groupby_index("bogus")
+
+
+class TestRowSetAscending:
+    def test_all_rows_ascending(self, table):
+        assert table.all_rows().is_ascending
+
+    def test_selection_stays_ascending(self, table):
+        assert table.select(InPredicate("city", ["Seattle"])).is_ascending
+
+    def test_shuffled_view_not_ascending(self, table):
+        from repro.relational.table import RowSet
+
+        assert not RowSet(table, (2, 0, 1)).is_ascending
+
+    def test_empty_and_singleton_ascending(self, table):
+        from repro.relational.table import RowSet
+
+        assert RowSet(table, ()).is_ascending
+        assert RowSet(table, (2,)).is_ascending
+
+
+class TestRowSetDerive:
+    def test_build_once_then_served_from_cache(self, table):
+        rows = table.all_rows()
+        calls = []
+
+        def build():
+            calls.append(1)
+            return [1, 2, 3]
+
+        first = rows.derive("key", build)
+        second = rows.derive("key", build)
+        assert first is second
+        assert len(calls) == 1
+
+    def test_distinct_keys_independent(self, table):
+        rows = table.all_rows()
+        assert rows.derive("a", lambda: "A") == "A"
+        assert rows.derive("b", lambda: "B") == "B"
+
+    def test_caches_none_results(self, table):
+        rows = table.all_rows()
+        calls = []
+
+        def build():
+            calls.append(1)
+            return None
+
+        assert rows.derive("nothing", build) is None
+        assert rows.derive("nothing", build) is None
+        assert len(calls) == 1
+
+    def test_views_do_not_share_caches(self, table):
+        everything = table.all_rows()
+        subset = table.select(InPredicate("city", ["Seattle"]))
+        everything.derive("k", lambda: "all")
+        assert subset.derive("k", lambda: "sub") == "sub"

@@ -172,3 +172,31 @@ class TestRangeIndex:
         idx = RangeIndex("price")
         idx.record_range(10, 20)
         assert idx.count_overlapping(15, 25) == 1
+
+
+class TestRangeIndexLazyResort:
+    """Streaming appends must mark the index dirty and re-sort on demand."""
+
+    def test_is_finalized_lifecycle(self):
+        idx = RangeIndex("price")
+        assert not idx.is_finalized
+        idx.record_range(10, 20)
+        idx.finalize()
+        assert idx.is_finalized
+        idx.record_range(5, 15)
+        assert not idx.is_finalized
+        # counting auto-finalizes and sees both ranges
+        assert idx.count_overlapping(12, 18) == 2
+        assert idx.is_finalized
+
+    def test_count_after_append_is_correct_not_stale(self):
+        idx = RangeIndex("price")
+        idx.record_range(100, 200)
+        assert idx.count_overlapping(0, 1_000) == 1
+        # Append out-of-order endpoints: a stale sorted array would
+        # bisect wrongly; the lazy re-sort must fix it.
+        idx.record_range(50, 60)
+        idx.record_range(300, 400)
+        assert idx.count_overlapping(55, 58) == 1
+        assert idx.count_overlapping(0, 1_000) == 3
+        assert idx.count_overlapping(250, 260) == 0

@@ -88,3 +88,74 @@ class TestLiveUpdateChangesTrees:
             )
         after = stats.usage_fraction("bedroomcount")
         assert before == 0.0 and after > 0.5
+
+
+class TestSharedDispatchEquivalence:
+    """Batch and incremental ingestion share one condition dispatcher
+    (``fold_query_conditions``); this asserts the full equivalence
+    ``preprocess(full log)`` ≡ ``preprocess(prefix)`` + ``record_query(rest)``
+    including the IN-on-numeric path, across every count-table quantity.
+    """
+
+    PREFIX = [
+        "SELECT * FROM ListProperty WHERE neighborhood IN ('A, WA')",
+        "SELECT * FROM ListProperty WHERE price IN (200000, 275000)",
+        "SELECT * FROM ListProperty WHERE price BETWEEN 200000 AND 300000",
+    ]
+    REST = [
+        "SELECT * FROM ListProperty WHERE price IN (250000) "
+        "AND neighborhood IN ('B, WA')",
+        "SELECT * FROM ListProperty WHERE bedroomcount >= 3",
+        "SELECT * FROM ListProperty WHERE mystery IN ('x')",
+    ]
+
+    @pytest.fixture
+    def incremental(self):
+        stats = preprocess_workload(
+            Workload.from_sql_strings(self.PREFIX),
+            list_property_schema(),
+            {"price": 5_000},
+        )
+        for sql in self.REST:
+            stats.record_query(WorkloadQuery.from_sql(sql))
+        return stats
+
+    @pytest.fixture
+    def batch(self):
+        return preprocess_workload(
+            Workload.from_sql_strings(self.PREFIX + self.REST),
+            list_property_schema(),
+            {"price": 5_000},
+        )
+
+    def test_n_attr(self, incremental, batch):
+        for attribute in (
+            "neighborhood", "price", "bedroomcount", "yearbuilt", "mystery",
+        ):
+            assert incremental.n_attr(attribute) == batch.n_attr(attribute)
+        assert incremental.total_queries == batch.total_queries == 6
+
+    def test_occ(self, incremental, batch):
+        for value in ("A, WA", "B, WA", "C, WA"):
+            assert incremental.occ("neighborhood", value) == batch.occ(
+                "neighborhood", value
+            )
+
+    def test_splitpoint_goodness(self, incremental, batch):
+        table_a = incremental.splitpoints_table("price")
+        table_b = batch.splitpoints_table("price")
+        for point in (200_000, 250_000, 275_000, 300_000):
+            assert table_a.goodness(point) == table_b.goodness(point) > 0
+
+    def test_count_overlapping(self, incremental, batch):
+        for low, high in (
+            (0, 1_000_000), (225_000, 260_000), (270_000, 280_000), (0, 100_000),
+        ):
+            assert incremental.n_overlap_range(
+                "price", low, high
+            ) == batch.n_overlap_range("price", low, high)
+
+    def test_best_splitpoints(self, incremental, batch):
+        assert incremental.splitpoints_table("price").best_splitpoints(
+            0, 1_000_000
+        ) == batch.splitpoints_table("price").best_splitpoints(0, 1_000_000)

@@ -104,3 +104,54 @@ class TestRobustness:
             "neighborhood", "price", "bedroomcount",
             "bathcount", "propertytype", "squarefootage",
         }
+
+
+class TestInOnNumericAttribute:
+    """Regression: IN-conditions on numeric attributes must feed the
+    SplitPoints table and range index as degenerate point ranges, not be
+    silently dropped (each condition feeds the table its shape permits)."""
+
+    @pytest.fixture
+    def numeric_in_stats(self):
+        workload = Workload.from_sql_strings(
+            [
+                "SELECT * FROM ListProperty WHERE price IN (200000, 300000)",
+                "SELECT * FROM ListProperty WHERE price BETWEEN 250000 AND 350000",
+            ]
+        )
+        return preprocess_workload(
+            workload, list_property_schema(), {"price": 5_000}
+        )
+
+    def test_counts_in_usage(self, numeric_in_stats):
+        assert numeric_in_stats.n_attr("price") == 2
+
+    def test_feeds_splitpoints_as_point_ranges(self, numeric_in_stats):
+        table = numeric_in_stats.splitpoints_table("price")
+        # A point range [v, v] starts AND ends at snap(v).
+        assert table.start_count(200_000) == 1
+        assert table.end_count(200_000) == 1
+        assert table.goodness(200_000) == 2
+        assert table.goodness(300_000) == 2
+
+    def test_contributes_to_n_overlap(self, numeric_in_stats):
+        # Bucket [150000, 250000) contains the point 200000 and overlaps
+        # nothing else from the IN-query; the BETWEEN query misses it too.
+        assert numeric_in_stats.n_overlap_range("price", 150_000, 250_000) == 1
+        # Bucket [250000, 400000): point 300000 + the BETWEEN range.
+        assert numeric_in_stats.n_overlap_range("price", 250_000, 400_000) == 2
+
+    def test_non_numeric_literals_in_numeric_in_set_are_skipped(self):
+        from repro.relational.expressions import InPredicate
+        from repro.relational.query import SelectQuery
+        from repro.workload.model import WorkloadQuery
+
+        query = WorkloadQuery.from_query(
+            SelectQuery("ListProperty", InPredicate("price", ["cheap", 100_000]))
+        )
+        stats = preprocess_workload(
+            Workload([query]), list_property_schema(), {"price": 5_000}
+        )
+        assert stats.n_attr("price") == 1
+        assert stats.splitpoints_table("price").goodness(100_000) == 2
+        assert stats.range_index("price").total_ranges == 1
