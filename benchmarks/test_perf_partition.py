@@ -33,6 +33,11 @@ REQUIRED_SPEEDUP = 1.5
 #: Acceptance ceiling for disabled-mode instrumentation overhead.
 MAX_DISABLED_OVERHEAD = 0.05
 
+#: Acceptance ceiling for sampled-mode (1-in-10 traces) overhead.  Counters
+#: and gauges stay always-on in this mode, so the bound is far looser than
+#: the disabled one; measured runs land around +26% (docs/observability.md).
+MAX_SAMPLED_OVERHEAD = 0.50
+
 
 def _timed(fn, repeats=5, statistic="median"):
     """Wall-clock ``fn`` ``repeats`` times; return the median (or min)."""
@@ -44,6 +49,41 @@ def _timed(fn, repeats=5, statistic="median"):
     if statistic == "min":
         return min(samples)
     return sorted(samples)[repeats // 2]
+
+
+@contextlib.contextmanager
+def _stubbed_perf():
+    """Replace every perf hook with a no-op, as if never instrumented."""
+    null_scope = contextlib.nullcontext()
+    real = {name: getattr(perf, name) for name in ("count", "span", "timer")}
+    perf.count = lambda name, value=1, **labels: None
+    perf.span = lambda name: null_scope
+    perf.timer = lambda name: null_scope
+    try:
+        yield
+    finally:
+        for name, fn in real.items():
+            setattr(perf, name, fn)
+
+
+def _timed_vs_stubbed(fn, repeats=15):
+    """Min wall-clock of ``fn`` instrumented vs perf-stubbed, interleaved.
+
+    Alternating the two configurations within one loop cancels the slow
+    drift (CPU frequency scaling, cache warming, noisy neighbors) that
+    sequential min-of-N blocks are exposed to.
+    """
+    instrumented: list[float] = []
+    stubbed: list[float] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        instrumented.append(time.perf_counter() - started)
+        with _stubbed_perf():
+            started = time.perf_counter()
+            fn()
+            stubbed.append(time.perf_counter() - started)
+    return min(instrumented), min(stubbed)
 
 
 def _append_bench_record(bench, record):
@@ -182,14 +222,14 @@ def test_perf_categorize_hot_path_caching(
 
 
 def test_perf_instrumentation_disabled_overhead(
-    bench_statistics, bench_seattle_query, monkeypatch
+    bench_statistics, bench_seattle_query
 ):
     """Disabled instrumentation must cost <= 5% on the categorize hot path.
 
-    Baseline: the same run with every perf hook monkeypatched to a no-op,
-    i.e. as if the call sites were never instrumented.  Both sides run
-    warm (caches populated) and take the min of many repeats, the most
-    noise-resistant wall-clock statistic.
+    Baseline: the same run with every perf hook stubbed to a no-op, i.e.
+    as if the call sites were never instrumented.  Both sides run warm
+    (caches populated), interleaved, taking the min of many repeats — the
+    most noise-resistant wall-clock statistic.
     """
     query, rows = bench_seattle_query
     categorizer = CostBasedCategorizer(bench_statistics, PAPER_CONFIG)
@@ -199,13 +239,7 @@ def test_perf_instrumentation_disabled_overhead(
 
     run()  # populate every cache so both sides measure steady state
     assert not perf.enabled()
-    instrumented = _timed(run, repeats=15, statistic="min")
-
-    null_scope = contextlib.nullcontext()
-    monkeypatch.setattr(perf, "count", lambda name, value=1: None)
-    monkeypatch.setattr(perf, "span", lambda name: null_scope)
-    monkeypatch.setattr(perf, "timer", lambda name: null_scope)
-    stubbed = _timed(run, repeats=15, statistic="min")
+    instrumented, stubbed = _timed_vs_stubbed(run, repeats=15)
 
     overhead = instrumented / stubbed - 1.0
     print()
@@ -232,3 +266,58 @@ def test_perf_instrumentation_disabled_overhead(
         },
     )
     assert instrumented <= stubbed * (1.0 + MAX_DISABLED_OVERHEAD)
+
+
+def test_perf_instrumentation_sampled_overhead(
+    bench_statistics, bench_seattle_query
+):
+    """Sampled tracing (1 in 10 roots) must cost <= 50% over uninstrumented.
+
+    Enabled mode keeps counters/gauges always-on and traces only every
+    tenth root span, which is the intended production posture: cheap
+    steady-state accounting plus a representative latency sample.  The
+    baseline is the same no-op-stub configuration the disabled-mode bench
+    uses, i.e. code compiled as if never instrumented.
+    """
+    query, rows = bench_seattle_query
+    categorizer = CostBasedCategorizer(bench_statistics, PAPER_CONFIG)
+
+    def run():
+        return categorizer.categorize(rows, query)
+
+    run()  # populate caches: both sides measure steady state
+    assert not perf.enabled()
+    perf.enable()
+    perf.set_sampling(every=10)
+    try:
+        sampled, stubbed = _timed_vs_stubbed(run, repeats=15)
+    finally:
+        perf.clear_sampling()
+        perf.reset()
+        perf.disable()
+
+    overhead = sampled / stubbed - 1.0
+    print()
+    print(
+        format_table(
+            ["configuration", "min seconds"],
+            [
+                ["sampled tracing (every=10)", f"{sampled:.4f}"],
+                ["no-op stubs", f"{stubbed:.4f}"],
+            ],
+            title="Instrumentation sampled-mode overhead",
+        )
+    )
+    print(
+        f"overhead: {overhead * 100:+.2f}% "
+        f"(budget {MAX_SAMPLED_OVERHEAD * 100:.0f}%)"
+    )
+    _append_bench_record(
+        "instrumentation_sampled_overhead",
+        {
+            "sampled_ms": round(sampled * 1e3, 3),
+            "stubbed_ms": round(stubbed * 1e3, 3),
+            "overhead_pct": round(overhead * 100, 2),
+        },
+    )
+    assert sampled <= stubbed * (1.0 + MAX_SAMPLED_OVERHEAD)

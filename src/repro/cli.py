@@ -7,7 +7,11 @@ Subcommands::
     repro stats           --workload workload.sql
     repro categorize      --data homes.csv --workload workload.sql \
                           --query "SELECT * FROM ListProperty WHERE ..." \
-                          [--technique cost-based] [--m 20] [--depth 3]
+                          [--technique cost-based] [--m 20] [--depth 3] \
+                          [--explain]
+    repro perf-report     --data homes.csv --workload workload.sql \
+                          --query "SELECT ..." [--format text|prometheus|jsonl] \
+                          [--sample-rate 0.5 | --sample-every 10]
 
 ``generate-data``/``generate-workload`` emit the synthetic MSN stand-ins;
 ``categorize`` works on any CSV whose schema is the built-in ListProperty
@@ -26,6 +30,7 @@ import json
 import sys
 from pathlib import Path
 
+from repro import perf
 from repro.core.algorithm import CostBasedCategorizer
 from repro.core.baselines import AttrCostCategorizer, NoCostCategorizer
 from repro.core.config import CategorizerConfig, PAPER_CONFIG
@@ -112,7 +117,32 @@ def build_parser() -> argparse.ArgumentParser:
     cat.add_argument("--depth", type=int, default=None, help="render depth")
     cat.add_argument("--children", type=int, default=8,
                      help="children rendered per node")
+    cat.add_argument("--explain", action="store_true",
+                     help="print the per-level decision trace (candidates, "
+                          "CostAll/CostOne, eliminations, chosen attribute)")
     cat.set_defaults(handler=_cmd_categorize)
+
+    report = subparsers.add_parser(
+        "perf-report",
+        help="categorize with instrumentation on and dump the metrics",
+    )
+    report.add_argument("--data", type=Path, required=True, help="CSV relation")
+    report.add_argument("--workload", type=Path, required=True, help="SQL log file")
+    report.add_argument("--query", required=True, help="SQL SELECT string")
+    report.add_argument("--schema", type=Path, default=None, help="schema JSON")
+    report.add_argument(
+        "--technique", choices=sorted(TECHNIQUES), default="cost-based"
+    )
+    report.add_argument("--m", type=int, default=PAPER_CONFIG.max_tuples_per_category)
+    report.add_argument(
+        "--format", choices=("text", "prometheus", "jsonl"), default="text",
+        help="output format for the collected metrics",
+    )
+    report.add_argument("--sample-rate", type=float, default=None,
+                        help="trace sampling probability in [0, 1]")
+    report.add_argument("--sample-every", type=int, default=None,
+                        help="trace every Nth root span")
+    report.set_defaults(handler=_cmd_perf_report)
     return parser
 
 
@@ -183,7 +213,7 @@ def _cmd_categorize(args) -> int:
     rows = query.execute(table)
     print(f"result set: {len(rows)} of {len(table)} tuples")
     categorizer = TECHNIQUES[args.technique](statistics, config)
-    tree = categorizer.categorize(rows, query)
+    tree = categorizer.categorize(rows, query, collect_trace=args.explain)
     print(summarize_tree(tree))
     print()
     print(render_tree(tree, max_depth=args.depth, max_children=args.children))
@@ -193,6 +223,38 @@ def _cmd_categorize(args) -> int:
     print(f"estimated CostAll: {model.tree_cost_all(tree):.1f}")
     print(f"estimated CostOne: {model.tree_cost_one(tree):.1f}")
     print(f"uncategorized scan: {len(rows)}")
+    if args.explain and tree.decision_trace is not None:
+        print()
+        print(tree.decision_trace.render())
+    return 0
+
+
+def _cmd_perf_report(args) -> int:
+    schema = load_schema(args.schema)
+    config = PAPER_CONFIG.with_overrides(max_tuples_per_category=args.m)
+    perf.enable()
+    try:
+        if args.sample_rate is not None or args.sample_every is not None:
+            perf.set_sampling(rate=args.sample_rate, every=args.sample_every)
+        table = read_csv(schema, args.data)
+        workload = Workload.load(args.workload)
+        statistics = preprocess_workload(workload, schema, config.separation_intervals)
+        query = parse_query(args.query)
+        rows = query.execute(table)
+        categorizer = TECHNIQUES[args.technique](statistics, config)
+        tree = categorizer.categorize(rows, query)
+        perf.gauge("categorize.result_size", len(rows))
+        perf.gauge("categorize.tree_nodes", sum(1 for _ in tree.nodes()))
+        if args.format == "prometheus":
+            print(perf.export_prometheus(), end="")
+        elif args.format == "jsonl":
+            print(perf.export_jsonl(), end="")
+        else:
+            print(perf.format_report())
+    finally:
+        perf.clear_sampling()
+        perf.reset()
+        perf.disable()
     return 0
 
 

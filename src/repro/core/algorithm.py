@@ -29,6 +29,15 @@ from repro.core.labels import CategoryLabel
 from repro.core.partition.categorical import CategoricalPartitioner
 from repro.core.partition.numeric import NumericPartitioner
 from repro.core.probability import ProbabilityEstimator
+from repro.core.trace import (
+    MAX_CHILD_PROBABILITIES,
+    MAX_NODE_DETAILS,
+    CandidateDecision,
+    DecisionTrace,
+    EliminatedAttribute,
+    LevelTrace,
+    NodeEvaluation,
+)
 from repro.core.tree import CategoryNode, CategoryTree
 from repro.relational.query import SelectQuery
 from repro.relational.table import RowSet
@@ -128,19 +137,39 @@ class LevelByLevelCategorizer:
     # -- public API -------------------------------------------------------------
 
     def categorize(
-        self, rows: RowSet, query: SelectQuery | None = None
+        self,
+        rows: RowSet,
+        query: SelectQuery | None = None,
+        *,
+        collect_trace: bool = False,
     ) -> CategoryTree:
         """Build a category tree over the result set ``rows`` of ``query``.
 
         Terminates when every category holds at most ``M`` tuples, when the
         candidate attributes are exhausted, or when no remaining attribute
         can refine any oversized category.
+
+        With ``collect_trace=True`` the returned tree additionally carries
+        a :class:`~repro.core.trace.DecisionTrace` on
+        ``tree.decision_trace``: per level, every candidate attribute with
+        its estimated CostAll/CostOne, the Pw/P probabilities behind them,
+        the threshold-``x`` eliminated set, and the chosen attribute.
+        Tracing scores every candidate under both cost scenarios, so it
+        forfeits the lazy partitioning skip — keep it off on hot paths.
         """
         perf.count("categorize.calls")
         with perf.span("categorize"):
             root = CategoryNode(rows)
             tree = CategoryTree(root, query=query, technique=self.name)
             available = list(self._candidate_attributes(rows, query))
+            trace: DecisionTrace | None = None
+            if collect_trace:
+                trace = DecisionTrace(
+                    technique=self.name,
+                    elimination_threshold=self.config.elimination_threshold,
+                    eliminated=self._eliminated_attributes(rows, query),
+                )
+                tree.decision_trace = trace
             frontier: list[CategoryNode] = [root]
             threshold = self.config.max_tuples_per_category
 
@@ -160,6 +189,16 @@ class LevelByLevelCategorizer:
                     chosen = self._choose_attribute(
                         oversized, available, partitionings
                     )
+                    if trace is not None:
+                        trace.levels.append(
+                            self._trace_level(
+                                len(trace.levels) + 1,
+                                oversized,
+                                available,
+                                partitionings,
+                                chosen,
+                            )
+                        )
                     if chosen is None:
                         break
                     frontier = self._attach_level(
@@ -230,6 +269,115 @@ class LevelByLevelCategorizer:
             )
         return total
 
+    # -- decision tracing -----------------------------------------------------------
+
+    def _trace_level(
+        self,
+        level: int,
+        oversized: list[CategoryNode],
+        available: list[str],
+        partitionings: Mapping[str, list[Partitioning]],
+        chosen: str | None,
+    ) -> LevelTrace:
+        """Score every candidate under both scenarios for the decision trace.
+
+        Recomputed independently of the choose-policy, so the trace shows
+        what the paper's cost model says about each candidate even when a
+        degraded baseline policy (No-Cost, Attr-Cost) ignored it.  The
+        ALL-scenario aggregation below is exactly :meth:`_level_cost`.
+        """
+        with perf.span("categorize.trace"):
+            candidates = tuple(
+                self._trace_candidate(attribute, oversized, partitionings[attribute])
+                for attribute in available
+            )
+            return LevelTrace(
+                level=level,
+                oversized_nodes=len(oversized),
+                oversized_tuples=sum(node.tuple_count for node in oversized),
+                candidates=candidates,
+                chosen=chosen,
+            )
+
+    def _trace_candidate(
+        self,
+        attribute: str,
+        oversized: list[CategoryNode],
+        partitionings: list[Partitioning],
+    ) -> CandidateDecision:
+        """One candidate's CostAll/CostOne aggregation with its Pw/P inputs."""
+        refines = any(len(partitioning) >= 2 for partitioning in partitionings)
+        evaluations: list[NodeEvaluation] = []
+        total_all = 0.0
+        total_one = 0.0
+        frac = self.config.frac
+        for node, partitioning in zip(oversized, partitionings):
+            p_node = self.estimator.exploration_probability(node)
+            if len(partitioning) < 2:
+                # The node stays a leaf under this attribute (cf. _level_cost).
+                pw = 1.0
+                node_all = float(node.tuple_count)
+                node_one = frac * node.tuple_count
+                children: list[float] = []
+            else:
+                pw = self.estimator.showtuples_probability_for(
+                    attribute, context=node
+                )
+                children = [
+                    self.estimator.exploration_probability_of_label(
+                        label, context=node
+                    )
+                    for label, _ in partitioning
+                ]
+                labels_and_sizes = [
+                    (p, len(child_rows))
+                    for p, (_, child_rows) in zip(children, partitioning)
+                ]
+                node_all = self.cost_model.one_level_cost_all(
+                    node.tuple_count, attribute, labels_and_sizes, context=node
+                )
+                node_one = self.cost_model.one_level_cost_one(
+                    node.tuple_count, attribute, labels_and_sizes, context=node
+                )
+            total_all += p_node * node_all
+            total_one += p_node * node_one
+            if len(evaluations) < MAX_NODE_DETAILS:
+                evaluations.append(
+                    NodeEvaluation(
+                        node=node.display(),
+                        tuples=node.tuple_count,
+                        p_node=p_node,
+                        pw=pw,
+                        categories=len(partitioning),
+                        child_probabilities=tuple(
+                            children[:MAX_CHILD_PROBABILITIES]
+                        ),
+                        children_truncated=len(children) > MAX_CHILD_PROBABILITIES,
+                        cost_all=node_all,
+                        cost_one=node_one,
+                    )
+                )
+        return CandidateDecision(
+            attribute=attribute,
+            cost_all=total_all if refines else math.inf,
+            cost_one=total_one if refines else math.inf,
+            usage_fraction=self.statistics.usage_fraction(attribute),
+            category_count=sum(len(p) for p in partitionings),
+            refined_nodes=sum(1 for p in partitionings if len(p) >= 2),
+            nodes=tuple(evaluations),
+            nodes_truncated=len(oversized) > MAX_NODE_DETAILS,
+        )
+
+    def _eliminated_attributes(
+        self, rows: RowSet, query: SelectQuery | None
+    ) -> tuple[EliminatedAttribute, ...]:
+        """Attributes the candidate policy refused, for the decision trace.
+
+        The base engine has no elimination; the cost-based subclass
+        reports the Section 5.1.1 threshold-``x`` rejects.
+        """
+        return ()
+
     # -- policy hooks --------------------------------------------------------------
 
     def _candidate_attributes(
@@ -283,6 +431,19 @@ class CostBasedCategorizer(LevelByLevelCategorizer):
             key=lambda name: (-self.statistics.usage_fraction(name), name)
         )
         return retained
+
+    def _eliminated_attributes(
+        self, rows: RowSet, query: SelectQuery | None
+    ) -> tuple[EliminatedAttribute, ...]:
+        threshold = self.config.elimination_threshold
+        return tuple(
+            EliminatedAttribute(
+                attribute=attribute.name,
+                usage_fraction=self.statistics.usage_fraction(attribute.name),
+            )
+            for attribute in rows.table.schema
+            if self.statistics.usage_fraction(attribute.name) < threshold
+        )
 
     def _make_partitioner(
         self, attribute: str, query: SelectQuery | None, root_rows: RowSet

@@ -153,6 +153,31 @@ class CostModel:
         )
         return pw * parent_tuple_count + (1.0 - pw) * showcat
 
+    def one_level_cost_one(
+        self,
+        parent_tuple_count: int,
+        attribute: str,
+        child_labels_and_sizes: list[tuple[float, int]],
+        context: "CategoryNode | None" = None,
+    ) -> float:
+        """Equation (2) for a candidate 1-level partitioning, children as leaves.
+
+        The ONE-scenario counterpart of :meth:`one_level_cost_all`, used by
+        decision traces (:mod:`repro.core.trace`) so each candidate
+        attribute reports both ends of the scenario spectrum.  Each
+        subcategory Ci is a leaf, so ``CostOne(Ci) = frac·|tset(Ci)|``.
+        """
+        perf.count("cost.one_level_evals", scenario="one")
+        pw = self.estimator.showtuples_probability_for(attribute, context=context)
+        frac = self.config.frac
+        k = self.config.label_cost
+        showcat = 0.0
+        none_explored_so_far = 1.0
+        for position, (p, size) in enumerate(child_labels_and_sizes, start=1):
+            showcat += none_explored_so_far * p * (k * position + frac * size)
+            none_explored_so_far *= 1.0 - p
+        return pw * frac * parent_tuple_count + (1.0 - pw) * showcat
+
     def annotate(self, tree: CategoryTree) -> dict[int, NodeCosts]:
         """Compute all four quantities for every node, keyed by ``id(node)``.
 

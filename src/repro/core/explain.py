@@ -1,23 +1,27 @@
 """Explain a categorization: why each level's attribute won.
 
 The Figure 6 algorithm makes one consequential decision per level — which
-attribute minimizes ``COST_A`` — and then discards the comparison.  For
-debugging a surprising tree ("why is it categorizing by bedrooms and not
-price?") that comparison *is* the answer.  :class:`ExplainingCategorizer`
-is the cost-based algorithm with a flight recorder: it builds the
-identical tree while retaining, per level, every candidate attribute's
-COST_A and the sizes involved, renderable as a report.
+attribute minimizes ``COST_A``.  For debugging a surprising tree ("why is
+it categorizing by bedrooms and not price?") that comparison *is* the
+answer.  :class:`ExplainingCategorizer` presents it as a compact per-level
+report.
+
+Since the observability work, the underlying record comes from the
+engine's own decision tracing
+(``categorize(collect_trace=True)`` / :mod:`repro.core.trace`) — this
+module is a thin view over that trace, kept for its established API and
+its cost-ranked rendering.  Use the trace directly when you also need the
+CostOne estimates, the Pw/P probability inputs, or the eliminated set.
 """
 
 from __future__ import annotations
 
-from typing import Mapping
-
 import math
 from dataclasses import dataclass, field
 
-from repro.core.algorithm import CostBasedCategorizer, Partitioning
-from repro.core.tree import CategoryNode, CategoryTree
+from repro.core.algorithm import CostBasedCategorizer
+from repro.core.trace import DecisionTrace
+from repro.core.tree import CategoryTree
 from repro.relational.query import SelectQuery
 from repro.relational.table import RowSet
 from repro.study.report import format_table
@@ -98,64 +102,49 @@ class Explanation:
         return "\n\n".join(sections)
 
 
+def decisions_from_trace(trace: DecisionTrace) -> list[LevelDecision]:
+    """Project an engine :class:`DecisionTrace` onto the compact records."""
+    return [
+        LevelDecision(
+            level=level.level,
+            oversized_nodes=level.oversized_nodes,
+            oversized_tuples=level.oversized_tuples,
+            candidates=tuple(
+                CandidateRecord(
+                    attribute=candidate.attribute,
+                    cost=candidate.cost_all,
+                    usage_fraction=candidate.usage_fraction,
+                    category_count=candidate.category_count,
+                    refined_nodes=candidate.refined_nodes,
+                )
+                for candidate in level.candidates
+            ),
+            chosen=level.chosen,
+        )
+        for level in trace.levels
+    ]
+
+
 class ExplainingCategorizer(CostBasedCategorizer):
-    """Cost-based categorization that records every level's comparison.
+    """Cost-based categorization that reports every level's comparison.
 
     Produces trees identical to :class:`CostBasedCategorizer` (same
     policies, same tie-breaking); call :meth:`explain` instead of
-    ``categorize`` to get the decision log alongside the tree.
+    ``categorize`` to get the decision log alongside the tree.  The log
+    is the engine's own decision trace, projected onto
+    :class:`LevelDecision` records.
     """
 
     name = "cost-based"
-
-    def __init__(self, statistics: WorkloadStatistics, *args, **kwargs) -> None:
-        super().__init__(statistics, *args, **kwargs)
-        self._decisions: list[LevelDecision] = []
 
     def explain(
         self, rows: RowSet, query: SelectQuery | None = None
     ) -> Explanation:
         """Categorize ``rows`` and return the tree with its decision log."""
-        self._decisions = []
-        tree = self.categorize(rows, query)
-        return Explanation(tree=tree, decisions=list(self._decisions))
-
-    def _choose_attribute(
-        self,
-        oversized: list[CategoryNode],
-        available: list[str],
-        partitionings: Mapping[str, list[Partitioning]],
-    ) -> str | None:
-        candidates = []
-        best_attribute: str | None = None
-        best_cost = math.inf
-        for attribute in available:
-            cost = self._level_cost(oversized, attribute, partitionings[attribute])
-            candidates.append(
-                CandidateRecord(
-                    attribute=attribute,
-                    cost=cost,
-                    usage_fraction=self.statistics.usage_fraction(attribute),
-                    category_count=sum(
-                        len(p) for p in partitionings[attribute]
-                    ),
-                    refined_nodes=sum(
-                        1 for p in partitionings[attribute] if len(p) >= 2
-                    ),
-                )
-            )
-            if cost < best_cost:
-                best_attribute, best_cost = attribute, cost
-        self._decisions.append(
-            LevelDecision(
-                level=len(self._decisions) + 1,
-                oversized_nodes=len(oversized),
-                oversized_tuples=sum(n.tuple_count for n in oversized),
-                candidates=tuple(candidates),
-                chosen=best_attribute,
-            )
+        tree = self.categorize(rows, query, collect_trace=True)
+        return Explanation(
+            tree=tree, decisions=decisions_from_trace(tree.decision_trace)
         )
-        return best_attribute
 
 
 def explain_categorization(

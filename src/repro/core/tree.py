@@ -145,6 +145,9 @@ class CategoryTree:
         self.root = root
         self.query = query
         self.technique = technique
+        #: Set by ``categorize(collect_trace=True)`` — the per-level
+        #: decision record (see :mod:`repro.core.trace`); None otherwise.
+        self.decision_trace = None
 
     # -- global views -----------------------------------------------------------
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import perf
 from repro.core.tree import CategoryNode, CategoryTree
 from repro.workload.model import WorkloadQuery
 
@@ -47,25 +48,27 @@ def replay_all(
     on the label's attribute, and examines all tuples of nodes she
     SHOWTUPLES (Figure 2 with W-determined choices).
     """
-    labels = 0
-    tuples = 0
-    stack = [tree.root]
-    while stack:
-        node = stack.pop()
-        if _does_showtuples(node, exploration):
-            tuples += node.tuple_count
-            continue
-        labels += len(node.children)
-        for child in node.children:
-            condition = exploration.conditions.get(child.label.attribute)
-            if child.label.overlaps_condition(condition):
-                stack.append(child)
-    return ReplayResult(
-        labels_examined=labels,
-        tuples_examined=tuples,
-        found_relevant=True,
-        label_cost=label_cost,
-    )
+    with perf.span("explore.replay"):
+        perf.count("explore.replays", scenario="all")
+        labels = 0
+        tuples = 0
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if _does_showtuples(node, exploration):
+                tuples += node.tuple_count
+                continue
+            labels += len(node.children)
+            for child in node.children:
+                condition = exploration.conditions.get(child.label.attribute)
+                if child.label.overlaps_condition(condition):
+                    stack.append(child)
+        return ReplayResult(
+            labels_examined=labels,
+            tuples_examined=tuples,
+            found_relevant=True,
+            label_cost=label_cost,
+        )
 
 
 def replay_one(
@@ -80,8 +83,10 @@ def replay_one(
     (the tree's buckets are coarser than W); the replay then resumes with
     the next sibling, still counting everything examined.
     """
-    counter = _Counter()
-    _explore_one(tree.root, exploration, counter)
+    with perf.span("explore.replay"):
+        perf.count("explore.replays", scenario="one")
+        counter = _Counter()
+        _explore_one(tree.root, exploration, counter)
     return ReplayResult(
         labels_examined=counter.labels,
         tuples_examined=counter.tuples,
@@ -145,8 +150,10 @@ def replay_few(
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
-    counter = _FewCounter(target=k)
-    _explore_few(tree.root, exploration, counter)
+    with perf.span("explore.replay"):
+        perf.count("explore.replays", scenario="few")
+        counter = _FewCounter(target=k)
+        _explore_few(tree.root, exploration, counter)
     return ReplayResult(
         labels_examined=counter.labels,
         tuples_examined=counter.tuples,

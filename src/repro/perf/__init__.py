@@ -1,45 +1,69 @@
-"""Instrumentation for the serving hot path (counters, timers, spans).
+"""Observability for the serving hot path.
 
-Import the package and call the module-level functions::
+Counters, gauges, flat timers, nestable trace spans, per-phase duration
+histograms (p50/p95/p99), trace sampling for production, and exporters
+(JSON-lines, Prometheus text format).  Import the package and call the
+module-level functions::
 
     from repro import perf
 
     perf.enable()
-    ...               # instrumented code runs
+    perf.set_sampling(every=10)   # optional: production sampling
+    ...                           # instrumented code runs
     print(perf.format_report())
+    print(perf.export_prometheus())
 
 See :mod:`repro.perf.instrument` for the full API and the design notes
-(contextvar-based span nesting, disabled-mode overhead budget).
+(contextvar-based span nesting, root-level trace sampling, disabled-mode
+overhead budget), :mod:`repro.perf.export` for the wire formats, and
+``docs/observability.md`` for the user guide.
 """
 
+from repro.perf.export import export_jsonl, export_prometheus
 from repro.perf.instrument import (
     ACTIVE,
     Instrumentation,
     SpanNode,
+    clear_sampling,
     count,
     disable,
     enable,
     enabled,
     format_report,
+    gauge,
     get,
     report,
     reset,
+    series_key,
+    set_sampling,
     span,
+    split_series_key,
     timer,
 )
+from repro.perf.metrics import Histogram
+from repro.perf.sampling import Sampler
 
 __all__ = [
     "ACTIVE",
+    "Histogram",
     "Instrumentation",
+    "Sampler",
     "SpanNode",
+    "clear_sampling",
     "count",
     "disable",
     "enable",
     "enabled",
+    "export_jsonl",
+    "export_prometheus",
     "format_report",
+    "gauge",
     "get",
     "report",
     "reset",
+    "series_key",
+    "set_sampling",
     "span",
+    "split_series_key",
     "timer",
 ]

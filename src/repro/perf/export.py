@@ -1,0 +1,206 @@
+"""Metric exporters: JSON-lines events and Prometheus text exposition.
+
+Two wire formats over one :class:`~repro.perf.instrument.Instrumentation`
+snapshot:
+
+* :func:`export_jsonl` — one JSON object per line, one line per series
+  (counter / gauge / timer / duration histogram / span), preceded by a
+  ``meta`` line carrying the sampling policy.  Meant for log shipping:
+  append the lines to a file and any JSON-lines consumer can aggregate.
+* :func:`export_prometheus` — the Prometheus text exposition format
+  (``# TYPE`` declarations plus ``name{labels} value`` samples), ready to
+  serve from a ``/metrics`` endpoint or push through a textfile collector.
+  Metric names are sanitized to ``[a-zA-Z_][a-zA-Z0-9_]*`` and prefixed
+  ``repro_``; duration histograms export as summaries with ``quantile``
+  labels.
+
+Both are pure functions of the registry — exporting never mutates or
+resets recorded data, so repeated scrapes are safe.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Iterator
+
+from repro.perf.instrument import (
+    ACTIVE,
+    Instrumentation,
+    SpanNode,
+    split_series_key,
+)
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _sanitize(name: str) -> str:
+    """Mangle a dotted series name into a legal Prometheus identifier."""
+    cleaned = _INVALID_CHARS.sub("_", name)
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] == "_"):
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def _escape_label_value(value: Any) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_labels(labels: dict[str, Any]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_sanitize(key)}="{_escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
+    )
+    return f"{{{inner}}}"
+
+
+def _walk_spans(node: SpanNode, prefix: str) -> Iterator[tuple[str, SpanNode]]:
+    path = f"{prefix}/{node.name}" if prefix else node.name
+    yield path, node
+    for _, child in sorted(node.children.items()):
+        yield from _walk_spans(child, path)
+
+
+def _span_rows(inst: Instrumentation) -> list[tuple[str, SpanNode]]:
+    rows: list[tuple[str, SpanNode]] = []
+    for _, child in sorted(inst.spans.children.items()):
+        rows.extend(_walk_spans(child, ""))
+    return rows
+
+
+# -- JSON lines ------------------------------------------------------------
+
+
+def export_jsonl(inst: Instrumentation | None = None) -> str:
+    """Serialize the registry as JSON-lines (one event object per line)."""
+    inst = ACTIVE if inst is None else inst
+    lines: list[str] = [
+        json.dumps({"type": "meta", "sampling": inst.sampler.as_dict()})
+    ]
+    for key, value in sorted(inst.counters.items()):
+        name, labels = split_series_key(key)
+        lines.append(
+            json.dumps(
+                {"type": "counter", "name": name, "labels": labels, "value": value}
+            )
+        )
+    for key, value in sorted(inst.gauges.items()):
+        name, labels = split_series_key(key)
+        lines.append(
+            json.dumps(
+                {"type": "gauge", "name": name, "labels": labels, "value": value}
+            )
+        )
+    for name, (calls, seconds) in sorted(inst.timers.items()):
+        lines.append(
+            json.dumps(
+                {"type": "timer", "name": name, "calls": calls, "seconds": seconds}
+            )
+        )
+    for name, histogram in sorted(inst.durations.items()):
+        lines.append(
+            json.dumps(
+                {"type": "histogram", "name": name, **histogram.summary()}
+            )
+        )
+    for path, node in _span_rows(inst):
+        lines.append(
+            json.dumps(
+                {
+                    "type": "span",
+                    "path": path,
+                    "calls": node.calls,
+                    "seconds": node.seconds,
+                }
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+# -- Prometheus text format ------------------------------------------------
+
+
+def export_prometheus(inst: Instrumentation | None = None) -> str:
+    """Serialize the registry in the Prometheus text exposition format."""
+    inst = ACTIVE if inst is None else inst
+    lines: list[str] = []
+
+    # Counters: group series by base name so each gets one TYPE line.
+    grouped: dict[str, list[tuple[dict[str, Any], int]]] = {}
+    for key, value in sorted(inst.counters.items()):
+        name, labels = split_series_key(key)
+        grouped.setdefault(name, []).append((labels, value))
+    for name, series in grouped.items():
+        metric = f"repro_{_sanitize(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        for labels, value in series:
+            lines.append(f"{metric}{_format_labels(labels)} {value}")
+
+    grouped_gauges: dict[str, list[tuple[dict[str, Any], float]]] = {}
+    for key, value in sorted(inst.gauges.items()):
+        name, labels = split_series_key(key)
+        grouped_gauges.setdefault(name, []).append((labels, value))
+    for name, gauge_series in grouped_gauges.items():
+        metric = f"repro_{_sanitize(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        for labels, value in gauge_series:
+            lines.append(f"{metric}{_format_labels(labels)} {_format_value(value)}")
+
+    if inst.timers:
+        lines.append("# TYPE repro_timer_seconds_total counter")
+        for name, (_, seconds) in sorted(inst.timers.items()):
+            labels = _format_labels({"name": name})
+            lines.append(f"repro_timer_seconds_total{labels} {_format_value(seconds)}")
+        lines.append("# TYPE repro_timer_calls_total counter")
+        for name, (calls, _) in sorted(inst.timers.items()):
+            labels = _format_labels({"name": name})
+            lines.append(f"repro_timer_calls_total{labels} {calls}")
+
+    if inst.durations:
+        lines.append("# TYPE repro_duration_seconds summary")
+        for name, histogram in sorted(inst.durations.items()):
+            summary = histogram.summary()
+            if not summary["count"]:
+                continue
+            for quantile in ("0.5", "0.95", "0.99"):
+                labels = _format_labels({"name": name, "quantile": quantile})
+                value = histogram.quantile(float(quantile))
+                lines.append(f"repro_duration_seconds{labels} {_format_value(value)}")
+            labels = _format_labels({"name": name})
+            lines.append(
+                f"repro_duration_seconds_sum{labels} {_format_value(summary['sum'])}"
+            )
+            lines.append(f"repro_duration_seconds_count{labels} {summary['count']}")
+
+    span_rows = _span_rows(inst)
+    if span_rows:
+        lines.append("# TYPE repro_span_seconds_total counter")
+        for path, node in span_rows:
+            labels = _format_labels({"path": path})
+            lines.append(
+                f"repro_span_seconds_total{labels} {_format_value(node.seconds)}"
+            )
+        lines.append("# TYPE repro_span_calls_total counter")
+        for path, node in span_rows:
+            labels = _format_labels({"path": path})
+            lines.append(f"repro_span_calls_total{labels} {node.calls}")
+
+    sampling = inst.sampler.as_dict()
+    lines.append("# TYPE repro_sampling_decisions_total counter")
+    for outcome in ("sampled", "skipped"):
+        labels = _format_labels({"outcome": outcome})
+        lines.append(f"repro_sampling_decisions_total{labels} {sampling[outcome]}")
+
+    return "\n".join(lines) + "\n"
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value (Prometheus accepts any float literal)."""
+    return repr(float(value))

@@ -1,12 +1,16 @@
-"""Zero-dependency instrumentation: counters, timers, and trace spans.
+"""Zero-dependency instrumentation: counters, gauges, timers, spans.
 
 The serving hot path (``categorize`` and everything under it) needs to be
 *measurably* fast, which requires measurement that is cheap enough to leave
-compiled in.  This module provides three primitives, all hanging off one
+compiled in.  This module provides the primitives, all hanging off one
 :class:`Instrumentation` registry:
 
 * **counters** — named monotonically increasing integers (cache hits,
-  partitionings computed/avoided, cost evaluations).
+  partitionings computed/avoided, cost evaluations).  Counters accept
+  **labels** (``count("cache.hit", kind="partition")``), canonicalized to
+  a ``name{key=value,...}`` series key with sorted label keys.
+* **gauges** — named last-value-wins floats (result-set sizes, tree
+  depths), also labelable.
 * **timers** — named flat wall-clock accumulators (total seconds + calls),
   for phases where nesting is irrelevant (e.g. workload preprocessing).
 * **spans** — *nestable* wall-clock scopes forming a trace tree
@@ -16,23 +20,36 @@ compiled in.  This module provides three primitives, all hanging off one
   stack.  Repeated spans with the same name under the same parent are
   aggregated (calls + total seconds) rather than appended, keeping the
   tree bounded regardless of input size.
+* **duration histograms** — every span and timer exit feeds a per-name
+  :class:`~repro.perf.metrics.Histogram`, so each phase reports
+  p50/p95/p99 latency, not just totals.
+
+**Sampling** (:meth:`Instrumentation.set_sampling`) keeps tracing
+affordable under sustained traffic: the sampler decides once per *root*
+span whether the whole trace (spans + their duration observations) is
+recorded; nested spans inherit the decision.  Counters, gauges and flat
+timers stay always-on.  See :mod:`repro.perf.sampling`.
 
 Everything is **disabled by default**.  Disabled-mode overhead is one
 module-global load, one attribute read and one branch per call site — the
 perf benchmark (``benchmarks/test_perf_partition.py``) asserts it stays
-within 5% of fully uninstrumented code.  Instrumented modules therefore
-never guard their calls; they just call :func:`count` / :func:`span` /
-:func:`timer` unconditionally.
+within 5% of fully uninstrumented code, and bounds sampled-mode overhead
+too.  Instrumented modules therefore never guard their calls; they just
+call :func:`count` / :func:`span` / :func:`timer` unconditionally.
 
 Typical use::
 
     from repro import perf
 
     perf.enable()
+    perf.set_sampling(every=10)     # optional: production mode
     categorizer.categorize(rows, query)
     print(perf.format_report())     # text trace + counter table
     data = perf.report()            # JSON-ready dict
     perf.reset()
+
+Exporters (JSON-lines, Prometheus text format) live in
+:mod:`repro.perf.export`.
 """
 
 from __future__ import annotations
@@ -42,6 +59,29 @@ import time
 from collections import Counter
 from contextvars import ContextVar
 from typing import Any, Iterator
+
+from repro.perf.metrics import Histogram
+from repro.perf.sampling import Sampler
+
+
+def series_key(name: str, labels: dict[str, Any]) -> str:
+    """Canonical series key: ``name`` or ``name{k=v,...}``, keys sorted."""
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def split_series_key(key: str) -> tuple[str, dict[str, str]]:
+    """Invert :func:`series_key` (exporters need name and labels apart)."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, inner = key.partition("{")
+    labels: dict[str, str] = {}
+    for part in inner[:-1].split(","):
+        label, _, value = part.partition("=")
+        labels[label] = value
+    return name, labels
 
 
 class SpanNode:
@@ -85,10 +125,16 @@ class SpanNode:
         )
 
 
+#: Context marker meaning "inside a trace the sampler skipped".
+_SUPPRESSED = object()
+
+
 class _Span:
     """Context manager recording one execution of a named span."""
 
-    __slots__ = ("_instrumentation", "_name", "_node", "_token", "_started")
+    __slots__ = (
+        "_instrumentation", "_name", "_node", "_token", "_started", "_generation"
+    )
 
     def __init__(self, instrumentation: "Instrumentation", name: str) -> None:
         self._instrumentation = instrumentation
@@ -96,17 +142,56 @@ class _Span:
 
     def __enter__(self) -> SpanNode:
         inst = self._instrumentation
-        parent = inst._current.get() or inst.spans
+        parent = inst._current.get()
+        if parent is None or parent is _SUPPRESSED:
+            parent = inst.spans
         self._node = parent.child(self._name)
         self._token = inst._current.set(self._node)
+        self._generation = inst._generation
         self._started = time.perf_counter()
         return self._node
 
     def __exit__(self, *exc_info: object) -> bool:
         elapsed = time.perf_counter() - self._started
+        inst = self._instrumentation
+        if inst._generation != self._generation:
+            # reset() ran while this span was open: its node belongs to a
+            # discarded tree.  Restoring the token would re-parent every
+            # later span onto that stale node, so detach instead.
+            inst._current.set(None)
+            return False
         self._node.calls += 1
         self._node.seconds += elapsed
-        self._instrumentation._current.reset(self._token)
+        inst._current.reset(self._token)
+        inst._observe_duration(self._name, elapsed)
+        return False
+
+
+class _SuppressedTrace:
+    """Scope for a root span the sampler skipped.
+
+    Marks the context as suppressed so every nested ``span()`` call
+    short-circuits to the shared null scope — a skipped trace costs one
+    contextvar set/reset total, regardless of how deep it nests.
+    """
+
+    __slots__ = ("_instrumentation", "_token", "_generation")
+
+    def __init__(self, instrumentation: "Instrumentation") -> None:
+        self._instrumentation = instrumentation
+
+    def __enter__(self) -> None:
+        inst = self._instrumentation
+        self._token = inst._current.set(_SUPPRESSED)
+        self._generation = inst._generation
+        return None
+
+    def __exit__(self, *exc_info: object) -> bool:
+        inst = self._instrumentation
+        if inst._generation != self._generation:
+            inst._current.set(None)
+        else:
+            inst._current.reset(self._token)
         return False
 
 
@@ -125,9 +210,10 @@ class _Timer:
 
     def __exit__(self, *exc_info: object) -> bool:
         elapsed = time.perf_counter() - self._started
-        timers = self._instrumentation.timers
-        calls, seconds = timers.get(self._name, (0, 0.0))
-        timers[self._name] = (calls + 1, seconds + elapsed)
+        inst = self._instrumentation
+        calls, seconds = inst.timers.get(self._name, (0, 0.0))
+        inst.timers[self._name] = (calls + 1, seconds + elapsed)
+        inst._observe_duration(self._name, elapsed)
         return False
 
 
@@ -147,7 +233,7 @@ _NULL_SCOPE = _NullScope()
 
 
 class Instrumentation:
-    """A registry of counters, timers and trace spans.
+    """A registry of counters, gauges, timers, trace spans and histograms.
 
     One module-level instance (:data:`ACTIVE`) backs the convenience
     functions; independent instances can be created for isolated
@@ -157,12 +243,19 @@ class Instrumentation:
     def __init__(self, enabled: bool = False) -> None:
         self.enabled = enabled
         self.counters: Counter[str] = Counter()
+        self.gauges: dict[str, float] = {}
         #: name -> (calls, total seconds)
         self.timers: dict[str, tuple[int, float]] = {}
+        #: span/timer name -> duration Histogram
+        self.durations: dict[str, Histogram] = {}
         self.spans = SpanNode("<root>")
-        self._current: ContextVar[SpanNode | None] = ContextVar(
+        self.sampler = Sampler()
+        self._current: ContextVar[Any] = ContextVar(
             "repro_perf_current_span", default=None
         )
+        # Bumped by reset(); spans open across a reset detach on exit
+        # instead of restoring a context token into the discarded tree.
+        self._generation = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -175,40 +268,101 @@ class Instrumentation:
         self.enabled = False
 
     def reset(self) -> None:
-        """Drop all recorded counters, timers and spans."""
+        """Drop all recorded data and detach any in-flight span.
+
+        Clearing the current-span context matters: a span left open across
+        ``reset()`` must not re-parent later spans onto a node of the
+        discarded tree (its own exit is guarded the same way).
+        """
         self.counters.clear()
+        self.gauges.clear()
         self.timers.clear()
+        self.durations.clear()
         self.spans = SpanNode("<root>")
+        self.sampler.reset()
+        self._generation += 1
+        self._current.set(None)
+
+    # -- sampling ------------------------------------------------------------
+
+    def set_sampling(
+        self,
+        rate: float | None = None,
+        every: int | None = None,
+        seed: int = 0x5EED,
+    ) -> None:
+        """Install a span-sampling policy (see :mod:`repro.perf.sampling`).
+
+        ``rate=p`` keeps each root trace with probability p; ``every=n``
+        keeps every n-th deterministically.  Counters, gauges and timers
+        are unaffected.  Call :meth:`clear_sampling` to return to
+        record-everything.
+        """
+        self.sampler = Sampler(rate=rate, every=every, seed=seed)
+
+    def clear_sampling(self) -> None:
+        """Remove any sampling policy (every trace is recorded again)."""
+        self.sampler = Sampler()
 
     # -- recording -----------------------------------------------------------
 
-    def count(self, name: str, amount: int = 1) -> None:
+    def count(self, name: str, amount: int = 1, **labels: Any) -> None:
         """Add ``amount`` to counter ``name`` (no-op while disabled)."""
         if self.enabled:
-            self.counters[name] += amount
+            self.counters[series_key(name, labels) if labels else name] += amount
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Set gauge ``name`` to ``value`` (no-op while disabled)."""
+        if self.enabled:
+            self.gauges[series_key(name, labels) if labels else name] = value
 
     def span(self, name: str):
-        """Context manager tracing a nestable span (no-op while disabled)."""
-        if self.enabled:
-            return _Span(self, name)
-        return _NULL_SCOPE
+        """Context manager tracing a nestable span (no-op while disabled).
+
+        Under sampling, a root span consults the sampler; nested spans
+        inherit their root's keep/skip decision.
+        """
+        if not self.enabled:
+            return _NULL_SCOPE
+        current = self._current.get()
+        if current is _SUPPRESSED:
+            return _NULL_SCOPE
+        if current is None and not self.sampler.sample():
+            return _SuppressedTrace(self)
+        return _Span(self, name)
 
     def timer(self, name: str):
-        """Context manager accumulating a flat timer (no-op while disabled)."""
+        """Context manager accumulating a flat timer (no-op while disabled).
+
+        Timers are always-on aggregates: they record even under sampling
+        (only span traces are sampled).
+        """
         if self.enabled:
             return _Timer(self, name)
         return _NULL_SCOPE
 
+    def _observe_duration(self, name: str, elapsed: float) -> None:
+        histogram = self.durations.get(name)
+        if histogram is None:
+            histogram = self.durations[name] = Histogram()
+        histogram.observe(elapsed)
+
     # -- reporting -----------------------------------------------------------
 
     def report(self) -> dict[str, Any]:
-        """All recorded data as a JSON-ready dict."""
+        """All recorded data as a JSON-ready dict (keys sorted)."""
         return {
             "enabled": self.enabled,
+            "sampling": self.sampler.as_dict(),
             "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
             "timers": {
                 name: {"calls": calls, "seconds": seconds}
                 for name, (calls, seconds) in sorted(self.timers.items())
+            },
+            "durations": {
+                name: histogram.summary()
+                for name, histogram in sorted(self.durations.items())
             },
             "spans": [child.as_dict() for child in self.spans.children.values()],
         }
@@ -218,12 +372,34 @@ class Instrumentation:
         return json.dumps(self.report(), indent=indent)
 
     def format_report(self) -> str:
-        """A human-readable text report: span tree, timers, counters."""
+        """A human-readable text report: spans, durations, timers, counters.
+
+        Every section is stable-sorted by name, so two runs that record
+        the same data render byte-identical reports regardless of
+        insertion order.
+        """
         lines: list[str] = ["== perf report =="]
+        if self.sampler.mode != "always":
+            info = self.sampler.as_dict()
+            detail = (
+                f"rate={info['rate']}" if "rate" in info else f"every={info['every']}"
+            )
+            lines.append(
+                f"-- sampling: {info['mode']} ({detail}), "
+                f"{info['sampled']} sampled / {info['skipped']} skipped --"
+            )
         if self.spans.children:
             lines.append("-- spans (total seconds / calls) --")
-            for child in self.spans.children.values():
+            for _, child in sorted(self.spans.children.items()):
                 lines.extend(self._format_span(child, depth=0))
+        if self.durations:
+            lines.append("-- durations (p50 / p95 / p99 seconds) --")
+            for name, histogram in sorted(self.durations.items()):
+                summary = histogram.summary()
+                lines.append(
+                    f"  {name}: {summary['p50']:.6f} / {summary['p95']:.6f} / "
+                    f"{summary['p99']:.6f} ({summary['count']} samples)"
+                )
         if self.timers:
             lines.append("-- timers --")
             for name, (calls, seconds) in sorted(self.timers.items()):
@@ -232,6 +408,10 @@ class Instrumentation:
             lines.append("-- counters --")
             for name, value in sorted(self.counters.items()):
                 lines.append(f"  {name}: {value}")
+        if self.gauges:
+            lines.append("-- gauges --")
+            for name, value in sorted(self.gauges.items()):
+                lines.append(f"  {name}: {value:g}")
         if len(lines) == 1:
             lines.append("(nothing recorded)")
         return "\n".join(lines)
@@ -239,7 +419,7 @@ class Instrumentation:
     @staticmethod
     def _format_span(node: SpanNode, depth: int) -> Iterator[str]:
         yield f"  {'  ' * depth}{node.name}: {node.seconds:.6f}s / {node.calls} calls"
-        for child in node.children.values():
+        for _, child in sorted(node.children.items()):
             yield from Instrumentation._format_span(child, depth + 1)
 
 
@@ -272,16 +452,34 @@ def enabled() -> bool:
     return ACTIVE.enabled
 
 
-def count(name: str, amount: int = 1) -> None:
+def set_sampling(
+    rate: float | None = None, every: int | None = None, seed: int = 0x5EED
+) -> None:
+    """Install a span-sampling policy on the active registry."""
+    ACTIVE.set_sampling(rate=rate, every=every, seed=seed)
+
+
+def clear_sampling() -> None:
+    """Remove the active registry's sampling policy."""
+    ACTIVE.clear_sampling()
+
+
+def count(name: str, amount: int = 1, **labels: Any) -> None:
     """Increment a counter on the active registry (no-op while disabled)."""
     if ACTIVE.enabled:
-        ACTIVE.counters[name] += amount
+        ACTIVE.count(name, amount, **labels)
+
+
+def gauge(name: str, value: float, **labels: Any) -> None:
+    """Set a gauge on the active registry (no-op while disabled)."""
+    if ACTIVE.enabled:
+        ACTIVE.gauge(name, value, **labels)
 
 
 def span(name: str):
     """Trace a span on the active registry (no-op while disabled)."""
     if ACTIVE.enabled:
-        return _Span(ACTIVE, name)
+        return ACTIVE.span(name)
     return _NULL_SCOPE
 
 

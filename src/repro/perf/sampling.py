@@ -1,0 +1,111 @@
+"""Trace sampling: keep instrumentation on under production traffic.
+
+Full span tracing costs a few context-variable operations per scope,
+which is fine for debugging but adds up on a serving hot path.  A
+:class:`Sampler` decides, once per *root* span, whether that whole trace
+is recorded; nested spans inherit the decision, so sampled traces are
+always structurally complete (never a child without its parent).
+Counters, gauges and flat timers are exempt — they are cheap aggregates
+and stay always-on, which is the "always-on counters / sampled spans"
+production mode.
+
+Two sampling policies:
+
+* **every-Nth** (``Sampler(every=n)``) — deterministic, records the 1st,
+  (n+1)th, ... root span.  Best default: zero randomness, stable tests.
+* **rate-based** (``Sampler(rate=p)``) — records each root span with
+  probability ``p`` from a seeded PRNG.  Degenerate values short-circuit:
+  ``rate=0`` records nothing, ``rate=1`` (like ``every=1``) records
+  everything, identically to an unsampled registry.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class Sampler:
+    """Per-root-trace keep/skip decisions, with kept/skipped accounting.
+
+    The default sampler (no arguments) keeps everything — sampling is
+    strictly opt-in.  ``sampled``/``skipped`` count the decisions made,
+    so exporters can report the effective sampling ratio alongside the
+    (scaled-down) span totals.
+    """
+
+    __slots__ = ("rate", "every", "sampled", "skipped", "_seed", "_rng", "_tick")
+
+    def __init__(
+        self,
+        rate: float | None = None,
+        every: int | None = None,
+        seed: int = 0x5EED,
+    ) -> None:
+        if rate is not None and every is not None:
+            raise ValueError("pass either rate= or every=, not both")
+        if rate is not None and not 0.0 <= rate <= 1.0:
+            raise ValueError(f"sampling rate must be in [0, 1], got {rate}")
+        if every is not None and every < 1:
+            raise ValueError(f"sampling period must be >= 1, got {every}")
+        self.rate = rate
+        self.every = every
+        self.sampled = 0
+        self.skipped = 0
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self._tick = 0
+
+    @property
+    def mode(self) -> str:
+        """``"always"``, ``"rate"`` or ``"every"``."""
+        if self.rate is not None:
+            return "rate"
+        if self.every is not None and self.every > 1:
+            return "every"
+        return "always"
+
+    def sample(self) -> bool:
+        """Decide one root trace; updates the sampled/skipped counts."""
+        if self.rate is not None:
+            if self.rate >= 1.0:
+                keep = True
+            elif self.rate <= 0.0:
+                keep = False
+            else:
+                keep = self._rng.random() < self.rate
+        elif self.every is not None and self.every > 1:
+            keep = self._tick % self.every == 0
+            self._tick += 1
+        else:
+            keep = True
+        if keep:
+            self.sampled += 1
+        else:
+            self.skipped += 1
+        return keep
+
+    def reset(self) -> None:
+        """Clear the decision counts and restart the deterministic stream."""
+        self.sampled = 0
+        self.skipped = 0
+        self._tick = 0
+        self._rng = random.Random(self._seed)
+
+    def as_dict(self) -> dict:
+        """JSON-ready description of the policy and its decision counts."""
+        info: dict = {
+            "mode": self.mode,
+            "sampled": self.sampled,
+            "skipped": self.skipped,
+        }
+        if self.rate is not None:
+            info["rate"] = self.rate
+        if self.every is not None:
+            info["every"] = self.every
+        return info
+
+    def __repr__(self) -> str:
+        return (
+            f"Sampler(mode={self.mode!r}, sampled={self.sampled}, "
+            f"skipped={self.skipped})"
+        )

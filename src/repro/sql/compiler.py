@@ -7,6 +7,7 @@ becoming an inclusive range (the paper's ``vmin <= A <= vmax`` form).
 
 from __future__ import annotations
 
+from repro import perf
 from repro.relational.expressions import (
     ComparisonPredicate,
     Conjunction,
@@ -71,4 +72,6 @@ def parse_query(source: str) -> SelectQuery:
     string becomes a :class:`SelectQuery` whose normalized conditions feed
     the count tables of Section 4.2.
     """
-    return compile_statement(parse(source))
+    perf.count("sql.queries_parsed")
+    with perf.span("sql.compile"):
+        return compile_statement(parse(source))

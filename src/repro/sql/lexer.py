@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro import perf
 from repro.sql.tokens import KEYWORDS, OPERATORS, Token, TokenType
 
 
@@ -26,6 +27,11 @@ def tokenize(source: str) -> list[Token]:
     Raises:
         SqlSyntaxError: on any character sequence outside the dialect.
     """
+    with perf.span("sql.lex"):
+        return _tokenize(source)
+
+
+def _tokenize(source: str) -> list[Token]:
     tokens: list[Token] = []
     i = 0
     length = len(source)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro import perf
 from repro.sql.ast_nodes import (
     BetweenCondition,
     ComparisonCondition,
@@ -37,7 +38,8 @@ def parse(source: str) -> SelectStatement:
     Raises:
         SqlSyntaxError: on any deviation from the dialect grammar.
     """
-    return _Parser(source).parse_statement()
+    with perf.span("sql.parse"):
+        return _Parser(source).parse_statement()
 
 
 class _Parser:

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro import perf
 from repro.core.algorithm import LevelByLevelCategorizer
 from repro.core.config import CategorizerConfig, PAPER_CONFIG
 from repro.core.cost import CostModel
@@ -181,32 +182,34 @@ def run_simulated_study(
     )
     if eligible is None:
         eligible = _default_eligible
-    candidates = workload.filter(eligible)
-    subsets = candidates.disjoint_subsets(subset_count, subset_size, seed=seed)
-    result = SimulatedStudyResult(subset_count=subset_count)
+    with perf.span("study.simulated"):
+        candidates = workload.filter(eligible)
+        subsets = candidates.disjoint_subsets(subset_count, subset_size, seed=seed)
+        result = SimulatedStudyResult(subset_count=subset_count)
 
-    for subset_index, held_out in enumerate(subsets):
-        remaining = workload.without(held_out)
-        statistics = preprocess_workload(
-            remaining, table.schema, config.separation_intervals
-        )
-        categorizers = [factory(statistics, config) for factory in techniques]
-        if subset_index == 0:
-            result.primary_technique = categorizers[0].name
-        cost_model = CostModel(ProbabilityEstimator(statistics), config)
-        for exploration in held_out:
-            _run_exploration(
-                exploration,
-                table,
-                categorizers,
-                cost_model,
-                config,
-                subset_index,
-                minimum,
-                broaden,
-                result,
-            )
-    return result
+        for subset_index, held_out in enumerate(subsets):
+            with perf.span("study.subset"):
+                remaining = workload.without(held_out)
+                statistics = preprocess_workload(
+                    remaining, table.schema, config.separation_intervals
+                )
+                categorizers = [factory(statistics, config) for factory in techniques]
+                if subset_index == 0:
+                    result.primary_technique = categorizers[0].name
+                cost_model = CostModel(ProbabilityEstimator(statistics), config)
+                for exploration in held_out:
+                    _run_exploration(
+                        exploration,
+                        table,
+                        categorizers,
+                        cost_model,
+                        config,
+                        subset_index,
+                        minimum,
+                        broaden,
+                        result,
+                    )
+        return result
 
 
 def _default_eligible(query: WorkloadQuery) -> bool:
@@ -230,17 +233,19 @@ def _run_exploration(
     user_query = broaden(exploration)
     rows = user_query.query.execute(table)
     if len(rows) < min_result_size:
+        perf.count("study.explorations_skipped")
         return
-    for categorizer in categorizers:
-        tree = categorizer.categorize(rows, user_query.query)
-        estimated = cost_model.tree_cost_all(tree)
-        actual = replay_all(tree, exploration, label_cost=config.label_cost)
-        result.records.append(
-            ExplorationRecord(
-                subset=subset_index,
-                technique=categorizer.name,
-                estimated_cost=estimated,
-                actual_cost=actual.items_examined,
-                result_size=len(rows),
+    with perf.span("study.exploration"):
+        for categorizer in categorizers:
+            tree = categorizer.categorize(rows, user_query.query)
+            estimated = cost_model.tree_cost_all(tree)
+            actual = replay_all(tree, exploration, label_cost=config.label_cost)
+            result.records.append(
+                ExplorationRecord(
+                    subset=subset_index,
+                    technique=categorizer.name,
+                    estimated_cost=estimated,
+                    actual_cost=actual.items_examined,
+                    result_size=len(rows),
+                )
             )
-        )

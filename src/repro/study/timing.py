@@ -5,15 +5,21 @@ The paper reports the categorization algorithm's average response time for
 size around 2000.  Absolute times are machine-dependent; the shape —
 runtime decreasing as ``M`` grows (larger M means fewer levels and fewer
 oversized nodes to partition) — is what the reproduction checks.
+
+Timing is collected through :mod:`repro.perf` rather than ad-hoc
+``time.perf_counter`` bookkeeping: each (M, query) categorization runs
+under a per-query timer and duration histogram of a study-local
+:class:`~repro.perf.Instrumentation`, so the study gets mean *and* tail
+latency (p95) from the same machinery the rest of the engine uses.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from repro.core.algorithm import CostBasedCategorizer
 from repro.core.config import CategorizerConfig, PAPER_CONFIG
+from repro.perf import Instrumentation
 from repro.relational.table import Table
 from repro.study.simulated import TechniqueFactory
 from repro.workload.broadening import broaden_to_region
@@ -29,6 +35,7 @@ class TimingPoint:
     queries_timed: int
     mean_seconds: float
     mean_result_size: float
+    p95_seconds: float = 0.0
 
 
 def run_timing_study(
@@ -55,22 +62,28 @@ def run_timing_study(
         if len(rows) > 0:
             prepared.append((user_query.query, rows))
 
+    # A study-local instrumentation keeps timing isolated from (and
+    # unaffected by) the global ACTIVE registry's enabled/sampling state.
+    inst = Instrumentation(enabled=True)
     points: list[TimingPoint] = []
     for m in m_values:
         m_config = config.with_overrides(max_tuples_per_category=m)
         categorizer = technique(statistics, m_config)
-        started = time.perf_counter()
+        timer_name = f"study.timing[m={m}]"
         for query, rows in prepared:
-            categorizer.categorize(rows, query)
-        elapsed = time.perf_counter() - started
+            with inst.timer(timer_name):
+                categorizer.categorize(rows, query)
+        calls, seconds = inst.timers[timer_name]
+        histogram = inst.durations[timer_name]
         points.append(
             TimingPoint(
                 m=m,
-                queries_timed=len(prepared),
-                mean_seconds=elapsed / max(1, len(prepared)),
+                queries_timed=calls,
+                mean_seconds=seconds / max(1, calls),
                 mean_result_size=(
                     sum(len(rows) for _, rows in prepared) / max(1, len(prepared))
                 ),
+                p95_seconds=histogram.quantile(0.95) if calls else 0.0,
             )
         )
     return points

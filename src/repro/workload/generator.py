@@ -26,6 +26,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro import perf
 from repro.data.distributions import PROPERTY_TYPES, weighted_choice
 from repro.data.geography import ALL_REGIONS, Region
 from repro.workload.log import Workload
@@ -82,11 +83,13 @@ def generate_workload(config: WorkloadGeneratorConfig | None = None) -> Workload
     config = config or WorkloadGeneratorConfig()
     if config.query_count <= 0:
         raise ValueError(f"query_count must be positive, got {config.query_count}")
-    rng = random.Random(config.seed)
-    statements = [
-        _generate_query_sql(rng, config) for _ in range(config.query_count)
-    ]
-    return Workload.from_sql_strings(statements)
+    with perf.span("workload.generate"):
+        rng = random.Random(config.seed)
+        statements = [
+            _generate_query_sql(rng, config) for _ in range(config.query_count)
+        ]
+        perf.count("workload.queries_generated", config.query_count)
+        return Workload.from_sql_strings(statements)
 
 
 def _generate_query_sql(rng: random.Random, config: WorkloadGeneratorConfig) -> str:

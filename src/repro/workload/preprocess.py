@@ -349,13 +349,14 @@ def preprocess_workload(
         attr.name: RangeIndex(attr.name) for attr in schema.numeric_attributes()
     }
 
-    with perf.timer("workload.preprocess"):
+    with perf.span("workload.preprocess"), perf.timer("workload.preprocess"):
         for query in workload:
             fold_query_conditions(
                 query, usage, occurrences, splitpoints, range_indexes
             )
         for index in range_indexes.values():
             index.finalize()
+        perf.count("workload.queries_folded", len(workload))
     return WorkloadStatistics(
         schema=schema,
         usage=usage,

@@ -1,0 +1,113 @@
+"""Tests for the JSON-lines and Prometheus exporters."""
+
+import json
+import re
+
+import pytest
+
+from repro.perf import Instrumentation, export_jsonl, export_prometheus
+
+
+@pytest.fixture()
+def inst():
+    registry = Instrumentation(enabled=True)
+    registry.count("cache.hit", 3, kind="partition")
+    registry.count("cache.hit", 1, kind="groupby")
+    registry.count("queries")
+    registry.gauge("result.size", 1754)
+    with registry.timer("preprocess"):
+        pass
+    with registry.span("categorize"):
+        with registry.span("level"):
+            pass
+    return registry
+
+
+class TestJsonLines:
+    def test_every_line_parses_as_json(self, inst):
+        lines = export_jsonl(inst).strip().split("\n")
+        events = [json.loads(line) for line in lines]
+        assert events[0]["type"] == "meta"
+        assert {e["type"] for e in events} == {
+            "meta", "counter", "gauge", "timer", "histogram", "span"
+        }
+
+    def test_counters_round_trip_with_labels(self, inst):
+        events = [
+            json.loads(line) for line in export_jsonl(inst).strip().split("\n")
+        ]
+        counters = {
+            (e["name"], tuple(sorted(e["labels"].items()))): e["value"]
+            for e in events
+            if e["type"] == "counter"
+        }
+        assert counters[("cache.hit", (("kind", "partition"),))] == 3
+        assert counters[("cache.hit", (("kind", "groupby"),))] == 1
+        assert counters[("queries", ())] == 1
+
+    def test_span_paths_are_slash_joined(self, inst):
+        events = [
+            json.loads(line) for line in export_jsonl(inst).strip().split("\n")
+        ]
+        paths = [e["path"] for e in events if e["type"] == "span"]
+        assert paths == ["categorize", "categorize/level"]
+
+    def test_export_does_not_mutate(self, inst):
+        before = inst.report()
+        export_jsonl(inst)
+        export_jsonl(inst)
+        assert inst.report() == before
+
+
+# One Prometheus sample line: name{optional labels} float-or-int
+_SAMPLE = re.compile(
+    r"^[a-zA-Z_][a-zA-Z0-9_]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r" -?[0-9]+(\.[0-9]+(e[+-]?[0-9]+)?)?$"
+)
+
+
+class TestPrometheus:
+    def test_every_line_is_type_decl_or_sample(self, inst):
+        for line in export_prometheus(inst).strip().split("\n"):
+            if line.startswith("# TYPE "):
+                parts = line.split()
+                assert len(parts) == 4
+                assert parts[3] in ("counter", "gauge", "summary")
+            else:
+                assert _SAMPLE.match(line), line
+
+    def test_counter_series_share_one_type_line(self, inst):
+        text = export_prometheus(inst)
+        assert text.count("# TYPE repro_cache_hit_total counter") == 1
+        assert 'repro_cache_hit_total{kind="partition"} 3' in text
+        assert 'repro_cache_hit_total{kind="groupby"} 1' in text
+
+    def test_names_are_sanitized_and_prefixed(self, inst):
+        text = export_prometheus(inst)
+        assert "repro_queries_total 1" in text
+        assert "repro_result_size" in text
+        assert "cache.hit" not in text  # dots never reach the wire
+
+    def test_durations_export_as_summaries(self, inst):
+        text = export_prometheus(inst)
+        assert "# TYPE repro_duration_seconds summary" in text
+        for quantile in ("0.5", "0.95", "0.99"):
+            assert f'quantile="{quantile}"' in text
+        assert 'repro_duration_seconds_count{name="categorize"} 1' in text
+
+    def test_span_paths_exported_with_path_label(self, inst):
+        text = export_prometheus(inst)
+        assert 'repro_span_calls_total{path="categorize/level"} 1' in text
+
+    def test_sampling_decisions_always_present(self):
+        empty = Instrumentation(enabled=True)
+        text = export_prometheus(empty)
+        assert 'repro_sampling_decisions_total{outcome="sampled"} 0' in text
+        assert 'repro_sampling_decisions_total{outcome="skipped"} 0' in text
+
+    def test_label_values_are_escaped(self):
+        registry = Instrumentation(enabled=True)
+        registry.count("odd", label='va"lue')
+        text = export_prometheus(registry)
+        assert 'label="va\\"lue"' in text

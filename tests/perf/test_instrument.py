@@ -31,6 +31,62 @@ class TestCounters:
         inst.reset()
         assert not inst.counters
 
+    def test_labeled_counters_form_distinct_series(self, inst):
+        inst.count("cache.hit", kind="partition")
+        inst.count("cache.hit", kind="partition")
+        inst.count("cache.hit", kind="groupby")
+        inst.count("cache.hit")
+        assert inst.counters["cache.hit{kind=partition}"] == 2
+        assert inst.counters["cache.hit{kind=groupby}"] == 1
+        assert inst.counters["cache.hit"] == 1
+
+    def test_label_keys_are_sorted_into_one_series(self, inst):
+        inst.count("c", b=2, a=1)
+        inst.count("c", a=1, b=2)
+        assert inst.counters == {"c{a=1,b=2}": 2}
+
+    def test_series_key_round_trips(self):
+        key = perf.series_key("cache.hit", {"kind": "partition", "aaa": "z"})
+        assert key == "cache.hit{aaa=z,kind=partition}"
+        name, labels = perf.split_series_key(key)
+        assert name == "cache.hit"
+        assert labels == {"aaa": "z", "kind": "partition"}
+        assert perf.split_series_key("plain") == ("plain", {})
+
+
+class TestGauges:
+    def test_gauge_last_value_wins(self, inst):
+        inst.gauge("result_size", 10)
+        inst.gauge("result_size", 42)
+        assert inst.gauges["result_size"] == 42
+
+    def test_disabled_gauge_is_noop(self):
+        inst = Instrumentation(enabled=False)
+        inst.gauge("g", 1.0)
+        assert not inst.gauges
+
+    def test_labeled_gauges(self, inst):
+        inst.gauge("depth", 3, technique="cost-based")
+        assert inst.gauges["depth{technique=cost-based}"] == 3
+
+
+class TestDurations:
+    def test_span_and_timer_feed_histograms(self, inst):
+        with inst.span("phase"):
+            pass
+        with inst.timer("load"):
+            pass
+        assert inst.durations["phase"].count == 1
+        assert inst.durations["load"].count == 1
+
+    def test_duration_summary_in_report(self, inst):
+        for _ in range(4):
+            with inst.span("phase"):
+                pass
+        summary = inst.report()["durations"]["phase"]
+        assert summary["count"] == 4
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+
 
 class TestTimers:
     def test_timer_accumulates_calls_and_seconds(self, inst):
@@ -92,6 +148,26 @@ class TestSpans:
         with inst.span("after"):
             pass
         assert "after" in inst.spans.children
+
+    def test_reset_detaches_an_open_span(self, inst):
+        span = inst.span("outer")
+        span.__enter__()
+        inst.reset()
+        span.__exit__(None, None, None)
+        # the discarded span neither records nor re-parents what follows
+        assert not inst.spans.children
+        with inst.span("fresh"):
+            pass
+        assert list(inst.spans.children) == ["fresh"]
+        assert inst._current.get() is None
+
+    def test_reset_inside_open_span_keeps_later_spans_at_root(self, inst):
+        with inst.span("outer"):
+            inst.reset()
+            with inst.span("inner"):
+                pass
+        # "inner" lands at the root of the fresh tree, not under a stale node
+        assert list(inst.spans.children) == ["inner"]
 
 
 class TestReporting:

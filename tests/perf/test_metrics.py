@@ -1,0 +1,101 @@
+"""Tests for the bounded-memory duration histogram."""
+
+import pytest
+
+from repro.perf import Histogram
+
+
+class TestExactQuantiles:
+    def test_known_inputs_give_exact_quantiles(self):
+        histogram = Histogram()
+        for value in range(1, 101):  # 1..100
+            histogram.observe(float(value))
+        assert histogram.quantile(0.50) == 50.0
+        assert histogram.quantile(0.95) == 95.0
+        assert histogram.quantile(0.99) == 99.0
+        assert histogram.exact
+
+    def test_single_observation(self):
+        histogram = Histogram()
+        histogram.observe(7.0)
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert histogram.quantile(q) == 7.0
+
+    def test_extremes_are_true_min_and_max(self):
+        histogram = Histogram()
+        for value in (3.0, 1.0, 2.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) == 1.0
+        assert histogram.quantile(1.0) == 3.0
+
+    def test_order_independent(self):
+        ascending, shuffled = Histogram(), Histogram()
+        for value in range(1, 51):
+            ascending.observe(float(value))
+        for value in sorted(range(1, 51), key=lambda v: (v * 17) % 53):
+            shuffled.observe(float(value))
+        assert ascending.quantile(0.5) == shuffled.quantile(0.5)
+        assert ascending.quantile(0.95) == shuffled.quantile(0.95)
+
+
+class TestAggregates:
+    def test_count_total_mean(self):
+        histogram = Histogram()
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == 6.0
+        assert histogram.mean == 2.0
+
+    def test_empty_summary(self):
+        assert Histogram().summary() == {"count": 0, "sum": 0.0}
+
+    def test_summary_keys(self):
+        histogram = Histogram()
+        histogram.observe(1.0)
+        summary = histogram.summary()
+        assert set(summary) == {
+            "count", "sum", "min", "max", "mean", "p50", "p95", "p99", "exact"
+        }
+
+
+class TestDecimation:
+    def test_memory_stays_bounded(self):
+        histogram = Histogram(limit=64)
+        for value in range(10_000):
+            histogram.observe(float(value))
+        assert len(histogram._samples) < 64
+        assert not histogram.exact
+        assert histogram.sample_stride > 1
+        # aggregates still reflect every observation
+        assert histogram.count == 10_000
+        assert histogram.minimum == 0.0
+        assert histogram.maximum == 9999.0
+
+    def test_decimated_quantiles_stay_close(self):
+        histogram = Histogram(limit=128)
+        n = 50_000
+        for value in range(n):
+            histogram.observe(float(value))
+        # systematic 1-in-stride sampling keeps quantiles within a few
+        # percent of the true value on a uniform stream
+        assert histogram.quantile(0.5) == pytest.approx(n / 2, rel=0.10)
+        assert histogram.quantile(0.95) == pytest.approx(0.95 * n, rel=0.10)
+
+
+class TestValidation:
+    def test_quantile_out_of_range(self):
+        histogram = Histogram()
+        histogram.observe(1.0)
+        with pytest.raises(ValueError):
+            histogram.quantile(-0.1)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.1)
+
+    def test_quantile_of_empty_histogram(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(0.5)
+
+    def test_limit_too_small(self):
+        with pytest.raises(ValueError):
+            Histogram(limit=1)

@@ -1,0 +1,145 @@
+"""Tests for trace sampling: policies, degenerate rates, span inheritance."""
+
+import pytest
+
+from repro.perf import Instrumentation, Sampler
+
+
+class TestSamplerPolicies:
+    def test_default_keeps_everything(self):
+        sampler = Sampler()
+        assert sampler.mode == "always"
+        assert all(sampler.sample() for _ in range(10))
+        assert sampler.sampled == 10
+        assert sampler.skipped == 0
+
+    def test_every_nth_is_deterministic(self):
+        sampler = Sampler(every=4)
+        decisions = [sampler.sample() for _ in range(12)]
+        assert decisions == [True, False, False, False] * 3
+        assert sampler.sampled == 3
+        assert sampler.skipped == 9
+
+    def test_rate_zero_records_nothing(self):
+        sampler = Sampler(rate=0.0)
+        assert not any(sampler.sample() for _ in range(20))
+        assert sampler.sampled == 0
+
+    def test_rate_one_records_everything(self):
+        sampler = Sampler(rate=1.0)
+        assert all(sampler.sample() for _ in range(20))
+        assert sampler.skipped == 0
+
+    def test_every_one_records_everything(self):
+        sampler = Sampler(every=1)
+        assert sampler.mode == "always"
+        assert all(sampler.sample() for _ in range(20))
+
+    def test_fractional_rate_is_seeded_and_reproducible(self):
+        one, two = Sampler(rate=0.5, seed=11), Sampler(rate=0.5, seed=11)
+        first = [one.sample() for _ in range(50)]
+        second = [two.sample() for _ in range(50)]
+        assert first == second
+        assert True in first and False in first
+
+    def test_reset_restarts_the_stream(self):
+        sampler = Sampler(rate=0.5, seed=11)
+        first = [sampler.sample() for _ in range(20)]
+        sampler.reset()
+        assert [sampler.sample() for _ in range(20)] == first
+        sampler_every = Sampler(every=3)
+        assert sampler_every.sample()
+        sampler_every.reset()
+        assert sampler_every.sample()  # tick restarted: 1st is kept again
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Sampler(rate=0.5, every=2)
+        with pytest.raises(ValueError):
+            Sampler(rate=1.5)
+        with pytest.raises(ValueError):
+            Sampler(every=0)
+
+    def test_as_dict(self):
+        sampler = Sampler(every=10)
+        sampler.sample()
+        info = sampler.as_dict()
+        assert info == {"mode": "every", "sampled": 1, "skipped": 0, "every": 10}
+
+
+class TestSampledSpans:
+    def test_skipped_root_suppresses_the_whole_trace(self):
+        inst = Instrumentation(enabled=True)
+        inst.set_sampling(every=2)
+        for _ in range(4):
+            with inst.span("root"):
+                with inst.span("child"):
+                    pass
+        root = inst.spans.children["root"]
+        assert root.calls == 2  # every other trace recorded
+        assert root.children["child"].calls == 2  # children inherit, never orphan
+
+    def test_rate_zero_spans_record_nothing_counters_still_on(self):
+        inst = Instrumentation(enabled=True)
+        inst.set_sampling(rate=0.0)
+        with inst.span("root"):
+            inst.count("hits")
+            with inst.timer("load"):
+                pass
+        assert not inst.spans.children
+        assert inst.counters["hits"] == 1
+        assert inst.timers["load"][0] == 1
+
+    def test_rate_one_is_identical_to_unsampled(self):
+        sampled = Instrumentation(enabled=True)
+        sampled.set_sampling(rate=1.0)
+        plain = Instrumentation(enabled=True)
+        for inst in (sampled, plain):
+            for _ in range(3):
+                with inst.span("root"):
+                    with inst.span("child"):
+                        pass
+        assert (
+            sampled.spans.children["root"].calls
+            == plain.spans.children["root"].calls
+        )
+        assert (
+            sampled.spans.children["root"].children["child"].calls
+            == plain.spans.children["root"].children["child"].calls
+        )
+
+    def test_clear_sampling_returns_to_record_everything(self):
+        inst = Instrumentation(enabled=True)
+        inst.set_sampling(rate=0.0)
+        with inst.span("skipped"):
+            pass
+        inst.clear_sampling()
+        with inst.span("kept"):
+            pass
+        assert list(inst.spans.children) == ["kept"]
+
+    def test_nested_spans_after_suppressed_trace_do_not_leak(self):
+        inst = Instrumentation(enabled=True)
+        inst.set_sampling(every=2)
+        with inst.span("kept"):
+            pass
+        with inst.span("skipped"):  # 2nd root: suppressed
+            with inst.span("inner"):
+                pass
+        with inst.span("kept"):  # 3rd root: recorded again
+            pass
+        assert list(inst.spans.children) == ["kept"]
+        assert inst.spans.children["kept"].calls == 2
+
+    def test_reset_clears_sampler_decisions(self):
+        inst = Instrumentation(enabled=True)
+        inst.set_sampling(every=3)
+        for _ in range(5):
+            with inst.span("root"):
+                pass
+        inst.reset()
+        assert inst.sampler.sampled == 0
+        assert inst.sampler.skipped == 0
+        with inst.span("root"):
+            pass
+        assert inst.spans.children["root"].calls == 1  # stream restarted

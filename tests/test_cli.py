@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro import perf
 from repro.cli import load_schema, main
 
 
@@ -120,6 +121,89 @@ class TestCategorize:
             ]
         )
         assert code == 2
+
+
+class TestExplain:
+    def test_explain_prints_the_decision_trace(self, data_and_workload, capsys):
+        data, workload = data_and_workload
+        code = main(
+            [
+                "categorize",
+                "--data", str(data),
+                "--workload", str(workload),
+                "--query", TestCategorize.QUERY,
+                "--depth", "1",
+                "--explain",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CostAll" in out
+        assert "CostOne" in out
+        assert "<- chosen" in out
+
+    def test_without_explain_no_trace_section(self, data_and_workload, capsys):
+        data, workload = data_and_workload
+        code = main(
+            [
+                "categorize",
+                "--data", str(data),
+                "--workload", str(workload),
+                "--query", TestCategorize.QUERY,
+                "--depth", "1",
+            ]
+        )
+        assert code == 0
+        assert "<- chosen" not in capsys.readouterr().out
+
+
+class TestPerfReport:
+    def _run(self, data, workload, *extra):
+        return main(
+            [
+                "perf-report",
+                "--data", str(data),
+                "--workload", str(workload),
+                "--query", TestCategorize.QUERY,
+                *extra,
+            ]
+        )
+
+    def test_text_report(self, data_and_workload, capsys):
+        data, workload = data_and_workload
+        assert self._run(data, workload) == 0
+        out = capsys.readouterr().out
+        assert "== perf report ==" in out
+        assert "sql.queries_parsed" in out
+
+    def test_prometheus_report(self, data_and_workload, capsys):
+        data, workload = data_and_workload
+        assert self._run(data, workload, "--format", "prometheus") == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_sql_queries_parsed_total counter" in out
+        assert "repro_categorize_result_size" in out
+
+    def test_jsonl_report(self, data_and_workload, capsys):
+        data, workload = data_and_workload
+        assert self._run(data, workload, "--format", "jsonl") == 0
+        events = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().split("\n")
+        ]
+        assert events[0]["type"] == "meta"
+        assert any(e["type"] == "counter" for e in events)
+
+    def test_sampling_flags(self, data_and_workload, capsys):
+        data, workload = data_and_workload
+        assert self._run(data, workload, "--sample-every", "10") == 0
+        assert "sampling: every" in capsys.readouterr().out
+
+    def test_global_registry_left_clean(self, data_and_workload):
+        data, workload = data_and_workload
+        assert self._run(data, workload) == 0
+        assert not perf.enabled()
+        assert not perf.get().counters
+        assert perf.get().sampler.mode == "always"
 
 
 class TestSchemaLoading:
