@@ -36,6 +36,7 @@ DEFAULT_THRESHOLD = 0.20
 GATED_METRICS: tuple[tuple[str, str], ...] = (
     ("categorize_hot_path", "warm_ms"),
     ("partition_fast_path", "fast_ms"),
+    ("serving_hot_path", "warm_ms"),
 )
 
 

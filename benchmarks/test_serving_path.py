@@ -1,0 +1,93 @@
+"""Performance: the serving hot path (cache hits, deadline enforcement).
+
+The serving layer adds a request/response wrapper (parse, epoch pin,
+cache lookup) around the categorizer; the steady-state question is what a
+*warm* request costs — the result cache should make repeats nearly free —
+and whether a tight deadline actually bounds latency instead of merely
+labeling it.  Appends ``serving_hot_path`` to ``BENCH_partition.json`` so
+the PR 3 regression gate (``benchmarks/compare_bench.py``) covers the new
+path via its ``warm_ms`` metric.
+"""
+
+import time
+
+from repro.core.config import PAPER_CONFIG
+from repro.serving.degrade import RUNGS
+from repro.serving.service import CategorizationService
+from repro.study.report import format_table
+
+from benchmarks.test_perf_partition import _append_bench_record, _timed
+
+SERVE_SQL = "SELECT * FROM ListProperty WHERE price <= 300000"
+
+#: A warm (cached) request must beat the cold build by at least this much.
+REQUIRED_WARM_SPEEDUP = 5.0
+
+#: Served latency ceiling for deadline-bounded requests.  The deadline is
+#: 5 ms; the ladder checks it between levels, so one level of work can
+#: overshoot — bound the p50 at a small multiple, not the raw deadline.
+DEADLINE_MS = 5.0
+MAX_DEADLINE_OVERSHOOT = 10.0
+
+
+def test_perf_serving_hot_path(bench_homes, bench_statistics):
+    service = CategorizationService(
+        bench_homes, bench_statistics.copy(), config=PAPER_CONFIG
+    )
+
+    def cold():
+        service.cache.clear()  # every iteration pays the full build
+        return service.categorize(SERVE_SQL)
+
+    cold_seconds = _timed(cold, repeats=3, statistic="min")
+    first = service.categorize(SERVE_SQL)
+    warm_seconds = _timed(lambda: service.categorize(SERVE_SQL))
+    warm = service.categorize(SERVE_SQL)
+    assert warm.cached and warm.tree is first.tree
+
+    # Deadline-enforced requests on an uncacheable service: every request
+    # must come back near the budget, whatever rung that requires.
+    bounded = CategorizationService(
+        bench_homes, bench_statistics.copy(), cache_capacity=0
+    )
+    deadline_samples = []
+    rungs = set()
+    for _ in range(9):
+        started = time.perf_counter()
+        result = bounded.categorize(SERVE_SQL, deadline_ms=DEADLINE_MS)
+        deadline_samples.append(time.perf_counter() - started)
+        assert result.rung in RUNGS
+        rungs.add(result.rung)
+    deadline_p50 = sorted(deadline_samples)[len(deadline_samples) // 2]
+
+    print()
+    print(
+        format_table(
+            ["path", "seconds", "note"],
+            [
+                ["cold (build + cache fill)", f"{cold_seconds:.4f}",
+                 f"{len(first.rows)} rows"],
+                ["warm (cache hit)", f"{warm_seconds:.4f}",
+                 f"{cold_seconds / warm_seconds:.0f}x faster"],
+                ["deadline-bounded p50", f"{deadline_p50:.4f}",
+                 f"rungs served: {sorted(rungs)}"],
+            ],
+            title="Serving hot path",
+        )
+    )
+    _append_bench_record(
+        "serving_hot_path",
+        {
+            "rows": len(first.rows),
+            "cold_ms": round(cold_seconds * 1e3, 3),
+            "warm_ms": round(warm_seconds * 1e3, 3),
+            "deadline_p50_ms": round(deadline_p50 * 1e3, 3),
+            "speedup": round(cold_seconds / warm_seconds, 2),
+        },
+    )
+    assert warm_seconds * REQUIRED_WARM_SPEEDUP <= cold_seconds, (
+        "a cache hit must be much cheaper than a cold build"
+    )
+    assert deadline_p50 * 1e3 <= DEADLINE_MS * MAX_DEADLINE_OVERSHOOT, (
+        "deadline-bounded requests must stay near the budget"
+    )

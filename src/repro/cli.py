@@ -12,6 +12,10 @@ Subcommands::
     repro perf-report     --data homes.csv --workload workload.sql \
                           --query "SELECT ..." [--format text|prometheus|jsonl] \
                           [--sample-rate 0.5 | --sample-every 10]
+    repro serve           --data homes.csv --workload workload.sql \
+                          [--host 127.0.0.1 --port 8765] [--lenient-csv]
+    repro request         --sql "SELECT ..." [--deadline-ms 50] [--budget full] \
+                          [--record | --health | --metrics]
 
 ``generate-data``/``generate-workload`` emit the synthetic MSN stand-ins;
 ``categorize`` works on any CSV whose schema is the built-in ListProperty
@@ -143,6 +147,46 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--sample-every", type=int, default=None,
                         help="trace every Nth root span")
     report.set_defaults(handler=_cmd_perf_report)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the categorization service over HTTP"
+    )
+    serve.add_argument("--data", type=Path, required=True, help="CSV relation")
+    serve.add_argument("--workload", type=Path, required=True, help="SQL log file")
+    serve.add_argument("--schema", type=Path, default=None, help="schema JSON")
+    serve.add_argument(
+        "--technique", choices=sorted(TECHNIQUES), default="cost-based"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument("--batch-size", type=int, default=64,
+                       help="ingested queries per epoch publish")
+    serve.add_argument("--cache-size", type=int, default=128,
+                       help="result-cache capacity (0 disables)")
+    serve.add_argument("--cache-ttl", type=float, default=300.0,
+                       help="result-cache TTL in seconds")
+    serve.add_argument("--lenient-csv", action="store_true",
+                       help="skip malformed CSV rows instead of failing")
+    serve.set_defaults(handler=_cmd_serve)
+
+    req = subparsers.add_parser(
+        "request", help="send one request to a running `repro serve`"
+    )
+    req.add_argument("--url", default="http://127.0.0.1:8765",
+                     help="base URL of the service")
+    req.add_argument("--sql", default=None, help="SQL SELECT to categorize")
+    req.add_argument("--deadline-ms", type=float, default=None)
+    req.add_argument("--budget", default="full",
+                     help="best rung to pay for: full|single_level|showtuples")
+    req.add_argument("--record", action="store_true",
+                     help="ingest --sql into the workload instead of serving it")
+    req.add_argument("--render", action="store_true",
+                     help="include the rendered tree in the response")
+    req.add_argument("--trace", action="store_true",
+                     help="include the decision trace in the response")
+    req.add_argument("--health", action="store_true", help="GET /healthz")
+    req.add_argument("--metrics", action="store_true", help="GET /metrics")
+    req.set_defaults(handler=_cmd_request)
     return parser
 
 
@@ -256,6 +300,83 @@ def _cmd_perf_report(args) -> int:
         perf.reset()
         perf.disable()
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serving.http import make_server
+    from repro.serving.service import CategorizationService
+
+    schema = load_schema(args.schema)
+    table = read_csv(schema, args.data, strict=not args.lenient_csv)
+    workload = Workload.load(args.workload)
+    statistics = preprocess_workload(
+        workload, schema, PAPER_CONFIG.separation_intervals
+    )
+    service = CategorizationService(
+        table,
+        statistics,
+        technique=args.technique,
+        batch_size=args.batch_size,
+        cache_capacity=args.cache_size,
+        cache_ttl_s=args.cache_ttl,
+    )
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    perf.enable()  # the /metrics endpoint should have data from request 1
+    print(
+        f"serving {schema.name} ({len(table)} rows, "
+        f"{statistics.total_queries} workload queries) on http://{host}:{port}"
+    )
+    print("endpoints: GET /healthz /metrics, POST /categorize /record")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        service.flush()
+        server.server_close()
+        perf.disable()
+    return 0
+
+
+def _cmd_request(args) -> int:
+    import urllib.error
+    import urllib.request
+
+    base = args.url.rstrip("/")
+    if args.health or args.metrics:
+        path = "/healthz" if args.health else "/metrics"
+        request = urllib.request.Request(base + path)
+    elif args.sql:
+        path = "/record" if args.record else "/categorize"
+        payload: dict = {"sql": args.sql}
+        if not args.record:
+            payload.update(
+                deadline_ms=args.deadline_ms,
+                budget=args.budget,
+                render=args.render,
+                trace=args.trace,
+            )
+        request = urllib.request.Request(
+            base + path,
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+    else:
+        print("error: need --sql, --health, or --metrics", file=sys.stderr)
+        return 2
+
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            print(response.read().decode("utf-8"), end="")
+            return 0
+    except urllib.error.HTTPError as exc:
+        print(exc.read().decode("utf-8"), end="", file=sys.stderr)
+        return 2
+    except urllib.error.URLError as exc:
+        print(f"error: cannot reach {base}: {exc.reason}", file=sys.stderr)
+        return 2
 
 
 def load_schema(path: Path | None) -> TableSchema:

@@ -20,7 +20,7 @@ cost' technique uses the same level-by-level categorization algorithm").
 from __future__ import annotations
 
 import math
-from typing import Mapping, Protocol, Sequence
+from typing import Callable, Mapping, Protocol, Sequence
 
 from repro import perf
 from repro.core.config import CategorizerConfig, PAPER_CONFIG
@@ -142,6 +142,7 @@ class LevelByLevelCategorizer:
         query: SelectQuery | None = None,
         *,
         collect_trace: bool = False,
+        checkpoint: Callable[[], bool] | None = None,
     ) -> CategoryTree:
         """Build a category tree over the result set ``rows`` of ``query``.
 
@@ -156,6 +157,13 @@ class LevelByLevelCategorizer:
         the threshold-``x`` eliminated set, and the chosen attribute.
         Tracing scores every candidate under both cost scenarios, so it
         forfeits the lazy partitioning skip — keep it off on hot paths.
+
+        ``checkpoint``, when given, is consulted before each level is
+        built; returning False stops the tree from growing further and the
+        levels already attached are returned with ``tree.truncated`` set.
+        This is the deadline hook the serving layer's degradation ladder
+        uses (:mod:`repro.serving.degrade`): a budget that runs out
+        mid-build keeps the work already done instead of discarding it.
         """
         perf.count("categorize.calls")
         with perf.span("categorize"):
@@ -178,6 +186,10 @@ class LevelByLevelCategorizer:
                     node for node in frontier if node.tuple_count > threshold
                 ]
                 if not oversized or not available:
+                    break
+                if checkpoint is not None and not checkpoint():
+                    tree.truncated = True
+                    perf.count("categorize.checkpoint_stops")
                     break
                 with perf.span("categorize.level"):
                     # Candidate partitionings are materialized on demand:

@@ -149,12 +149,22 @@ class LevelTrace:
 
 @dataclass
 class DecisionTrace:
-    """Everything the categorizer decided for one query, level by level."""
+    """Everything the categorizer decided for one query, level by level.
+
+    ``trace_id`` and ``served_rung`` are request-correlation fields set by
+    the serving layer (:mod:`repro.serving.service`): the per-request
+    trace ID ties this trace to the request's perf spans and response, and
+    the served rung records which step of the degradation ladder actually
+    answered (``full``, ``truncated``, ``single_level``, ``showtuples``).
+    Both stay None for offline/CLI categorizations.
+    """
 
     technique: str
     elimination_threshold: float
     eliminated: tuple[EliminatedAttribute, ...] = ()
     levels: list[LevelTrace] = field(default_factory=list)
+    trace_id: str | None = None
+    served_rung: str | None = None
 
     def chosen_attributes(self) -> list[str]:
         """The per-level winners, root-down (skipping refused levels)."""
@@ -165,6 +175,8 @@ class DecisionTrace:
         return {
             "technique": self.technique,
             "elimination_threshold": self.elimination_threshold,
+            "trace_id": self.trace_id,
+            "served_rung": self.served_rung,
             "eliminated": [e.as_dict() for e in self.eliminated],
             "levels": [level.as_dict() for level in self.levels],
         }

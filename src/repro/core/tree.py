@@ -148,6 +148,9 @@ class CategoryTree:
         #: Set by ``categorize(collect_trace=True)`` — the per-level
         #: decision record (see :mod:`repro.core.trace`); None otherwise.
         self.decision_trace = None
+        #: True when a ``categorize(checkpoint=...)`` budget stopped the
+        #: build early: the tree holds the levels attached so far.
+        self.truncated = False
 
     # -- global views -----------------------------------------------------------
 

@@ -3,6 +3,13 @@
 Lets examples and tests persist synthetic datasets, and lets downstream
 users load their own relations into the categorizer.  NULLs are written as
 empty fields; types are restored from the schema on load.
+
+Real exports are messier than our own round-trip: truncated lines, stray
+delimiters, values that fail type coercion.  ``read_csv(strict=False)``
+loads such files anyway, skipping each malformed row and accounting for it
+in the labeled ``csv.bad_rows{reason=...}`` perf counter instead of
+aborting the whole load — the posture a long-lived serving process needs
+when refreshing its relation from an external feed.
 """
 
 from __future__ import annotations
@@ -11,6 +18,7 @@ import csv
 from pathlib import Path
 from typing import Any
 
+from repro import perf
 from repro.relational.schema import TableSchema
 from repro.relational.table import Table
 
@@ -29,15 +37,26 @@ def write_csv(table: Table, path: str | Path) -> None:
             writer.writerow(["" if row[n] is None else row[n] for n in names])
 
 
-def read_csv(schema: TableSchema, path: str | Path) -> Table:
+def read_csv(schema: TableSchema, path: str | Path, strict: bool = True) -> Table:
     """Load a CSV written by :func:`write_csv` (or compatible) into a Table.
 
     The header must contain every schema attribute; extra columns are
     ignored.  Empty fields become NULL; other fields are coerced via the
     schema's data types.
 
+    Args:
+        schema: the relation the file must conform to.
+        path: the CSV file.
+        strict: when True (the default), the first malformed row aborts
+            the load with a ``ValueError`` naming the line.  When False,
+            malformed rows are skipped and counted per failure mode in
+            the ``csv.bad_rows{reason=...}`` perf counter: ``arity`` for
+            rows whose field count does not match the header, ``type``
+            for rows a schema coercion rejects.
+
     Raises:
-        ValueError: if the header is missing schema attributes.
+        ValueError: if the header is missing schema attributes, or (in
+            strict mode) for the first malformed row.
     """
     path = Path(path)
     table = Table(schema)
@@ -55,6 +74,9 @@ def read_csv(schema: TableSchema, path: str | Path) -> Table:
             )
         positions = {name: header.index(name) for name in schema.names()}
         for line_number, fields in enumerate(reader, start=2):
+            if not strict and len(fields) != len(header):
+                perf.count("csv.bad_rows", reason="arity")
+                continue
             row: dict[str, Any] = {}
             for name, position in positions.items():
                 raw = fields[position] if position < len(fields) else ""
@@ -62,5 +84,8 @@ def read_csv(schema: TableSchema, path: str | Path) -> Table:
             try:
                 table.insert(row)
             except (TypeError, ValueError) as exc:
-                raise ValueError(f"{path}:{line_number}: {exc}") from exc
+                if strict:
+                    raise ValueError(f"{path}:{line_number}: {exc}") from exc
+                perf.count("csv.bad_rows", reason="type")
+    perf.count("csv.rows_loaded", len(table))
     return table

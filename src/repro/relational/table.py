@@ -89,9 +89,15 @@ class Table:
             raise KeyError(
                 f"unknown attributes {sorted(unknown)} for table {self.schema.name!r}"
             )
-        for attribute in self.schema:
-            value = attribute.coerce(row.get(attribute.name))
-            self._columns[attribute.name].append(value)
+        # Coerce the whole row before touching any column: a mid-row
+        # coercion failure must not leave the columns torn (callers that
+        # catch and skip bad rows — read_csv(strict=False) — rely on this).
+        values = [
+            (attribute.name, attribute.coerce(row.get(attribute.name)))
+            for attribute in self.schema
+        ]
+        for name, value in values:
+            self._columns[name].append(value)
         self._size += 1
         if self._groupby_indexes:
             self._groupby_indexes.clear()

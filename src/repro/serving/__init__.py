@@ -1,0 +1,69 @@
+"""Fault-tolerant serving layer over the categorization pipeline.
+
+The offline reproduction runs once and exits; this package turns it into
+a long-lived service (the setting the paper assumes — categorization
+inside an interactive search front end) that stays correct and available
+under concurrent ingestion, deadlines, and injected faults:
+
+* :mod:`~repro.serving.service` — the request/response front end with
+  trace ids and an LRU+TTL result cache.
+* :mod:`~repro.serving.snapshot` — epoch-based statistics snapshots:
+  readers pin immutable epochs, writers batch and publish atomically.
+* :mod:`~repro.serving.degrade` — deadlines and the degradation ladder
+  (full → truncated → single level → SHOWTUPLES).
+* :mod:`~repro.serving.retry` — backoff, circuit breaker, lossless spill.
+* :mod:`~repro.serving.errors` — the typed exception taxonomy.
+* :mod:`~repro.serving.faults` — deterministic fault injection.
+* :mod:`~repro.serving.http` — the stdlib HTTP front end (`repro serve`).
+
+See ``docs/serving.md`` for the design.
+"""
+
+from repro.serving.degrade import (
+    RUNG_FULL,
+    RUNG_SHOWTUPLES,
+    RUNG_SINGLE_LEVEL,
+    RUNG_TRUNCATED,
+    RUNGS,
+    Deadline,
+    DegradationLadder,
+)
+from repro.serving.errors import (
+    Degraded,
+    DeadlineExceeded,
+    IngestionStalled,
+    InvalidRequest,
+    PublishError,
+    ServingError,
+)
+from repro.serving.faults import FaultInjector, FaultSpec, InjectedFault
+from repro.serving.retry import CircuitBreaker, ResilientIngestor, RetryPolicy
+from repro.serving.service import CategorizationService, ResultCache, ServeResult
+from repro.serving.snapshot import EpochSnapshot, SnapshotStore
+
+__all__ = [
+    "RUNG_FULL",
+    "RUNG_SHOWTUPLES",
+    "RUNG_SINGLE_LEVEL",
+    "RUNG_TRUNCATED",
+    "RUNGS",
+    "CategorizationService",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "Degraded",
+    "DegradationLadder",
+    "EpochSnapshot",
+    "FaultInjector",
+    "FaultSpec",
+    "IngestionStalled",
+    "InjectedFault",
+    "InvalidRequest",
+    "PublishError",
+    "ResilientIngestor",
+    "ResultCache",
+    "RetryPolicy",
+    "ServeResult",
+    "ServingError",
+    "SnapshotStore",
+]

@@ -1,0 +1,83 @@
+"""Exception taxonomy for the serving path.
+
+The offline reproduction raises bare ``ValueError``s; a long-lived service
+needs a typed contract so callers (the HTTP front end, the CLI, batch
+drivers) can map failures to responses without string matching:
+
+* :class:`InvalidRequest` — the caller's fault: malformed SQL, an unknown
+  table or attribute, a nonsensical deadline.  Maps to HTTP 400.
+* :class:`DeadlineExceeded` — a request's time budget ran out.  Internal
+  to the degradation ladder: :meth:`CategorizationService.categorize
+  <repro.serving.service.CategorizationService.categorize>` never lets it
+  escape — the ladder bottoms out at SHOWTUPLES instead.
+* :class:`PublishError` — an epoch publish failed transiently (injected
+  fault, contention).  Retried with backoff; repeated failures trip the
+  circuit breaker.
+* :class:`IngestionStalled` — the breaker's spill log is full: ingestion
+  has been shedding load longer than the spill can absorb.  The one
+  ingestion error that is *not* silently absorbed, because dropping
+  logged queries silently would skew the statistics forever.
+* :class:`Degraded` — **not an exception.**  The explicit, non-error
+  signal that a response was served below the full rung; carried on the
+  response object so callers can distinguish "full tree" from "best
+  effort under pressure" without exception control flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class ServingError(Exception):
+    """Base class for every error the serving layer raises."""
+
+
+class InvalidRequest(ServingError):
+    """The request itself is unserveable (bad SQL, unknown relation...).
+
+    ``reason`` is a short machine-readable slug (``sql``, ``table``,
+    ``deadline``); the message carries the human detail, including the
+    position/snippet when the underlying failure was a
+    :class:`~repro.sql.errors.SqlError`.
+    """
+
+    def __init__(self, message: str, reason: str = "request") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class DeadlineExceeded(ServingError):
+    """A request's deadline ran out before the current rung finished."""
+
+    def __init__(self, message: str, elapsed_s: float | None = None) -> None:
+        super().__init__(message)
+        self.elapsed_s = elapsed_s
+
+
+class PublishError(ServingError):
+    """A transient epoch-publish failure (retryable)."""
+
+
+class IngestionStalled(ServingError):
+    """The spill log is full while the circuit breaker is shedding load."""
+
+    def __init__(self, message: str, spilled: int = 0) -> None:
+        super().__init__(message)
+        self.spilled = spilled
+
+
+@dataclass(frozen=True)
+class Degraded:
+    """Non-error signal: the response was served below the full rung.
+
+    Attributes:
+        rung: the degradation-ladder step that answered (``truncated``,
+            ``single_level``, or ``showtuples``).
+        reason: why the ladder descended (``deadline``, ``error``).
+    """
+
+    rung: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"degraded to {self.rung} ({self.reason})"

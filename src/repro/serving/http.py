@@ -1,0 +1,152 @@
+"""A stdlib HTTP front end for :class:`CategorizationService`.
+
+Endpoints (JSON in, JSON out; no dependencies beyond ``http.server``):
+
+=========================  ==================================================
+``GET  /healthz``          service liveness: epoch, breaker state, spill
+                           depth, cache size
+``GET  /metrics``          the perf registry in Prometheus text format (the
+                           ROADMAP's `/metrics`-style endpoint)
+``POST /categorize``       body ``{"sql": ..., "deadline_ms": ...,
+                           "budget": ..., "render": bool}`` → the
+                           :meth:`ServeResult.as_dict
+                           <repro.serving.service.ServeResult.as_dict>`
+                           summary, plus a rendered tree when asked
+``POST /record``           body ``{"sql": ...}`` → ingestion ack with the
+                           current epoch/pending counts
+=========================  ==================================================
+
+Error mapping: :class:`~repro.serving.errors.InvalidRequest` → 400 with
+the ``reason`` slug; :class:`~repro.serving.errors.IngestionStalled` →
+503 (back off and retry); anything else → 500.  Degradation is *not* an
+error — a SHOWTUPLES response is a 200 with ``"rung": "showtuples"``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro import perf
+from repro.render.treeview import render_tree
+from repro.serving.errors import IngestionStalled, InvalidRequest
+from repro.serving.service import CategorizationService
+
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Request handler bound to a service via :func:`make_server`."""
+
+    service: CategorizationService  # injected by make_server
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, fmt: str, *args: Any) -> None:  # noqa: A003
+        # Route access logs through perf counters instead of stderr spam.
+        perf.count("http.requests")
+
+    def _reply(self, status: int, payload: dict[str, Any] | str) -> None:
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+            content_type = "application/json"
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise InvalidRequest("empty request body", reason="request")
+        if length > MAX_BODY_BYTES:
+            raise InvalidRequest(
+                f"request body over {MAX_BODY_BYTES} bytes", reason="request"
+            )
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise InvalidRequest(f"bad JSON body: {exc}", reason="request") from exc
+        if not isinstance(payload, dict):
+            raise InvalidRequest("body must be a JSON object", reason="request")
+        return payload
+
+    # -- routes --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802
+        if self.path == "/healthz":
+            self._reply(200, {"status": "ok", **self.service.health()})
+        elif self.path == "/metrics":
+            self._reply(200, perf.export_prometheus())
+        else:
+            self._reply(404, {"error": f"no such endpoint {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            payload = self._read_json()
+            if self.path == "/categorize":
+                self._categorize(payload)
+            elif self.path == "/record":
+                self._record(payload)
+            else:
+                self._reply(404, {"error": f"no such endpoint {self.path!r}"})
+        except InvalidRequest as exc:
+            perf.count("http.invalid_requests", reason=exc.reason)
+            self._reply(400, {"error": str(exc), "reason": exc.reason})
+        except IngestionStalled as exc:
+            self._reply(503, {"error": str(exc), "spilled": exc.spilled})
+        except Exception as exc:  # pragma: no cover - last-resort guard
+            perf.count("http.internal_errors")
+            self._reply(500, {"error": f"internal error: {exc}"})
+
+    def _categorize(self, payload: dict[str, Any]) -> None:
+        sql = payload.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            raise InvalidRequest("body needs a non-empty 'sql' string", reason="sql")
+        result = self.service.categorize(
+            sql,
+            deadline_ms=payload.get("deadline_ms"),
+            budget=payload.get("budget", "full"),
+            collect_trace=bool(payload.get("trace", False)),
+        )
+        body = result.as_dict()
+        if payload.get("render") and result.tree is not None:
+            body["rendering"] = render_tree(result.tree)
+        if result.tree is not None and result.tree.decision_trace is not None:
+            body["decision_trace"] = result.tree.decision_trace.as_dict()
+        self._reply(200, body)
+
+    def _record(self, payload: dict[str, Any]) -> None:
+        sql = payload.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            raise InvalidRequest("body needs a non-empty 'sql' string", reason="sql")
+        self.service.record_query(sql)
+        self._reply(200, {"status": "recorded", **self.service.health()})
+
+
+def make_server(
+    service: CategorizationService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """Build a threading HTTP server bound to ``service``.
+
+    ``port=0`` picks a free port (read it back from
+    ``server.server_address``) — the form tests and the CLI's default
+    use.  Call ``serve_forever()`` (or :func:`serve_in_thread`) to run.
+    """
+    handler = type("BoundHandler", (ServiceHandler,), {"service": service})
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def serve_in_thread(server: ThreadingHTTPServer) -> threading.Thread:
+    """Run ``server`` on a daemon thread (tests and `repro serve`)."""
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return thread

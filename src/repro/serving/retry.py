@@ -1,0 +1,297 @@
+"""Bounded retry, circuit breaking, and lossless load shedding.
+
+Epoch publishes (:meth:`SnapshotStore.publish_pending
+<repro.serving.snapshot.SnapshotStore.publish_pending>`) can fail
+transiently or run slow under pressure.  Three layers keep ingestion
+healthy without ever losing a logged query:
+
+1. :class:`RetryPolicy` — bounded attempts with exponential backoff and
+   deterministic jitter.  A failed publish leaves the pending delta
+   intact, so retrying is always safe.
+2. :class:`CircuitBreaker` — classic closed → open → half-open.  Both
+   failures *and slow successes* (publish latency above a threshold)
+   count against the breaker: a publish that technically succeeds in
+   800 ms is still starving readers of fresh epochs and burning the
+   ingestion thread.
+3. :class:`ResilientIngestor` — the composition.  While the breaker is
+   closed, ``record_query`` appends + publishes with retry.  While it is
+   open, publishes are *shed*: queries still append to the snapshot
+   store's pending delta and their SQL is mirrored into a bounded
+   **spill log**.  When the breaker closes again, the spill replays —
+   the conservation invariant (checked by tests) is that every query
+   ever recorded is either published, pending, or spilled; none vanish.
+
+Only a full spill raises (:class:`~repro.serving.errors.IngestionStalled`):
+silently dropping logged queries would skew ``NAttr``/``N`` statistics
+forever, which is the one failure this layer refuses to absorb.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable
+
+from repro import perf
+from repro.serving.errors import IngestionStalled, PublishError
+from repro.serving.snapshot import SnapshotStore
+from repro.workload.model import WorkloadQuery
+
+
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    Args:
+        attempts: total tries (1 = no retry).
+        base_delay_s: sleep before the first retry; doubles each retry.
+        max_delay_s: backoff ceiling.
+        jitter: ± fraction of the delay drawn from the seeded RNG.
+        sleeper: injectable sleep (tests pass a recording fake).
+        seed: RNG seed for the jitter — retries are reproducible.
+    """
+
+    def __init__(
+        self,
+        attempts: int = 3,
+        base_delay_s: float = 0.01,
+        max_delay_s: float = 0.5,
+        jitter: float = 0.25,
+        sleeper: Callable[[float], None] = time.sleep,
+        seed: int = 0,
+    ) -> None:
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts}")
+        self.attempts = attempts
+        self.base_delay_s = base_delay_s
+        self.max_delay_s = max_delay_s
+        self.jitter = jitter
+        self._sleeper = sleeper
+        self._rng = random.Random(seed)
+
+    def delay_s(self, retry_index: int) -> float:
+        """Backoff before retry ``retry_index`` (0-based), jittered."""
+        raw = min(self.base_delay_s * (2**retry_index), self.max_delay_s)
+        if self.jitter:
+            raw *= 1.0 + self._rng.uniform(-self.jitter, self.jitter)
+        return max(raw, 0.0)
+
+    def call(self, fn: Callable[[], float]) -> float:
+        """Run ``fn`` with retries; re-raise the last error when exhausted.
+
+        Only :class:`~repro.serving.errors.PublishError` is retried —
+        anything else is a bug, not a transient condition.
+        """
+        last: PublishError | None = None
+        for attempt in range(self.attempts):
+            try:
+                return fn()
+            except PublishError as exc:
+                last = exc
+                perf.count("retry.publish_failures")
+                if attempt + 1 < self.attempts:
+                    self._sleeper(self.delay_s(attempt))
+        assert last is not None
+        perf.count("retry.exhausted")
+        raise last
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker over publish outcomes.
+
+    Args:
+        failure_threshold: consecutive failures that open the breaker.
+        slow_threshold_s: a successful publish slower than this counts as
+            a failure (it is starving readers even though it "worked").
+        reset_timeout_s: how long the breaker stays open before allowing
+            one half-open probe.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        slow_threshold_s: float = 0.25,
+        reset_timeout_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = failure_threshold
+        self.slow_threshold_s = slow_threshold_s
+        self.reset_timeout_s = reset_timeout_s
+        self._clock = clock
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        """Current state, promoting open → half-open when the timeout ran."""
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout_s
+        ):
+            self._state = self.HALF_OPEN
+        return self._state
+
+    def allows(self) -> bool:
+        """May a publish be attempted right now?"""
+        return self.state != self.OPEN
+
+    def record_success(self, latency_s: float) -> None:
+        """Feed back a successful publish; slow success still counts bad."""
+        if latency_s > self.slow_threshold_s:
+            perf.count("breaker.slow_publishes")
+            self._trip()
+            return
+        if self._state != self.CLOSED:
+            perf.count("breaker.closes")
+        self._state = self.CLOSED
+        self._failures = 0
+
+    def record_failure(self) -> None:
+        """Feed back a failed publish."""
+        self._trip()
+
+    def _trip(self) -> None:
+        self._failures += 1
+        # A half-open probe that fails re-opens immediately; while closed,
+        # only the threshold-th consecutive bad outcome opens the breaker.
+        if self._state == self.HALF_OPEN or self._failures >= self.failure_threshold:
+            if self._state != self.OPEN:
+                perf.count("breaker.opens")
+            self._state = self.OPEN
+            self._opened_at = self._clock()
+            perf.gauge("breaker.open", 1)
+        if self._state == self.CLOSED:
+            perf.gauge("breaker.open", 0)
+
+
+class ResilientIngestor:
+    """``record_query`` that survives slow and failing epoch publishes.
+
+    Composition of a :class:`~repro.serving.snapshot.SnapshotStore`, a
+    :class:`RetryPolicy`, and a :class:`CircuitBreaker`; see the module
+    docstring for the shedding/replay protocol.
+
+    Args:
+        store: the snapshot store to ingest into.
+        retry: retry policy for failed publishes.
+        breaker: circuit breaker fed publish outcomes.
+        spill_limit: max queries held in the spill log while shedding.
+    """
+
+    def __init__(
+        self,
+        store: SnapshotStore,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        spill_limit: int = 1024,
+    ) -> None:
+        self.store = store
+        self.retry = retry or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker()
+        self.spill_limit = spill_limit
+        self._lock = threading.Lock()
+        self._spill: list[WorkloadQuery] = []
+        self._recorded = 0
+        self._published = 0
+        self._shed = 0
+
+    # -- introspection (conservation invariant) ------------------------------
+
+    @property
+    def recorded(self) -> int:
+        """Queries ever handed to :meth:`record_query`."""
+        return self._recorded
+
+    @property
+    def published(self) -> int:
+        """Queries folded into some published epoch."""
+        return self._published
+
+    @property
+    def spilled(self) -> int:
+        """Queries currently waiting in the spill log."""
+        return len(self._spill)
+
+    def conserved(self) -> bool:
+        """Every recorded query is published, pending, or spilled."""
+        return (
+            self._published + self.store.pending_count + len(self._spill)
+            == self._recorded
+        )
+
+    # -- ingestion -----------------------------------------------------------
+
+    def record_query(self, query: WorkloadQuery) -> None:
+        """Ingest one logged query; shed the publish if the breaker is open.
+
+        Raises:
+            IngestionStalled: only when shedding *and* the spill log is
+                full — the single loud failure mode.
+        """
+        with self._lock:
+            self._recorded += 1
+            if not self.breaker.allows():
+                self._shed_locked(query)
+                return
+            # Breaker closed (or half-open probe): replay any spill first
+            # so epochs apply queries in arrival order.
+            backlog = self._spill + [query]
+            self._spill = []
+            for item in backlog:
+                self.store.append(item)
+            if not self.store.should_publish:
+                return
+            pending = self.store.pending_count
+            try:
+                latency = self.retry.call(self.store.publish_pending)
+            except PublishError:
+                self.breaker.record_failure()
+                # Publish failed after retries: queries are still pending
+                # in the store (publish is all-or-nothing), nothing lost.
+                perf.count("ingest.publish_shed")
+                return
+            self.breaker.record_success(latency)
+            # Even a slow success that tripped the breaker *did* land the
+            # data — only the next publishes get shed.
+            self._published += pending
+
+    def _shed_locked(self, query: WorkloadQuery) -> None:
+        if len(self._spill) >= self.spill_limit:
+            perf.count("ingest.stalled")
+            self._recorded -= 1  # refused, not absorbed
+            raise IngestionStalled(
+                f"spill log full ({self.spill_limit} queries) while the "
+                "circuit breaker is open",
+                spilled=len(self._spill),
+            )
+        self._spill.append(query)
+        self._shed += 1
+        perf.count("ingest.spilled")
+
+    def flush(self) -> None:
+        """Replay any spill and publish everything pending (best effort).
+
+        Raises:
+            PublishError: when the final publish still fails after
+                retries; state remains conserved (queries stay pending).
+        """
+        with self._lock:
+            for item in self._spill:
+                self.store.append(item)
+            self._spill = []
+            pending = self.store.pending_count
+            if pending == 0:
+                return
+            latency = self.retry.call(self.store.publish_pending)
+            self.breaker.record_success(latency)
+            self._published += pending

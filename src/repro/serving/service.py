@@ -1,0 +1,402 @@
+"""The long-lived categorization service.
+
+:class:`CategorizationService` is the request/response front end over the
+offline pipeline: it owns one relation, an epoch-versioned
+:class:`~repro.serving.snapshot.SnapshotStore` of workload statistics, a
+result cache, and the degradation ladder.  The contract of
+:meth:`CategorizationService.categorize`:
+
+* it **never raises for capacity reasons** — deadlines and injected
+  faults descend the ladder and bottom out at SHOWTUPLES;
+* the only exception is :class:`~repro.serving.errors.InvalidRequest`,
+  for requests that are wrong rather than expensive (malformed SQL,
+  unknown table, negative deadline);
+* every response carries a per-request **trace id**, the **epoch** it
+  was served from, and the **rung** it was served at — also threaded
+  into the PR 3 decision trace when tracing is requested, so a trace on
+  disk can be joined back to the request that produced it.
+
+Results are cached per ``(epoch, normalized SQL)`` with LRU + TTL
+eviction; evicting an entry releases the tree and its per-``RowSet``
+partition derivations.  Only full-rung responses are cached — caching a
+degraded tree would keep serving yesterday's timeout after the pressure
+is gone.  Epoch-keyed caching makes invalidation free: a new epoch
+simply stops hitting the old keys, and TTL expiry collects them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro import perf
+from repro.core.algorithm import CostBasedCategorizer, LevelByLevelCategorizer
+from repro.core.baselines import AttrCostCategorizer, NoCostCategorizer
+from repro.core.config import CategorizerConfig, PAPER_CONFIG
+from repro.core.tree import CategoryTree
+from repro.relational.table import RowSet, Table
+from repro.serving.degrade import (
+    RUNG_FULL,
+    RUNG_SHOWTUPLES,
+    RUNGS,
+    Deadline,
+    DegradationLadder,
+)
+from repro.serving.errors import Degraded, InvalidRequest
+from repro.serving.faults import NULL_INJECTOR, FaultInjector
+from repro.serving.retry import CircuitBreaker, ResilientIngestor, RetryPolicy
+from repro.serving.snapshot import SnapshotStore
+from repro.sql.compiler import parse_query
+from repro.sql.errors import SqlError
+from repro.sql.formatter import format_query
+from repro.workload.model import WorkloadQuery
+from repro.workload.preprocess import WorkloadStatistics
+
+TECHNIQUES: dict[str, type[LevelByLevelCategorizer]] = {
+    "cost-based": CostBasedCategorizer,
+    "attr-cost": AttrCostCategorizer,
+    "no-cost": NoCostCategorizer,
+}
+
+
+@dataclass
+class ServeResult:
+    """One categorization response.
+
+    Attributes:
+        trace_id: per-request id, also stamped on the decision trace.
+        sql: the normalized SQL actually served (the cache key's query).
+        rung: degradation-ladder rung served (``full`` ... ``showtuples``).
+        epoch: statistics epoch the response was computed against.
+        rows: the query's result set (always present — SHOWTUPLES is
+            exactly these rows with no tree).
+        tree: the category tree, or None on the SHOWTUPLES rung.
+        degraded: the :class:`~repro.serving.errors.Degraded` signal, or
+            None on the full rung.
+        cached: True when served from the result cache.
+        elapsed_ms: service-side latency.
+    """
+
+    trace_id: str
+    sql: str
+    rung: str
+    epoch: int
+    rows: RowSet
+    tree: CategoryTree | None = None
+    degraded: Degraded | None = None
+    cached: bool = False
+    elapsed_ms: float = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready summary (rows/tree reduced to counts and rendering)."""
+        return {
+            "trace_id": self.trace_id,
+            "sql": self.sql,
+            "rung": self.rung,
+            "epoch": self.epoch,
+            "row_count": len(self.rows),
+            "category_count": (
+                sum(1 for node in self.tree.nodes() if not node.is_root)
+                if self.tree is not None
+                else 0
+            ),
+            "degraded": str(self.degraded) if self.degraded else None,
+            "cached": self.cached,
+            "elapsed_ms": round(self.elapsed_ms, 3),
+        }
+
+
+@dataclass
+class _CacheEntry:
+    tree: CategoryTree
+    rows: RowSet
+    stored_at: float
+    hits: int = 0
+
+
+class ResultCache:
+    """LRU + TTL cache of full-rung categorizations.
+
+    Keys are ``(epoch, normalized SQL)`` strings; values hold the tree
+    and its result set, so a hit skips query execution *and* tree
+    building.  The ``service.cache`` fault site fires on every lookup —
+    an armed ``evict`` directive drops the entry being looked up,
+    simulating memory pressure.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        ttl_s: float = 300.0,
+        clock: Callable[[], float] = time.monotonic,
+        faults: FaultInjector | None = None,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.ttl_s = ttl_s
+        self._clock = clock
+        self._faults = faults or NULL_INJECTOR
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, _CacheEntry] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> _CacheEntry | None:
+        with self._lock:
+            if self._faults.fire("service.cache"):
+                if self._entries.pop(key, None) is not None:
+                    perf.count("service.cache_evictions", reason="injected")
+            entry = self._entries.get(key)
+            if entry is None:
+                perf.count("service.cache_misses")
+                return None
+            if self._clock() - entry.stored_at > self.ttl_s:
+                del self._entries[key]
+                perf.count("service.cache_evictions", reason="ttl")
+                perf.count("service.cache_misses")
+                return None
+            self._entries.move_to_end(key)
+            entry.hits += 1
+            perf.count("service.cache_hits")
+            return entry
+
+    def put(self, key: str, tree: CategoryTree, rows: RowSet) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = _CacheEntry(tree, rows, self._clock())
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                perf.count("service.cache_evictions", reason="lru")
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+class CategorizationService:
+    """Request/response categorization over one relation.
+
+    Args:
+        table: the relation queries run against.
+        statistics: seed workload statistics (becomes epoch 0).
+        config: categorizer tunables, fixed for the service's lifetime.
+        technique: key into :data:`TECHNIQUES`.
+        batch_size: ingestion batch per epoch publish.
+        cache_capacity / cache_ttl_s: result-cache sizing.
+        faults: shared fault injector for every component.
+        clock: monotonic time source (injectable for tests).
+        retry / breaker / spill_limit: ingestion-resilience knobs, passed
+            through to :class:`~repro.serving.retry.ResilientIngestor`.
+        level_cost_hint_s: seed for the ladder's level-cost estimate.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        statistics: WorkloadStatistics,
+        config: CategorizerConfig = PAPER_CONFIG,
+        technique: str = "cost-based",
+        batch_size: int = 64,
+        cache_capacity: int = 128,
+        cache_ttl_s: float = 300.0,
+        faults: FaultInjector | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        spill_limit: int = 1024,
+        level_cost_hint_s: float = 0.0,
+    ) -> None:
+        if technique not in TECHNIQUES:
+            raise ValueError(
+                f"unknown technique {technique!r}; choose from {sorted(TECHNIQUES)}"
+            )
+        self.table = table
+        self.config = config
+        self.technique = technique
+        self._faults = faults or NULL_INJECTOR
+        self._clock = clock
+        self.store = SnapshotStore(
+            statistics, batch_size=batch_size, clock=clock, faults=self._faults
+        )
+        self.ingestor = ResilientIngestor(
+            self.store,
+            retry=retry,
+            breaker=breaker or CircuitBreaker(clock=clock),
+            spill_limit=spill_limit,
+        )
+        self.ladder = DegradationLadder(
+            faults=self._faults, level_cost_hint_s=level_cost_hint_s
+        )
+        self.cache = ResultCache(
+            capacity=cache_capacity,
+            ttl_s=cache_ttl_s,
+            clock=clock,
+            faults=self._faults,
+        )
+        self._trace_ids = itertools.count(1)
+
+    # -- read path -----------------------------------------------------------
+
+    def categorize(
+        self,
+        sql: str,
+        deadline_ms: float | None = None,
+        budget: str = RUNG_FULL,
+        collect_trace: bool = False,
+    ) -> ServeResult:
+        """Serve one categorization request.
+
+        Args:
+            sql: the SELECT to categorize the results of.
+            deadline_ms: time budget; the ladder degrades to fit it.
+            budget: the *best* rung the caller will pay for — ``full``
+                (default), ``single_level`` (skip the deep build), or
+                ``showtuples`` (no categorization at all); a way to cap
+                cost independent of wall-clock.
+            collect_trace: attach a PR 3 decision trace (stamped with the
+                request's trace id and the served rung).
+
+        Raises:
+            InvalidRequest: malformed SQL / unknown table / bad deadline.
+                The only exception this method lets escape.
+        """
+        trace_id = f"req-{next(self._trace_ids):06d}"
+        started = self._clock()
+        perf.count("serve.requests")
+        with perf.span("serve.request"):
+            deadline = self._validated_deadline(deadline_ms)
+            if budget not in RUNGS:
+                raise InvalidRequest(
+                    f"unknown budget rung {budget!r}; choose from {RUNGS}",
+                    reason="budget",
+                )
+            query, normalized_sql = self._parse(sql)
+            epoch = self.store.pin()
+
+            cache_key = f"{epoch.number}:{self.technique}:{normalized_sql}"
+            if budget == RUNG_FULL:
+                hit = self.cache.get(cache_key)
+                if hit is not None:
+                    perf.count("serve.rung", rung=RUNG_FULL)
+                    return ServeResult(
+                        trace_id=trace_id,
+                        sql=normalized_sql,
+                        rung=RUNG_FULL,
+                        epoch=epoch.number,
+                        rows=hit.rows,
+                        tree=hit.tree,
+                        cached=True,
+                        elapsed_ms=(self._clock() - started) * 1000.0,
+                    )
+
+            rows = query.execute(self.table)
+            if budget == RUNG_SHOWTUPLES:
+                perf.count("serve.rung", rung=RUNG_SHOWTUPLES)
+                return ServeResult(
+                    trace_id=trace_id,
+                    sql=normalized_sql,
+                    rung=RUNG_SHOWTUPLES,
+                    epoch=epoch.number,
+                    rows=rows,
+                    degraded=Degraded(RUNG_SHOWTUPLES, "budget"),
+                    elapsed_ms=(self._clock() - started) * 1000.0,
+                )
+
+            categorizer = TECHNIQUES[self.technique](epoch.statistics, self.config)
+            tree, rung, degraded = self.ladder.categorize(
+                categorizer,
+                rows,
+                query,
+                deadline,
+                collect_trace=collect_trace,
+                max_rung=budget,
+            )
+            if tree is not None and tree.decision_trace is not None:
+                tree.decision_trace.trace_id = trace_id
+            if rung == RUNG_FULL and tree is not None:
+                self.cache.put(cache_key, tree, rows)
+            return ServeResult(
+                trace_id=trace_id,
+                sql=normalized_sql,
+                rung=rung,
+                epoch=epoch.number,
+                rows=rows,
+                tree=tree,
+                degraded=degraded,
+                elapsed_ms=(self._clock() - started) * 1000.0,
+            )
+
+    # -- write path ----------------------------------------------------------
+
+    def record_query(self, sql: str) -> None:
+        """Ingest one logged query into the workload statistics.
+
+        Raises:
+            InvalidRequest: the SQL does not parse or normalize.
+            IngestionStalled: breaker open and the spill log is full.
+        """
+        query, _ = self._parse(sql)
+        try:
+            entry = WorkloadQuery.from_query(query)
+        except ValueError as exc:
+            raise InvalidRequest(f"unnormalizable query: {exc}", reason="sql") from exc
+        self._faults.fire("ingest.record")
+        self.ingestor.record_query(entry)
+
+    def flush(self) -> None:
+        """Replay spill and publish everything pending."""
+        self.ingestor.flush()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def epoch_number(self) -> int:
+        return self.store.epoch_number
+
+    def health(self) -> dict[str, Any]:
+        """Liveness summary for the /healthz endpoint and `repro request`."""
+        return {
+            "epoch": self.store.epoch_number,
+            "pending": self.store.pending_count,
+            "breaker": self.ingestor.breaker.state,
+            "spilled": self.ingestor.spilled,
+            "recorded": self.ingestor.recorded,
+            "published": self.ingestor.published,
+            "cache_entries": len(self.cache),
+            "table_rows": len(self.table),
+        }
+
+    # -- helpers -------------------------------------------------------------
+
+    def _validated_deadline(self, deadline_ms: float | None) -> Deadline:
+        try:
+            return Deadline(deadline_ms, clock=self._clock)
+        except ValueError as exc:
+            raise InvalidRequest(str(exc), reason="deadline") from exc
+
+    def _parse(self, sql: str):
+        try:
+            query = parse_query(sql)
+        except SqlError as exc:
+            perf.count("serve.errors", reason="sql")
+            raise InvalidRequest(f"bad SQL: {exc}", reason="sql") from exc
+        if query.table_name != self.table.schema.name:
+            perf.count("serve.errors", reason="table")
+            raise InvalidRequest(
+                f"unknown table {query.table_name!r} "
+                f"(this service serves {self.table.schema.name!r})",
+                reason="table",
+            )
+        try:
+            normalized_sql = format_query(query.normalized())
+        except ValueError:
+            normalized_sql = format_query(query)
+        return query, normalized_sql

@@ -15,8 +15,9 @@ from repro.sql.ast_nodes import (
     SelectStatement,
 )
 from repro.sql.compiler import compile_condition, compile_statement, parse_query
+from repro.sql.errors import SqlError, SqlSyntaxError
 from repro.sql.formatter import format_literal, format_predicate, format_query
-from repro.sql.lexer import SqlSyntaxError, tokenize
+from repro.sql.lexer import tokenize
 from repro.sql.parser import parse
 
 __all__ = [
@@ -25,6 +26,7 @@ __all__ = [
     "Condition",
     "InCondition",
     "SelectStatement",
+    "SqlError",
     "SqlSyntaxError",
     "compile_condition",
     "compile_statement",

@@ -24,6 +24,7 @@ from repro.sql.ast_nodes import (
     InCondition,
     SelectStatement,
 )
+from repro.sql.errors import SqlError
 from repro.sql.parser import parse
 
 
@@ -48,21 +49,30 @@ def compile_condition(condition: Condition) -> Predicate:
     """Convert one AST condition into a relational predicate.
 
     Raises:
-        TypeError: for condition node types this compiler does not know
-            (a safeguard against silently dropping future grammar additions).
+        SqlError: for literals the target predicate cannot represent (e.g.
+            a non-numeric BETWEEN bound) and for condition node types this
+            compiler does not know — one error type for the whole pipeline,
+            with the offending condition as the snippet.
     """
     if isinstance(condition, InCondition):
         return InPredicate(condition.attribute, condition.values)
     if isinstance(condition, BetweenCondition):
+        try:
+            low, high = float(condition.low), float(condition.high)
+        except (TypeError, ValueError):
+            raise SqlError(
+                f"BETWEEN bounds on {condition.attribute!r} must be numeric",
+                snippet=str(condition),
+            ) from None
         return RangePredicate(
-            condition.attribute,
-            float(condition.low),
-            float(condition.high),
-            high_inclusive=True,
+            condition.attribute, low, high, high_inclusive=True
         )
     if isinstance(condition, ComparisonCondition):
         return ComparisonPredicate(condition.attribute, condition.op, condition.value)
-    raise TypeError(f"unknown condition node {type(condition).__name__}")
+    raise SqlError(
+        f"unknown condition node {type(condition).__name__}",
+        snippet=str(condition),
+    )
 
 
 def parse_query(source: str) -> SelectQuery:

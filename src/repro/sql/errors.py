@@ -1,0 +1,60 @@
+"""The single SQL error type: every lexer/parser/compiler failure.
+
+Before this module existed the dialect raised heterogeneous exceptions —
+:class:`SqlSyntaxError` from the lexer and parser, bare ``ValueError`` /
+``TypeError`` from the compiler's literal coercions — which forced every
+caller (the workload loader, the serving layer) to guess at what could
+escape a parse.  Now everything syntactic or semantic about one SQL
+string raises :class:`SqlError`, which always carries the character
+position and the offending source snippet so errors can be surfaced to
+users ("near ``WHERE price >>``") instead of as bare messages.
+
+``SqlError`` subclasses ``ValueError`` so existing ``except ValueError``
+call sites keep working; :data:`SqlSyntaxError` remains as an alias for
+backward compatibility.
+"""
+
+from __future__ import annotations
+
+#: Characters of source kept on each side of the error position.
+SNIPPET_CONTEXT = 20
+
+
+class SqlError(ValueError):
+    """A malformed workload SQL string, with location and snippet.
+
+    Attributes:
+        position: character offset of the error in the source string, or
+            ``None`` when the failing stage had no token position (e.g.
+            literal coercion during compilation).
+        snippet: the slice of source text around the error — what a user
+            interface would underline.
+        source: the full offending SQL string, when available.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        position: int | None = None,
+        source: str | None = None,
+        snippet: str | None = None,
+    ) -> None:
+        if snippet is None and source is not None:
+            anchor = position if position is not None else 0
+            snippet = source[
+                max(0, anchor - SNIPPET_CONTEXT) : anchor + SNIPPET_CONTEXT
+            ]
+        located = message
+        if position is not None:
+            located = f"{located} at position {position}"
+        if snippet:
+            located = f"{located} (near {snippet!r})"
+        super().__init__(located)
+        self.position = position
+        self.snippet = snippet
+        self.source = source
+
+
+#: Backward-compatible name: the lexer and parser historically raised
+#: ``SqlSyntaxError``; it is the same class now.
+SqlSyntaxError = SqlError

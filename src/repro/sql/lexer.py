@@ -3,16 +3,10 @@
 from __future__ import annotations
 
 from repro import perf
+from repro.sql.errors import SqlError, SqlSyntaxError
 from repro.sql.tokens import KEYWORDS, OPERATORS, Token, TokenType
 
-
-class SqlSyntaxError(ValueError):
-    """Raised for malformed workload SQL, with the offending position."""
-
-    def __init__(self, message: str, position: int, source: str) -> None:
-        context = source[max(0, position - 20) : position + 20]
-        super().__init__(f"{message} at position {position} (near {context!r})")
-        self.position = position
+__all__ = ["SqlError", "SqlSyntaxError", "tokenize"]
 
 
 def tokenize(source: str) -> list[Token]:
@@ -25,7 +19,7 @@ def tokenize(source: str) -> list[Token]:
     (``250K`` == 250000).
 
     Raises:
-        SqlSyntaxError: on any character sequence outside the dialect.
+        SqlError: on any character sequence outside the dialect.
     """
     with perf.span("sql.lex"):
         return _tokenize(source)
@@ -81,7 +75,7 @@ def _tokenize(source: str) -> list[Token]:
             else:
                 tokens.append(Token(TokenType.IDENTIFIER, word, i))
             continue
-        raise SqlSyntaxError(f"unexpected character {ch!r}", i, source)
+        raise SqlError(f"unexpected character {ch!r}", i, source)
     tokens.append(Token(TokenType.EOF, None, length))
     return tokens
 
@@ -100,14 +94,14 @@ def _read_string(source: str, start: int) -> tuple[str, int]:
             return "".join(pieces), i + 1
         pieces.append(ch)
         i += 1
-    raise SqlSyntaxError("unterminated string literal", start, source)
+    raise SqlError("unterminated string literal", start, source)
 
 
 def _read_quoted_identifier(source: str, start: int) -> tuple[str, int]:
     """Read a double-quoted identifier starting at ``start``."""
     end = source.find('"', start + 1)
     if end < 0:
-        raise SqlSyntaxError("unterminated quoted identifier", start, source)
+        raise SqlError("unterminated quoted identifier", start, source)
     return source[start + 1 : end], end + 1
 
 

@@ -28,7 +28,8 @@ from repro.sql.ast_nodes import (
     InCondition,
     SelectStatement,
 )
-from repro.sql.lexer import SqlSyntaxError, tokenize
+from repro.sql.errors import SqlError
+from repro.sql.lexer import tokenize
 from repro.sql.tokens import Token, TokenType
 
 
@@ -36,7 +37,7 @@ def parse(source: str) -> SelectStatement:
     """Parse one SQL SELECT string into a :class:`SelectStatement`.
 
     Raises:
-        SqlSyntaxError: on any deviation from the dialect grammar.
+        SqlError: on any deviation from the dialect grammar.
     """
     with perf.span("sql.parse"):
         return _Parser(source).parse_statement()
@@ -74,7 +75,7 @@ class _Parser:
 
     def _fail(self, message: str) -> None:
         token = self._current
-        raise SqlSyntaxError(f"{message}, found {token}", token.position, self._source)
+        raise SqlError(f"{message}, found {token}", token.position, self._source)
 
     # -- grammar productions ---------------------------------------------------
 

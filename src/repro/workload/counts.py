@@ -44,6 +44,13 @@ class AttributeUsageCounts:
         for attribute in set(attributes):
             self._counts[attribute] += 1
 
+    def copy(self) -> "AttributeUsageCounts":
+        """An independent copy (epoch-snapshot publishing clones tables)."""
+        clone = AttributeUsageCounts()
+        clone._counts = Counter(self._counts)
+        clone._total_queries = self._total_queries
+        return clone
+
     @property
     def total_queries(self) -> int:
         """``N``: the number of queries in the workload."""
@@ -86,6 +93,12 @@ class OccurrenceCounts:
         """Record one query whose IN-clause on this attribute lists ``values``."""
         for value in set(values):
             self._counts[value] += 1
+
+    def copy(self) -> "OccurrenceCounts":
+        """An independent copy (epoch-snapshot publishing clones tables)."""
+        clone = OccurrenceCounts(self.attribute)
+        clone._counts = Counter(self._counts)
+        return clone
 
     def occ(self, value: Any) -> int:
         """``occ(v)``: queries whose IN-clause contains ``value``."""
@@ -153,6 +166,22 @@ class SplitPointsTable:
         """Enable/disable the goodness-query memo; disabling drops it."""
         self._memoize = enabled
         self._best_memo.clear()
+
+    def copy(self) -> "SplitPointsTable":
+        """An independent copy, keeping the warm goodness memo.
+
+        Epoch publishing clones the table before folding the pending
+        delta; a delta that touches this attribute then clears the copied
+        memo via :meth:`record_range`, while untouched attributes keep
+        serving memoized answers in the new epoch (copy-on-write).
+        """
+        clone = SplitPointsTable(
+            self.attribute, self.separation_interval, memoize=self._memoize
+        )
+        clone._starts = Counter(self._starts)
+        clone._ends = Counter(self._ends)
+        clone._best_memo = dict(self._best_memo)
+        return clone
 
     def snap(self, value: float) -> float:
         """Snap a value to the nearest gridpoint."""
@@ -257,6 +286,14 @@ class RangeIndex:
         self._lows.append(low)
         self._highs.append(high)
         self._finalized = False
+
+    def copy(self) -> "RangeIndex":
+        """An independent copy (epoch-snapshot publishing clones tables)."""
+        clone = RangeIndex(self.attribute)
+        clone._lows = list(self._lows)
+        clone._highs = list(self._highs)
+        clone._finalized = self._finalized
+        return clone
 
     def finalize(self) -> None:
         """Sort the endpoint lists; called lazily before counting."""

@@ -164,6 +164,57 @@ class WorkloadStatistics:
             self._range_memo.pop(attribute, None)
         perf.count("stats.invalidations")
 
+    # -- snapshot support ------------------------------------------------------
+
+    def copy(self) -> "WorkloadStatistics":
+        """An independent copy with warm memo caches (copy-on-write basis).
+
+        The epoch-snapshot store (:mod:`repro.serving.snapshot`) publishes
+        a new epoch by copying the current statistics and folding the
+        pending delta into the copy, leaving the published epoch untouched
+        for pinned readers.  Count tables are deep-copied; the query-time
+        memo dicts are copied too, so lookups untouched by the delta stay
+        warm in the new epoch while :meth:`record_query` invalidation
+        evicts exactly the entries the delta can change.
+
+        The schema is shared (immutable); the usage-fraction memo is not
+        carried over because any delta changes ``N``, its denominator.
+        """
+        clone = WorkloadStatistics(
+            schema=self.schema,
+            usage=self.usage.copy(),
+            occurrences={
+                name: table.copy() for name, table in self._occurrences.items()
+            },
+            splitpoints={
+                name: table.copy() for name, table in self._splitpoints.items()
+            },
+            range_indexes={
+                name: index.copy() for name, index in self._range_indexes.items()
+            },
+            memoize=self._memoize,
+        )
+        clone._occ_memo = {
+            attribute: dict(memo) for attribute, memo in self._occ_memo.items()
+        }
+        clone._range_memo = {
+            attribute: dict(memo) for attribute, memo in self._range_memo.items()
+        }
+        return clone
+
+    def finalize_indexes(self) -> None:
+        """Sort every dirty range index now, not lazily on first read.
+
+        A pinned epoch snapshot must be immutable under concurrent reads;
+        the range index normally re-sorts lazily inside the first
+        ``count_overlapping`` after an append, which would be a mutation
+        racing other readers.  Publishing calls this before the epoch is
+        swapped in, so readers only ever see finalized indexes.
+        """
+        for index in self._range_indexes.values():
+            if not index.is_finalized:
+                index.finalize()
+
     # -- incremental maintenance ---------------------------------------------
 
     def record_query(self, query: WorkloadQuery) -> None:

@@ -79,3 +79,51 @@ class TestReadErrors:
         path.write_text("city,price\nSeattle\n")
         loaded = read_csv(schema, path)
         assert loaded.row(0)["price"] is None
+
+
+class TestLenientMode:
+    """``strict=False``: skip-with-counter instead of aborting the load."""
+
+    @pytest.fixture
+    def perf_on(self):
+        from repro import perf
+
+        perf.reset()
+        perf.enable()
+        yield perf.ACTIVE
+        perf.reset()
+        perf.disable()
+
+    def test_bad_type_skipped_and_counted(self, schema, tmp_path, perf_on):
+        path = tmp_path / "t.csv"
+        path.write_text("city,price\nSeattle,abc\nBellevue,200\n")
+        loaded = read_csv(schema, path, strict=False)
+        assert loaded.to_dicts() == [{"city": "Bellevue", "price": 200}]
+        assert perf_on.counters["csv.bad_rows{reason=type}"] == 1
+
+    def test_bad_arity_skipped_and_counted(self, schema, tmp_path, perf_on):
+        path = tmp_path / "a.csv"
+        path.write_text("city,price\nSeattle\nKirkland,100,extra,junk\nBellevue,200\n")
+        loaded = read_csv(schema, path, strict=False)
+        assert loaded.to_dicts() == [{"city": "Bellevue", "price": 200}]
+        assert perf_on.counters["csv.bad_rows{reason=arity}"] == 2
+
+    def test_good_rows_counted(self, schema, tmp_path, perf_on):
+        path = tmp_path / "g.csv"
+        path.write_text("city,price\nSeattle,100\nBellevue,abc\n")
+        read_csv(schema, path, strict=False)
+        assert perf_on.counters["csv.rows_loaded"] == 1
+
+    def test_clean_file_identical_between_modes(self, table, schema, tmp_path):
+        path = tmp_path / "c.csv"
+        write_csv(table, path)
+        assert (
+            read_csv(schema, path, strict=False).to_dicts()
+            == read_csv(schema, path).to_dicts()
+        )
+
+    def test_header_errors_still_raise(self, schema, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("city\nSeattle\n")
+        with pytest.raises(ValueError, match="missing attributes"):
+            read_csv(schema, path, strict=False)

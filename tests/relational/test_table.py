@@ -216,3 +216,14 @@ class TestRowSetDerive:
         subset = table.select(InPredicate("city", ["Seattle"]))
         everything.derive("k", lambda: "all")
         assert subset.derive("k", lambda: "sub") == "sub"
+
+
+class TestInsertAtomicity:
+    def test_failed_coercion_leaves_table_unchanged(self, table):
+        size = len(table)
+        with pytest.raises((TypeError, ValueError)):
+            table.insert({"city": "Kirkland", "price": "not-a-number"})
+        assert len(table) == size
+        # Columns must not be torn: a subsequent good insert stays aligned.
+        table.insert({"city": "Kirkland", "price": 700})
+        assert table.row(len(table) - 1) == {"city": "Kirkland", "price": 700}

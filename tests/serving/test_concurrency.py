@@ -1,0 +1,181 @@
+"""Threaded tests: concurrent ingestion vs. categorization reads.
+
+The epoch-snapshot contract under real threads:
+
+* a reader pinning an epoch sees statistics that never change — the
+  eagerly recorded ``query_count`` always matches the live
+  ``total_queries`` of the pinned statistics (a torn read would break
+  this the moment ingestion mutated a published epoch);
+* epoch numbers observed by any single thread are monotone;
+* with ≥1000 ``record_query`` calls racing the readers, every query is
+  conserved (published + pending + spilled == recorded), including
+  through a forced breaker open → spill → replay cycle.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serving.faults import FaultInjector
+from repro.serving.retry import CircuitBreaker, ResilientIngestor, RetryPolicy
+from repro.serving.snapshot import SnapshotStore
+
+from tests.serving.conftest import LOG_SQL, SERVE_SQL
+
+N_RECORDS = 1200
+N_READERS = 4
+
+
+class TestSnapshotStoreUnderThreads:
+    def test_no_torn_reads_and_monotone_epochs(self, fresh_statistics, workload):
+        queries = list(workload)[:N_RECORDS]
+        seed_n = fresh_statistics.total_queries
+        store = SnapshotStore(fresh_statistics, batch_size=16)
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def writer():
+            for query in queries:
+                store.record_query(query)
+            stop.set()
+
+        def reader():
+            last_epoch = -1
+            while not stop.is_set():
+                epoch = store.pin()
+                if epoch.number < last_epoch:
+                    failures.append(
+                        f"epoch went backwards: {last_epoch} -> {epoch.number}"
+                    )
+                    return
+                last_epoch = epoch.number
+                # Torn-read check: query_count was recorded at publish
+                # time; if ingestion ever mutated a published epoch, the
+                # live total would drift away from it.
+                live = epoch.statistics.total_queries
+                if live != epoch.query_count:
+                    failures.append(
+                        f"torn read in epoch {epoch.number}: "
+                        f"{live} != {epoch.query_count}"
+                    )
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(N_READERS)]
+        threads.append(threading.Thread(target=writer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not failures, failures[0]
+        assert store.generation % 2 == 0
+        store.flush()
+        assert store.pin().statistics.total_queries == seed_n + N_RECORDS
+        assert store.epoch_number >= N_RECORDS // 16
+
+
+class TestServiceUnderThreads:
+    def test_categorize_races_ingestion(self, make_service):
+        service = make_service(batch_size=32)
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def writer():
+            for _ in range(N_RECORDS):
+                service.record_query(LOG_SQL)
+            stop.set()
+
+        def reader(sql: str):
+            last_epoch = -1
+            while not stop.is_set():
+                result = service.categorize(sql)
+                if result.rung not in ("full", "truncated", "single_level",
+                                       "showtuples"):
+                    failures.append(f"bad rung {result.rung}")
+                    return
+                if result.epoch < last_epoch:
+                    failures.append(
+                        f"served epoch went backwards: "
+                        f"{last_epoch} -> {result.epoch}"
+                    )
+                    return
+                last_epoch = result.epoch
+
+        threads = [
+            threading.Thread(target=reader, args=(sql,))
+            for sql in (SERVE_SQL, LOG_SQL)
+        ]
+        threads.append(threading.Thread(target=writer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not failures, failures[0]
+        service.flush()
+        health = service.health()
+        assert health["recorded"] == N_RECORDS
+        assert health["published"] == N_RECORDS
+        assert health["spilled"] == 0
+
+
+class TestBreakerCycleUnderThreads:
+    def test_open_spill_replay_conserves_counts(
+        self, fresh_statistics, workload, fake_clock
+    ):
+        queries = list(workload)[:N_RECORDS]
+        seed_n = fresh_statistics.total_queries
+        faults = FaultInjector(seed=3)
+        store = SnapshotStore(fresh_statistics, batch_size=16, faults=faults)
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=0.5, clock=fake_clock
+        )
+        ingestor = ResilientIngestor(
+            store,
+            retry=RetryPolicy(attempts=2, sleeper=lambda s: None),
+            breaker=breaker,
+            spill_limit=N_RECORDS,
+        )
+
+        # Phase 1: publishes fail → breaker opens, everything sheds.
+        faults.arm("snapshot.publish", fail=True)
+        for query in queries[:400]:
+            ingestor.record_query(query)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert ingestor.spilled > 0
+        assert ingestor.conserved()
+
+        # Phase 2: outage ends, breaker half-opens; concurrent writers
+        # replay the spill and drain the rest without losing a query.
+        faults.disarm("snapshot.publish")
+        fake_clock.advance(1.0)
+        remaining = queries[400:]
+        chunk = len(remaining) // N_READERS
+        lock_failures: list[str] = []
+
+        def writer(part):
+            try:
+                for query in part:
+                    ingestor.record_query(query)
+            except Exception as exc:  # noqa: BLE001
+                lock_failures.append(repr(exc))
+
+        threads = [
+            threading.Thread(
+                target=writer,
+                args=(remaining[i * chunk : (i + 1) * chunk
+                                if i < N_READERS - 1 else len(remaining)],)
+            )
+            for i in range(N_READERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not lock_failures, lock_failures[0]
+        ingestor.flush()
+        assert ingestor.conserved()
+        assert ingestor.spilled == 0
+        assert ingestor.recorded == N_RECORDS
+        assert ingestor.published == N_RECORDS
+        # Query count conserved end to end in the final epoch.
+        assert store.pin().statistics.total_queries == seed_n + N_RECORDS
+        assert breaker.state == CircuitBreaker.CLOSED

@@ -1,0 +1,182 @@
+"""Tests for deadlines and the degradation ladder."""
+
+import pytest
+
+from repro.core.algorithm import CostBasedCategorizer
+from repro.core.config import PAPER_CONFIG
+from repro.serving.degrade import (
+    RUNG_FULL,
+    RUNG_SHOWTUPLES,
+    RUNG_SINGLE_LEVEL,
+    RUNG_TRUNCATED,
+    Deadline,
+    DegradationLadder,
+)
+from repro.serving.faults import FaultInjector
+
+
+@pytest.fixture
+def categorizer(statistics):
+    return CostBasedCategorizer(statistics, PAPER_CONFIG)
+
+
+class TestDeadline:
+    def test_no_budget_never_expires(self, fake_clock):
+        deadline = Deadline(None, clock=fake_clock)
+        fake_clock.advance(1e9)
+        assert not deadline.expired
+        assert deadline.remaining_s == float("inf")
+
+    def test_expires_when_budget_spent(self, fake_clock):
+        deadline = Deadline(50.0, clock=fake_clock)
+        assert not deadline.expired
+        fake_clock.advance(0.049)
+        assert not deadline.expired
+        fake_clock.advance(0.002)
+        assert deadline.expired
+        assert deadline.elapsed_s == pytest.approx(0.051)
+
+    def test_negative_budget_rejected(self, fake_clock):
+        with pytest.raises(ValueError, match="deadline"):
+            Deadline(-1.0, clock=fake_clock)
+
+    def test_zero_budget_starts_expired(self, fake_clock):
+        assert Deadline(0.0, clock=fake_clock).expired
+
+
+class TestLadder:
+    def test_generous_deadline_serves_full(
+        self, categorizer, seattle_rows, seattle_query, fake_clock
+    ):
+        ladder = DegradationLadder()
+        tree, rung, degraded = ladder.categorize(
+            categorizer, seattle_rows, seattle_query, Deadline(None, fake_clock)
+        )
+        assert rung == RUNG_FULL
+        assert degraded is None
+        assert tree is not None and not tree.truncated
+        assert tree.root.children
+
+    def test_expired_deadline_serves_showtuples(
+        self, categorizer, seattle_rows, seattle_query, fake_clock
+    ):
+        ladder = DegradationLadder()
+        tree, rung, degraded = ladder.categorize(
+            categorizer, seattle_rows, seattle_query, Deadline(0.0, fake_clock)
+        )
+        assert rung == RUNG_SHOWTUPLES
+        assert tree is None
+        assert degraded is not None and degraded.reason == "deadline"
+
+    def test_mid_build_stop_serves_truncated(
+        self, categorizer, seattle_rows, seattle_query, fake_clock
+    ):
+        faults = FaultInjector()
+        # First between-levels checkpoint passes, second one fails: the
+        # level-1 work already attached must be kept, not discarded.
+        faults.arm("degrade.level", fail=True, every=2)
+        ladder = DegradationLadder(faults=faults)
+        tree, rung, degraded = ladder.categorize(
+            categorizer, seattle_rows, seattle_query, Deadline(None, fake_clock)
+        )
+        assert faults.fired("degrade.level") == 1
+        assert rung == RUNG_TRUNCATED
+        assert tree is not None and tree.truncated
+        assert tree.root.children  # the paid-for level survived
+
+    def test_stop_before_first_level_serves_showtuples(
+        self, categorizer, seattle_rows, seattle_query, fake_clock
+    ):
+        faults = FaultInjector()
+        faults.arm("degrade.level", fail=True)  # every checkpoint fails
+        ladder = DegradationLadder(faults=faults)
+        tree, rung, _ = ladder.categorize(
+            categorizer, seattle_rows, seattle_query, Deadline(None, fake_clock)
+        )
+        assert rung == RUNG_SHOWTUPLES
+        assert tree is None
+
+    def test_injected_level_fault_never_escapes(
+        self, categorizer, seattle_rows, seattle_query, fake_clock
+    ):
+        faults = FaultInjector()
+        faults.arm("degrade.level", fail=True)
+        ladder = DegradationLadder(faults=faults)
+        # Must not raise InjectedFault — degradation, not propagation.
+        ladder.categorize(
+            categorizer, seattle_rows, seattle_query, Deadline(None, fake_clock)
+        )
+
+    def test_tight_budget_skips_to_single_level(
+        self, categorizer, seattle_rows, seattle_query, fake_clock
+    ):
+        # The EWMA estimate says one level costs 10 s; 100 ms remain.
+        ladder = DegradationLadder(level_cost_hint_s=10.0)
+        tree, rung, degraded = ladder.categorize(
+            categorizer, seattle_rows, seattle_query, Deadline(100.0, fake_clock)
+        )
+        assert rung == RUNG_SINGLE_LEVEL
+        assert degraded is not None and degraded.reason == "deadline"
+        assert tree is not None
+        depths = {node.level for node in tree.nodes()}
+        assert max(depths) == 1  # exactly one attribute level
+
+    def test_budget_rung_caps_the_ladder(
+        self, categorizer, seattle_rows, seattle_query, fake_clock
+    ):
+        ladder = DegradationLadder()
+        tree, rung, degraded = ladder.categorize(
+            categorizer,
+            seattle_rows,
+            seattle_query,
+            Deadline(None, fake_clock),
+            max_rung=RUNG_SINGLE_LEVEL,
+        )
+        assert rung == RUNG_SINGLE_LEVEL
+        assert degraded is not None and degraded.reason == "budget"
+
+        tree, rung, _ = ladder.categorize(
+            categorizer,
+            seattle_rows,
+            seattle_query,
+            Deadline(None, fake_clock),
+            max_rung=RUNG_SHOWTUPLES,
+        )
+        assert rung == RUNG_SHOWTUPLES and tree is None
+
+    def test_full_build_feeds_level_cost_estimate(
+        self, categorizer, seattle_rows, seattle_query
+    ):
+        ladder = DegradationLadder()
+        assert ladder.level_cost_s == 0.0
+        ladder.categorize(
+            categorizer, seattle_rows, seattle_query, Deadline(None)
+        )
+        assert ladder.level_cost_s > 0.0
+
+
+class TestObservability:
+    def test_served_rung_counted_and_traced(
+        self, categorizer, seattle_rows, seattle_query, fake_clock, perf_on
+    ):
+        ladder = DegradationLadder()
+        tree, rung, _ = ladder.categorize(
+            categorizer,
+            seattle_rows,
+            seattle_query,
+            Deadline(None, fake_clock),
+            collect_trace=True,
+        )
+        assert rung == RUNG_FULL
+        assert perf_on.counters["serve.rung{rung=full}"] == 1
+        assert tree.decision_trace.served_rung == RUNG_FULL
+        assert tree.decision_trace.as_dict()["served_rung"] == RUNG_FULL
+
+    def test_degraded_rung_counted(
+        self, categorizer, seattle_rows, seattle_query, fake_clock, perf_on
+    ):
+        ladder = DegradationLadder()
+        ladder.categorize(
+            categorizer, seattle_rows, seattle_query, Deadline(0.0, fake_clock)
+        )
+        assert perf_on.counters["serve.rung{rung=showtuples}"] == 1

@@ -1,0 +1,125 @@
+"""Tests for the stdlib HTTP front end."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serving.http import make_server, serve_in_thread
+
+from tests.serving.conftest import LOG_SQL, SERVE_SQL
+
+
+@pytest.fixture
+def server(make_service):
+    service = make_service(batch_size=2)
+    server = make_server(service, port=0)  # free port
+    serve_in_thread(server)
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+def _url(server, path):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}{path}"
+
+
+def _get(server, path):
+    with urllib.request.urlopen(_url(server, path), timeout=10) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+def _post(server, path, payload):
+    request = urllib.request.Request(
+        _url(server, path),
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, body = _get(server, "/healthz")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["epoch"] == 0
+        assert payload["breaker"] == "closed"
+
+    def test_metrics_is_prometheus_text(self, server, perf_on):
+        _post(server, "/categorize", {"sql": SERVE_SQL})
+        status, body = _get(server, "/metrics")
+        assert status == 200
+        assert "# TYPE" in body
+        assert "repro_serve_requests_total" in body
+
+    def test_categorize_roundtrip(self, server):
+        status, payload = _post(
+            server, "/categorize", {"sql": SERVE_SQL, "render": True}
+        )
+        assert status == 200
+        assert payload["rung"] == "full"
+        assert payload["row_count"] > 0
+        assert payload["trace_id"].startswith("req-")
+        assert "rendering" in payload
+
+    def test_categorize_with_trace(self, server):
+        _, payload = _post(server, "/categorize", {"sql": SERVE_SQL, "trace": True})
+        assert payload["decision_trace"]["trace_id"] == payload["trace_id"]
+        assert payload["decision_trace"]["served_rung"] == "full"
+
+    def test_record_roundtrip(self, server):
+        status, payload = _post(server, "/record", {"sql": LOG_SQL})
+        assert status == 200
+        assert payload["status"] == "recorded"
+        assert payload["recorded"] == 1
+        _post(server, "/record", {"sql": LOG_SQL})
+        status, body = _get(server, "/healthz")
+        assert json.loads(body)["epoch"] == 1  # batch of 2 published
+
+
+class TestErrorMapping:
+    def test_bad_sql_is_400_with_reason(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(server, "/categorize", {"sql": "SELECT FROM WHERE"})
+        assert excinfo.value.code == 400
+        payload = json.loads(excinfo.value.read())
+        assert payload["reason"] == "sql"
+        assert "position" in payload["error"]
+
+    def test_missing_sql_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(server, "/categorize", {})
+        assert excinfo.value.code == 400
+
+    def test_malformed_json_is_400(self, server):
+        request = urllib.request.Request(
+            _url(server, "/categorize"),
+            data=b"not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_unknown_endpoint_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server, "/nope")
+        assert excinfo.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(server, "/nope", {"sql": SERVE_SQL})
+        assert excinfo.value.code == 404
+
+    def test_degradation_is_not_an_error(self, server):
+        status, payload = _post(
+            server, "/categorize", {"sql": SERVE_SQL, "budget": "showtuples"}
+        )
+        assert status == 200
+        assert payload["rung"] == "showtuples"
+        assert payload["degraded"] is not None

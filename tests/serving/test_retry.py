@@ -1,0 +1,215 @@
+"""Tests for retry, circuit breaking, and lossless load shedding."""
+
+import pytest
+
+from repro.serving.errors import IngestionStalled, PublishError
+from repro.serving.faults import FaultInjector
+from repro.serving.retry import CircuitBreaker, ResilientIngestor, RetryPolicy
+from repro.serving.snapshot import SnapshotStore
+
+
+class TestRetryPolicy:
+    def test_success_first_try_no_sleep(self):
+        slept = []
+        policy = RetryPolicy(attempts=3, sleeper=slept.append)
+        assert policy.call(lambda: 1.0) == 1.0
+        assert slept == []
+
+    def test_retries_transient_failure(self):
+        slept = []
+        outcomes = iter([PublishError("boom"), 0.5])
+
+        def flaky():
+            result = next(outcomes)
+            if isinstance(result, Exception):
+                raise result
+            return result
+
+        policy = RetryPolicy(attempts=3, sleeper=slept.append)
+        assert policy.call(flaky) == 0.5
+        assert len(slept) == 1
+
+    def test_exhausted_reraises_last_error(self):
+        slept = []
+        policy = RetryPolicy(attempts=3, sleeper=slept.append)
+
+        def always_fails():
+            raise PublishError("still down")
+
+        with pytest.raises(PublishError, match="still down"):
+            policy.call(always_fails)
+        assert len(slept) == 2  # attempts - 1 backoffs
+
+    def test_non_publish_errors_not_retried(self):
+        slept = []
+        policy = RetryPolicy(attempts=5, sleeper=slept.append)
+
+        def bug():
+            raise ValueError("a bug, not a transient")
+
+        with pytest.raises(ValueError):
+            policy.call(bug)
+        assert slept == []
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            base_delay_s=0.01, max_delay_s=0.05, jitter=0.0, sleeper=lambda s: None
+        )
+        delays = [policy.delay_s(i) for i in range(5)]
+        assert delays == [0.01, 0.02, 0.04, 0.05, 0.05]
+
+    def test_jitter_is_seeded(self):
+        def delays(seed):
+            policy = RetryPolicy(jitter=0.5, seed=seed, sleeper=lambda s: None)
+            return [policy.delay_s(i) for i in range(4)]
+
+        assert delays(3) == delays(3)
+
+    def test_bad_attempts_rejected(self):
+        with pytest.raises(ValueError, match="attempts"):
+            RetryPolicy(attempts=0)
+
+
+class TestCircuitBreaker:
+    def test_stays_closed_below_threshold(self, fake_clock):
+        breaker = CircuitBreaker(failure_threshold=3, clock=fake_clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allows()
+
+    def test_opens_at_threshold(self, fake_clock):
+        breaker = CircuitBreaker(failure_threshold=3, clock=fake_clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allows()
+
+    def test_success_resets_failure_streak(self, fake_clock):
+        breaker = CircuitBreaker(failure_threshold=2, clock=fake_clock)
+        breaker.record_failure()
+        breaker.record_success(latency_s=0.001)
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_after_reset_timeout(self, fake_clock):
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=5.0, clock=fake_clock
+        )
+        breaker.record_failure()
+        assert not breaker.allows()
+        fake_clock.advance(5.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allows()  # one probe allowed
+
+    def test_half_open_success_closes(self, fake_clock):
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=1.0, clock=fake_clock
+        )
+        breaker.record_failure()
+        fake_clock.advance(1.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_success(latency_s=0.001)
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_failure_reopens_immediately(self, fake_clock):
+        breaker = CircuitBreaker(
+            failure_threshold=3, reset_timeout_s=1.0, clock=fake_clock
+        )
+        for _ in range(3):
+            breaker.record_failure()
+        fake_clock.advance(1.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_failure()  # the probe failed
+        assert breaker.state == CircuitBreaker.OPEN
+
+    def test_slow_success_counts_as_failure(self, fake_clock):
+        breaker = CircuitBreaker(
+            failure_threshold=1, slow_threshold_s=0.25, clock=fake_clock
+        )
+        breaker.record_success(latency_s=0.8)
+        assert breaker.state == CircuitBreaker.OPEN
+
+
+class TestResilientIngestor:
+    @pytest.fixture
+    def queries(self, workload):
+        return list(workload)[:100]
+
+    def _ingestor(self, statistics, fake_clock, faults, **kwargs):
+        store = SnapshotStore(
+            statistics, batch_size=2, clock=fake_clock, faults=faults
+        )
+        retry = RetryPolicy(attempts=2, sleeper=fake_clock.sleep)
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=10.0, clock=fake_clock
+        )
+        return ResilientIngestor(store, retry=retry, breaker=breaker, **kwargs)
+
+    def test_healthy_path_publishes_everything(
+        self, fresh_statistics, fake_clock, queries
+    ):
+        seed_n = fresh_statistics.total_queries
+        ingestor = self._ingestor(fresh_statistics, fake_clock, FaultInjector())
+        for query in queries[:20]:
+            ingestor.record_query(query)
+        assert ingestor.conserved()
+        assert ingestor.published == 20
+        assert ingestor.store.pin().statistics.total_queries == seed_n + 20
+
+    def test_publish_failures_trip_breaker_and_spill(
+        self, fresh_statistics, fake_clock, queries
+    ):
+        faults = FaultInjector()
+        ingestor = self._ingestor(fresh_statistics, fake_clock, faults)
+        faults.arm("snapshot.publish", fail=True)
+        # Second query triggers a publish that fails through all retries:
+        # the breaker (threshold 1) opens; later queries spill.
+        for query in queries[:6]:
+            ingestor.record_query(query)
+        assert ingestor.breaker.state == CircuitBreaker.OPEN
+        assert ingestor.spilled == 4  # queries 3..6 shed
+        assert ingestor.published == 0
+        assert ingestor.conserved()
+
+    def test_spill_replays_losslessly_when_breaker_closes(
+        self, fresh_statistics, fake_clock, queries
+    ):
+        seed_n = fresh_statistics.total_queries
+        faults = FaultInjector()
+        ingestor = self._ingestor(fresh_statistics, fake_clock, faults)
+        faults.arm("snapshot.publish", fail=True)
+        for query in queries[:10]:
+            ingestor.record_query(query)
+        assert ingestor.breaker.state == CircuitBreaker.OPEN
+        assert ingestor.conserved()
+
+        # Outage over: publishes work again, breaker half-opens on timeout.
+        faults.disarm("snapshot.publish")
+        fake_clock.advance(10.0)
+        for query in queries[10:12]:
+            ingestor.record_query(query)
+        ingestor.flush()
+        assert ingestor.breaker.state == CircuitBreaker.CLOSED
+        assert ingestor.conserved()
+        assert ingestor.spilled == 0
+        # Conservation end to end: every recorded query is in the epoch.
+        assert ingestor.store.pin().statistics.total_queries == seed_n + 12
+        assert ingestor.published == 12
+
+    def test_full_spill_raises_ingestion_stalled(
+        self, fresh_statistics, fake_clock, queries
+    ):
+        faults = FaultInjector()
+        ingestor = self._ingestor(
+            fresh_statistics, fake_clock, faults, spill_limit=3
+        )
+        faults.arm("snapshot.publish", fail=True)
+        for query in queries[:5]:  # 2 pending + 3 spilled = at the limit
+            ingestor.record_query(query)
+        with pytest.raises(IngestionStalled) as excinfo:
+            ingestor.record_query(queries[5])
+        assert excinfo.value.spilled == 3
+        # The refused query is not counted recorded; invariant holds.
+        assert ingestor.recorded == 5
+        assert ingestor.conserved()

@@ -1,0 +1,117 @@
+"""Tests for epoch-based statistics snapshots."""
+
+import pytest
+
+from repro.serving.errors import PublishError
+from repro.serving.faults import FaultInjector
+from repro.serving.snapshot import SnapshotStore
+
+
+@pytest.fixture
+def logged_queries(workload):
+    """A few hundred parsed workload queries to ingest."""
+    return list(workload)[:200]
+
+
+class TestEpochLifecycle:
+    def test_seed_is_epoch_zero(self, fresh_statistics):
+        store = SnapshotStore(fresh_statistics)
+        epoch = store.pin()
+        assert epoch.number == 0
+        assert epoch.query_count == fresh_statistics.total_queries
+        assert epoch.statistics is fresh_statistics
+
+    def test_batch_publish_advances_epoch(self, fresh_statistics, logged_queries):
+        seed_n = fresh_statistics.total_queries
+        store = SnapshotStore(fresh_statistics, batch_size=4)
+        for query in logged_queries[:4]:
+            store.record_query(query)
+        assert store.epoch_number == 1
+        assert store.pending_count == 0
+        assert store.pin().statistics.total_queries == seed_n + 4
+
+    def test_below_batch_stays_pending(self, fresh_statistics, logged_queries):
+        store = SnapshotStore(fresh_statistics, batch_size=10)
+        for query in logged_queries[:9]:
+            store.record_query(query)
+        assert store.epoch_number == 0
+        assert store.pending_count == 9
+
+    def test_flush_publishes_partial_batch(self, fresh_statistics, logged_queries):
+        store = SnapshotStore(fresh_statistics, batch_size=100)
+        for query in logged_queries[:3]:
+            store.record_query(query)
+        assert store.flush() is not None
+        assert store.epoch_number == 1
+        assert store.pending_count == 0
+
+    def test_flush_with_nothing_pending_is_noop(self, fresh_statistics):
+        store = SnapshotStore(fresh_statistics)
+        assert store.flush() is None
+        assert store.epoch_number == 0
+
+    def test_epoch_numbers_monotone(self, fresh_statistics, logged_queries):
+        store = SnapshotStore(fresh_statistics, batch_size=5)
+        seen = [store.epoch_number]
+        for query in logged_queries[:50]:
+            store.record_query(query)
+            seen.append(store.epoch_number)
+        assert seen == sorted(seen)
+        assert seen[-1] == 10
+
+
+class TestImmutability:
+    def test_pinned_epoch_unchanged_by_later_publishes(
+        self, fresh_statistics, logged_queries
+    ):
+        store = SnapshotStore(fresh_statistics, batch_size=4)
+        pinned = store.pin()
+        n_before = pinned.statistics.total_queries
+        for query in logged_queries[:20]:
+            store.record_query(query)
+        assert store.epoch_number == 5
+        # The epoch pinned before ingestion is bit-for-bit what it was:
+        # its statistics object never saw a record_query.
+        assert pinned.number == 0
+        assert pinned.statistics.total_queries == n_before
+        assert pinned.statistics.total_queries == pinned.query_count
+
+    def test_copy_is_independent_of_original(self, statistics, workload):
+        clone = statistics.copy()
+        clone.record_query(next(iter(workload)))
+        assert clone.total_queries == statistics.total_queries + 1
+
+    def test_generation_even_when_stable(self, fresh_statistics, logged_queries):
+        store = SnapshotStore(fresh_statistics, batch_size=2)
+        assert store.generation % 2 == 0
+        for query in logged_queries[:10]:
+            store.record_query(query)
+        assert store.generation % 2 == 0
+
+
+class TestPublishFailure:
+    def test_failed_publish_loses_nothing(self, fresh_statistics, logged_queries):
+        faults = FaultInjector()
+        store = SnapshotStore(fresh_statistics, batch_size=3, faults=faults)
+        faults.arm("snapshot.publish", fail=True)
+        for query in logged_queries[:2]:
+            store.record_query(query)
+        with pytest.raises(PublishError):
+            store.record_query(logged_queries[2])
+        # Nothing published, nothing lost, store still consistent.
+        assert store.epoch_number == 0
+        assert store.pending_count == 3
+        assert store.generation % 2 == 0
+        # Disarm and retry: the exact same delta publishes cleanly.
+        faults.disarm("snapshot.publish")
+        store.publish_pending()
+        assert store.epoch_number == 1
+        assert store.pending_count == 0
+        assert (
+            store.pin().statistics.total_queries
+            == store.pin().query_count
+        )
+
+    def test_bad_batch_size_rejected(self, fresh_statistics):
+        with pytest.raises(ValueError, match="batch_size"):
+            SnapshotStore(fresh_statistics, batch_size=0)

@@ -9,7 +9,8 @@ from repro.relational.expressions import (
     RangePredicate,
     TruePredicate,
 )
-from repro.sql.ast_nodes import InCondition
+from repro.sql.ast_nodes import BetweenCondition, InCondition
+from repro.sql.errors import SqlError
 from repro.sql.compiler import compile_condition, parse_query
 
 
@@ -57,8 +58,19 @@ class TestCompileCondition:
         class Mystery:
             attribute = "x"
 
-        with pytest.raises(TypeError, match="unknown condition"):
+        with pytest.raises(SqlError, match="unknown condition"):
             compile_condition(Mystery())
+
+    def test_non_numeric_between_bounds_rejected(self):
+        condition = BetweenCondition("price", "cheap", "expensive")
+        with pytest.raises(SqlError, match="must be numeric") as excinfo:
+            compile_condition(condition)
+        assert "price" in excinfo.value.snippet
+
+    def test_numeric_string_between_bounds_still_accepted(self):
+        pred = compile_condition(BetweenCondition("price", "100", "200"))
+        assert isinstance(pred, RangePredicate)
+        assert (pred.low, pred.high) == (100.0, 200.0)
 
 
 class TestEndToEndSemantics:

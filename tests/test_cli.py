@@ -267,3 +267,94 @@ class TestSchemaLoading:
         assert code == 0
         out = capsys.readouterr().out
         assert "ALL [" in out
+
+
+class TestServeAndRequest:
+    @pytest.fixture(scope="class")
+    def server(self, data_and_workload):
+        """A live service over the CLI-generated files (free port)."""
+        from repro.core.config import PAPER_CONFIG
+        from repro.relational.csvio import read_csv
+        from repro.serving.http import make_server, serve_in_thread
+        from repro.serving.service import CategorizationService
+        from repro.workload.log import Workload
+        from repro.workload.preprocess import preprocess_workload
+
+        data, workload_path = data_and_workload
+        schema = load_schema(None)
+        table = read_csv(schema, data)
+        workload = Workload.load(workload_path)
+        statistics = preprocess_workload(
+            workload, schema, PAPER_CONFIG.separation_intervals
+        )
+        service = CategorizationService(table, statistics, batch_size=4)
+        server = make_server(service, port=0)
+        serve_in_thread(server)
+        yield server
+        server.shutdown()
+        server.server_close()
+
+    @staticmethod
+    def _base_url(server):
+        host, port = server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def test_request_health(self, server, capsys):
+        code = main(["request", "--url", self._base_url(server), "--health"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "ok"
+
+    def test_request_categorize(self, server, capsys):
+        code = main(
+            [
+                "request",
+                "--url", self._base_url(server),
+                "--sql", "SELECT * FROM ListProperty WHERE price <= 300000",
+                "--deadline-ms", "5000",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rung"] in ("full", "truncated", "single_level", "showtuples")
+        assert payload["trace_id"].startswith("req-")
+
+    def test_request_record(self, server, capsys):
+        code = main(
+            [
+                "request",
+                "--url", self._base_url(server),
+                "--sql", "SELECT * FROM ListProperty WHERE bedroomcount = 3",
+                "--record",
+            ]
+        )
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["status"] == "recorded"
+
+    def test_request_bad_sql_exits_nonzero(self, server, capsys):
+        code = main(
+            [
+                "request",
+                "--url", self._base_url(server),
+                "--sql", "SELECT FROM WHERE",
+            ]
+        )
+        assert code == 2
+        assert "sql" in capsys.readouterr().err
+
+    def test_request_without_sql_errors(self, capsys):
+        assert main(["request"]) == 2
+        assert "--sql" in capsys.readouterr().err
+
+    def test_request_unreachable_server_errors(self, capsys):
+        code = main(["request", "--url", "http://127.0.0.1:9", "--health"])
+        assert code == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_serve_missing_data_reported(self, data_and_workload, capsys):
+        _, workload = data_and_workload
+        code = main(
+            ["serve", "--data", "/nonexistent.csv", "--workload", str(workload)]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
