@@ -37,6 +37,7 @@ GATED_METRICS: tuple[tuple[str, str], ...] = (
     ("categorize_hot_path", "warm_ms"),
     ("partition_fast_path", "fast_ms"),
     ("serving_hot_path", "warm_ms"),
+    ("columnar_scale", "columnar_ms"),
 )
 
 

@@ -16,6 +16,10 @@ Subcommands::
                           [--host 127.0.0.1 --port 8765] [--lenient-csv]
     repro request         --sql "SELECT ..." [--deadline-ms 50] [--budget full] \
                           [--record | --health | --metrics]
+    repro request         --batch "SELECT ..." "SELECT ..." [--deadline-ms 200]
+
+``categorize``/``perf-report``/``serve`` accept ``--backend columnar`` to
+load the relation into the packed columnar store (docs/storage.md).
 
 ``generate-data``/``generate-workload`` emit the synthetic MSN stand-ins;
 ``categorize`` works on any CSV whose schema is the built-in ListProperty
@@ -124,6 +128,8 @@ def build_parser() -> argparse.ArgumentParser:
     cat.add_argument("--explain", action="store_true",
                      help="print the per-level decision trace (candidates, "
                           "CostAll/CostOne, eliminations, chosen attribute)")
+    cat.add_argument("--backend", choices=("rows", "columnar"), default="rows",
+                     help="table storage backend (columnar for large CSVs)")
     cat.set_defaults(handler=_cmd_categorize)
 
     report = subparsers.add_parser(
@@ -146,6 +152,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="trace sampling probability in [0, 1]")
     report.add_argument("--sample-every", type=int, default=None,
                         help="trace every Nth root span")
+    report.add_argument("--backend", choices=("rows", "columnar"), default="rows",
+                        help="table storage backend (columnar for large CSVs)")
     report.set_defaults(handler=_cmd_perf_report)
 
     serve = subparsers.add_parser(
@@ -167,6 +175,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="result-cache TTL in seconds")
     serve.add_argument("--lenient-csv", action="store_true",
                        help="skip malformed CSV rows instead of failing")
+    serve.add_argument("--backend", choices=("rows", "columnar"), default="rows",
+                       help="table storage backend (columnar for large CSVs)")
     serve.set_defaults(handler=_cmd_serve)
 
     req = subparsers.add_parser(
@@ -175,6 +185,9 @@ def build_parser() -> argparse.ArgumentParser:
     req.add_argument("--url", default="http://127.0.0.1:8765",
                      help="base URL of the service")
     req.add_argument("--sql", default=None, help="SQL SELECT to categorize")
+    req.add_argument("--batch", nargs="+", metavar="SQL", default=None,
+                     help="several SQL SELECTs served against one pinned "
+                          "epoch via POST /categorize_batch")
     req.add_argument("--deadline-ms", type=float, default=None)
     req.add_argument("--budget", default="full",
                      help="best rung to pay for: full|single_level|showtuples")
@@ -242,7 +255,7 @@ def _cmd_stats(args) -> int:
 
 def _cmd_categorize(args) -> int:
     schema = load_schema(args.schema)
-    table = read_csv(schema, args.data)
+    table = read_csv(schema, args.data, backend=args.backend)
     workload = Workload.load(args.workload)
     config = CategorizerConfig(
         max_tuples_per_category=args.m,
@@ -280,7 +293,7 @@ def _cmd_perf_report(args) -> int:
     try:
         if args.sample_rate is not None or args.sample_every is not None:
             perf.set_sampling(rate=args.sample_rate, every=args.sample_every)
-        table = read_csv(schema, args.data)
+        table = read_csv(schema, args.data, backend=args.backend)
         workload = Workload.load(args.workload)
         statistics = preprocess_workload(workload, schema, config.separation_intervals)
         query = parse_query(args.query)
@@ -307,7 +320,9 @@ def _cmd_serve(args) -> int:
     from repro.serving.service import CategorizationService
 
     schema = load_schema(args.schema)
-    table = read_csv(schema, args.data, strict=not args.lenient_csv)
+    table = read_csv(
+        schema, args.data, strict=not args.lenient_csv, backend=args.backend
+    )
     workload = Workload.load(args.workload)
     statistics = preprocess_workload(
         workload, schema, PAPER_CONFIG.separation_intervals
@@ -327,7 +342,10 @@ def _cmd_serve(args) -> int:
         f"serving {schema.name} ({len(table)} rows, "
         f"{statistics.total_queries} workload queries) on http://{host}:{port}"
     )
-    print("endpoints: GET /healthz /metrics, POST /categorize /record")
+    print(
+        "endpoints: GET /healthz /metrics, "
+        "POST /categorize /categorize_batch /record"
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -347,9 +365,23 @@ def _cmd_request(args) -> int:
     if args.health or args.metrics:
         path = "/healthz" if args.health else "/metrics"
         request = urllib.request.Request(base + path)
+    elif args.batch:
+        payload: dict = {
+            "sqls": list(args.batch),
+            "deadline_ms": args.deadline_ms,
+            "budget": args.budget,
+            "render": args.render,
+            "trace": args.trace,
+        }
+        request = urllib.request.Request(
+            base + "/categorize_batch",
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
     elif args.sql:
         path = "/record" if args.record else "/categorize"
-        payload: dict = {"sql": args.sql}
+        payload = {"sql": args.sql}
         if not args.record:
             payload.update(
                 deadline_ms=args.deadline_ms,
@@ -364,7 +396,7 @@ def _cmd_request(args) -> int:
             method="POST",
         )
     else:
-        print("error: need --sql, --health, or --metrics", file=sys.stderr)
+        print("error: need --sql, --batch, --health, or --metrics", file=sys.stderr)
         return 2
 
     try:

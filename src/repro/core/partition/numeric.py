@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import bisect
 import math
+from array import array
+from typing import Sequence
 
 from repro import perf
 from repro.core.config import CategorizerConfig
@@ -110,11 +112,19 @@ class NumericPartitioner:
         create a bucket with fewer than ``config.min_bucket_tuples`` of the
         node's tuples, until m−1 points are selected or the SPL runs out.
         """
+        # The sorted scan is memoized as a packed array('d'): the memo
+        # lives as long as the node's RowSet (one per tree node per
+        # attribute), and at paper scale the packed form keeps hundreds of
+        # thousands of boxed floats off the heap; bisect works on it
+        # unchanged.
         values = (
             rows.derive(
                 ("sorted_values", self.attribute),
-                lambda: sorted(
-                    v for v in rows.values(self.attribute) if v is not None
+                lambda: array(
+                    "d",
+                    sorted(
+                        v for v in rows.values(self.attribute) if v is not None
+                    ),
                 ),
             )
             if self.use_cache
@@ -145,7 +155,7 @@ class NumericPartitioner:
         return max(1, min(strong, self.config.max_auto_buckets - 1))
 
     def _is_necessary(
-        self, candidate: float, selected: list[float], sorted_values: list[float]
+        self, candidate: float, selected: list[float], sorted_values: "Sequence[float]"
     ) -> bool:
         """True unless the candidate creates a too-small bucket.
 
@@ -253,17 +263,9 @@ def bucketize(
             )
         )
 
-    def classify(value):
-        if value is None or not (vmin <= value <= vmax):
-            return None
-        index = bisect.bisect_right(boundaries, value) - 1
-        return min(index, len(labels) - 1)
-
-    buckets = rows.partition_by_attribute(attribute, classify)
+    buckets = rows.partition_by_buckets(attribute, boundaries)
     return [
-        (labels[i], buckets[i])
-        for i in range(len(labels))
-        if i in buckets and len(buckets[i]) > 0
+        (labels[i], buckets[i]) for i in range(len(labels)) if i in buckets
     ]
 
 

@@ -80,26 +80,26 @@ MOVIE_SEPARATION_INTERVALS = {
 }
 
 
-def generate_movies(rows: int = 20_000, seed: int = 3) -> Table:
+def generate_movies(rows: int = 20_000, seed: int = 3, backend: str = "rows") -> Table:
     """Generate the synthetic movie catalog, deterministic under ``seed``."""
     if rows <= 0:
         raise ValueError(f"rows must be positive, got {rows}")
     rng = random.Random(seed)
-    table = Table(movie_schema())
     genre_names = [g for g, _, _ in GENRES]
     genre_weights = [w for _, w, _ in GENRES]
     language_names = [l for l, _ in LANGUAGES]
     language_weights = [w for _, w in LANGUAGES]
-    for _ in range(rows):
-        genre = weighted_choice(rng, genre_names, genre_weights)
-        year = min(2004, max(1920, int(rng.gauss(1985, 18))))
-        rating = round(min(9.8, max(1.0, rng.gauss(6.2, 1.2))), 1)
-        # Popular, well-rated, recent movies accumulate votes.
-        votes_scale = 10 ** rng.uniform(2.0, 5.5)
-        votes = int(votes_scale * (0.4 + rating / 10) * (0.5 + (year - 1920) / 170))
-        runtime = int(round(rng.gauss(108, 18) / 5) * 5)
-        table.insert(
-            {
+
+    def movies():
+        for _ in range(rows):
+            genre = weighted_choice(rng, genre_names, genre_weights)
+            year = min(2004, max(1920, int(rng.gauss(1985, 18))))
+            rating = round(min(9.8, max(1.0, rng.gauss(6.2, 1.2))), 1)
+            # Popular, well-rated, recent movies accumulate votes.
+            votes_scale = 10 ** rng.uniform(2.0, 5.5)
+            votes = int(votes_scale * (0.4 + rating / 10) * (0.5 + (year - 1920) / 170))
+            runtime = int(round(rng.gauss(108, 18) / 5) * 5)
+            yield {
                 "genre": genre,
                 "language": weighted_choice(rng, language_names, language_weights),
                 "certificate": rng.choice(CERTIFICATES),
@@ -108,8 +108,8 @@ def generate_movies(rows: int = 20_000, seed: int = 3) -> Table:
                 "rating": rating,
                 "votes": max(50, votes),
             }
-        )
-    return table
+
+    return Table.from_rows(movie_schema(), movies(), backend=backend)
 
 
 def generate_movie_workload(queries: int = 8_000, seed: int = 5) -> Workload:

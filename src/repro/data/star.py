@@ -55,10 +55,11 @@ def normalize_homes(wide: Table) -> tuple[Table, Table]:
     Locations are keyed by neighborhood (the dataset generator assigns one
     zipcode/city/state per neighborhood, so neighborhood determines the
     rest); surrogate ids are assigned in first-appearance order, making the
-    decomposition deterministic.
+    decomposition deterministic.  Both output tables are bulk-loaded and
+    inherit the wide table's storage backend.
     """
-    location = Table(location_dimension_schema())
-    fact = Table(listing_fact_schema())
+    location_rows: list[dict] = []
+    fact_rows: list[dict] = []
     ids_by_neighborhood: dict[str, int] = {}
     for row in wide:
         neighborhood = row["neighborhood"]
@@ -66,7 +67,7 @@ def normalize_homes(wide: Table) -> tuple[Table, Table]:
         if location_id is None:
             location_id = len(ids_by_neighborhood) + 1
             ids_by_neighborhood[neighborhood] = location_id
-            location.insert(
+            location_rows.append(
                 {
                     "locationid": location_id,
                     "neighborhood": neighborhood,
@@ -75,7 +76,7 @@ def normalize_homes(wide: Table) -> tuple[Table, Table]:
                     "zipcode": row["zipcode"],
                 }
             )
-        fact.insert(
+        fact_rows.append(
             {
                 "locationid": location_id,
                 "price": row["price"],
@@ -86,6 +87,11 @@ def normalize_homes(wide: Table) -> tuple[Table, Table]:
                 "squarefootage": row["squarefootage"],
             }
         )
+    backend = wide.backend_name
+    fact = Table.from_rows(listing_fact_schema(), fact_rows, backend=backend)
+    location = Table.from_rows(
+        location_dimension_schema(), location_rows, backend=backend
+    )
     return fact, location
 
 

@@ -5,6 +5,16 @@ overlap semantics of paper Section 4.2, SPJ query execution, per-attribute
 statistics, and CSV round-trip.
 """
 
+from repro.relational.backends import (
+    BACKEND_NAMES,
+    ColumnStore,
+    DictColumn,
+    FloatColumn,
+    IntColumn,
+    RowStore,
+    StorageBackend,
+    make_backend,
+)
 from repro.relational.csvio import read_csv, write_csv
 from repro.relational.expressions import (
     ComparisonPredicate,
@@ -14,6 +24,7 @@ from repro.relational.expressions import (
     Predicate,
     RangePredicate,
     TruePredicate,
+    comparison_operator,
     normalize,
 )
 from repro.relational.join import DimensionJoin, join_star
@@ -32,24 +43,33 @@ from repro.relational.types import AttributeKind, DataType
 __all__ = [
     "Attribute",
     "AttributeKind",
+    "BACKEND_NAMES",
     "CategoricalStats",
+    "ColumnStore",
     "ComparisonPredicate",
     "Conjunction",
     "DataType",
+    "DictColumn",
     "DimensionJoin",
+    "FloatColumn",
     "InPredicate",
+    "IntColumn",
     "IsNullPredicate",
     "NumericStats",
     "Predicate",
     "RangePredicate",
     "Row",
     "RowSet",
+    "RowStore",
     "SelectQuery",
+    "StorageBackend",
     "Table",
     "TableSchema",
     "TruePredicate",
     "categorical_stats",
+    "comparison_operator",
     "join_star",
+    "make_backend",
     "normalize",
     "numeric_stats",
     "read_csv",

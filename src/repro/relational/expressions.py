@@ -22,8 +22,31 @@ preprocessor can index them.
 from __future__ import annotations
 
 import math
+import operator
 from dataclasses import dataclass
-from typing import Any, Iterator, Mapping, Sequence
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+_COMPARISON_OPERATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "=": operator.eq,
+    "!=": operator.ne,
+}
+
+
+def comparison_operator(op: str) -> Callable[[Any, Any], bool]:
+    """Return the binary function implementing comparison ``op``.
+
+    Shared by :class:`ComparisonPredicate` (row-at-a-time) and the
+    columnar backend's column-at-a-time matcher, so both paths agree on
+    operator semantics by construction.
+    """
+    try:
+        return _COMPARISON_OPERATORS[op]
+    except KeyError:
+        raise ValueError(f"unknown comparison operator {op!r}") from None
 
 
 class Predicate:
@@ -199,17 +222,7 @@ class ComparisonPredicate(Predicate):
         actual = row.get(self.attribute)
         if actual is None:
             return False
-        if self.op == "<":
-            return actual < self.value
-        if self.op == "<=":
-            return actual <= self.value
-        if self.op == ">":
-            return actual > self.value
-        if self.op == ">=":
-            return actual >= self.value
-        if self.op == "=":
-            return actual == self.value
-        return actual != self.value
+        return comparison_operator(self.op)(actual, self.value)
 
     def attributes(self) -> frozenset[str]:
         return frozenset((self.attribute,))

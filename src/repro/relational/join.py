@@ -66,31 +66,36 @@ def join_star(
     """
     indexes = [_build_index(dimension) for dimension in dimensions]
     attributes = _wide_schema_attributes(fact, dimensions, drop_keys)
-    wide = Table(TableSchema(name or f"{fact.schema.name}_wide", tuple(attributes)))
+    wide_schema = TableSchema(name or f"{fact.schema.name}_wide", tuple(attributes))
 
     dropped_keys = {d.fact_key for d in dimensions} if drop_keys else set()
-    for row in fact:
-        output: dict[str, Any] = {
-            attribute: row[attribute]
-            for attribute in fact.schema.names()
-            if attribute not in dropped_keys
-        }
-        for dimension, index in zip(dimensions, indexes):
-            key = row[dimension.fact_key]
-            if key is None:
-                continue  # NULL FK: dimension attributes stay NULL
-            try:
-                dimension_row = index[key]
-            except KeyError:
-                raise ValueError(
-                    f"fact row {row.index}: no {dimension.table.schema.name!r} "
-                    f"row with {dimension.dimension_key} = {key!r}"
-                ) from None
-            for attribute in dimension.table.schema.names():
-                if attribute != dimension.dimension_key:
-                    output[attribute] = dimension_row[attribute]
-        wide.insert(output)
-    return wide
+
+    def wide_rows():
+        for row in fact:
+            output: dict[str, Any] = {
+                attribute: row[attribute]
+                for attribute in fact.schema.names()
+                if attribute not in dropped_keys
+            }
+            for dimension, index in zip(dimensions, indexes):
+                key = row[dimension.fact_key]
+                if key is None:
+                    continue  # NULL FK: dimension attributes stay NULL
+                try:
+                    dimension_row = index[key]
+                except KeyError:
+                    raise ValueError(
+                        f"fact row {row.index}: no {dimension.table.schema.name!r} "
+                        f"row with {dimension.dimension_key} = {key!r}"
+                    ) from None
+                for attribute in dimension.table.schema.names():
+                    if attribute != dimension.dimension_key:
+                        output[attribute] = dimension_row[attribute]
+            yield output
+
+    # Bulk-load the joined rows; the wide table inherits the fact table's
+    # storage backend so a columnar star stays columnar end to end.
+    return Table.from_rows(wide_schema, wide_rows(), backend=fact.backend_name)
 
 
 def _build_index(dimension: DimensionJoin):

@@ -83,13 +83,10 @@ def categorical_stats(rows: RowSet | Table, attribute: str) -> CategoricalStats:
     anyway; determinism here keeps tests stable).
     """
     view = rows.all_rows() if isinstance(rows, Table) else rows
-    counter: Counter[Any] = Counter()
-    null_count = 0
-    for value in view.values(attribute):
-        if value is None:
-            null_count += 1
-        else:
-            counter[value] += 1
+    # Counter(iterable) counts at C speed; NULLs are counted like any other
+    # key and then split out, which beats a Python-level loop per value.
+    counter: Counter[Any] = Counter(view.values(attribute))
+    null_count = counter.pop(None, 0)
     ordered = tuple(
         sorted(counter.items(), key=lambda item: (-item[1], repr(item[0])))
     )

@@ -1,24 +1,40 @@
 """Column-oriented in-memory tables.
 
-The engine stores each attribute as a plain Python list (a column).  Rows
-are materialized lazily as dicts or :class:`Row` views.  This keeps scans —
-the only access path the categorizer needs — simple and fast at the scale of
-this reproduction, and makes per-attribute statistics (distinct values,
-min/max) natural to compute.
+The engine stores each attribute as a column behind a pluggable
+:class:`~repro.relational.backends.StorageBackend`:
 
-A :class:`Table` owns its columns; selections return lightweight
-:class:`RowSet` views (a table + a list of row indices) so that the category
-tree can hold the ``tset`` of every node without copying tuple data
-(paper Section 3.1: ``tset(C)`` is a subset of the result set R).
+* ``backend="rows"`` (default) — one plain Python list per attribute, the
+  most forgiving layout and the fastest one for small tables;
+* ``backend="columnar"`` — packed ``array.array`` numeric columns and
+  dictionary-encoded TEXT/BOOL columns with column-at-a-time selection,
+  built for paper-scale data (see ``docs/storage.md``).
+
+Rows are materialized lazily as dicts or :class:`Row` views.  A
+:class:`Table` owns its backend; selections return lightweight
+:class:`RowSet` views (a table + a sequence of row indices) so that the
+category tree can hold the ``tset`` of every node without copying tuple
+data (paper Section 3.1: ``tset(C)`` is a subset of the result set R).
+
+Bulk construction (:meth:`Table.from_columns`, :meth:`Table.from_rows`) is
+the preferred loading path — it coerces column-wise and hands whole columns
+to the backend, instead of paying per-row dict handling in an ``insert``
+loop.
 """
 
 from __future__ import annotations
 
+import bisect
+from array import array
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro import perf
+from repro.relational.backends import make_backend
 from repro.relational.expressions import Predicate, TruePredicate
 from repro.relational.schema import Attribute, TableSchema
+
+#: Index containers RowSet adopts without copying (all are immutable by
+#: convention here: nobody mutates a RowSet's indices after construction).
+_INDEX_SEQUENCES = (tuple, list, range, array)
 
 
 class Row(Mapping[str, Any]):
@@ -61,21 +77,104 @@ class Table:
 
     Construction::
 
-        table = Table(schema)
+        table = Table(schema)                      # row backend
+        table = Table(schema, backend="columnar")  # packed typed columns
         table.insert({"price": 250_000, "city": "Seattle"})
         table.extend(rows)
+
+        # Bulk loads (preferred for anything larger than a handful of rows):
+        table = Table.from_columns(schema, {"price": [...], "city": [...]})
+        table = Table.from_rows(schema, dict_iterable, backend="columnar")
 
     Values are validated against the schema on insertion, so downstream code
     (partitioning, statistics) can assume type-clean columns.
     """
 
-    def __init__(self, schema: TableSchema) -> None:
+    def __init__(self, schema: TableSchema, backend: str = "rows") -> None:
         self.schema = schema
-        self._columns: dict[str, list[Any]] = {name: [] for name in schema.names()}
+        self._backend = make_backend(backend, schema)
         self._size = 0
         self._groupby_indexes: dict[str, dict[Any, tuple[int, ...]]] = {}
 
+    @property
+    def backend_name(self) -> str:
+        """The storage backend's registry name (``"rows"``/``"columnar"``)."""
+        return self._backend.name
+
     # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_columns(
+        cls,
+        schema: TableSchema,
+        columns: Mapping[str, Sequence[Any]],
+        backend: str = "rows",
+        coerce: bool = True,
+    ) -> "Table":
+        """Build a table from whole columns — the bulk loading path.
+
+        Every schema attribute must be present in ``columns`` and all
+        columns must have equal length.  With ``coerce=True`` (default)
+        each column is validated through the schema's data types; loaders
+        that already coerced per value (``read_csv``) pass ``coerce=False``
+        to skip the second pass.
+
+        Raises:
+            KeyError: on missing or unknown column names.
+            ValueError: on ragged column lengths, or (with ``coerce=True``)
+                the first uncoercible value, named as ``column 'a'[i]``.
+        """
+        names = schema.names()
+        missing = [name for name in names if name not in columns]
+        if missing:
+            raise KeyError(
+                f"missing columns {missing} for table {schema.name!r}"
+            )
+        unknown = sorted(set(columns) - set(names))
+        if unknown:
+            raise KeyError(
+                f"unknown attributes {unknown} for table {schema.name!r}"
+            )
+        lengths = {name: len(columns[name]) for name in names}
+        if len(set(lengths.values())) > 1:
+            raise ValueError(f"ragged columns for {schema.name!r}: {lengths}")
+
+        table = cls(schema, backend=backend)
+        if coerce:
+            loaded: Mapping[str, Sequence[Any]] = {
+                attribute.name: _coerce_column(
+                    attribute, columns[attribute.name]
+                )
+                for attribute in schema
+            }
+        else:
+            loaded = {name: columns[name] for name in names}
+        table._backend.load_columns(loaded)
+        table._size = next(iter(lengths.values()), 0)
+        return table
+
+    @classmethod
+    def from_rows(
+        cls,
+        schema: TableSchema,
+        rows: Iterable[Mapping[str, Any]],
+        backend: str = "rows",
+    ) -> "Table":
+        """Build a table from row mappings by transposing to columns.
+
+        Missing attributes become NULL.  Unlike :meth:`insert`, unknown
+        keys are silently ignored — the bulk path trusts its producer
+        (generators, joins) and skips the per-row validation that makes
+        ``insert`` safe for hand-built rows.
+        """
+        names = schema.names()
+        columns: dict[str, list[Any]] = {name: [] for name in names}
+        appends = [(name, columns[name].append) for name in names]
+        for row in rows:
+            get = row.get
+            for name, append in appends:
+                append(get(name))
+        return cls.from_columns(schema, columns, backend=backend)
 
     def insert(self, row: Mapping[str, Any]) -> None:
         """Append one tuple given as a mapping from attribute name to value.
@@ -84,7 +183,7 @@ class Table:
         unknown keys raise so that generator bugs surface early.
         Invalidates every cached groupby index.
         """
-        unknown = set(row) - set(self._columns)
+        unknown = set(row) - set(self.schema.names())
         if unknown:
             raise KeyError(
                 f"unknown attributes {sorted(unknown)} for table {self.schema.name!r}"
@@ -93,11 +192,10 @@ class Table:
         # coercion failure must not leave the columns torn (callers that
         # catch and skip bad rows — read_csv(strict=False) — rely on this).
         values = [
-            (attribute.name, attribute.coerce(row.get(attribute.name)))
+            attribute.coerce(row.get(attribute.name))
             for attribute in self.schema
         ]
-        for name, value in values:
-            self._columns[name].append(value)
+        self._backend.append_row(values)
         self._size += 1
         if self._groupby_indexes:
             self._groupby_indexes.clear()
@@ -124,11 +222,11 @@ class Table:
     def column(self, name: str) -> Sequence[Any]:
         """Return the full column for attribute ``name`` (do not mutate)."""
         try:
-            return self._columns[name]
+            return self._backend.column(name)
         except KeyError:
             raise KeyError(
                 f"no attribute {name!r} in table {self.schema.name!r}; "
-                f"available: {sorted(self._columns)}"
+                f"available: {sorted(self.schema.names())}"
             ) from None
 
     def attribute(self, name: str) -> Attribute:
@@ -146,12 +244,10 @@ class Table:
         """
         index = self._groupby_indexes.get(name)
         if index is None:
+            self.column(name)  # raise the helpful KeyError on unknown names
             perf.count("table.groupby_index.build")
             with perf.span("table.groupby_index.build"):
-                buckets: dict[Any, list[int]] = {}
-                for position, value in enumerate(self.column(name)):
-                    buckets.setdefault(value, []).append(position)
-                index = {value: tuple(ids) for value, ids in buckets.items()}
+                index = self._backend.build_groupby(name)
             self._groupby_indexes[name] = index
         else:
             perf.count("table.groupby_index.hit")
@@ -172,7 +268,28 @@ class Table:
         return [row.as_dict() for row in self]
 
     def __repr__(self) -> str:
-        return f"Table({self.schema.name!r}, rows={self._size})"
+        return (
+            f"Table({self.schema.name!r}, rows={self._size}, "
+            f"backend={self._backend.name!r})"
+        )
+
+
+def _coerce_column(attribute: Attribute, values: Sequence[Any]) -> list[Any]:
+    """Coerce one whole column, naming the offending position on failure."""
+    coerce = attribute.coerce
+    try:
+        return [coerce(value) for value in values]
+    except (TypeError, ValueError):
+        # Re-scan to locate the failure for the error message; the happy
+        # path above stays a bare C-speed comprehension.
+        for position, value in enumerate(values):
+            try:
+                coerce(value)
+            except (TypeError, ValueError) as exc:
+                raise type(exc)(
+                    f"column {attribute.name!r}[{position}]: {exc}"
+                ) from exc
+        raise  # pragma: no cover - first pass failed, second cannot pass
 
 
 class RowSet:
@@ -181,14 +298,25 @@ class RowSet:
     This is the concrete representation of the paper's ``tset(C)``: the
     category tree stores one RowSet per node, all sharing the underlying
     table.  Further selections (drilling into a subcategory) narrow the
-    index list without copying data.
+    index sequence without copying data.
+
+    The index sequence is stored as whatever compact form produced it —
+    a ``range`` for whole-table views, the backend's filtered list for
+    selections, a tuple for explicit construction — and only materialized
+    as a tuple when :attr:`indices` is read.
     """
 
-    __slots__ = ("table", "_indices", "_ascending", "_derived")
+    __slots__ = ("table", "_indices", "_indices_tuple", "_ascending", "_derived")
 
     def __init__(self, table: Table, indices: Iterable[int]) -> None:
         self.table = table
-        self._indices: tuple[int, ...] = tuple(indices)
+        if isinstance(indices, _INDEX_SEQUENCES):
+            self._indices: Sequence[int] = indices
+        else:
+            self._indices = tuple(indices)
+        self._indices_tuple: tuple[int, ...] | None = (
+            self._indices if type(self._indices) is tuple else None
+        )
         self._ascending: bool | None = None
         self._derived: dict[Any, Any] | None = None
 
@@ -199,12 +327,15 @@ class RowSet:
         return (Row(self.table, i) for i in self._indices)
 
     def __bool__(self) -> bool:
-        return bool(self._indices)
+        return len(self._indices) > 0
 
     @property
     def indices(self) -> tuple[int, ...]:
         """Row positions (in the base table) contained in this view."""
-        return self._indices
+        materialized = self._indices_tuple
+        if materialized is None:
+            materialized = self._indices_tuple = tuple(self._indices)
+        return materialized
 
     @property
     def is_ascending(self) -> bool:
@@ -219,7 +350,12 @@ class RowSet:
         ascending = self._ascending
         if ascending is None:
             ids = self._indices
-            ascending = all(ids[k] < ids[k + 1] for k in range(len(ids) - 1))
+            if isinstance(ids, range):
+                ascending = ids.step > 0 or len(ids) <= 1
+            else:
+                iterator = iter(ids)
+                next(iterator, None)
+                ascending = all(a < b for a, b in zip(ids, iterator))
             self._ascending = ascending
         return ascending
 
@@ -249,11 +385,28 @@ class RowSet:
         return value
 
     def select(self, predicate: Predicate) -> "RowSet":
-        """Return the sub-view of rows satisfying ``predicate``."""
+        """Return the sub-view of rows satisfying ``predicate``.
+
+        The table's storage backend gets first crack at the predicate
+        (column-at-a-time on the columnar backend); whatever it declines
+        is evaluated row-at-a-time, so semantics never depend on the
+        backend.
+        """
         if isinstance(predicate, TruePredicate):
             return self
-        kept = [i for i in self._indices if predicate.matches(Row(self.table, i))]
-        return RowSet(self.table, kept)
+        table = self.table
+        fast = table._backend.select_indices(predicate, self._indices)
+        if fast is None:
+            kept: Sequence[int] = [
+                i for i in self._indices if predicate.matches(Row(table, i))
+            ]
+        else:
+            kept, leftover = fast
+            if leftover is not None:
+                kept = [
+                    i for i in kept if leftover.matches(Row(table, i))
+                ]
+        return RowSet(table, kept)
 
     def partition_by(
         self, classify: Callable[[Row], Any]
@@ -262,16 +415,29 @@ class RowSet:
 
         A single pass over the rows — this is what makes building one level
         of the category tree O(|tset|) rather than O(|tset| * #categories).
-        Rows classified as ``None`` are dropped (e.g. NULL attribute values,
-        which belong to no category label).
+
+        NULL-handling contract: rows classified as ``None`` belong to **no
+        bucket** and are silently dropped from the partitioning (e.g. NULL
+        attribute values, or numeric values outside every bucket's range —
+        neither has a category label).  The union of the returned views is
+        therefore a subset, not a partition, of this view; callers that
+        need the NULL rows ask for them explicitly (the missing-value
+        category selects ``attribute IS NULL``).  Each call emits the
+        number of dropped rows on the ``partition.dropped_rows`` perf
+        counter so silent data loss is observable.
         """
+        table = self.table
         buckets: dict[Any, list[int]] = {}
+        dropped = 0
         for index in self._indices:
-            key = classify(Row(self.table, index))
+            key = classify(Row(table, index))
             if key is None:
+                dropped += 1
                 continue
             buckets.setdefault(key, []).append(index)
-        return {key: RowSet(self.table, ids) for key, ids in buckets.items()}
+        if dropped:
+            perf.count("partition.dropped_rows", dropped)
+        return {key: RowSet(table, ids) for key, ids in buckets.items()}
 
     def partition_by_attribute(
         self, attribute: str, classify: Callable[[Any], Any]
@@ -279,35 +445,93 @@ class RowSet:
         """Split by a function of ONE attribute's value — the fast path.
 
         Semantics match :meth:`partition_by` with
-        ``lambda row: classify(row[attribute])`` but the column is walked
-        directly, skipping per-row :class:`Row` view construction.  The
-        partitioners use this: level construction is the categorizer's
-        inner loop, and on wide tables the view-free walk is several times
-        faster.
+        ``lambda row: classify(row[attribute])`` — including its
+        NULL-handling contract: rows whose key classifies as ``None`` are
+        dropped and counted on ``partition.dropped_rows``.  The attribute's
+        values are gathered from the storage backend in one pass (decoded
+        codes / unpacked array values), skipping per-row :class:`Row` view
+        construction.  The partitioners use this: level construction is
+        the categorizer's inner loop, and on wide tables the view-free
+        walk is several times faster.
         """
-        column = self.table.column(attribute)
+        table = self.table
+        values = table._backend.gather(attribute, self._indices)
         buckets: dict[Any, list[int]] = {}
-        for index in self._indices:
-            key = classify(column[index])
+        dropped = 0
+        for index, value in zip(self._indices, values):
+            key = classify(value)
             if key is None:
+                dropped += 1
                 continue
             buckets.setdefault(key, []).append(index)
-        return {key: RowSet(self.table, ids) for key, ids in buckets.items()}
+        if dropped:
+            perf.count("partition.dropped_rows", dropped)
+        return {key: RowSet(table, ids) for key, ids in buckets.items()}
+
+    def partition_by_buckets(
+        self, attribute: str, boundaries: Sequence[float]
+    ) -> dict[int, "RowSet"]:
+        """Bucket rows by ascending numeric ``boundaries`` — the numeric
+        partitioners' inner loop.
+
+        Bucket ``k`` holds rows with ``boundaries[k] <= value <
+        boundaries[k+1]``; the final bucket closes at ``boundaries[-1]``.
+        Same NULL-handling contract as :meth:`partition_by`: NULL and
+        out-of-range values belong to no bucket, are dropped, and are
+        counted on ``partition.dropped_rows``.  Empty buckets are omitted
+        from the result.
+
+        The storage backend gets first crack (the columnar backend walks
+        the packed array directly); the fallback gathers values once and
+        classifies with a C-level ``bisect`` per value — either way there
+        is no per-row Python ``classify`` frame, which is what makes this
+        several times faster than :meth:`partition_by_attribute` with a
+        bisecting closure.
+        """
+        table = self.table
+        table.column(attribute)  # helpful KeyError on unknown names
+        fast = table._backend.bucket_numeric(
+            attribute, self._indices, boundaries
+        )
+        if fast is None:
+            values = table._backend.gather(attribute, self._indices)
+            low, high = boundaries[0], boundaries[-1]
+            last = len(boundaries) - 2
+            buckets: list[list[int]] = [[] for _ in range(last + 1)]
+            dropped = 0
+            bisect_right = bisect.bisect_right
+            for index, value in zip(self._indices, values):
+                if value is not None and low <= value <= high:
+                    buckets[
+                        bisect_right(boundaries, value, 0, last + 1) - 1
+                    ].append(index)
+                else:
+                    dropped += 1
+            fast = buckets, dropped
+        index_lists, dropped = fast
+        if dropped:
+            perf.count("partition.dropped_rows", dropped)
+        return {
+            position: RowSet(table, ids)
+            for position, ids in enumerate(index_lists)
+            if ids
+        }
 
     def values(self, attribute: str) -> list[Any]:
         """Return the values of ``attribute`` across this view, in row order."""
-        column = self.table.column(attribute)
-        return [column[i] for i in self._indices]
+        self.table.column(attribute)  # helpful KeyError on unknown names
+        return self.table._backend.gather(attribute, self._indices)
 
     def distinct_values(self, attribute: str) -> set[Any]:
         """Return the distinct non-NULL values of ``attribute`` in this view."""
-        column = self.table.column(attribute)
-        return {column[i] for i in self._indices if column[i] is not None}
+        values = self.values(attribute)
+        distinct = set(values)
+        distinct.discard(None)
+        return distinct
 
     def min_max(self, attribute: str) -> tuple[Any, Any] | None:
         """Return (min, max) of non-NULL values, or None if all-NULL/empty."""
-        column = self.table.column(attribute)
-        observed = [column[i] for i in self._indices if column[i] is not None]
+        observed = [v for v in self.values(attribute) if v is not None]
         if not observed:
             return None
         return min(observed), max(observed)

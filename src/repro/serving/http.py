@@ -12,6 +12,11 @@ Endpoints (JSON in, JSON out; no dependencies beyond ``http.server``):
                            :meth:`ServeResult.as_dict
                            <repro.serving.service.ServeResult.as_dict>`
                            summary, plus a rendered tree when asked
+``POST /categorize_batch``  body ``{"sqls": [...], "deadline_ms": ...,
+                           "budget": ..., "render": bool}`` → ``{"epoch":
+                           ..., "results": [...]}``; the whole batch is
+                           served against one pinned statistics epoch and
+                           shares one deadline
 ``POST /record``           body ``{"sql": ...}`` → ingestion ack with the
                            current epoch/pending counts
 =========================  ==================================================
@@ -94,6 +99,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
             payload = self._read_json()
             if self.path == "/categorize":
                 self._categorize(payload)
+            elif self.path == "/categorize_batch":
+                self._categorize_batch(payload)
             elif self.path == "/record":
                 self._record(payload)
             else:
@@ -123,6 +130,39 @@ class ServiceHandler(BaseHTTPRequestHandler):
         if result.tree is not None and result.tree.decision_trace is not None:
             body["decision_trace"] = result.tree.decision_trace.as_dict()
         self._reply(200, body)
+
+    def _categorize_batch(self, payload: dict[str, Any]) -> None:
+        sqls = payload.get("sqls")
+        if (
+            not isinstance(sqls, list)
+            or not sqls
+            or not all(isinstance(s, str) and s.strip() for s in sqls)
+        ):
+            raise InvalidRequest(
+                "body needs a non-empty 'sqls' list of SQL strings",
+                reason="sql",
+            )
+        results = self.service.categorize_many(
+            sqls,
+            deadline_ms=payload.get("deadline_ms"),
+            budget=payload.get("budget", "full"),
+            collect_trace=bool(payload.get("trace", False)),
+        )
+        rendered = bool(payload.get("render"))
+        bodies = []
+        for result in results:
+            body = result.as_dict()
+            if rendered and result.tree is not None:
+                body["rendering"] = render_tree(result.tree)
+            bodies.append(body)
+        self._reply(
+            200,
+            {
+                "epoch": results[0].epoch if results else None,
+                "count": len(bodies),
+                "results": bodies,
+            },
+        )
 
     def _record(self, payload: dict[str, Any]) -> None:
         sql = payload.get("sql")

@@ -16,7 +16,12 @@ result cache, and the degradation ladder.  The contract of
   into the PR 3 decision trace when tracing is requested, so a trace on
   disk can be joined back to the request that produced it.
 
-Results are cached per ``(epoch, normalized SQL)`` with LRU + TTL
+Batches go through :meth:`CategorizationService.categorize_many`, which
+pins a single statistics epoch for the whole batch and shares one
+deadline across it (the ROADMAP's batch-API follow-on).
+
+Results are cached per ``(epoch, technique, storage backend, normalized
+SQL)`` with LRU + TTL
 eviction; evicting an entry releases the tree and its per-``RowSet``
 partition derivations.  Only full-rung responses are cached — caching a
 degraded tree would keep serving yesterday's timeout after the pressure
@@ -31,7 +36,7 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from repro import perf
 from repro.core.algorithm import CostBasedCategorizer, LevelByLevelCategorizer
@@ -121,7 +126,7 @@ class _CacheEntry:
 class ResultCache:
     """LRU + TTL cache of full-rung categorizations.
 
-    Keys are ``(epoch, normalized SQL)`` strings; values hold the tree
+    Keys are ``epoch:technique:backend:normalized-SQL`` strings; values hold the tree
     and its result set, so a hit skips query execution *and* tree
     building.  The ``service.cache`` fault site fires on every lookup —
     an armed ``evict`` directive drops the entry being looked up,
@@ -268,71 +273,150 @@ class CategorizationService:
             InvalidRequest: malformed SQL / unknown table / bad deadline.
                 The only exception this method lets escape.
         """
-        trace_id = f"req-{next(self._trace_ids):06d}"
-        started = self._clock()
         perf.count("serve.requests")
         with perf.span("serve.request"):
             deadline = self._validated_deadline(deadline_ms)
-            if budget not in RUNGS:
-                raise InvalidRequest(
-                    f"unknown budget rung {budget!r}; choose from {RUNGS}",
-                    reason="budget",
-                )
+            self._validate_budget(budget)
             query, normalized_sql = self._parse(sql)
             epoch = self.store.pin()
+            return self._serve_pinned(
+                query,
+                normalized_sql,
+                epoch,
+                deadline,
+                budget,
+                collect_trace,
+            )
 
-            cache_key = f"{epoch.number}:{self.technique}:{normalized_sql}"
-            if budget == RUNG_FULL:
-                hit = self.cache.get(cache_key)
-                if hit is not None:
-                    perf.count("serve.rung", rung=RUNG_FULL)
-                    return ServeResult(
-                        trace_id=trace_id,
-                        sql=normalized_sql,
-                        rung=RUNG_FULL,
-                        epoch=epoch.number,
-                        rows=hit.rows,
-                        tree=hit.tree,
-                        cached=True,
-                        elapsed_ms=(self._clock() - started) * 1000.0,
-                    )
+    def categorize_many(
+        self,
+        sqls: Sequence[str],
+        deadline_ms: float | None = None,
+        budget: str = RUNG_FULL,
+        collect_trace: bool = False,
+    ) -> list[ServeResult]:
+        """Serve a batch of categorization requests against ONE epoch.
 
-            rows = query.execute(self.table)
-            if budget == RUNG_SHOWTUPLES:
-                perf.count("serve.rung", rung=RUNG_SHOWTUPLES)
+        The whole batch is validated up front (any malformed statement
+        fails the batch before any work is done), then a single statistics
+        epoch is pinned and shared, so every response is mutually
+        consistent — a concurrent ``record_query`` publish cannot land
+        between two queries of the same batch.  ``deadline_ms`` is a
+        budget for the **whole batch**: one shared
+        :class:`~repro.serving.degrade.Deadline` spans all queries, so
+        later queries degrade harder as earlier ones spend the budget
+        (bottoming out at SHOWTUPLES, never raising).
+
+        Args:
+            sqls: the SELECT statements to categorize; order is preserved
+                in the returned results.
+            deadline_ms: time budget shared across the batch.
+            budget: best rung any query of the batch may be served at.
+            collect_trace: attach decision traces, as in :meth:`categorize`.
+
+        Raises:
+            InvalidRequest: empty batch, bad deadline/budget, or any
+                statement that fails parsing/validation — the message
+                names the failing position.
+        """
+        if not sqls:
+            raise InvalidRequest("batch needs at least one statement", reason="sql")
+        perf.count("serve.batch_requests")
+        perf.count("serve.requests", len(sqls))
+        with perf.span("serve.batch"):
+            deadline = self._validated_deadline(deadline_ms)
+            self._validate_budget(budget)
+            parsed = []
+            for position, sql in enumerate(sqls):
+                try:
+                    parsed.append(self._parse(sql))
+                except InvalidRequest as exc:
+                    raise InvalidRequest(
+                        f"batch statement {position}: {exc}", reason=exc.reason
+                    ) from exc
+            epoch = self.store.pin()
+            return [
+                self._serve_pinned(
+                    query,
+                    normalized_sql,
+                    epoch,
+                    deadline,
+                    budget,
+                    collect_trace,
+                )
+                for query, normalized_sql in parsed
+            ]
+
+    def _serve_pinned(
+        self,
+        query: Any,
+        normalized_sql: str,
+        epoch: Any,
+        deadline: Deadline,
+        budget: str,
+        collect_trace: bool,
+    ) -> ServeResult:
+        """Serve one already-parsed request against a pinned epoch."""
+        trace_id = f"req-{next(self._trace_ids):06d}"
+        started = self._clock()
+        # The backend tag keeps cache entries honest when a service is
+        # rebuilt over the same data on a different storage backend:
+        # RowSets in cached trees are index views into one specific table.
+        cache_key = (
+            f"{epoch.number}:{self.technique}:"
+            f"{self.table.backend_name}:{normalized_sql}"
+        )
+        if budget == RUNG_FULL:
+            hit = self.cache.get(cache_key)
+            if hit is not None:
+                perf.count("serve.rung", rung=RUNG_FULL)
                 return ServeResult(
                     trace_id=trace_id,
                     sql=normalized_sql,
-                    rung=RUNG_SHOWTUPLES,
+                    rung=RUNG_FULL,
                     epoch=epoch.number,
-                    rows=rows,
-                    degraded=Degraded(RUNG_SHOWTUPLES, "budget"),
+                    rows=hit.rows,
+                    tree=hit.tree,
+                    cached=True,
                     elapsed_ms=(self._clock() - started) * 1000.0,
                 )
 
-            categorizer = TECHNIQUES[self.technique](epoch.statistics, self.config)
-            tree, rung, degraded = self.ladder.categorize(
-                categorizer,
-                rows,
-                query,
-                deadline,
-                collect_trace=collect_trace,
-                max_rung=budget,
-            )
-            if tree is not None and tree.decision_trace is not None:
-                tree.decision_trace.trace_id = trace_id
-            if rung == RUNG_FULL and tree is not None:
-                self.cache.put(cache_key, tree, rows)
+        rows = query.execute(self.table)
+        if budget == RUNG_SHOWTUPLES:
+            perf.count("serve.rung", rung=RUNG_SHOWTUPLES)
             return ServeResult(
                 trace_id=trace_id,
                 sql=normalized_sql,
-                rung=rung,
+                rung=RUNG_SHOWTUPLES,
                 epoch=epoch.number,
                 rows=rows,
-                tree=tree,
-                degraded=degraded,
+                degraded=Degraded(RUNG_SHOWTUPLES, "budget"),
                 elapsed_ms=(self._clock() - started) * 1000.0,
             )
+
+        categorizer = TECHNIQUES[self.technique](epoch.statistics, self.config)
+        tree, rung, degraded = self.ladder.categorize(
+            categorizer,
+            rows,
+            query,
+            deadline,
+            collect_trace=collect_trace,
+            max_rung=budget,
+        )
+        if tree is not None and tree.decision_trace is not None:
+            tree.decision_trace.trace_id = trace_id
+        if rung == RUNG_FULL and tree is not None:
+            self.cache.put(cache_key, tree, rows)
+        return ServeResult(
+            trace_id=trace_id,
+            sql=normalized_sql,
+            rung=rung,
+            epoch=epoch.number,
+            rows=rows,
+            tree=tree,
+            degraded=degraded,
+            elapsed_ms=(self._clock() - started) * 1000.0,
+        )
 
     # -- write path ----------------------------------------------------------
 
@@ -381,6 +465,13 @@ class CategorizationService:
             return Deadline(deadline_ms, clock=self._clock)
         except ValueError as exc:
             raise InvalidRequest(str(exc), reason="deadline") from exc
+
+    def _validate_budget(self, budget: str) -> None:
+        if budget not in RUNGS:
+            raise InvalidRequest(
+                f"unknown budget rung {budget!r}; choose from {RUNGS}",
+                reason="budget",
+            )
 
     def _parse(self, sql: str):
         try:

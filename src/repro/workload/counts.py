@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import bisect
 import math
+from array import array
 from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Iterable
@@ -268,12 +269,17 @@ class RangeIndex:
     Supports ``NOverlap`` for a bucket label ``a1 <= A < a2`` in O(log n):
     the number of recorded ranges [low, high] intersecting [a1, a2) equals
     ``total − #{high < a1} − #{low >= a2}``.
+
+    Endpoints are packed into ``array('d')`` — at paper scale (176 k
+    workload queries) the two endpoint lists per numeric attribute are the
+    statistics' largest resident structure, and the packed form is ~3.5×
+    smaller than boxed floats while bisecting identically.
     """
 
     def __init__(self, attribute: str) -> None:
         self.attribute = attribute
-        self._lows: list[float] = []
-        self._highs: list[float] = []
+        self._lows: array = array("d")
+        self._highs: array = array("d")
         self._finalized = False
 
     def record_range(self, low: float, high: float) -> None:
@@ -290,15 +296,19 @@ class RangeIndex:
     def copy(self) -> "RangeIndex":
         """An independent copy (epoch-snapshot publishing clones tables)."""
         clone = RangeIndex(self.attribute)
-        clone._lows = list(self._lows)
-        clone._highs = list(self._highs)
+        clone._lows = array("d", self._lows)
+        clone._highs = array("d", self._highs)
         clone._finalized = self._finalized
         return clone
 
     def finalize(self) -> None:
-        """Sort the endpoint lists; called lazily before counting."""
-        self._lows.sort()
-        self._highs.sort()
+        """Sort the endpoint lists; called lazily before counting.
+
+        ``array`` has no in-place sort, so each list is rebuilt from its
+        sorted values; counting paths only ever see the sorted arrays.
+        """
+        self._lows = array("d", sorted(self._lows))
+        self._highs = array("d", sorted(self._highs))
         self._finalized = True
 
     @property

@@ -319,6 +319,35 @@ class TestServeAndRequest:
         assert payload["rung"] in ("full", "truncated", "single_level", "showtuples")
         assert payload["trace_id"].startswith("req-")
 
+    def test_request_batch(self, server, capsys):
+        code = main(
+            [
+                "request",
+                "--url", self._base_url(server),
+                "--batch",
+                "SELECT * FROM ListProperty WHERE price <= 300000",
+                "SELECT * FROM ListProperty WHERE bedroomcount = 3",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 2
+        assert len(payload["results"]) == 2
+        assert {r["epoch"] for r in payload["results"]} == {payload["epoch"]}
+
+    def test_request_batch_bad_statement_exits_nonzero(self, server, capsys):
+        code = main(
+            [
+                "request",
+                "--url", self._base_url(server),
+                "--batch",
+                "SELECT * FROM ListProperty WHERE price <= 300000",
+                "SELECT FROM WHERE",
+            ]
+        )
+        assert code == 2
+        assert "batch statement 1" in capsys.readouterr().err
+
     def test_request_record(self, server, capsys):
         code = main(
             [
