@@ -38,6 +38,7 @@ GATED_METRICS: tuple[tuple[str, str], ...] = (
     ("partition_fast_path", "fast_ms"),
     ("serving_hot_path", "warm_ms"),
     ("columnar_scale", "columnar_ms"),
+    ("sharded_scale", "sharded_ms"),
 )
 
 

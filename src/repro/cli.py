@@ -19,7 +19,9 @@ Subcommands::
     repro request         --batch "SELECT ..." "SELECT ..." [--deadline-ms 200]
 
 ``categorize``/``perf-report``/``serve`` accept ``--backend columnar`` to
-load the relation into the packed columnar store (docs/storage.md).
+load the relation into the packed columnar store, or ``--backend sharded
+[--workers N]`` to spread it over shared-memory shards with a parallel
+worker pool (docs/storage.md).
 
 ``generate-data``/``generate-workload`` emit the synthetic MSN stand-ins;
 ``categorize`` works on any CSV whose schema is the built-in ListProperty
@@ -128,8 +130,12 @@ def build_parser() -> argparse.ArgumentParser:
     cat.add_argument("--explain", action="store_true",
                      help="print the per-level decision trace (candidates, "
                           "CostAll/CostOne, eliminations, chosen attribute)")
-    cat.add_argument("--backend", choices=("rows", "columnar"), default="rows",
-                     help="table storage backend (columnar for large CSVs)")
+    cat.add_argument("--backend", choices=("rows", "columnar", "sharded"),
+                     default="rows",
+                     help="table storage backend (columnar for large CSVs, "
+                          "sharded for parallel selection over many cores)")
+    cat.add_argument("--workers", type=int, default=None,
+                     help="worker-pool size for --backend sharded")
     cat.set_defaults(handler=_cmd_categorize)
 
     report = subparsers.add_parser(
@@ -152,8 +158,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="trace sampling probability in [0, 1]")
     report.add_argument("--sample-every", type=int, default=None,
                         help="trace every Nth root span")
-    report.add_argument("--backend", choices=("rows", "columnar"), default="rows",
-                        help="table storage backend (columnar for large CSVs)")
+    report.add_argument("--backend", choices=("rows", "columnar", "sharded"),
+                        default="rows",
+                        help="table storage backend (columnar for large CSVs, "
+                             "sharded for parallel selection over many cores)")
+    report.add_argument("--workers", type=int, default=None,
+                        help="worker-pool size for --backend sharded")
     report.set_defaults(handler=_cmd_perf_report)
 
     serve = subparsers.add_parser(
@@ -175,8 +185,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="result-cache TTL in seconds")
     serve.add_argument("--lenient-csv", action="store_true",
                        help="skip malformed CSV rows instead of failing")
-    serve.add_argument("--backend", choices=("rows", "columnar"), default="rows",
-                       help="table storage backend (columnar for large CSVs)")
+    serve.add_argument("--backend", choices=("rows", "columnar", "sharded"),
+                       default="rows",
+                       help="table storage backend (columnar for large CSVs, "
+                            "sharded for parallel selection over many cores)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker-pool size for --backend sharded")
     serve.set_defaults(handler=_cmd_serve)
 
     req = subparsers.add_parser(
@@ -204,6 +218,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 # -- handlers --------------------------------------------------------------
+
+
+def _backend_options(args) -> dict | None:
+    """Translate CLI backend flags into ``Table`` backend options."""
+    if getattr(args, "workers", None) is None:
+        return None
+    if args.backend != "sharded":
+        raise ValueError("--workers only applies to --backend sharded")
+    return {"workers": args.workers}
 
 
 def _cmd_generate_data(args) -> int:
@@ -255,7 +278,10 @@ def _cmd_stats(args) -> int:
 
 def _cmd_categorize(args) -> int:
     schema = load_schema(args.schema)
-    table = read_csv(schema, args.data, backend=args.backend)
+    table = read_csv(
+        schema, args.data, backend=args.backend,
+        backend_options=_backend_options(args),
+    )
     workload = Workload.load(args.workload)
     config = CategorizerConfig(
         max_tuples_per_category=args.m,
@@ -283,6 +309,7 @@ def _cmd_categorize(args) -> int:
     if args.explain and tree.decision_trace is not None:
         print()
         print(tree.decision_trace.render())
+    table.close()
     return 0
 
 
@@ -293,7 +320,10 @@ def _cmd_perf_report(args) -> int:
     try:
         if args.sample_rate is not None or args.sample_every is not None:
             perf.set_sampling(rate=args.sample_rate, every=args.sample_every)
-        table = read_csv(schema, args.data, backend=args.backend)
+        table = read_csv(
+            schema, args.data, backend=args.backend,
+            backend_options=_backend_options(args),
+        )
         workload = Workload.load(args.workload)
         statistics = preprocess_workload(workload, schema, config.separation_intervals)
         query = parse_query(args.query)
@@ -312,6 +342,7 @@ def _cmd_perf_report(args) -> int:
         perf.clear_sampling()
         perf.reset()
         perf.disable()
+    table.close()
     return 0
 
 
@@ -321,7 +352,11 @@ def _cmd_serve(args) -> int:
 
     schema = load_schema(args.schema)
     table = read_csv(
-        schema, args.data, strict=not args.lenient_csv, backend=args.backend
+        schema,
+        args.data,
+        strict=not args.lenient_csv,
+        backend=args.backend,
+        backend_options=_backend_options(args),
     )
     workload = Workload.load(args.workload)
     statistics = preprocess_workload(
@@ -353,6 +388,7 @@ def _cmd_serve(args) -> int:
     finally:
         service.flush()
         server.server_close()
+        table.close()
         perf.disable()
     return 0
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Any, Mapping
 
 from repro.data.distributions import (
     sample_bathrooms,
@@ -79,6 +79,7 @@ class ListPropertyGenerator:
     regions: tuple[Region, ...] = ALL_REGIONS
     null_rates: Mapping[str, float] = field(default_factory=dict)
     backend: str = "rows"
+    backend_options: Mapping[str, Any] | None = None
 
     def generate(self) -> Table:
         """Build and return the table.
@@ -112,7 +113,10 @@ class ListPropertyGenerator:
                 yield listing
 
         return Table.from_rows(
-            list_property_schema(), listings(), backend=self.backend
+            list_property_schema(),
+            listings(),
+            backend=self.backend,
+            backend_options=self.backend_options,
         )
 
     def _generate_listing(
@@ -160,6 +164,13 @@ class _ZipcodeAssigner:
         return self._assigned[neighborhood_name]
 
 
-def generate_homes(rows: int = 50_000, seed: int = 7, backend: str = "rows") -> Table:
+def generate_homes(
+    rows: int = 50_000,
+    seed: int = 7,
+    backend: str = "rows",
+    backend_options: Mapping[str, Any] | None = None,
+) -> Table:
     """Convenience wrapper: generate the default synthetic ListProperty table."""
-    return ListPropertyGenerator(rows=rows, seed=seed, backend=backend).generate()
+    return ListPropertyGenerator(
+        rows=rows, seed=seed, backend=backend, backend_options=backend_options
+    ).generate()

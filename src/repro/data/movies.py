@@ -16,6 +16,7 @@ Used by ``examples/movies.py`` and the cross-domain benchmark
 from __future__ import annotations
 
 import random
+from typing import Any, Mapping
 
 from repro.data.distributions import weighted_choice
 from repro.relational.schema import Attribute, TableSchema
@@ -80,7 +81,12 @@ MOVIE_SEPARATION_INTERVALS = {
 }
 
 
-def generate_movies(rows: int = 20_000, seed: int = 3, backend: str = "rows") -> Table:
+def generate_movies(
+    rows: int = 20_000,
+    seed: int = 3,
+    backend: str = "rows",
+    backend_options: Mapping[str, Any] | None = None,
+) -> Table:
     """Generate the synthetic movie catalog, deterministic under ``seed``."""
     if rows <= 0:
         raise ValueError(f"rows must be positive, got {rows}")
@@ -109,7 +115,9 @@ def generate_movies(rows: int = 20_000, seed: int = 3, backend: str = "rows") ->
                 "votes": max(50, votes),
             }
 
-    return Table.from_rows(movie_schema(), movies(), backend=backend)
+    return Table.from_rows(
+        movie_schema(), movies(), backend=backend, backend_options=backend_options
+    )
 
 
 def generate_movie_workload(queries: int = 8_000, seed: int = 5) -> Workload:

@@ -16,6 +16,7 @@ from repro.relational.backends import (
     make_backend,
 )
 from repro.relational.csvio import read_csv, write_csv
+from repro.relational.sharded import AscendingIndices, ShardedBackend
 from repro.relational.expressions import (
     ComparisonPredicate,
     Conjunction,
@@ -41,6 +42,7 @@ from repro.relational.table import Row, RowSet, Table
 from repro.relational.types import AttributeKind, DataType
 
 __all__ = [
+    "AscendingIndices",
     "Attribute",
     "AttributeKind",
     "BACKEND_NAMES",
@@ -62,6 +64,7 @@ __all__ = [
     "RowSet",
     "RowStore",
     "SelectQuery",
+    "ShardedBackend",
     "StorageBackend",
     "Table",
     "TableSchema",

@@ -2,7 +2,8 @@
 
 A backend owns the physical column representation; the ``Table`` keeps the
 schema, coercion, and the ``RowSet`` algebra, and delegates storage through
-the :class:`StorageBackend` protocol.  Two implementations ship:
+the :class:`StorageBackend` protocol.  Three implementations ship (the
+third lives in :mod:`repro.relational.sharded`):
 
 * :class:`RowStore` (``backend="rows"``) — one plain Python list per
   attribute.  Values are stored as the objects coercion produced, which is
@@ -14,6 +15,11 @@ the :class:`StorageBackend` protocol.  Two implementations ship:
   TEXT / BOOL columns (an ``array('i')`` of integer codes plus one shared
   decode list).  NULLs are a side structure: a small set of null positions
   for numeric columns, the reserved code ``-1`` for dictionary columns.
+* :class:`~repro.relational.sharded.ShardedBackend` (``backend="sharded"``)
+  — the ``ColumnStore`` layout partitioned into per-shard shared-memory
+  segments, with ``select_indices`` / ``bucket_numeric`` /
+  ``build_groupby`` parallelized across a persistent worker pool.  Same
+  semantics, more cores; see that module and ``docs/storage.md``.
 
 The columnar payoff is **column-at-a-time selection**: instead of asking
 ``predicate.matches(row)`` once per row (a Python call plus a dict-protocol
@@ -43,6 +49,7 @@ backend accepts them.
 from __future__ import annotations
 
 import bisect
+import math
 from array import array
 from typing import Any, Iterator, Mapping, Protocol, Sequence
 
@@ -60,7 +67,7 @@ from repro.relational.schema import TableSchema
 from repro.relational.types import DataType
 
 #: Backend registry: name -> constructor taking the schema.
-BACKEND_NAMES = ("rows", "columnar")
+BACKEND_NAMES = ("rows", "columnar", "sharded")
 
 
 class StorageBackend(Protocol):
@@ -119,19 +126,35 @@ class StorageBackend(Protocol):
 
         Bucket ``k`` holds rows with ``boundaries[k] <= value <
         boundaries[k+1]`` (the last bucket closes at ``boundaries[-1]``);
-        NULLs and out-of-range values are dropped.  Returns the per-bucket
-        index lists plus the dropped count, or ``None`` when this backend
-        has no fast path (the caller falls back to gather-and-classify).
+        NULLs, non-finite values (NaN / ±inf), and out-of-range values are
+        dropped and counted.  Returns the per-bucket index lists plus the
+        dropped count, or ``None`` when this backend has no fast path (the
+        caller falls back to gather-and-classify, which must apply the
+        same drop rules).
         """
         ...
 
 
-def make_backend(name: str, schema: TableSchema) -> "RowStore | ColumnStore":
-    """Instantiate the backend called ``name`` for ``schema``."""
-    if name == "rows":
-        return RowStore(schema)
-    if name == "columnar":
-        return ColumnStore(schema)
+def make_backend(name: str, schema: TableSchema, **options: Any) -> Any:
+    """Instantiate the backend called ``name`` for ``schema``.
+
+    ``options`` are backend-specific constructor keywords — the sharded
+    backend takes ``workers`` / ``min_parallel_rows`` / ``executor``; the
+    in-process backends take none (passing any is a ``TypeError``, not a
+    silent ignore, so a typo'd option cannot change which pool you get).
+    """
+    if name == "sharded":
+        # Imported lazily: the sharded module depends on this one, and the
+        # two in-process backends must not pay its multiprocessing imports.
+        from repro.relational.sharded import ShardedBackend
+
+        return ShardedBackend(schema, **options)
+    if name in ("rows", "columnar"):
+        if options:
+            raise TypeError(
+                f"backend {name!r} takes no options, got {sorted(options)}"
+            )
+        return RowStore(schema) if name == "rows" else ColumnStore(schema)
     raise ValueError(
         f"unknown storage backend {name!r}; choose from {BACKEND_NAMES}"
     )
@@ -444,6 +467,43 @@ class ColumnStore:
             current = filtered
         return current, None
 
+    def can_vectorize(self, predicate: Predicate) -> bool:
+        """True iff :meth:`_filter_one` would fully evaluate ``predicate``.
+
+        A decision procedure for the filter kernels, used by the sharded
+        backend to *plan* the dispatchable conjunct prefix in the parent
+        process — dictionaries are table-global, so the plan made here
+        holds on every shard.  Must mirror ``_filter_one``'s ``None``
+        conditions exactly; ``tests/relational/test_sharded.py`` checks
+        the two against each other.
+        """
+        if isinstance(predicate, TruePredicate):
+            return True
+        if isinstance(predicate, (InPredicate, IsNullPredicate)):
+            return predicate.attribute in self._columns
+        if isinstance(predicate, RangePredicate):
+            return isinstance(
+                self._columns.get(predicate.attribute), NumericColumn
+            )
+        if isinstance(predicate, ComparisonPredicate):
+            column = self._columns.get(predicate.attribute)
+            if column is None:
+                return False
+            if isinstance(column, DictColumn):
+                # Same probe _filter_comparison runs: the comparison must
+                # order against every dictionary entry without TypeError.
+                op = comparison_operator(predicate.op)
+                try:
+                    for stored in column._decode:
+                        op(stored, predicate.value)
+                except TypeError:
+                    return False
+                return True
+            return predicate.op in ("=", "!=") or isinstance(
+                predicate.value, (int, float)
+            )
+        return False
+
     def _filter_one(
         self, predicate: Predicate, indices: Sequence[int]
     ) -> list[int] | None:
@@ -568,6 +628,25 @@ class ColumnStore:
         buckets: list[list[int]] = [[] for _ in range(last + 1)]
         dropped = 0
         bisect_right = bisect.bisect_right
+        if not all(map(math.isfinite, boundaries)):
+            # Non-finite boundaries would let NaN/±inf values through the
+            # range guard and into bisect (whose order is undefined for
+            # them): guard per value.  With finite boundaries — every real
+            # workload — the ``low <= value <= high`` guard below already
+            # drops non-finite values at zero extra cost, so this slow
+            # path only exists to keep the drop-and-count contract
+            # identical whatever the boundaries.
+            isfinite = math.isfinite
+            for i in indices:
+                if nulls and i in nulls:
+                    dropped += 1
+                    continue
+                value = data[i]
+                if isfinite(value) and low <= value <= high:
+                    buckets[bisect_right(boundaries, value, 0, last + 1) - 1].append(i)
+                else:
+                    dropped += 1
+            return buckets, dropped
         # Capping bisect's hi at ``last + 1`` folds value == boundaries[-1]
         # into the final (closed) bucket without a per-row min().
         if not nulls:

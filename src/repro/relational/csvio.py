@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Any
+from typing import Any, Mapping
 
 from repro import perf
 from repro.relational.schema import TableSchema
@@ -42,6 +42,7 @@ def read_csv(
     path: str | Path,
     strict: bool = True,
     backend: str = "rows",
+    backend_options: Mapping[str, Any] | None = None,
 ) -> Table:
     """Load a CSV written by :func:`write_csv` (or compatible) into a Table.
 
@@ -62,8 +63,10 @@ def read_csv(
             the ``csv.bad_rows{reason=...}`` perf counter: ``arity`` for
             rows whose field count does not match the header, ``type``
             for rows a schema coercion rejects.
-        backend: storage backend of the resulting table (``"rows"`` or
-            ``"columnar"``; see ``docs/storage.md``).
+        backend: storage backend of the resulting table (``"rows"``,
+            ``"columnar"`` or ``"sharded"``; see ``docs/storage.md``).
+        backend_options: backend-specific constructor keywords (the
+            sharded backend's ``workers`` etc.).
 
     Raises:
         ValueError: if the header is missing schema attributes, or (in
@@ -109,6 +112,12 @@ def read_csv(
             for (_, append, _), value in zip(plan, coerced):
                 append(value)
             loaded_rows += 1
-    table = Table.from_columns(schema, columns, backend=backend, coerce=False)
+    table = Table.from_columns(
+        schema,
+        columns,
+        backend=backend,
+        coerce=False,
+        backend_options=backend_options,
+    )
     perf.count("csv.rows_loaded", loaded_rows)
     return table

@@ -1,0 +1,730 @@
+"""Sharded columnar storage: shared-memory shards + a worker pool.
+
+:class:`ShardedBackend` (``backend="sharded"``) takes the packed
+:class:`~repro.relational.backends.ColumnStore` layout to multiple cores.
+It keeps one ordinary ``ColumnStore`` in the parent process (the *base
+store* — every write lands there, and every operation has a single-process
+fallback that is the columnar backend verbatim), and on first parallel
+read it **seals**: the typed arrays are partitioned into contiguous row
+ranges and copied once into one ``multiprocessing.shared_memory`` segment
+per shard.  Worker processes attach those segments **zero-copy** — each
+column becomes a ``memoryview.cast`` over the segment, wrapped in the same
+``IntColumn`` / ``FloatColumn`` / ``DictColumn`` objects the columnar
+backend uses, so the workers execute the *identical* kernel code
+(``ColumnStore.select_indices`` / ``bucket_numeric`` / ``build_groupby``)
+over their shard.  Equivalence with the single-process backend is
+therefore structural, not coincidental; the hypothesis suite in
+``tests/relational/test_backend_equivalence.py`` enforces it anyway.
+
+Parallel operations and their merge semantics (``docs/storage.md`` has the
+full walkthrough):
+
+* ``select_indices`` — the parent *plans* the vectorizable conjunct prefix
+  against the base store (dictionaries are global, so every shard reaches
+  the same decision), dispatches only that prefix, and hands the suffix
+  back as the leftover predicate — exactly the contract the row engine
+  expects.  Shard results are concatenated in shard order, which preserves
+  ascending row order for ascending candidates.
+* ``bucket_numeric`` — each worker buckets its shard's candidates; the
+  parent concatenates bucket ``k``'s per-shard index lists in shard order
+  and sums the dropped counts, so the ``partition.dropped_rows`` contract
+  is bit-identical to the single-process backend.
+* ``build_groupby`` — each worker groups its whole shard; the parent
+  concatenates each value's postings in shard order (ascending positions,
+  NULLs under ``None``).
+
+Candidate row indices cross the pool as raw ``array('q')`` bytes (or as a
+``(start, stop)`` pair for ``range`` candidates — the whole-table case
+costs a few bytes per shard), never as pickled Python lists; results come
+back the same way.  The merge collects futures in shard submission order,
+so results are deterministic regardless of worker completion order.
+
+Failure policy: the pool is an optimization, never a dependency.  A
+broken pool (a worker was OOM-killed, the executor died) is rebuilt and
+the operation retried once; if the pool cannot be rebuilt, or the
+candidates are not splittable (non-ascending index sequences), the
+operation falls back to the base store and the answer is still exact.
+Fallbacks and pool restarts are visible on the ``sharded.fallbacks`` /
+``sharded.pool_restarts`` perf counters.
+
+Writes (``append_row`` / ``load_columns``) go to the base store and
+*unseal* — the shared segments are unlinked and lazily rebuilt on the
+next parallel read.  Sealing costs one copy of the table (the segments
+duplicate the base store's arrays), which is the price of zero-copy
+worker views; ``close()`` releases everything deterministically, and a
+``weakref.finalize`` + ``atexit`` net catches backends that are simply
+dropped.
+"""
+
+from __future__ import annotations
+
+import atexit
+import bisect
+import os
+import threading
+import weakref
+from array import array
+from collections import OrderedDict
+from concurrent.futures import BrokenExecutor, Executor, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from multiprocessing import get_context, shared_memory
+from typing import Any, Mapping, Sequence
+
+from repro import perf
+from repro.relational.backends import (
+    ColumnStore,
+    DictColumn,
+    FloatColumn,
+    IntColumn,
+    NumericColumn,
+)
+from repro.relational.expressions import Conjunction, Predicate
+from repro.relational.schema import TableSchema
+
+#: Below this many rows (or candidate indices) an operation runs on the
+#: base store directly: pool round-trips cost ~1 ms, which only pays for
+#: itself when there is real work to split.
+DEFAULT_MIN_PARALLEL_ROWS = 32_768
+
+#: Upper bound on auto-detected worker counts (os.cpu_count() on big
+#: machines would otherwise oversubscribe the merge step).
+MAX_AUTO_WORKERS = 8
+
+
+def default_worker_count() -> int:
+    """Worker count used when ``workers`` is not given: one per core, capped."""
+    return max(1, min(os.cpu_count() or 1, MAX_AUTO_WORKERS))
+
+
+class AscendingIndices(array):
+    """An ``array('q')`` of row indices known to be in ascending order.
+
+    Every merged result this backend produces is ascending by
+    construction; tagging the type lets the next operation skip the O(n)
+    ascending check when the result feeds back in as candidates (selection
+    chains, bucket calls over a selection).  ``RowSet`` adopts it like any
+    other array.
+    """
+
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Shard specifications (pickled to workers with every task).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ColumnSpec:
+    """Where one column's bytes live inside a shard's segment."""
+
+    name: str
+    kind: str  # "int" | "float" | "dict"
+    offset: int
+    nbytes: int
+    null_offset: int  # byte offset of the array('q') of local NULL rows
+    null_nbytes: int  # 0 when the column slice has no NULLs
+    decode: tuple = ()  # dict columns: the GLOBAL code -> value table
+
+
+@dataclass(frozen=True)
+class _ShardSpec:
+    """One shard: a shared-memory segment plus its column layout.
+
+    ``segment`` doubles as the worker-side cache key — segment names are
+    unique per seal, so a stale attachment can never serve a new seal.
+    """
+
+    segment: str
+    base: int  # global row position of the shard's local row 0
+    length: int
+    columns: tuple[_ColumnSpec, ...]
+
+
+# ---------------------------------------------------------------------------
+# Worker side: attach segments zero-copy and run ColumnStore kernels.
+# ---------------------------------------------------------------------------
+
+#: Worker-process attachment cache: segment name -> (store, shm, views).
+#: Bounded so long-lived workers serving many seals (hypothesis runs,
+#: repeated reloads) do not pin unbounded numbers of dead segments.
+_WORKER_CACHE_LIMIT = 64
+_worker_shards: "OrderedDict[str, tuple[ColumnStore, Any, list]]" = OrderedDict()
+
+
+def _release_attachment(entry: tuple[ColumnStore, Any, list]) -> None:
+    _store, shm, views = entry
+    for view in views:
+        view.release()
+    try:
+        shm.close()
+    except (OSError, BufferError):  # pragma: no cover - platform specific
+        pass
+
+
+def _attach_shard(spec: _ShardSpec) -> ColumnStore:
+    """Return a ``ColumnStore`` whose columns view ``spec``'s segment.
+
+    The attachment is cached per worker process; construction is one
+    ``memoryview.cast`` per column (zero-copy) plus a set() for any NULL
+    positions and the rebuilt encode map for dictionary columns.
+    """
+    entry = _worker_shards.get(spec.segment)
+    if entry is not None:
+        _worker_shards.move_to_end(spec.segment)
+        return entry[0]
+    shm = shared_memory.SharedMemory(name=spec.segment)
+    views: list = []
+    columns: dict[str, NumericColumn | DictColumn] = {}
+    for spec_column in spec.columns:
+        stop = spec_column.offset + spec_column.nbytes
+        if spec_column.kind == "dict":
+            codes = shm.buf[spec_column.offset : stop].cast("i")
+            views.append(codes)
+            column: NumericColumn | DictColumn = DictColumn.__new__(DictColumn)
+            column._codes = codes
+            column._decode = list(spec_column.decode)
+            column._encode = {
+                value: code for code, value in enumerate(spec_column.decode)
+            }
+        else:
+            typecode = "q" if spec_column.kind == "int" else "d"
+            data = shm.buf[spec_column.offset : stop].cast(typecode)
+            views.append(data)
+            cls = IntColumn if spec_column.kind == "int" else FloatColumn
+            column = cls.__new__(cls)
+            column._data = data
+            if spec_column.null_nbytes:
+                null_stop = spec_column.null_offset + spec_column.null_nbytes
+                null_view = shm.buf[spec_column.null_offset : null_stop].cast("q")
+                column._nulls = set(null_view.tolist())
+                null_view.release()
+            else:
+                column._nulls = set()
+        columns[spec_column.name] = column
+    store = ColumnStore.__new__(ColumnStore)
+    store._columns = columns
+    store._ordered = list(columns.values())
+    _worker_shards[spec.segment] = (store, shm, views)
+    while len(_worker_shards) > _WORKER_CACHE_LIMIT:
+        _, stale = _worker_shards.popitem(last=False)
+        _release_attachment(stale)
+    return store
+
+
+def _local_candidates(payload: tuple, base: int) -> Sequence[int]:
+    """Decode a candidate payload into shard-local row positions."""
+    if payload[0] == "range":
+        return range(payload[1], payload[2])
+    chunk = array("q")
+    chunk.frombytes(payload[1])
+    if base:
+        chunk = array("q", [i - base for i in chunk])
+    return chunk
+
+
+def _globalize(indices: Sequence[int], base: int) -> array:
+    if base:
+        return array("q", [i + base for i in indices])
+    return array("q", indices)
+
+
+def _shard_select(
+    spec: _ShardSpec, predicate: Predicate, payload: tuple
+) -> bytes | None:
+    """Filter the shard's candidates; returns GLOBAL kept indices as bytes.
+
+    The parent only dispatches conjuncts it planned as vectorizable, so
+    the kernel must fully evaluate them; a non-None leftover means the
+    plan and the kernel disagree (a bug) — return None so the parent falls
+    back to the exact single-process path instead of mis-merging.
+    """
+    store = _attach_shard(spec)
+    result = store.select_indices(predicate, _local_candidates(payload, spec.base))
+    if result is None:
+        return None
+    kept, leftover = result
+    if leftover is not None:
+        return None
+    return _globalize(kept, spec.base).tobytes()
+
+
+def _shard_bucket(
+    spec: _ShardSpec,
+    name: str,
+    payload: tuple,
+    boundaries: tuple,
+) -> tuple[list[bytes], int] | None:
+    """Bucket the shard's candidates; returns per-bucket GLOBAL indices."""
+    store = _attach_shard(spec)
+    result = store.bucket_numeric(
+        name, _local_candidates(payload, spec.base), boundaries
+    )
+    if result is None:
+        return None
+    buckets, dropped = result
+    return [_globalize(ids, spec.base).tobytes() for ids in buckets], dropped
+
+
+def _shard_groupby(spec: _ShardSpec, name: str) -> dict[Any, bytes]:
+    """Group the whole shard; returns value -> GLOBAL postings bytes."""
+    store = _attach_shard(spec)
+    return {
+        value: _globalize(ids, spec.base).tobytes()
+        for value, ids in store.build_groupby(name).items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# Parent-side resource management.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Resources:
+    """Shared-memory segments and the executor, separated from the backend
+    so ``weakref.finalize`` can release them without resurrecting it."""
+
+    segments: list = field(default_factory=list)
+    executor: Executor | None = None
+    owns_executor: bool = False
+
+    def release_segments(self) -> None:
+        for shm in self.segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except (OSError, BufferError):  # already gone / exported views
+                pass
+        self.segments.clear()
+
+    def release(self) -> None:
+        self.release_segments()
+        executor, self.executor = self.executor, None
+        if executor is not None and self.owns_executor:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+
+#: Every live backend's resources, for the atexit sweep: backends that are
+#: GC'd release via their finalizer; anything still alive at interpreter
+#: exit is released here so no shm segment outlives the process.
+_RESOURCE_REGISTRY: dict[int, _Resources] = {}
+_registry_lock = threading.Lock()
+
+
+def _register_resources(resources: _Resources) -> None:
+    with _registry_lock:
+        _RESOURCE_REGISTRY[id(resources)] = resources
+
+
+def _unregister_resources(resources: _Resources) -> None:
+    with _registry_lock:
+        _RESOURCE_REGISTRY.pop(id(resources), None)
+
+
+@atexit.register
+def _release_all_resources() -> None:  # pragma: no cover - exit path
+    with _registry_lock:
+        leftover = list(_RESOURCE_REGISTRY.values())
+        _RESOURCE_REGISTRY.clear()
+    for resources in leftover:
+        resources.release()
+
+
+def _finalize_backend(resources: _Resources) -> None:
+    _unregister_resources(resources)
+    resources.release()
+
+
+class ShardedBackend:
+    """Sharded columnar storage behind the ``StorageBackend`` protocol.
+
+    Args:
+        schema: the table schema (fixes column kinds and order).
+        workers: pool size and shard count; defaults to
+            :func:`default_worker_count`.
+        min_parallel_rows: operations over fewer rows/candidates than this
+            run on the base store directly (the pool never pays for
+            itself on small tables); 0 forces every operation parallel,
+            which the equivalence tests use.
+        executor: inject a shared executor (tests); the backend then does
+            not own its lifecycle unless the pool breaks and is rebuilt.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        workers: int | None = None,
+        min_parallel_rows: int = DEFAULT_MIN_PARALLEL_ROWS,
+        executor: Executor | None = None,
+    ) -> None:
+        if workers is not None and int(workers) < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if min_parallel_rows < 0:
+            raise ValueError(
+                f"min_parallel_rows must be >= 0, got {min_parallel_rows}"
+            )
+        self._schema = schema
+        self._store = ColumnStore(schema)
+        self.workers = int(workers) if workers is not None else default_worker_count()
+        self._min_parallel_rows = min_parallel_rows
+        self._resources = _Resources(executor=executor, owns_executor=False)
+        self._shard_specs: list[_ShardSpec] = []
+        self._sealed = False
+        self._closed = False
+        self._lock = threading.Lock()
+        _register_resources(self._resources)
+        self._finalizer = weakref.finalize(
+            self, _finalize_backend, self._resources
+        )
+
+    # -- write path (delegates; any write invalidates the seal) -------------
+
+    def column(self, name: str):
+        return self._store.column(name)
+
+    def append_row(self, values: Sequence[Any]) -> None:
+        self._store.append_row(values)
+        if self._sealed:
+            self._unseal()
+
+    def load_columns(self, columns: Mapping[str, Sequence[Any]]) -> None:
+        self._store.load_columns(columns)
+        if self._sealed:
+            self._unseal()
+
+    def gather(self, name: str, indices: Sequence[int]) -> list[Any]:
+        return self._store.gather(name, indices)
+
+    # -- sealing -------------------------------------------------------------
+
+    def _rows(self) -> int:
+        ordered = self._store._ordered
+        return len(ordered[0]) if ordered else 0
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards in the current seal (0 while unsealed)."""
+        return len(self._shard_specs)
+
+    def _ensure_sealed(self) -> bool:
+        """Build the shared-memory shards; False when shm is unavailable."""
+        if self._closed:
+            return False  # closed backends serve from the base store only
+        if self._sealed:
+            return True
+        with self._lock:
+            if self._sealed:
+                return True
+            try:
+                with perf.span("sharded.seal"):
+                    self._build_segments()
+            except (OSError, ValueError):
+                perf.count("sharded.fallbacks", reason="seal")
+                self._resources.release_segments()
+                self._shard_specs.clear()
+                return False
+            self._sealed = True
+        return True
+
+    def _build_segments(self) -> None:
+        rows = self._rows()
+        shard_count = max(1, min(self.workers, rows))
+        per_shard, extra = divmod(rows, shard_count)
+        start = 0
+        for shard in range(shard_count):
+            length = per_shard + (1 if shard < extra else 0)
+            self._pack_shard(start, length)
+            start += length
+
+    def _pack_shard(self, start: int, length: int) -> None:
+        """Copy rows [start, start+length) into one shm segment."""
+        stop = start + length
+        blob = bytearray()
+
+        def put(data: bytes) -> int:
+            # 8-byte alignment keeps the cast('q'/'d') views on natural
+            # boundaries whatever mix of 4-byte code and 8-byte value
+            # sections precedes them.
+            blob.extend(b"\0" * (-len(blob) % 8))
+            offset = len(blob)
+            blob.extend(data)
+            return offset
+
+        column_specs = []
+        for attribute in self._schema:
+            column = self._store._columns[attribute.name]
+            if isinstance(column, DictColumn):
+                payload = column._codes[start:stop].tobytes()
+                offset = put(payload)
+                column_specs.append(
+                    _ColumnSpec(
+                        name=attribute.name,
+                        kind="dict",
+                        offset=offset,
+                        nbytes=len(payload),
+                        null_offset=-1,
+                        null_nbytes=0,
+                        decode=tuple(column._decode),
+                    )
+                )
+            else:
+                kind = "int" if isinstance(column, IntColumn) else "float"
+                payload = column._data[start:stop].tobytes()
+                offset = put(payload)
+                if column._nulls:
+                    local_nulls = array(
+                        "q",
+                        sorted(
+                            position - start
+                            for position in column._nulls
+                            if start <= position < stop
+                        ),
+                    ).tobytes()
+                else:
+                    local_nulls = b""
+                null_offset = put(local_nulls) if local_nulls else -1
+                column_specs.append(
+                    _ColumnSpec(
+                        name=attribute.name,
+                        kind=kind,
+                        offset=offset,
+                        nbytes=len(payload),
+                        null_offset=null_offset,
+                        null_nbytes=len(local_nulls),
+                    )
+                )
+        shm = shared_memory.SharedMemory(create=True, size=max(len(blob), 8))
+        shm.buf[: len(blob)] = blob
+        self._resources.segments.append(shm)
+        self._shard_specs.append(
+            _ShardSpec(
+                segment=shm.name,
+                base=start,
+                length=length,
+                columns=tuple(column_specs),
+            )
+        )
+
+    def _unseal(self) -> None:
+        with self._lock:
+            self._resources.release_segments()
+            self._shard_specs.clear()
+            self._sealed = False
+
+    def close(self) -> None:
+        """Release shared memory and shut down an owned pool.
+
+        Idempotent; afterwards every operation serves from the in-process
+        base store (the backend never re-seals or re-spawns workers).
+        """
+        self._closed = True
+        self._unseal()
+        self._finalizer.detach()
+        _unregister_resources(self._resources)
+        self._resources.release()
+
+    # -- pool management -----------------------------------------------------
+
+    def _ensure_executor(self) -> Executor:
+        executor = self._resources.executor
+        if executor is None:
+            try:
+                context = get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX
+                context = get_context()
+            executor = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context
+            )
+            self._resources.executor = executor
+            self._resources.owns_executor = True
+        return executor
+
+    def _discard_executor(self) -> None:
+        executor, self._resources.executor = self._resources.executor, None
+        if executor is not None and self._resources.owns_executor:
+            executor.shutdown(wait=False, cancel_futures=True)
+        # A replacement pool is always owned, even when the broken one was
+        # injected: the injector's pool is unusable and not ours to fix.
+        self._resources.owns_executor = True
+
+    def _run_parallel(self, fn, tasks: list[tuple]) -> list | None:
+        """One task per shard, results in task order; None on pool failure.
+
+        A broken pool (worker killed, executor torn down) is discarded,
+        rebuilt, and the whole batch retried once — individual shard tasks
+        are pure reads, so re-running them is safe.
+        """
+        if not tasks:
+            return []
+        for attempt in (0, 1):
+            with self._lock:
+                executor = self._ensure_executor()
+            try:
+                futures = [executor.submit(fn, *task) for task in tasks]
+                return [future.result() for future in futures]
+            except (BrokenExecutor, OSError, RuntimeError):
+                perf.count("sharded.pool_restarts")
+                with self._lock:
+                    self._discard_executor()
+        return None
+
+    # -- candidate splitting -------------------------------------------------
+
+    def _split_candidates(self, indices: Sequence[int]) -> list[tuple | None] | None:
+        """Split ascending candidates into per-shard payloads.
+
+        Returns one payload per shard (None where the shard has no
+        candidates), or None when the candidates cannot be split (unknown
+        order) — the caller then falls back to the base store.
+        """
+        specs = self._shard_specs
+        if isinstance(indices, range):
+            if indices.step != 1:
+                return None
+            payloads: list[tuple | None] = []
+            for spec in specs:
+                low = max(indices.start, spec.base)
+                high = min(indices.stop, spec.base + spec.length)
+                payloads.append(
+                    ("range", low - spec.base, high - spec.base)
+                    if high > low
+                    else None
+                )
+            return payloads
+        if not isinstance(indices, AscendingIndices) and not _is_ascending(indices):
+            return None
+        if isinstance(indices, array) and indices.typecode == "q":
+            candidates = indices
+        else:
+            candidates = array("q", indices)
+        payloads = []
+        position = 0
+        for spec in specs:
+            upper = bisect.bisect_left(
+                candidates, spec.base + spec.length, position
+            )
+            payloads.append(
+                ("array", candidates[position:upper].tobytes())
+                if upper > position
+                else None
+            )
+            position = upper
+        return payloads
+
+    # -- parallel reads ------------------------------------------------------
+
+    def select_indices(
+        self, predicate: Predicate, indices: Sequence[int]
+    ) -> tuple[Sequence[int], Predicate | None] | None:
+        store = self._store
+        if len(indices) < max(self._min_parallel_rows, 1):
+            return store.select_indices(predicate, indices)
+        parts = (
+            predicate.parts
+            if isinstance(predicate, Conjunction)
+            else (predicate,)
+        )
+        prefix = 0
+        for part in parts:
+            if not store.can_vectorize(part):
+                break
+            prefix += 1
+        leftover: Predicate | None = None
+        if prefix < len(parts):
+            remaining = parts[prefix:]
+            leftover = (
+                remaining[0] if len(remaining) == 1 else Conjunction(remaining)
+            )
+        if prefix == 0:
+            # Nothing vectorizable: hand everything back, exactly like the
+            # single-process backend would at conjunct 0.
+            return indices, leftover
+        if not self._ensure_sealed():
+            return store.select_indices(predicate, indices)
+        payloads = self._split_candidates(indices)
+        if payloads is None:
+            perf.count("sharded.fallbacks", reason="order")
+            return store.select_indices(predicate, indices)
+        vectorized = parts[0] if prefix == 1 else Conjunction(parts[:prefix])
+        tasks = [
+            (spec, vectorized, payload)
+            for spec, payload in zip(self._shard_specs, payloads)
+            if payload is not None
+        ]
+        results = self._run_parallel(_shard_select, tasks)
+        if results is None or any(chunk is None for chunk in results):
+            perf.count("sharded.fallbacks", reason="pool")
+            return store.select_indices(predicate, indices)
+        perf.count("sharded.parallel_ops", op="select")
+        merged = AscendingIndices("q")
+        merged.frombytes(b"".join(results))
+        if not len(merged):
+            # Matches the single-process early exit: once the candidate
+            # set is empty the remaining conjuncts are never evaluated.
+            return merged, None
+        return merged, leftover
+
+    def bucket_numeric(
+        self, name: str, indices: Sequence[int], boundaries: Sequence[float]
+    ) -> tuple[list[Sequence[int]], int] | None:
+        store = self._store
+        if not isinstance(store._columns.get(name), NumericColumn):
+            return None
+        if len(indices) < max(self._min_parallel_rows, 1):
+            return store.bucket_numeric(name, indices, boundaries)
+        if not self._ensure_sealed():
+            return store.bucket_numeric(name, indices, boundaries)
+        payloads = self._split_candidates(indices)
+        if payloads is None:
+            perf.count("sharded.fallbacks", reason="order")
+            return store.bucket_numeric(name, indices, boundaries)
+        bounds = tuple(boundaries)
+        tasks = [
+            (spec, name, payload, bounds)
+            for spec, payload in zip(self._shard_specs, payloads)
+            if payload is not None
+        ]
+        results = self._run_parallel(_shard_bucket, tasks)
+        if results is None or any(shard is None for shard in results):
+            perf.count("sharded.fallbacks", reason="pool")
+            return store.bucket_numeric(name, indices, boundaries)
+        perf.count("sharded.parallel_ops", op="bucket")
+        bucket_count = len(bounds) - 1
+        merged: list[Sequence[int]] = []
+        for position in range(bucket_count):
+            chunk = AscendingIndices("q")
+            for packed, _dropped in results:
+                chunk.frombytes(packed[position])
+            merged.append(chunk)
+        dropped = sum(shard_dropped for _packed, shard_dropped in results)
+        return merged, dropped
+
+    def build_groupby(self, name: str) -> dict[Any, tuple[int, ...]]:
+        store = self._store
+        if self._rows() < max(self._min_parallel_rows, 1):
+            return store.build_groupby(name)
+        if not self._ensure_sealed():
+            return store.build_groupby(name)
+        tasks = [(spec, name) for spec in self._shard_specs]
+        results = self._run_parallel(_shard_groupby, tasks)
+        if results is None:
+            perf.count("sharded.fallbacks", reason="pool")
+            return store.build_groupby(name)
+        perf.count("sharded.parallel_ops", op="groupby")
+        merged: dict[Any, array] = {}
+        for shard_postings in results:  # shard order => ascending positions
+            for value, packed in shard_postings.items():
+                chunk = merged.get(value)
+                if chunk is None:
+                    chunk = merged[value] = array("q")
+                chunk.frombytes(packed)
+        return {value: tuple(postings) for value, postings in merged.items()}
+
+
+def _is_ascending(indices: Sequence[int]) -> bool:
+    iterator = iter(indices)
+    next(iterator, None)
+    return all(a <= b for a, b in zip(indices, iterator))

@@ -7,7 +7,12 @@ The engine stores each attribute as a column behind a pluggable
   most forgiving layout and the fastest one for small tables;
 * ``backend="columnar"`` — packed ``array.array`` numeric columns and
   dictionary-encoded TEXT/BOOL columns with column-at-a-time selection,
-  built for paper-scale data (see ``docs/storage.md``).
+  built for paper-scale data (see ``docs/storage.md``);
+* ``backend="sharded"`` — the columnar layout partitioned into
+  shared-memory shards with selection/bucketing/grouping parallelized
+  across a worker pool, for beyond-paper-scale tables.  Tune it with
+  ``backend_options={"workers": N, ...}``; call :meth:`Table.close` (or
+  drop the table) to release its shared memory.
 
 Rows are materialized lazily as dicts or :class:`Row` views.  A
 :class:`Table` owns its backend; selections return lightweight
@@ -24,6 +29,7 @@ loop.
 from __future__ import annotations
 
 import bisect
+import math
 from array import array
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
@@ -90,16 +96,33 @@ class Table:
     (partitioning, statistics) can assume type-clean columns.
     """
 
-    def __init__(self, schema: TableSchema, backend: str = "rows") -> None:
+    def __init__(
+        self,
+        schema: TableSchema,
+        backend: str = "rows",
+        backend_options: Mapping[str, Any] | None = None,
+    ) -> None:
         self.schema = schema
-        self._backend = make_backend(backend, schema)
+        self._backend = make_backend(backend, schema, **(backend_options or {}))
         self._size = 0
         self._groupby_indexes: dict[str, dict[Any, tuple[int, ...]]] = {}
 
     @property
     def backend_name(self) -> str:
-        """The storage backend's registry name (``"rows"``/``"columnar"``)."""
+        """The storage backend's registry name (``"rows"``/``"columnar"``/
+        ``"sharded"``)."""
         return self._backend.name
+
+    def close(self) -> None:
+        """Release backend resources (sharded shm segments, worker pool).
+
+        A no-op for the in-process backends; safe to call more than once.
+        The table stays readable afterwards — the sharded backend falls
+        back to its in-process base store.
+        """
+        close = getattr(self._backend, "close", None)
+        if close is not None:
+            close()
 
     # -- construction ------------------------------------------------------
 
@@ -110,6 +133,7 @@ class Table:
         columns: Mapping[str, Sequence[Any]],
         backend: str = "rows",
         coerce: bool = True,
+        backend_options: Mapping[str, Any] | None = None,
     ) -> "Table":
         """Build a table from whole columns — the bulk loading path.
 
@@ -139,7 +163,7 @@ class Table:
         if len(set(lengths.values())) > 1:
             raise ValueError(f"ragged columns for {schema.name!r}: {lengths}")
 
-        table = cls(schema, backend=backend)
+        table = cls(schema, backend=backend, backend_options=backend_options)
         if coerce:
             loaded: Mapping[str, Sequence[Any]] = {
                 attribute.name: _coerce_column(
@@ -159,6 +183,7 @@ class Table:
         schema: TableSchema,
         rows: Iterable[Mapping[str, Any]],
         backend: str = "rows",
+        backend_options: Mapping[str, Any] | None = None,
     ) -> "Table":
         """Build a table from row mappings by transposing to columns.
 
@@ -174,7 +199,9 @@ class Table:
             get = row.get
             for name, append in appends:
                 append(get(name))
-        return cls.from_columns(schema, columns, backend=backend)
+        return cls.from_columns(
+            schema, columns, backend=backend, backend_options=backend_options
+        )
 
     def insert(self, row: Mapping[str, Any]) -> None:
         """Append one tuple given as a mapping from attribute name to value.
@@ -476,10 +503,11 @@ class RowSet:
 
         Bucket ``k`` holds rows with ``boundaries[k] <= value <
         boundaries[k+1]``; the final bucket closes at ``boundaries[-1]``.
-        Same NULL-handling contract as :meth:`partition_by`: NULL and
-        out-of-range values belong to no bucket, are dropped, and are
-        counted on ``partition.dropped_rows``.  Empty buckets are omitted
-        from the result.
+        Same NULL-handling contract as :meth:`partition_by`: NULL,
+        non-finite (NaN / ±inf), and out-of-range values belong to no
+        bucket, are dropped, and are counted on
+        ``partition.dropped_rows``.  Empty buckets are omitted from the
+        result.
 
         The storage backend gets first crack (the columnar backend walks
         the packed array directly); the fallback gathers values once and
@@ -500,13 +528,32 @@ class RowSet:
             buckets: list[list[int]] = [[] for _ in range(last + 1)]
             dropped = 0
             bisect_right = bisect.bisect_right
-            for index, value in zip(self._indices, values):
-                if value is not None and low <= value <= high:
-                    buckets[
-                        bisect_right(boundaries, value, 0, last + 1) - 1
-                    ].append(index)
-                else:
-                    dropped += 1
+            if all(map(math.isfinite, boundaries)):
+                # NaN fails every comparison and ±inf is out of range, so
+                # the range guard drops non-finite values for free here.
+                for index, value in zip(self._indices, values):
+                    if value is not None and low <= value <= high:
+                        buckets[
+                            bisect_right(boundaries, value, 0, last + 1) - 1
+                        ].append(index)
+                    else:
+                        dropped += 1
+            else:
+                # Non-finite boundaries would wave NaN/±inf through to
+                # bisect, whose order is undefined for them; same guarded
+                # path as ColumnStore.bucket_numeric.
+                isfinite = math.isfinite
+                for index, value in zip(self._indices, values):
+                    if (
+                        value is not None
+                        and isfinite(value)
+                        and low <= value <= high
+                    ):
+                        buckets[
+                            bisect_right(boundaries, value, 0, last + 1) - 1
+                        ].append(index)
+                    else:
+                        dropped += 1
             fast = buckets, dropped
         index_lists, dropped = fast
         if dropped:

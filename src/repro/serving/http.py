@@ -22,9 +22,13 @@ Endpoints (JSON in, JSON out; no dependencies beyond ``http.server``):
 =========================  ==================================================
 
 Error mapping: :class:`~repro.serving.errors.InvalidRequest` → 400 with
-the ``reason`` slug; :class:`~repro.serving.errors.IngestionStalled` →
-503 (back off and retry); anything else → 500.  Degradation is *not* an
-error — a SHOWTUPLES response is a 200 with ``"rung": "showtuples"``.
+the ``reason`` slug (including malformed ``Content-Length`` headers);
+:class:`~repro.serving.errors.IngestionStalled` → 503 (back off and
+retry); anything else → 500.  Degradation is *not* an error — a
+SHOWTUPLES response is a 200 with ``"rung": "showtuples"``.  A client
+that hangs up mid-request gets nothing (there is nobody to answer):
+write failures on the error path are swallowed and counted on the
+``http.client_disconnects`` perf counter.
 """
 
 from __future__ import annotations
@@ -67,8 +71,32 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _reply_or_disconnect(self, status: int, payload: dict[str, Any]) -> None:
+        """Best-effort reply on an error path.
+
+        The client may already have hung up (it is often the reason we are
+        on the error path at all); writing the error to a dead socket
+        raises ``BrokenPipeError``/``ConnectionResetError`` out of the
+        handler thread.  Swallow the write failure, count it, and drop the
+        connection instead.
+        """
+        try:
+            self._reply(status, payload)
+        except (BrokenPipeError, ConnectionResetError):
+            perf.count("http.client_disconnects")
+            self.close_connection = True
+
     def _read_json(self) -> dict[str, Any]:
-        length = int(self.headers.get("Content-Length") or 0)
+        raw_length = self.headers.get("Content-Length") or "0"
+        try:
+            length = int(raw_length)
+        except ValueError:
+            # A malformed header is the client's bug, not ours: 400, not
+            # a ValueError escaping to the 500 guard.
+            raise InvalidRequest(
+                f"bad Content-Length header {raw_length.strip()!r}",
+                reason="request",
+            ) from None
         if length <= 0:
             raise InvalidRequest("empty request body", reason="request")
         if length > MAX_BODY_BYTES:
@@ -107,12 +135,20 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 self._reply(404, {"error": f"no such endpoint {self.path!r}"})
         except InvalidRequest as exc:
             perf.count("http.invalid_requests", reason=exc.reason)
-            self._reply(400, {"error": str(exc), "reason": exc.reason})
+            self._reply_or_disconnect(400, {"error": str(exc), "reason": exc.reason})
         except IngestionStalled as exc:
-            self._reply(503, {"error": str(exc), "spilled": exc.spilled})
+            self._reply_or_disconnect(
+                503, {"error": str(exc), "spilled": exc.spilled}
+            )
+        except (BrokenPipeError, ConnectionResetError):
+            # The client hung up mid-request or mid-reply: there is nobody
+            # left to answer, and a 500 written to the broken socket would
+            # raise out of the handler thread.
+            perf.count("http.client_disconnects")
+            self.close_connection = True
         except Exception as exc:  # pragma: no cover - last-resort guard
             perf.count("http.internal_errors")
-            self._reply(500, {"error": f"internal error: {exc}"})
+            self._reply_or_disconnect(500, {"error": f"internal error: {exc}"})
 
     def _categorize(self, payload: dict[str, Any]) -> None:
         sql = payload.get("sql")

@@ -456,6 +456,7 @@ class CategorizationService:
             "published": self.ingestor.published,
             "cache_entries": len(self.cache),
             "table_rows": len(self.table),
+            "backend": self.table.backend_name,
         }
 
     # -- helpers -------------------------------------------------------------

@@ -1,0 +1,26 @@
+"""One fork pool shared by every sharded-backend test in the suite.
+
+The sharded backend accepts an injected executor precisely so tests do
+not pay a process-pool startup per hypothesis example (hundreds of
+examples × ~100 ms apiece).  The pool is created lazily on first use and
+torn down by ``concurrent.futures``' own atexit hook; backends using it
+never own it, so closing a backend (or dropping a table) leaves it
+running for the next example.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, ProcessPoolExecutor
+from multiprocessing import get_context
+
+_SHARED: dict[str, Executor | None] = {"executor": None}
+
+
+def shared_executor(workers: int = 2) -> Executor:
+    """The lazily created suite-wide fork pool."""
+    executor = _SHARED["executor"]
+    if executor is None:
+        executor = _SHARED["executor"] = ProcessPoolExecutor(
+            max_workers=workers, mp_context=get_context("fork")
+        )
+    return executor

@@ -1,11 +1,24 @@
-"""Property-based equivalence: the columnar backend vs the row backend.
+"""Property-based equivalence: columnar and sharded backends vs the row backend.
 
 The ISSUE's acceptance bar for the storage redesign: for randomized tables
-and predicates, the two backends must be *observationally identical* —
-same rows selected (same indices, same order), same statistics, and the
-same category tree out of the full categorizer.  Any divergence here means
-the columnar fast paths changed semantics, not just speed.
+and predicates, all backends must be *observationally identical* — same
+rows selected (same indices, same order), same statistics, and the same
+category tree out of the full categorizer.  Any divergence here means a
+fast path changed semantics, not just speed.
+
+The sharded backend runs with ``min_parallel_rows=0`` so even these tiny
+tables go through the shared-memory shards and the worker pool — the
+whole split/dispatch/merge machinery is exercised on every example, with
+one module-shared fork pool so examples don't pay pool startup.
+
+Non-finite floats (NaN / ±inf) are included in the strategies for the
+selection and bucketing tests — the NaN-divergence bugfix's regression
+surface — but not for the contents/statistics tests: NaN breaks ``==``
+by design, so observational identity is asserted where observations are
+row *indices*, not raw float values.
 """
+
+import math
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -25,6 +38,20 @@ from repro.relational.statistics import (
 )
 from repro.relational.table import Table
 from repro.relational.types import AttributeKind, DataType
+
+from tests.relational.pool import shared_executor
+
+#: Backends under test; "rows" is the semantics oracle.
+ALL_BACKENDS = ("rows", "columnar", "sharded")
+
+
+def sharded_options() -> dict:
+    """Sharded-backend options forcing the parallel path on tiny tables."""
+    return {
+        "workers": 2,
+        "min_parallel_rows": 0,
+        "executor": shared_executor(),
+    }
 
 
 def schema() -> TableSchema:
@@ -48,18 +75,29 @@ scores = st.one_of(
     st.none(),
     st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, width=32),
 )
-
-rows_strategy = st.lists(
-    st.fixed_dictionaries(
-        {
-            "kind": st.sampled_from(KINDS),
-            "flag": st.one_of(st.none(), st.booleans()),
-            "count": counts,
-            "score": scores,
-        }
-    ),
-    max_size=40,
+# Scores that also cover the drop-and-count contract's edge cases.
+nonfinite_scores = st.one_of(
+    scores,
+    st.sampled_from((math.nan, math.inf, -math.inf)),
 )
+
+
+def rows_strategy_with(score_values):
+    return st.lists(
+        st.fixed_dictionaries(
+            {
+                "kind": st.sampled_from(KINDS),
+                "flag": st.one_of(st.none(), st.booleans()),
+                "count": counts,
+                "score": score_values,
+            }
+        ),
+        max_size=40,
+    )
+
+
+rows_strategy = rows_strategy_with(scores)
+rows_with_nonfinite = rows_strategy_with(nonfinite_scores)
 
 
 def in_predicates(draw):
@@ -126,11 +164,19 @@ def predicates(draw):
     return Conjunction(built)
 
 
-def both_backends(rows):
-    return (
-        Table.from_rows(schema(), rows, backend="rows"),
-        Table.from_rows(schema(), rows, backend="columnar"),
+def make_table(rows, backend):
+    options = sharded_options() if backend == "sharded" else None
+    return Table.from_rows(
+        schema(), rows, backend=backend, backend_options=options
     )
+
+
+def all_backends(rows):
+    return tuple(make_table(rows, backend) for backend in ALL_BACKENDS)
+
+
+def both_backends(rows):
+    return (make_table(rows, "rows"), make_table(rows, "columnar"))
 
 
 class TestStorageEquivalence:
@@ -141,29 +187,36 @@ class TestStorageEquivalence:
         for name in schema().names():
             assert list(row_table.column(name)) == list(col_table.column(name))
 
-    @given(rows_strategy, predicates())
+    @settings(deadline=None)
+    @given(rows_with_nonfinite, predicates())
     def test_selection_identical(self, rows, predicate):
-        row_table, col_table = both_backends(rows)
-        assert (
-            row_table.select(predicate).indices
-            == col_table.select(predicate).indices
-        )
+        row_table, *others = all_backends(rows)
+        expected = _selection(row_table, predicate)
+        for table in others:
+            assert _selection(table, predicate) == expected, table.backend_name
 
-    @given(rows_strategy, predicates(), predicates())
+    @settings(deadline=None)
+    @given(rows_with_nonfinite, predicates(), predicates())
     def test_chained_selection_identical(self, rows, first, second):
-        row_table, col_table = both_backends(rows)
-        row_view = row_table.select(first).select(second)
-        col_view = col_table.select(first).select(second)
-        assert row_view.indices == col_view.indices
+        row_table, *others = all_backends(rows)
+        expected = _selection(row_table, first, second)
+        for table in others:
+            assert _selection(table, first, second) == expected, (
+                table.backend_name
+            )
 
-    @given(rows_strategy)
+    @settings(deadline=None)
+    @given(rows_with_nonfinite)
     def test_groupby_identical(self, rows):
-        row_table, col_table = both_backends(rows)
+        row_table, *others = all_backends(rows)
         for name in ("kind", "flag", "count"):
-            assert row_table.groupby_index(name) == col_table.groupby_index(name)
+            expected = row_table.groupby_index(name)
+            for table in others:
+                assert table.groupby_index(name) == expected, table.backend_name
 
+    @settings(deadline=None)
     @given(
-        rows_strategy,
+        rows_with_nonfinite,
         st.lists(
             st.integers(min_value=-60, max_value=60),
             min_size=2,
@@ -172,17 +225,30 @@ class TestStorageEquivalence:
         ).map(sorted),
     )
     def test_partition_by_buckets_identical(self, rows, boundaries):
-        row_table, col_table = both_backends(rows)
+        row_table, *others = all_backends(rows)
         for attribute in ("count", "score"):
-            row_buckets = row_table.all_rows().partition_by_buckets(
-                attribute, boundaries
-            )
-            col_buckets = col_table.all_rows().partition_by_buckets(
-                attribute, boundaries
-            )
-            assert set(row_buckets) == set(col_buckets)
-            for key in row_buckets:
-                assert row_buckets[key].indices == col_buckets[key].indices
+            expected = _buckets(row_table, attribute, boundaries)
+            for table in others:
+                assert _buckets(table, attribute, boundaries) == expected, (
+                    table.backend_name
+                )
+
+    @settings(deadline=None)
+    @given(rows_with_nonfinite)
+    def test_nonfinite_boundaries_identical(self, rows):
+        # Non-finite boundaries take the guarded slow path in every
+        # backend; the drop-and-count contract must not change.
+        boundaries = (-math.inf, -10.0, 0.0, 10.0, math.inf)
+        row_table, *others = all_backends(rows)
+        expected = _buckets(row_table, "score", boundaries)
+        expected_dropped = len(rows) - sum(
+            len(ids) for ids in expected.values()
+        )
+        for table in others:
+            buckets = _buckets(table, "score", boundaries)
+            assert buckets == expected, table.backend_name
+            dropped = len(rows) - sum(len(ids) for ids in buckets.values())
+            assert dropped == expected_dropped, table.backend_name
 
     @given(rows_strategy)
     def test_statistics_identical(self, rows):
@@ -195,6 +261,22 @@ class TestStorageEquivalence:
         assert value_counts(row_table, "kind") == value_counts(col_table, "kind")
 
 
+def _selection(table, *predicate_chain):
+    """Selection indices, with TypeErrors (TEXT-range rows) folded in."""
+    view = table.all_rows()
+    try:
+        for predicate in predicate_chain:
+            view = view.select(predicate)
+    except TypeError:
+        return "TypeError"
+    return view.indices
+
+
+def _buckets(table, attribute, boundaries):
+    partitions = table.all_rows().partition_by_buckets(attribute, boundaries)
+    return {key: view.indices for key, view in partitions.items()}
+
+
 class TestCategorizerEquivalence:
     """End-to-end: the full cost-based tree must not depend on the backend."""
 
@@ -203,13 +285,24 @@ class TestCategorizerEquivalence:
     def test_category_trees_identical(self, statistics, seattle_query, seed):
         # Random-but-deterministic tables via the real generator; the
         # workload statistics are backend-independent by construction, so
-        # the tree compare isolates the storage layer.
+        # the tree compare isolates the storage layer.  The sharded table
+        # parallelizes the big root-level selections (min_parallel_rows
+        # below the table size) while node-level work stays in-process.
         from repro.core.algorithm import CostBasedCategorizer
         from repro.data.homes import generate_homes
 
         trees = []
-        for backend in ("rows", "columnar"):
-            table = generate_homes(rows=600, seed=seed, backend=backend)
+        for backend in ALL_BACKENDS:
+            options = None
+            if backend == "sharded":
+                options = {
+                    "workers": 2,
+                    "min_parallel_rows": 64,
+                    "executor": shared_executor(),
+                }
+            table = generate_homes(
+                rows=600, seed=seed, backend=backend, backend_options=options
+            )
             rows = seattle_query.execute(table)
             tree = CostBasedCategorizer(statistics).categorize(rows, seattle_query)
             trees.append(
@@ -218,4 +311,4 @@ class TestCategorizerEquivalence:
                     for node in tree.nodes()
                 ]
             )
-        assert trees[0] == trees[1]
+        assert trees[0] == trees[1] == trees[2]

@@ -1,12 +1,14 @@
 """Tests for the stdlib HTTP front end."""
 
 import json
+import socket
+import time
 import urllib.error
 import urllib.request
 
 import pytest
 
-from repro.serving.http import make_server, serve_in_thread
+from repro.serving.http import ServiceHandler, make_server, serve_in_thread
 
 from tests.serving.conftest import LOG_SQL, SERVE_SQL
 
@@ -123,3 +125,76 @@ class TestErrorMapping:
         assert status == 200
         assert payload["rung"] == "showtuples"
         assert payload["degraded"] is not None
+
+    def test_malformed_content_length_is_400(self, server):
+        # urllib always computes Content-Length itself, so speak raw HTTP:
+        # a header the client mangled must map to 400 InvalidRequest, not
+        # escape _read_json as a ValueError and surface as a 500.
+        host, port = server.server_address[:2]
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(
+                b"POST /categorize HTTP/1.1\r\n"
+                b"Host: test\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: banana\r\n"
+                b"Connection: close\r\n"
+                b"\r\n"
+            )
+            sock.settimeout(10)
+            response = b""
+            while b"\r\n\r\n" not in response:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                response += chunk
+        status_line = response.split(b"\r\n", 1)[0]
+        assert b"400" in status_line, response
+        assert b"500" not in status_line
+
+
+class TestClientDisconnects:
+    def test_disconnect_during_reply_is_counted_not_raised(
+        self, server, perf_on, monkeypatch
+    ):
+        # Simulate the client vanishing exactly when the handler writes:
+        # the handler thread must swallow the broken pipe and count it
+        # instead of attempting a 500 on the same dead socket.
+        def broken_reply(self, status, payload):
+            raise BrokenPipeError("client went away")
+
+        monkeypatch.setattr(ServiceHandler, "_reply", broken_reply)
+        # The client sees the dropped connection (RemoteDisconnected is a
+        # ConnectionResetError subclass; urllib sometimes wraps it).
+        with pytest.raises((urllib.error.URLError, ConnectionResetError)):
+            _post(server, "/categorize", {"sql": SERVE_SQL})
+        # The handler runs on its own thread; poll briefly for the count.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if perf_on.counters.get("http.client_disconnects", 0) >= 1:
+                break
+            time.sleep(0.01)
+        assert perf_on.counters.get("http.client_disconnects", 0) >= 1
+        assert perf_on.counters.get("http.internal_errors", 0) == 0
+
+    def test_disconnect_on_error_path_is_swallowed(
+        self, server, perf_on, monkeypatch
+    ):
+        # Error replies (400/503/500) go through _reply_or_disconnect: a
+        # write failure there must not raise out of the handler thread.
+        def broken_reply(self, status, payload):
+            raise ConnectionResetError("client went away")
+
+        monkeypatch.setattr(ServiceHandler, "_reply", broken_reply)
+        with pytest.raises((urllib.error.URLError, ConnectionResetError)):
+            _post(server, "/categorize", {"sql": "SELECT FROM WHERE"})
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if perf_on.counters.get("http.client_disconnects", 0) >= 1:
+                break
+            time.sleep(0.01)
+        assert perf_on.counters.get("http.client_disconnects", 0) >= 1
+        # The 400 was still classified as an invalid request first.
+        assert any(
+            key.startswith("http.invalid_requests")
+            for key in perf_on.counters
+        )
