@@ -39,6 +39,8 @@ GATED_METRICS: tuple[tuple[str, str], ...] = (
     ("serving_hot_path", "warm_ms"),
     ("columnar_scale", "columnar_ms"),
     ("sharded_scale", "sharded_ms"),
+    ("serving_load", "async_req_ms"),
+    ("serving_load", "p99_ms"),
 )
 
 

@@ -1,0 +1,165 @@
+"""Performance: threading vs asyncio front end under closed-loop load.
+
+The tentpole claim for the async front end is throughput under the
+workload an interactive search site actually sees — many concurrent
+clients, few distinct queries.  Both servers wrap *identical* services
+(bench-scale table, cache off, so every duplicate is real work unless
+the front end coalesces it) and face the same 32 closed-loop clients
+over a duplicate-heavy mix with a real request deadline:
+
+* the threading server computes every duplicate on its own thread,
+  serialized by the GIL;
+* the async server coalesces concurrent duplicates into one computation
+  and tightens deadlines under pressure instead of queueing unboundedly.
+
+Appends ``serving_load`` to ``BENCH_partition.json``; the regression
+gate (``benchmarks/compare_bench.py``) tracks ``async_req_ms`` (inverse
+throughput) and ``p99_ms`` so both the capacity and the tail are pinned.
+"""
+
+from __future__ import annotations
+
+from repro import perf
+from repro.serving.aserve import start_in_thread
+from repro.serving.http import make_server, serve_in_thread
+from repro.serving.loadgen import run_loadgen
+from repro.serving.service import CategorizationService
+from repro.study.report import format_table
+
+from benchmarks.test_perf_partition import _append_bench_record
+
+#: Duplicate-heavy mix: 32 clients over 2 distinct queries.
+MIX = (
+    "SELECT * FROM ListProperty WHERE price <= 300000",
+    "SELECT * FROM ListProperty WHERE bedroomcount = 3",
+)
+
+CLIENTS = 32
+REQUESTS_PER_CLIENT = 3
+DEADLINE_MS = 1000.0
+
+#: The async front end must at least double the threading throughput on
+#: this workload (the ISSUE's acceptance bar).
+REQUIRED_SPEEDUP = 2.0
+
+
+def _fresh_service(bench_homes, bench_statistics) -> CategorizationService:
+    # cache_capacity=0: a duplicate answered cheaply means the *front end*
+    # deduplicated it, not the result cache.
+    return CategorizationService(
+        bench_homes, bench_statistics.copy(), cache_capacity=0
+    )
+
+
+def test_perf_serving_load(bench_homes, bench_statistics):
+    # -- threading baseline --------------------------------------------------
+    threading_server = make_server(
+        _fresh_service(bench_homes, bench_statistics), port=0
+    )
+    serve_in_thread(threading_server)
+    try:
+        host, port = threading_server.server_address[:2]
+        threading_report = run_loadgen(
+            f"http://{host}:{port}",
+            sqls=MIX,
+            clients=CLIENTS,
+            requests_per_client=REQUESTS_PER_CLIENT,
+            deadline_ms=DEADLINE_MS,
+            timeout_s=120.0,
+        )
+    finally:
+        threading_server.shutdown()
+        threading_server.server_close()
+
+    # -- async front end -----------------------------------------------------
+    perf.reset()
+    perf.enable()
+    try:
+        handle = start_in_thread(
+            _fresh_service(bench_homes, bench_statistics),
+            max_inflight=8,
+            max_queue=64,
+            pressure_deadline_ms=DEADLINE_MS,
+        )
+        try:
+            async_report = run_loadgen(
+                handle.url,
+                sqls=MIX,
+                clients=CLIENTS,
+                requests_per_client=REQUESTS_PER_CLIENT,
+                deadline_ms=DEADLINE_MS,
+                timeout_s=120.0,
+            )
+        finally:
+            handle.stop()
+        coalesced_counter = perf.ACTIVE.counters.get("aserve.coalesced", 0)
+        shed_counter = sum(
+            value
+            for key, value in perf.ACTIVE.counters.items()
+            if key.startswith("aserve.shed")
+        )
+    finally:
+        perf.disable()
+        perf.reset()
+
+    speedup = (
+        async_report.throughput_rps / threading_report.throughput_rps
+        if threading_report.throughput_rps
+        else float("inf")
+    )
+    print()
+    print(
+        format_table(
+            ["front end", "req/s", "p50 ms", "p99 ms", "coalesced", "shed"],
+            [
+                ["threading", f"{threading_report.throughput_rps:.1f}",
+                 f"{threading_report.p50_ms:.1f}",
+                 f"{threading_report.p99_ms:.1f}", "-", "-"],
+                ["async", f"{async_report.throughput_rps:.1f}",
+                 f"{async_report.p50_ms:.1f}",
+                 f"{async_report.p99_ms:.1f}",
+                 async_report.coalesced, async_report.shed],
+            ],
+            title=(
+                f"Closed-loop load: {CLIENTS} clients x "
+                f"{REQUESTS_PER_CLIENT} requests, {len(MIX)} distinct queries "
+                f"({speedup:.1f}x)"
+            ),
+        )
+    )
+    _append_bench_record(
+        "serving_load",
+        {
+            "clients": CLIENTS,
+            "requests": async_report.requests,
+            "threading_rps": round(threading_report.throughput_rps, 2),
+            "async_rps": round(async_report.throughput_rps, 2),
+            "speedup": round(speedup, 2),
+            # Inverse throughput so the gate's lower-is-better diff works.
+            "async_req_ms": round(1000.0 / async_report.throughput_rps, 3),
+            "p99_ms": round(async_report.p99_ms, 3),
+            "coalesced": async_report.coalesced,
+            "shed": async_report.shed,
+        },
+    )
+
+    # Zero dropped requests on either front end: every request sent got an
+    # HTTP answer (503s included), never a transport error.
+    for report in (threading_report, async_report):
+        assert report.responses == report.requests
+        assert report.errors == 0
+    # Every shed request is a counted 503, and vice versa.
+    assert async_report.shed == shed_counter
+    # The duplicate-heavy mix must actually exercise the singleflight path.
+    assert async_report.coalesced > 0
+    assert coalesced_counter >= async_report.coalesced
+    # The tail stays inside the request deadline: shedding quality (rungs)
+    # under pressure is what keeps p99 bounded while throughput doubles.
+    assert async_report.p99_ms <= DEADLINE_MS, (
+        f"async p99 {async_report.p99_ms:.1f} ms blew the "
+        f"{DEADLINE_MS:.0f} ms deadline"
+    )
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"async front end is only {speedup:.2f}x the threading throughput "
+        f"(need {REQUIRED_SPEEDUP:.1f}x)"
+    )

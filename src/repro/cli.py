@@ -13,10 +13,13 @@ Subcommands::
                           --query "SELECT ..." [--format text|prometheus|jsonl] \
                           [--sample-rate 0.5 | --sample-every 10]
     repro serve           --data homes.csv --workload workload.sql \
-                          [--host 127.0.0.1 --port 8765] [--lenient-csv]
+                          [--host 127.0.0.1 --port 8765] [--lenient-csv] \
+                          [--async --max-inflight 8 --max-queue 32]
     repro request         --sql "SELECT ..." [--deadline-ms 50] [--budget full] \
-                          [--record | --health | --metrics]
+                          [--record | --health | --metrics] [--repeat N]
     repro request         --batch "SELECT ..." "SELECT ..." [--deadline-ms 200]
+    repro loadgen         --url http://127.0.0.1:8765 --clients 32 --requests 10 \
+                          [--sql "SELECT ..." ...] [--deadline-ms 500] [--json]
 
 ``categorize``/``perf-report``/``serve`` accept ``--backend columnar`` to
 load the relation into the packed columnar store, or ``--backend sharded
@@ -191,6 +194,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "sharded for parallel selection over many cores)")
     serve.add_argument("--workers", type=int, default=None,
                        help="worker-pool size for --backend sharded")
+    serve.add_argument("--async", dest="use_async", action="store_true",
+                       help="serve on the asyncio front end: keep-alive event "
+                            "loop, request coalescing, load shedding "
+                            "(docs/serving.md)")
+    serve.add_argument("--max-inflight", type=int, default=8,
+                       help="concurrent compute requests on the async front "
+                            "end (executor slots)")
+    serve.add_argument("--max-queue", type=int, default=32,
+                       help="bounded admission queue; arrivals beyond it are "
+                            "shed with 503 + Retry-After")
     serve.set_defaults(handler=_cmd_serve)
 
     req = subparsers.add_parser(
@@ -213,7 +226,34 @@ def build_parser() -> argparse.ArgumentParser:
                      help="include the decision trace in the response")
     req.add_argument("--health", action="store_true", help="GET /healthz")
     req.add_argument("--metrics", action="store_true", help="GET /metrics")
+    req.add_argument("--repeat", type=int, default=1,
+                     help="send the request N times over one keep-alive "
+                          "connection and print a latency summary (quick "
+                          "manual load check)")
     req.set_defaults(handler=_cmd_request)
+
+    lg = subparsers.add_parser(
+        "loadgen",
+        help="closed-loop load generator against a running `repro serve`",
+    )
+    lg.add_argument("--url", default="http://127.0.0.1:8765",
+                    help="base URL of the service")
+    lg.add_argument("--sql", nargs="+", metavar="SQL", default=None,
+                    help="query mix cycled across clients (default: built-in "
+                         "duplicate-heavy ListProperty mix)")
+    lg.add_argument("--clients", type=int, default=32,
+                    help="concurrent closed-loop clients")
+    lg.add_argument("--requests", type=int, default=10,
+                    help="requests per client")
+    lg.add_argument("--deadline-ms", type=float, default=None,
+                    help="deadline forwarded on every request")
+    lg.add_argument("--budget", default="full",
+                    help="best rung to pay for: full|single_level|showtuples")
+    lg.add_argument("--timeout", type=float, default=60.0,
+                    help="per-request client timeout in seconds")
+    lg.add_argument("--json", dest="as_json", action="store_true",
+                    help="print the report as JSON instead of a table")
+    lg.set_defaults(handler=_cmd_loadgen)
     return parser
 
 
@@ -347,7 +387,6 @@ def _cmd_perf_report(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from repro.serving.http import make_server
     from repro.serving.service import CategorizationService
 
     schema = load_schema(args.schema)
@@ -370,37 +409,78 @@ def _cmd_serve(args) -> int:
         cache_capacity=args.cache_size,
         cache_ttl_s=args.cache_ttl,
     )
-    server = make_server(service, host=args.host, port=args.port)
-    host, port = server.server_address[:2]
     perf.enable()  # the /metrics endpoint should have data from request 1
-    print(
+    banner = (
         f"serving {schema.name} ({len(table)} rows, "
-        f"{statistics.total_queries} workload queries) on http://{host}:{port}"
+        f"{statistics.total_queries} workload queries)"
     )
-    print(
+    endpoints = (
         "endpoints: GET /healthz /metrics, "
         "POST /categorize /categorize_batch /record"
     )
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        print("shutting down")
+        if args.use_async:
+            _serve_async(service, args, banner, endpoints)
+        else:
+            _serve_threading(service, args, banner, endpoints)
     finally:
         service.flush()
-        server.server_close()
         table.close()
         perf.disable()
     return 0
 
 
+def _serve_threading(service, args, banner: str, endpoints: str) -> None:
+    from repro.serving.http import make_server
+
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"{banner} on http://{host}:{port} [threading]")
+    print(endpoints)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+
+
+def _serve_async(service, args, banner: str, endpoints: str) -> None:
+    import asyncio
+
+    from repro.serving.aserve import AsyncFrontEnd
+
+    async def main() -> None:
+        frontend = AsyncFrontEnd(
+            service, max_inflight=args.max_inflight, max_queue=args.max_queue
+        )
+        await frontend.start(args.host, args.port)
+        host, port = frontend.address
+        print(
+            f"{banner} on http://{host}:{port} "
+            f"[async, max-inflight {args.max_inflight}, "
+            f"max-queue {args.max_queue}]"
+        )
+        print(endpoints)
+        try:
+            await frontend.serve_forever()
+        finally:
+            await frontend.close()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("shutting down")
+
+
 def _cmd_request(args) -> int:
-    import urllib.error
-    import urllib.request
+    import http.client
+    import time
+    from urllib.parse import urlsplit
 
     base = args.url.rstrip("/")
     if args.health or args.metrics:
-        path = "/healthz" if args.health else "/metrics"
-        request = urllib.request.Request(base + path)
+        method, path, body = "GET", "/healthz" if args.health else "/metrics", None
     elif args.batch:
         payload: dict = {
             "sqls": list(args.batch),
@@ -409,12 +489,7 @@ def _cmd_request(args) -> int:
             "render": args.render,
             "trace": args.trace,
         }
-        request = urllib.request.Request(
-            base + "/categorize_batch",
-            data=json.dumps(payload).encode("utf-8"),
-            headers={"Content-Type": "application/json"},
-            method="POST",
-        )
+        method, path, body = "POST", "/categorize_batch", json.dumps(payload)
     elif args.sql:
         path = "/record" if args.record else "/categorize"
         payload = {"sql": args.sql}
@@ -425,26 +500,111 @@ def _cmd_request(args) -> int:
                 render=args.render,
                 trace=args.trace,
             )
-        request = urllib.request.Request(
-            base + path,
-            data=json.dumps(payload).encode("utf-8"),
-            headers={"Content-Type": "application/json"},
-            method="POST",
-        )
+        method, body = "POST", json.dumps(payload)
     else:
         print("error: need --sql, --batch, --health, or --metrics", file=sys.stderr)
         return 2
+    if args.repeat < 1:
+        print("error: --repeat must be >= 1", file=sys.stderr)
+        return 2
 
+    # One keep-alive connection for every repeat: each extra request costs
+    # a round trip, not a TCP handshake (the async server is built around
+    # exactly this reuse).
+    parts = urlsplit(base if "//" in base else f"http://{base}")
+    connection = http.client.HTTPConnection(
+        parts.hostname or "127.0.0.1", parts.port or 80, timeout=30
+    )
+    headers = {"Content-Type": "application/json"} if body is not None else {}
+    latencies_ms: list[float] = []
+    failures = 0
+    last_status, last_payload = 0, ""
     try:
-        with urllib.request.urlopen(request, timeout=30) as response:
-            print(response.read().decode("utf-8"), end="")
-            return 0
-    except urllib.error.HTTPError as exc:
-        print(exc.read().decode("utf-8"), end="", file=sys.stderr)
-        return 2
-    except urllib.error.URLError as exc:
-        print(f"error: cannot reach {base}: {exc.reason}", file=sys.stderr)
-        return 2
+        for _ in range(args.repeat):
+            started = time.perf_counter()
+            try:
+                connection.request(method, path, body, headers)
+                response = connection.getresponse()
+                last_payload = response.read().decode("utf-8")
+            except (OSError, http.client.HTTPException) as exc:
+                print(f"error: cannot reach {base}: {exc}", file=sys.stderr)
+                return 2
+            latencies_ms.append((time.perf_counter() - started) * 1000.0)
+            last_status = response.status
+            if last_status >= 400:
+                failures += 1
+    finally:
+        connection.close()
+
+    if args.repeat == 1:
+        if last_status >= 400:
+            print(last_payload, end="", file=sys.stderr)
+            return 2
+        print(last_payload, end="")
+        return 0
+
+    from repro.serving.loadgen import percentile
+
+    ordered = sorted(latencies_ms)
+    print(
+        f"{args.repeat} requests to {path} over one keep-alive connection: "
+        f"{args.repeat - failures} ok, {failures} failed"
+    )
+    print(
+        f"latency ms: min {ordered[0]:.2f}  p50 "
+        f"{percentile(latencies_ms, 0.5):.2f}  p99 "
+        f"{percentile(latencies_ms, 0.99):.2f}  max {ordered[-1]:.2f}"
+    )
+    print(f"last response ({last_status}):")
+    print(last_payload, end="")
+    return 2 if failures else 0
+
+
+def _cmd_loadgen(args) -> int:
+    from repro.serving.loadgen import DEFAULT_MIX, run_loadgen
+
+    report = run_loadgen(
+        args.url,
+        sqls=args.sql or DEFAULT_MIX,
+        clients=args.clients,
+        requests_per_client=args.requests,
+        deadline_ms=args.deadline_ms,
+        budget=args.budget,
+        timeout_s=args.timeout,
+    )
+    if args.as_json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        statuses = ", ".join(
+            f"{status}: {count}"
+            for status, count in sorted(report.status_counts.items())
+        ) or "none"
+        rungs = ", ".join(
+            f"{rung}: {count}" for rung, count in sorted(report.rung_counts.items())
+        ) or "none"
+        print(
+            format_table(
+                ["metric", "value"],
+                [
+                    ["clients (closed loop)", report.clients],
+                    ["requests sent", report.requests],
+                    ["responses", report.responses],
+                    ["transport errors", report.errors],
+                    ["elapsed s", f"{report.elapsed_s:.3f}"],
+                    ["throughput req/s", f"{report.throughput_rps:.1f}"],
+                    ["latency p50 ms", f"{report.p50_ms:.2f}"],
+                    ["latency p99 ms", f"{report.p99_ms:.2f}"],
+                    ["statuses", statuses],
+                    ["rungs", rungs],
+                    ["coalesced responses", report.coalesced],
+                    ["shed (503)", report.shed],
+                ],
+                title=f"loadgen: {args.url}",
+            )
+        )
+    # A response for every request (503s included) is the contract; a
+    # transport error means a request went unanswered.
+    return 1 if report.errors or report.responses < report.requests else 0
 
 
 def load_schema(path: Path | None) -> TableSchema:

@@ -14,11 +14,25 @@ under concurrent ingestion, deadlines, and injected faults:
 * :mod:`~repro.serving.retry` — backoff, circuit breaker, lossless spill.
 * :mod:`~repro.serving.errors` — the typed exception taxonomy.
 * :mod:`~repro.serving.faults` — deterministic fault injection.
-* :mod:`~repro.serving.http` — the stdlib HTTP front end (`repro serve`).
+* :mod:`~repro.serving.http` — the stdlib threading HTTP front end
+  (`repro serve`).
+* :mod:`~repro.serving.aserve` — the asyncio front end: keep-alive event
+  loop, in-flight request coalescing, admission control / load shedding
+  (`repro serve --async`).
+* :mod:`~repro.serving.loadgen` — the closed-loop load generator
+  (`repro loadgen`).
 
 See ``docs/serving.md`` for the design.
 """
 
+from repro.serving.aserve import (
+    AdmissionGate,
+    AsyncFrontEnd,
+    AsyncServerHandle,
+    Overloaded,
+    Singleflight,
+    start_in_thread,
+)
 from repro.serving.degrade import (
     RUNG_FULL,
     RUNG_SHOWTUPLES,
@@ -41,12 +55,23 @@ from repro.serving.retry import CircuitBreaker, ResilientIngestor, RetryPolicy
 from repro.serving.service import CategorizationService, ResultCache, ServeResult
 from repro.serving.snapshot import EpochSnapshot, SnapshotStore
 
+from repro.serving.loadgen import DEFAULT_MIX, LoadReport, run_loadgen
+
 __all__ = [
     "RUNG_FULL",
     "RUNG_SHOWTUPLES",
     "RUNG_SINGLE_LEVEL",
     "RUNG_TRUNCATED",
     "RUNGS",
+    "AdmissionGate",
+    "AsyncFrontEnd",
+    "AsyncServerHandle",
+    "DEFAULT_MIX",
+    "LoadReport",
+    "Overloaded",
+    "Singleflight",
+    "run_loadgen",
+    "start_in_thread",
     "CategorizationService",
     "CircuitBreaker",
     "Deadline",

@@ -45,6 +45,16 @@ from repro.serving.service import CategorizationService
 
 MAX_BODY_BYTES = 1 << 20
 
+#: The service's route set; anything else is labeled ``other`` so the
+#: per-route counter cardinality stays bounded no matter what clients probe.
+ROUTES = ("/healthz", "/metrics", "/categorize", "/categorize_batch", "/record")
+
+
+def route_label(path: str) -> str:
+    """Collapse a request target to a bounded route label."""
+    route = path.split("?", 1)[0]
+    return route if route in ROUTES else "other"
+
 
 class ServiceHandler(BaseHTTPRequestHandler):
     """Request handler bound to a service via :func:`make_server`."""
@@ -55,8 +65,21 @@ class ServiceHandler(BaseHTTPRequestHandler):
     # -- plumbing ------------------------------------------------------------
 
     def log_message(self, fmt: str, *args: Any) -> None:  # noqa: A003
-        # Route access logs through perf counters instead of stderr spam.
+        # Silence stderr spam; traffic is counted in log_request instead.
+        pass
+
+    def log_request(self, code: Any = "-", size: Any = "-") -> None:
+        # Count every answered request, sliced by route/method/status so
+        # /metrics can report per-endpoint SLOs.  The unlabeled series
+        # predates the labels; existing dashboards read it, so keep it.
         perf.count("http.requests")
+        status = getattr(code, "value", code)
+        perf.count(
+            "http.requests_by_route",
+            route=route_label(self.path),
+            method=self.command,
+            status=status,
+        )
 
     def _reply(self, status: int, payload: dict[str, Any] | str) -> None:
         if isinstance(payload, str):
@@ -71,13 +94,16 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _reply_or_disconnect(self, status: int, payload: dict[str, Any]) -> None:
-        """Best-effort reply on an error path.
+    def _reply_or_disconnect(
+        self, status: int, payload: dict[str, Any] | str
+    ) -> None:
+        """Best-effort reply: the client may hang up mid-write.
 
-        The client may already have hung up (it is often the reason we are
-        on the error path at all); writing the error to a dead socket
-        raises ``BrokenPipeError``/``ConnectionResetError`` out of the
-        handler thread.  Swallow the write failure, count it, and drop the
+        On error paths the client has often already hung up (it is why we
+        are on the error path at all), and GET replies race the client's
+        own timeout the same way; writing to a dead socket raises
+        ``BrokenPipeError``/``ConnectionResetError`` out of the handler
+        thread.  Swallow the write failure, count it, and drop the
         connection instead.
         """
         try:
@@ -115,12 +141,15 @@ class ServiceHandler(BaseHTTPRequestHandler):
     # -- routes --------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802
+        # GET replies go through the same swallow-and-count path as POST:
+        # a client that hangs up mid-/metrics scrape must not raise a
+        # BrokenPipeError out of the handler thread uncounted.
         if self.path == "/healthz":
-            self._reply(200, {"status": "ok", **self.service.health()})
+            self._reply_or_disconnect(200, {"status": "ok", **self.service.health()})
         elif self.path == "/metrics":
-            self._reply(200, perf.export_prometheus())
+            self._reply_or_disconnect(200, perf.export_prometheus())
         else:
-            self._reply(404, {"error": f"no such endpoint {self.path!r}"})
+            self._reply_or_disconnect(404, {"error": f"no such endpoint {self.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802
         try:
@@ -208,6 +237,14 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self._reply(200, {"status": "recorded", **self.service.health()})
 
 
+class _Server(ThreadingHTTPServer):
+    # socketserver's default listen backlog is 5: a burst of concurrent
+    # clients (the loadgen's barrier start) leaves connections stuck in
+    # SYN_RECV until the server RSTs them.  Match the asyncio front end's
+    # backlog so the two are comparable under load.
+    request_queue_size = 128
+
+
 def make_server(
     service: CategorizationService, host: str = "127.0.0.1", port: int = 0
 ) -> ThreadingHTTPServer:
@@ -218,7 +255,7 @@ def make_server(
     use.  Call ``serve_forever()`` (or :func:`serve_in_thread`) to run.
     """
     handler = type("BoundHandler", (ServiceHandler,), {"service": service})
-    return ThreadingHTTPServer((host, port), handler)
+    return _Server((host, port), handler)
 
 
 def serve_in_thread(server: ThreadingHTTPServer) -> threading.Thread:

@@ -347,6 +347,37 @@ class CategorizationService:
                 for query, normalized_sql in parsed
             ]
 
+    def result_key(self, epoch_number: int, normalized_sql: str) -> str:
+        """The canonical result identity: cache key and singleflight key.
+
+        The backend tag keeps cache entries honest when a service is
+        rebuilt over the same data on a different storage backend:
+        RowSets in cached trees are index views into one specific table.
+        The async front end uses the same key shape to coalesce identical
+        in-flight requests (docs/serving.md).
+        """
+        return (
+            f"{epoch_number}:{self.technique}:"
+            f"{self.table.backend_name}:{normalized_sql}"
+        )
+
+    def coalescing_key(self, sql: str) -> str:
+        """Singleflight key for ``sql`` against the *current* epoch.
+
+        Two requests with the same coalescing key would compute identical
+        full-rung results, so a front end may serve both from one
+        computation.  The epoch may advance between key computation and
+        execution; that only splits a coalescable pair (each still pins a
+        consistent epoch), never merges requests that should differ.
+
+        Raises:
+            InvalidRequest: malformed SQL or unknown table, exactly as
+                :meth:`categorize` would — front ends can validate before
+                admitting the request.
+        """
+        _, normalized_sql = self._parse(sql)
+        return self.result_key(self.store.epoch_number, normalized_sql)
+
     def _serve_pinned(
         self,
         query: Any,
@@ -359,13 +390,7 @@ class CategorizationService:
         """Serve one already-parsed request against a pinned epoch."""
         trace_id = f"req-{next(self._trace_ids):06d}"
         started = self._clock()
-        # The backend tag keeps cache entries honest when a service is
-        # rebuilt over the same data on a different storage backend:
-        # RowSets in cached trees are index views into one specific table.
-        cache_key = (
-            f"{epoch.number}:{self.technique}:"
-            f"{self.table.backend_name}:{normalized_sql}"
-        )
+        cache_key = self.result_key(epoch.number, normalized_sql)
         if budget == RUNG_FULL:
             hit = self.cache.get(cache_key)
             if hit is not None:

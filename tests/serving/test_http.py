@@ -8,7 +8,12 @@ import urllib.request
 
 import pytest
 
-from repro.serving.http import ServiceHandler, make_server, serve_in_thread
+from repro.serving.http import (
+    ServiceHandler,
+    make_server,
+    route_label,
+    serve_in_thread,
+)
 
 from tests.serving.conftest import LOG_SQL, SERVE_SQL
 
@@ -152,7 +157,60 @@ class TestErrorMapping:
         assert b"500" not in status_line
 
 
+class TestRouteLabels:
+    def test_known_routes_pass_through(self):
+        assert route_label("/categorize") == "/categorize"
+        assert route_label("/healthz?verbose=1") == "/healthz"
+
+    def test_unknown_paths_collapse_to_other(self):
+        # Bounded label cardinality: probes cannot mint new series.
+        assert route_label("/nope") == "other"
+        assert route_label("/../../etc/passwd") == "other"
+
+    def test_requests_counted_by_route_method_status(self, server, perf_on):
+        _get(server, "/healthz")
+        _post(server, "/categorize", {"sql": SERVE_SQL})
+        with pytest.raises(urllib.error.HTTPError):
+            _get(server, "/nope")
+        counters = perf_on.counters
+        assert counters["http.requests"] == 3  # legacy unlabeled series kept
+        assert counters[
+            "http.requests_by_route{method=GET,route=/healthz,status=200}"
+        ] == 1
+        assert counters[
+            "http.requests_by_route{method=POST,route=/categorize,status=200}"
+        ] == 1
+        assert counters[
+            "http.requests_by_route{method=GET,route=other,status=404}"
+        ] == 1
+
+    def test_labeled_series_exported_to_prometheus(self, server, perf_on):
+        _get(server, "/healthz")
+        _, body = _get(server, "/metrics")
+        assert "repro_http_requests_by_route_total" in body
+        assert 'route="/healthz"' in body
+
+
 class TestClientDisconnects:
+    def test_get_disconnect_is_swallowed_and_counted(
+        self, server, perf_on, monkeypatch
+    ):
+        # GET routes through _reply_or_disconnect too: a scraper that hangs
+        # up mid-/healthz must be counted, not raise out of the handler.
+        def broken_reply(self, status, payload):
+            raise BrokenPipeError("scraper went away")
+
+        monkeypatch.setattr(ServiceHandler, "_reply", broken_reply)
+        with pytest.raises((urllib.error.URLError, ConnectionResetError)):
+            _get(server, "/healthz")
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if perf_on.counters.get("http.client_disconnects", 0) >= 1:
+                break
+            time.sleep(0.01)
+        assert perf_on.counters.get("http.client_disconnects", 0) >= 1
+        assert perf_on.counters.get("http.internal_errors", 0) == 0
+
     def test_disconnect_during_reply_is_counted_not_raised(
         self, server, perf_on, monkeypatch
     ):

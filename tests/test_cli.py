@@ -387,3 +387,127 @@ class TestServeAndRequest:
         )
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestRequestRepeatAndLoadgen:
+    SQL = "SELECT * FROM ListProperty WHERE price <= 300000"
+
+    @pytest.fixture(scope="class")
+    def async_server(self, homes_table, statistics):
+        """A live asyncio front end over the shared fixtures (free port)."""
+        from repro.serving.aserve import start_in_thread
+        from repro.serving.service import CategorizationService
+
+        service = CategorizationService(
+            homes_table, statistics.copy(), batch_size=4
+        )
+        handle = start_in_thread(service, max_inflight=4)
+        yield handle
+        handle.stop()
+
+    def test_request_health_against_async_server(self, async_server, capsys):
+        code = main(["request", "--url", async_server.url, "--health"])
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["status"] == "ok"
+
+    def test_repeat_prints_latency_summary(self, async_server, capsys):
+        code = main(
+            [
+                "request",
+                "--url", async_server.url,
+                "--sql", self.SQL,
+                "--repeat", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "5 requests" in out
+        assert "one keep-alive connection" in out
+        assert "p50" in out and "p99" in out
+        assert "last response (200)" in out
+        assert '"rung"' in out
+
+    def test_repeat_must_be_positive(self, async_server, capsys):
+        code = main(
+            [
+                "request",
+                "--url", async_server.url,
+                "--sql", self.SQL,
+                "--repeat", "0",
+            ]
+        )
+        assert code == 2
+        assert "--repeat" in capsys.readouterr().err
+
+    def test_repeat_with_failures_exits_nonzero(self, async_server, capsys):
+        code = main(
+            [
+                "request",
+                "--url", async_server.url,
+                "--sql", "SELECT FROM WHERE",
+                "--repeat", "3",
+            ]
+        )
+        assert code == 2
+        assert "3 failed" in capsys.readouterr().out
+
+    def test_loadgen_table_report(self, async_server, capsys):
+        code = main(
+            [
+                "loadgen",
+                "--url", async_server.url,
+                "--clients", "2",
+                "--requests", "2",
+                "--sql", self.SQL,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput req/s" in out
+        assert "latency p99 ms" in out
+
+    def test_loadgen_json_report(self, async_server, capsys):
+        code = main(
+            [
+                "loadgen",
+                "--url", async_server.url,
+                "--clients", "2",
+                "--requests", "3",
+                "--sql", self.SQL,
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["requests"] == 6
+        assert payload["responses"] == 6
+        assert payload["errors"] == 0
+
+    def test_loadgen_unreachable_server_exits_nonzero(self, capsys):
+        code = main(
+            [
+                "loadgen",
+                "--url", "http://127.0.0.1:9",
+                "--clients", "1",
+                "--requests", "1",
+                "--timeout", "2",
+            ]
+        )
+        assert code == 1
+
+    def test_serve_async_flags_parse(self, data_and_workload, capsys):
+        # The async flags must survive argument parsing; the bad data path
+        # keeps the command from actually binding a port here.
+        _, workload = data_and_workload
+        code = main(
+            [
+                "serve",
+                "--data", "/nonexistent.csv",
+                "--workload", str(workload),
+                "--async",
+                "--max-inflight", "4",
+                "--max-queue", "8",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
