@@ -1,0 +1,114 @@
+"""Performance: request-telemetry overhead on the warm serving path.
+
+The telemetry pipeline's hard constraint is that it rides along for
+free when it isn't looking: with no pipeline installed the hooks are a
+global load and a ``None`` check, and with sampling at 10% only one
+request in ten pays for event assembly.  This bench times the warm
+(cache-hit) categorize path in three configurations — no pipeline,
+pipeline installed at rate 0.0, pipeline at rate 0.1 — interleaved
+round-robin so machine drift cancels, and appends a
+``telemetry_overhead`` record that the compare_bench gate tracks
+run-over-run.
+"""
+
+import time
+
+from repro import telemetry
+from repro.serving.service import CategorizationService
+from repro.study.report import format_table
+from repro.telemetry import RotatingJsonlSink, TelemetryPipeline
+
+from benchmarks.test_perf_partition import _append_bench_record
+
+SERVE_SQL = "SELECT * FROM ListProperty WHERE price <= 300000"
+
+#: Warm-path regression ceilings relative to the no-pipeline baseline.
+MAX_OFF_OVERHEAD = 0.02
+MAX_SAMPLED_OVERHEAD = 0.05
+
+#: Noise floor absorbed on top of the relative bound: the warm path is
+#: tens of microseconds, where a 2% margin is below timer jitter.
+EPSILON_MS = 0.05
+
+ROUNDS = 300
+TRIM_FRACTION = 0.1
+
+
+def _trimmed_mean(samples):
+    """Mean with the slowest ``TRIM_FRACTION`` dropped (GC / scheduler spikes)."""
+    ordered = sorted(samples)
+    kept = ordered[: max(1, len(ordered) - int(len(ordered) * TRIM_FRACTION))]
+    return sum(kept) / len(kept)
+
+
+def test_telemetry_overhead(tmp_path, bench_homes, bench_statistics):
+    service = CategorizationService(bench_homes, bench_statistics.copy())
+    service.categorize(SERVE_SQL)  # fill the result cache
+
+    sink = RotatingJsonlSink(tmp_path / "events.jsonl")
+    off = TelemetryPipeline(sink, sample_rate=0.0)
+    sampled = TelemetryPipeline(sink, sample_rate=0.1)
+
+    def warm():
+        return service.categorize(SERVE_SQL)
+
+    base_samples, off_samples, sampled_samples = [], [], []
+    try:
+        for _ in range(5):  # warmup
+            warm()
+        for _ in range(ROUNDS):
+            started = time.perf_counter()
+            warm()
+            base_samples.append(time.perf_counter() - started)
+
+            with telemetry.installed(off):
+                started = time.perf_counter()
+                warm()
+                off_samples.append(time.perf_counter() - started)
+
+            with telemetry.installed(sampled):
+                started = time.perf_counter()
+                warm()
+                sampled_samples.append(time.perf_counter() - started)
+    finally:
+        off.close()
+        sampled.close()
+
+    base_ms = _trimmed_mean(base_samples) * 1e3
+    off_ms = _trimmed_mean(off_samples) * 1e3
+    sampled_ms = _trimmed_mean(sampled_samples) * 1e3
+
+    print()
+    print(
+        format_table(
+            ["configuration", "warm ms", "vs base"],
+            [
+                ["no pipeline", f"{base_ms:.4f}", "-"],
+                ["installed, rate 0.0", f"{off_ms:.4f}",
+                 f"{(off_ms / base_ms - 1) * 100:+.1f}%"],
+                ["installed, rate 0.1", f"{sampled_ms:.4f}",
+                 f"{(sampled_ms / base_ms - 1) * 100:+.1f}%"],
+            ],
+            title="Telemetry overhead (warm categorize, trimmed mean)",
+        )
+    )
+    _append_bench_record(
+        "telemetry_overhead",
+        {
+            "rounds": ROUNDS,
+            "base_ms": round(base_ms, 4),
+            "off_ms": round(off_ms, 4),
+            "sampled_ms": round(sampled_ms, 4),
+            # The gated metrics: same-run ratios cancel machine drift,
+            # which dwarfs a 20% budget on a ~50 microsecond path.
+            "off_ratio": round(off_ms / base_ms, 4),
+            "sampled_ratio": round(sampled_ms / base_ms, 4),
+            "events_emitted": sampled.emitted,
+        },
+    )
+    assert off_ms <= base_ms * (1 + MAX_OFF_OVERHEAD) + EPSILON_MS, (
+        "telemetry installed with sampling off must be free on the warm path"
+    )
+    assert sampled_ms <= base_ms * (1 + MAX_SAMPLED_OVERHEAD) + EPSILON_MS, (
+        "10% sampling must stay within a few percent of the warm path"
+    )

@@ -10,11 +10,17 @@ Subcommands::
                           [--technique cost-based] [--m 20] [--depth 3] \
                           [--explain]
     repro perf-report     --data homes.csv --workload workload.sql \
-                          --query "SELECT ..." [--format text|prometheus|jsonl] \
+                          --query "SELECT ..." \
+                          [--format text|prometheus|jsonl|json] \
                           [--sample-rate 0.5 | --sample-every 10]
     repro serve           --data homes.csv --workload workload.sql \
                           [--host 127.0.0.1 --port 8765] [--lenient-csv] \
-                          [--async --max-inflight 8 --max-queue 32]
+                          [--async --max-inflight 8 --max-queue 32] \
+                          [--telemetry-sink events.jsonl \
+                           --telemetry-sample 0.1]
+    repro audit           events.jsonl [events.jsonl.1 ...] \
+                          [--format text|json] [--diff baseline.jsonl ...] \
+                          [--strict]
     repro request         --sql "SELECT ..." [--deadline-ms 50] [--budget full] \
                           [--record | --health | --metrics] [--repeat N]
     repro request         --batch "SELECT ..." "SELECT ..." [--deadline-ms 200]
@@ -154,8 +160,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--m", type=int, default=PAPER_CONFIG.max_tuples_per_category)
     report.add_argument(
-        "--format", choices=("text", "prometheus", "jsonl"), default="text",
-        help="output format for the collected metrics",
+        "--format", choices=("text", "prometheus", "jsonl", "json"), default="text",
+        help="output format for the collected metrics (json = the full "
+             "registry as one machine-readable document)",
     )
     report.add_argument("--sample-rate", type=float, default=None,
                         help="trace sampling probability in [0, 1]")
@@ -204,7 +211,40 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-queue", type=int, default=32,
                        help="bounded admission queue; arrivals beyond it are "
                             "shed with 503 + Retry-After")
+    serve.add_argument("--telemetry-sink", type=Path, default=None,
+                       help="ship sampled request/decision events to this "
+                            "rotating JSONL file (analyze with `repro audit`)")
+    serve.add_argument("--telemetry-sample", type=float, default=1.0,
+                       help="fraction of requests traced end-to-end, in "
+                            "[0, 1] (deterministic per trace id; default 1.0)")
+    serve.add_argument("--telemetry-rotate-bytes", type=int,
+                       default=16 * 1024 * 1024,
+                       help="rotate the sink after this many bytes "
+                            "(default 16 MiB)")
+    serve.add_argument("--telemetry-fsync",
+                       choices=("never", "rotate", "always"), default="rotate",
+                       help="sink durability: fsync never, on rotation/close "
+                            "(default), or every event")
     serve.set_defaults(handler=_cmd_serve)
+
+    audit = subparsers.add_parser(
+        "audit",
+        help="join a telemetry sink's events per request and report "
+             "latency waterfalls, rung/shed/coalesce mixes, cache hit "
+             "ratios, and the tree-quality digest",
+    )
+    audit.add_argument("events", nargs="+", type=Path, metavar="EVENTS",
+                       help="sink files (pass rotated segments too)")
+    audit.add_argument("--format", choices=("text", "json"), default="text",
+                       help="report format")
+    audit.add_argument("--diff", nargs="+", type=Path, default=None,
+                       metavar="BASELINE",
+                       help="baseline sink files to A/B against (rung mix, "
+                            "chosen-attribute mix, cost margins)")
+    audit.add_argument("--strict", action="store_true",
+                       help="exit 1 when any trace is partial or any event "
+                            "orphaned (the CI smoke contract)")
+    audit.set_defaults(handler=_cmd_audit)
 
     req = subparsers.add_parser(
         "request", help="send one request to a running `repro serve`"
@@ -376,6 +416,8 @@ def _cmd_perf_report(args) -> int:
             print(perf.export_prometheus(), end="")
         elif args.format == "jsonl":
             print(perf.export_jsonl(), end="")
+        elif args.format == "json":
+            print(perf.export_json(), end="")
         else:
             print(perf.format_report())
     finally:
@@ -387,6 +429,7 @@ def _cmd_perf_report(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    from repro import telemetry
     from repro.serving.service import CategorizationService
 
     schema = load_schema(args.schema)
@@ -410,10 +453,25 @@ def _cmd_serve(args) -> int:
         cache_ttl_s=args.cache_ttl,
     )
     perf.enable()  # the /metrics endpoint should have data from request 1
+    pipeline = None
+    if args.telemetry_sink is not None:
+        sink = telemetry.RotatingJsonlSink(
+            args.telemetry_sink,
+            max_bytes=args.telemetry_rotate_bytes,
+            fsync_policy=args.telemetry_fsync,
+        )
+        pipeline = telemetry.install(
+            telemetry.TelemetryPipeline(sink, sample_rate=args.telemetry_sample)
+        )
     banner = (
         f"serving {schema.name} ({len(table)} rows, "
         f"{statistics.total_queries} workload queries)"
     )
+    if pipeline is not None:
+        banner += (
+            f" [telemetry -> {args.telemetry_sink}, "
+            f"sample {args.telemetry_sample:g}]"
+        )
     endpoints = (
         "endpoints: GET /healthz /metrics, "
         "POST /categorize /categorize_batch /record"
@@ -425,6 +483,9 @@ def _cmd_serve(args) -> int:
             _serve_threading(service, args, banner, endpoints)
     finally:
         service.flush()
+        if pipeline is not None:
+            telemetry.uninstall()
+            pipeline.close()  # drains the queue tail into the sink
         table.close()
         perf.disable()
     return 0
@@ -558,6 +619,38 @@ def _cmd_request(args) -> int:
     print(f"last response ({last_status}):")
     print(last_payload, end="")
     return 2 if failures else 0
+
+
+def _cmd_audit(args) -> int:
+    from repro.telemetry.audit import (
+        audit_files,
+        diff_reports,
+        format_diff,
+        format_report,
+    )
+
+    report = audit_files(args.events)
+    diff = None
+    if args.diff:
+        diff = diff_reports(report, audit_files(args.diff))
+    if args.format == "json":
+        document = {"report": report}
+        if diff is not None:
+            document["diff"] = diff
+        print(json.dumps(document, indent=2))
+    else:
+        print(format_report(report))
+        if diff is not None:
+            print()
+            print(format_diff(diff))
+    if args.strict and (report["partial"] or report["orphaned_events"]):
+        print(
+            f"strict: {report['partial']} partial trace(s), "
+            f"{report['orphaned_events']} orphaned event(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _cmd_loadgen(args) -> int:

@@ -19,7 +19,12 @@ overhead budget), :mod:`repro.perf.export` for the wire formats, and
 ``docs/observability.md`` for the user guide.
 """
 
-from repro.perf.export import export_jsonl, export_prometheus
+from repro.perf.export import (
+    export_json,
+    export_jsonl,
+    export_prometheus,
+    registry_snapshot,
+)
 from repro.perf.instrument import (
     ACTIVE,
     Instrumentation,
@@ -54,8 +59,10 @@ __all__ = [
     "disable",
     "enable",
     "enabled",
+    "export_json",
     "export_jsonl",
     "export_prometheus",
+    "registry_snapshot",
     "format_report",
     "gauge",
     "get",

@@ -124,6 +124,46 @@ def export_jsonl(inst: Instrumentation | None = None) -> str:
     return "\n".join(lines) + "\n"
 
 
+def registry_snapshot(inst: Instrumentation | None = None) -> dict[str, Any]:
+    """The whole registry as one JSON-ready object (``--format json``).
+
+    Same traversal as :func:`export_jsonl`, shaped as a single document
+    instead of a line stream — for tools that want ``json.load`` rather
+    than a JSONL reader.
+    """
+    inst = ACTIVE if inst is None else inst
+    counters = []
+    for key, value in sorted(inst.counters.items()):
+        name, labels = split_series_key(key)
+        counters.append({"name": name, "labels": labels, "value": value})
+    gauges = []
+    for key, value in sorted(inst.gauges.items()):
+        name, labels = split_series_key(key)
+        gauges.append({"name": name, "labels": labels, "value": value})
+    return {
+        "sampling": inst.sampler.as_dict(),
+        "counters": counters,
+        "gauges": gauges,
+        "timers": [
+            {"name": name, "calls": calls, "seconds": seconds}
+            for name, (calls, seconds) in sorted(inst.timers.items())
+        ],
+        "histograms": [
+            {"name": name, **histogram.summary()}
+            for name, histogram in sorted(inst.durations.items())
+        ],
+        "spans": [
+            {"path": path, "calls": node.calls, "seconds": node.seconds}
+            for path, node in _span_rows(inst)
+        ],
+    }
+
+
+def export_json(inst: Instrumentation | None = None) -> str:
+    """Serialize :func:`registry_snapshot` as pretty-printed JSON."""
+    return json.dumps(registry_snapshot(inst), indent=2) + "\n"
+
+
 # -- Prometheus text format ------------------------------------------------
 
 
@@ -147,6 +187,23 @@ def export_prometheus(inst: Instrumentation | None = None) -> str:
     for key, value in sorted(inst.gauges.items()):
         name, labels = split_series_key(key)
         grouped_gauges.setdefault(name, []).append((labels, value))
+    # serve.cache_hit_ratio is *derived at scrape time* from the result
+    # cache's hit/miss counters — a ratio is a gauge, and materializing it
+    # per-request would just be a slower way to compute hits/(hits+misses).
+    hits = sum(
+        value
+        for key, value in inst.counters.items()
+        if split_series_key(key)[0] == "service.cache_hits"
+    )
+    misses = sum(
+        value
+        for key, value in inst.counters.items()
+        if split_series_key(key)[0] == "service.cache_misses"
+    )
+    if hits + misses:
+        grouped_gauges.setdefault("serve.cache_hit_ratio", []).append(
+            ({}, hits / (hits + misses))
+        )
     for name, gauge_series in grouped_gauges.items():
         metric = f"repro_{_sanitize(name)}"
         lines.append(f"# TYPE {metric} gauge")

@@ -62,6 +62,7 @@ import atexit
 import bisect
 import os
 import threading
+import time
 import weakref
 from array import array
 from collections import OrderedDict
@@ -70,7 +71,7 @@ from dataclasses import dataclass, field
 from multiprocessing import get_context, shared_memory
 from typing import Any, Mapping, Sequence
 
-from repro import perf
+from repro import perf, telemetry
 from repro.relational.backends import (
     ColumnStore,
     DictColumn,
@@ -273,6 +274,26 @@ def _shard_groupby(spec: _ShardSpec, name: str) -> dict[Any, bytes]:
         value: _globalize(ids, spec.base).tobytes()
         for value, ids in store.build_groupby(name).items()
     }
+
+
+def _timed_shard(fn, *task):
+    """Run one shard kernel and return ``(elapsed_s, result)``.
+
+    Module-level so it pickles across the fork boundary; used only when
+    the serving request being computed is telemetry-sampled, so the
+    unsampled path submits the bare kernels with zero extra frames.
+    """
+    started = time.perf_counter()
+    result = fn(*task)
+    return time.perf_counter() - started, result
+
+
+#: Kernel -> audit-facing op label for ``shards`` telemetry events.
+_SHARD_OPS = {
+    "_shard_select": "select",
+    "_shard_bucket": "bucket",
+    "_shard_groupby": "groupby",
+}
 
 
 # ---------------------------------------------------------------------------
@@ -559,12 +580,33 @@ class ShardedBackend:
         """
         if not tasks:
             return []
+        # Per-shard kernel timing only for telemetry-sampled requests:
+        # the scope contextvar is set by the service around the sampled
+        # computation, so unsampled traffic submits the bare kernels.
+        trace_id = telemetry.scoped_trace_id()
         for attempt in (0, 1):
             with self._lock:
                 executor = self._ensure_executor()
             try:
-                futures = [executor.submit(fn, *task) for task in tasks]
-                return [future.result() for future in futures]
+                if trace_id is None:
+                    futures = [executor.submit(fn, *task) for task in tasks]
+                    return [future.result() for future in futures]
+                started = time.perf_counter()
+                futures = [
+                    executor.submit(_timed_shard, fn, *task) for task in tasks
+                ]
+                pairs = [future.result() for future in futures]
+                telemetry.emit(
+                    "shards",
+                    trace_id,
+                    op=_SHARD_OPS.get(fn.__name__, fn.__name__),
+                    shards=len(pairs),
+                    shard_ms=[round(elapsed * 1000.0, 3) for elapsed, _ in pairs],
+                    elapsed_ms=round(
+                        (time.perf_counter() - started) * 1000.0, 3
+                    ),
+                )
+                return [result for _, result in pairs]
             except (BrokenExecutor, OSError, RuntimeError):
                 perf.count("sharded.pool_restarts")
                 with self._lock:

@@ -56,10 +56,11 @@ import asyncio
 import contextlib
 import json
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Awaitable, Callable
 
-from repro import perf
+from repro import perf, telemetry
 from repro.render.treeview import render_tree
 from repro.serving.degrade import RUNG_FULL
 from repro.serving.errors import IngestionStalled, InvalidRequest
@@ -326,8 +327,11 @@ class AsyncFrontEnd:
                     break
                 if request is None:
                     break
+                telem: dict[str, Any] = {"arrived": time.perf_counter()}
                 with perf.timer("aserve.request"):
-                    status, body, content_type, extra = await self._dispatch(request)
+                    status, body, content_type, extra = await self._dispatch(
+                        request, telem
+                    )
                 perf.count("http.requests")
                 perf.count(
                     "http.requests_by_route",
@@ -335,6 +339,7 @@ class AsyncFrontEnd:
                     method=request.method,
                     status=status,
                 )
+                served = time.perf_counter()
                 await self._write_response(
                     writer,
                     status,
@@ -343,6 +348,7 @@ class AsyncFrontEnd:
                     keep_alive=request.keep_alive,
                     extra=extra,
                 )
+                self._emit_frontend(telem, status, served)
                 if not request.keep_alive:
                     break
         except (
@@ -445,10 +451,17 @@ class AsyncFrontEnd:
     # -- routing -------------------------------------------------------------
 
     async def _dispatch(
-        self, request: HttpRequest
+        self, request: HttpRequest, telem: dict[str, Any]
     ) -> tuple[int, bytes, str, dict[str, str] | None]:
-        """Route one request; returns (status, body, content type, headers)."""
+        """Route one request; returns (status, body, content type, headers).
+
+        ``telem`` collects the request's telemetry story (trace id,
+        waterfall timestamps, admission outcome) for
+        :meth:`_emit_frontend`; compute routes allocate their trace id
+        here so even shed 503s carry an ``X-Trace-Id``.
+        """
         route = request.path.split("?", 1)[0]
+        telem["route"] = route
         try:
             if request.method == "GET" and route == "/healthz":
                 return self._ok({"status": "ok", **self.service.health()})
@@ -461,23 +474,33 @@ class AsyncFrontEnd:
                     None,
                 )
             if request.method == "POST" and route == "/categorize":
-                return await self._categorize(request)
+                telem["trace_id"] = self.service.new_trace_id()
+                return await self._categorize(request, telem)
             if request.method == "POST" and route == "/categorize_batch":
-                return await self._categorize_batch(request)
+                telem["trace_id"] = self.service.new_trace_id()
+                return await self._categorize_batch(request, telem)
             if request.method == "POST" and route == "/record":
-                return await self._record(request)
+                telem["trace_id"] = self.service.new_trace_id()
+                return await self._record(request, telem)
             return self._error(404, {"error": f"no such endpoint {request.path!r}"})
         except Overloaded as exc:
             perf.count("aserve.shed", route=route)
-            return self._error(
-                503,
-                {"error": "overloaded: admission queue full", "reason": "overload"},
-                extra={"Retry-After": str(max(1, round(exc.retry_after_s)))},
-            )
+            telem["outcome"] = "shed"
+            extra = {"Retry-After": str(max(1, round(exc.retry_after_s)))}
+            payload = {
+                "error": "overloaded: admission queue full",
+                "reason": "overload",
+            }
+            if telem.get("trace_id"):
+                extra["X-Trace-Id"] = telem["trace_id"]
+                payload["trace_id"] = telem["trace_id"]
+            return self._error(503, payload, extra=extra)
         except InvalidRequest as exc:
             perf.count("http.invalid_requests", reason=exc.reason)
+            telem["outcome"] = "invalid"
             return self._error(400, {"error": str(exc), "reason": exc.reason})
         except IngestionStalled as exc:
+            telem["outcome"] = "stalled"
             return self._error(
                 503,
                 {"error": str(exc), "spilled": exc.spilled},
@@ -485,7 +508,42 @@ class AsyncFrontEnd:
             )
         except Exception as exc:  # pragma: no cover - last-resort guard
             perf.count("http.internal_errors")
+            telem["outcome"] = "error"
             return self._error(500, {"error": f"internal error: {exc}"})
+
+    def _emit_frontend(
+        self, telem: dict[str, Any], status: int, served: float
+    ) -> None:
+        """Ship one ``frontend`` event for a traced request (or nothing).
+
+        ``served`` is the perf-counter instant the dispatch returned; the
+        time from there to now (the response bytes written and drained)
+        is the waterfall's ``respond`` stage.
+        """
+        trace_id = telem.get("trace_id")
+        if not trace_id or telemetry.active() is None:
+            return
+        now = time.perf_counter()
+        arrived = telem["arrived"]
+        admitted = telem.get("admitted")
+        queue_ms = ((admitted if admitted is not None else served) - arrived) * 1000.0
+        compute_ms = (served - admitted) * 1000.0 if admitted is not None else 0.0
+        telemetry.emit(
+            telemetry.FRONTEND,
+            trace_id,
+            frontend="async",
+            route=telem.get("route"),
+            status=status,
+            outcome=telem.get("outcome", "ok"),
+            queue_ms=round(queue_ms, 3),
+            compute_ms=round(compute_ms, 3),
+            respond_ms=round((now - served) * 1000.0, 3),
+            pressure=telem.get("pressure"),
+            tightened=bool(telem.get("tightened")),
+            deadline_ms=telem.get("deadline_ms"),
+            coalesced=bool(telem.get("coalesced")),
+            leader_trace_id=telem.get("leader_trace_id"),
+        )
 
     @staticmethod
     def _ok(
@@ -502,7 +560,7 @@ class AsyncFrontEnd:
     # -- compute routes ------------------------------------------------------
 
     async def _categorize(
-        self, request: HttpRequest
+        self, request: HttpRequest, telem: dict[str, Any]
     ) -> tuple[int, bytes, str, dict[str, str] | None]:
         payload = _json_body(request)
         sql = payload.get("sql")
@@ -511,16 +569,20 @@ class AsyncFrontEnd:
         deadline_ms = payload.get("deadline_ms")
         budget = payload.get("budget", RUNG_FULL)
         collect_trace = bool(payload.get("trace", False))
+        trace_id = telem["trace_id"]
 
         async def lead() -> ServeResult:
             async with self.gate.admit("/categorize") as pressure:
-                effective = self._tightened(deadline_ms, pressure)
+                telem["admitted"] = time.perf_counter()
+                telem["pressure"] = round(pressure, 4)
+                effective = self._tightened(deadline_ms, pressure, telem)
                 return await self._run(
                     self.service.categorize,
                     sql,
                     deadline_ms=effective,
                     budget=budget,
                     collect_trace=collect_trace,
+                    trace_id=trace_id,
                 )
 
         # Only full-budget, traceless requests can share a result: a trace
@@ -537,14 +599,24 @@ class AsyncFrontEnd:
         body = result.as_dict()
         if coalesced:
             body["coalesced"] = True
+            telem["coalesced"] = True
+            # The follower's own id never reached the service; record the
+            # leader's so the audit can tie the share to its computation.
+            telem["leader_trace_id"] = result.trace_id
         if payload.get("render") and result.tree is not None:
             body["rendering"] = render_tree(result.tree)
-        if result.tree is not None and result.tree.decision_trace is not None:
+        if (
+            collect_trace
+            and result.tree is not None
+            and result.tree.decision_trace is not None
+        ):
             body["decision_trace"] = result.tree.decision_trace.as_dict()
-        return self._ok(body)
+        # Clients correlate on the id of the computation that answered
+        # them — the leader's for coalesced followers (matching the body).
+        return self._ok(body, extra={"X-Trace-Id": result.trace_id})
 
     async def _categorize_batch(
-        self, request: HttpRequest
+        self, request: HttpRequest, telem: dict[str, Any]
     ) -> tuple[int, bytes, str, dict[str, str] | None]:
         payload = _json_body(request)
         sqls = payload.get("sqls")
@@ -556,13 +628,19 @@ class AsyncFrontEnd:
             raise InvalidRequest(
                 "body needs a non-empty 'sqls' list of SQL strings", reason="sql"
             )
+        trace_id = telem["trace_id"]
         async with self.gate.admit("/categorize_batch") as pressure:
+            telem["admitted"] = time.perf_counter()
+            telem["pressure"] = round(pressure, 4)
             results = await self._run(
                 self.service.categorize_many,
                 sqls,
-                deadline_ms=self._tightened(payload.get("deadline_ms"), pressure),
+                deadline_ms=self._tightened(
+                    payload.get("deadline_ms"), pressure, telem
+                ),
                 budget=payload.get("budget", RUNG_FULL),
                 collect_trace=bool(payload.get("trace", False)),
+                trace_id=trace_id,
             )
         rendered = bool(payload.get("render"))
         bodies = []
@@ -573,33 +651,49 @@ class AsyncFrontEnd:
             bodies.append(body)
         return self._ok(
             {
+                "trace_id": trace_id,
                 "epoch": results[0].epoch if results else None,
                 "count": len(bodies),
                 "results": bodies,
-            }
+            },
+            extra={"X-Trace-Id": trace_id},
         )
 
     async def _record(
-        self, request: HttpRequest
+        self, request: HttpRequest, telem: dict[str, Any]
     ) -> tuple[int, bytes, str, dict[str, str] | None]:
         payload = _json_body(request)
         sql = payload.get("sql")
         if not isinstance(sql, str) or not sql.strip():
             raise InvalidRequest("body needs a non-empty 'sql' string", reason="sql")
         async with self.gate.admit("/record"):
+            telem["admitted"] = time.perf_counter()
             await self._run(self.service.record_query, sql)
-        return self._ok({"status": "recorded", **self.service.health()})
+        return self._ok(
+            {"status": "recorded", **self.service.health()},
+            extra={"X-Trace-Id": telem["trace_id"]},
+        )
 
     def _tightened(
-        self, deadline_ms: float | None, pressure: float
+        self,
+        deadline_ms: float | None,
+        pressure: float,
+        telem: dict[str, Any] | None = None,
     ) -> float | None:
         """Apply the gate's pressure-derived cap to a request deadline."""
         cap = self.gate.deadline_cap_ms(pressure)
         if cap is None:
+            if telem is not None:
+                telem["deadline_ms"] = deadline_ms
             return deadline_ms
         if deadline_ms is None or cap < deadline_ms:
             perf.count("aserve.tightened")
+            if telem is not None:
+                telem["tightened"] = True
+                telem["deadline_ms"] = cap
             return cap
+        if telem is not None:
+            telem["deadline_ms"] = deadline_ms
         return deadline_ms
 
     async def _run(self, fn: Callable, /, *args: Any, **kwargs: Any) -> Any:

@@ -35,10 +35,11 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
-from repro import perf
+from repro import perf, telemetry
 from repro.render.treeview import render_tree
 from repro.serving.errors import IngestionStalled, InvalidRequest
 from repro.serving.service import CategorizationService
@@ -81,7 +82,12 @@ class ServiceHandler(BaseHTTPRequestHandler):
             status=status,
         )
 
-    def _reply(self, status: int, payload: dict[str, Any] | str) -> None:
+    def _reply(
+        self,
+        status: int,
+        payload: dict[str, Any] | str,
+        extra: dict[str, str] | None = None,
+    ) -> None:
         if isinstance(payload, str):
             body = payload.encode("utf-8")
             content_type = "text/plain; version=0.0.4; charset=utf-8"
@@ -91,6 +97,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -152,20 +160,28 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._reply_or_disconnect(404, {"error": f"no such endpoint {self.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802
+        # The threading server has no admission queue, so the telemetry
+        # waterfall's queue stage is zero by construction; compute and
+        # respond are timed around the handler body.
+        telem: dict[str, Any] = {"started": time.perf_counter()}
         try:
             payload = self._read_json()
             if self.path == "/categorize":
-                self._categorize(payload)
+                self._categorize(payload, telem)
             elif self.path == "/categorize_batch":
-                self._categorize_batch(payload)
+                self._categorize_batch(payload, telem)
             elif self.path == "/record":
-                self._record(payload)
+                self._record(payload, telem)
             else:
                 self._reply(404, {"error": f"no such endpoint {self.path!r}"})
         except InvalidRequest as exc:
             perf.count("http.invalid_requests", reason=exc.reason)
+            telem["outcome"] = "invalid"
+            telem["status"] = 400
             self._reply_or_disconnect(400, {"error": str(exc), "reason": exc.reason})
         except IngestionStalled as exc:
+            telem["outcome"] = "stalled"
+            telem["status"] = 503
             self._reply_or_disconnect(
                 503, {"error": str(exc), "spilled": exc.spilled}
             )
@@ -177,26 +193,68 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self.close_connection = True
         except Exception as exc:  # pragma: no cover - last-resort guard
             perf.count("http.internal_errors")
+            telem["outcome"] = "error"
+            telem["status"] = 500
             self._reply_or_disconnect(500, {"error": f"internal error: {exc}"})
+        finally:
+            self._emit_frontend(telem)
 
-    def _categorize(self, payload: dict[str, Any]) -> None:
+    def _emit_frontend(self, telem: dict[str, Any]) -> None:
+        """Ship one ``frontend`` event when the request was traced."""
+        trace_id = telem.get("trace_id")
+        if not trace_id or telemetry.active() is None:
+            return
+        total_ms = (time.perf_counter() - telem["started"]) * 1000.0
+        compute_ms = telem.get("compute_ms", 0.0)
+        telemetry.emit(
+            telemetry.FRONTEND,
+            trace_id,
+            frontend="threading",
+            route=route_label(self.path),
+            status=telem.get("status"),
+            outcome=telem.get("outcome", "ok"),
+            queue_ms=0.0,
+            compute_ms=round(compute_ms, 3),
+            respond_ms=round(max(0.0, total_ms - compute_ms), 3),
+            pressure=None,
+            tightened=False,
+            deadline_ms=telem.get("deadline_ms"),
+            coalesced=False,
+            leader_trace_id=None,
+        )
+
+    def _categorize(self, payload: dict[str, Any], telem: dict[str, Any]) -> None:
         sql = payload.get("sql")
         if not isinstance(sql, str) or not sql.strip():
             raise InvalidRequest("body needs a non-empty 'sql' string", reason="sql")
+        trace_id = self.service.new_trace_id()
+        telem["trace_id"] = trace_id
+        telem["deadline_ms"] = payload.get("deadline_ms")
+        collect_trace = bool(payload.get("trace", False))
+        computed = time.perf_counter()
         result = self.service.categorize(
             sql,
             deadline_ms=payload.get("deadline_ms"),
             budget=payload.get("budget", "full"),
-            collect_trace=bool(payload.get("trace", False)),
+            collect_trace=collect_trace,
+            trace_id=trace_id,
         )
+        telem["compute_ms"] = (time.perf_counter() - computed) * 1000.0
+        telem["status"] = 200
         body = result.as_dict()
         if payload.get("render") and result.tree is not None:
             body["rendering"] = render_tree(result.tree)
-        if result.tree is not None and result.tree.decision_trace is not None:
+        if (
+            collect_trace
+            and result.tree is not None
+            and result.tree.decision_trace is not None
+        ):
             body["decision_trace"] = result.tree.decision_trace.as_dict()
-        self._reply(200, body)
+        self._reply(200, body, extra={"X-Trace-Id": result.trace_id})
 
-    def _categorize_batch(self, payload: dict[str, Any]) -> None:
+    def _categorize_batch(
+        self, payload: dict[str, Any], telem: dict[str, Any]
+    ) -> None:
         sqls = payload.get("sqls")
         if (
             not isinstance(sqls, list)
@@ -207,12 +265,19 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 "body needs a non-empty 'sqls' list of SQL strings",
                 reason="sql",
             )
+        trace_id = self.service.new_trace_id()
+        telem["trace_id"] = trace_id
+        telem["deadline_ms"] = payload.get("deadline_ms")
+        computed = time.perf_counter()
         results = self.service.categorize_many(
             sqls,
             deadline_ms=payload.get("deadline_ms"),
             budget=payload.get("budget", "full"),
             collect_trace=bool(payload.get("trace", False)),
+            trace_id=trace_id,
         )
+        telem["compute_ms"] = (time.perf_counter() - computed) * 1000.0
+        telem["status"] = 200
         rendered = bool(payload.get("render"))
         bodies = []
         for result in results:
@@ -223,18 +288,29 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self._reply(
             200,
             {
+                "trace_id": trace_id,
                 "epoch": results[0].epoch if results else None,
                 "count": len(bodies),
                 "results": bodies,
             },
+            extra={"X-Trace-Id": trace_id},
         )
 
-    def _record(self, payload: dict[str, Any]) -> None:
+    def _record(self, payload: dict[str, Any], telem: dict[str, Any]) -> None:
         sql = payload.get("sql")
         if not isinstance(sql, str) or not sql.strip():
             raise InvalidRequest("body needs a non-empty 'sql' string", reason="sql")
+        trace_id = self.service.new_trace_id()
+        telem["trace_id"] = trace_id
+        computed = time.perf_counter()
         self.service.record_query(sql)
-        self._reply(200, {"status": "recorded", **self.service.health()})
+        telem["compute_ms"] = (time.perf_counter() - computed) * 1000.0
+        telem["status"] = 200
+        self._reply(
+            200,
+            {"status": "recorded", **self.service.health()},
+            extra={"X-Trace-Id": trace_id},
+        )
 
 
 class _Server(ThreadingHTTPServer):

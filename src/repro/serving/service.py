@@ -38,7 +38,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
-from repro import perf
+from repro import perf, telemetry
 from repro.core.algorithm import CostBasedCategorizer, LevelByLevelCategorizer
 from repro.core.baselines import AttrCostCategorizer, NoCostCategorizer
 from repro.core.config import CategorizerConfig, PAPER_CONFIG
@@ -113,6 +113,25 @@ class ServeResult:
             "cached": self.cached,
             "elapsed_ms": round(self.elapsed_ms, 3),
         }
+
+
+def _tree_digest(tree) -> dict[str, Any]:
+    """Category count + per-level attributes, memoized on the tree.
+
+    Both accessors walk the whole tree (hundreds of microseconds at
+    scale); a cached tree is served many times and is immutable once
+    built, so sampled cache hits must not re-pay the traversals.
+    """
+    if tree is None:
+        return {"categories": 0, "chosen": []}
+    digest = getattr(tree, "_telemetry_digest", None)
+    if digest is None:
+        digest = {
+            "categories": tree.category_count(),
+            "chosen": tree.level_attributes(),
+        }
+        tree._telemetry_digest = digest
+    return digest
 
 
 @dataclass
@@ -250,12 +269,22 @@ class CategorizationService:
 
     # -- read path -----------------------------------------------------------
 
+    def new_trace_id(self) -> str:
+        """Allocate the next request trace id (thread-safe).
+
+        Front ends call this *before* dispatching so the id exists even
+        for requests that never reach :meth:`categorize` (shed 503s carry
+        an ``X-Trace-Id`` too), then pass it through ``trace_id=``.
+        """
+        return f"req-{next(self._trace_ids):06d}"
+
     def categorize(
         self,
         sql: str,
         deadline_ms: float | None = None,
         budget: str = RUNG_FULL,
         collect_trace: bool = False,
+        trace_id: str | None = None,
     ) -> ServeResult:
         """Serve one categorization request.
 
@@ -268,6 +297,9 @@ class CategorizationService:
                 cost independent of wall-clock.
             collect_trace: attach a PR 3 decision trace (stamped with the
                 request's trace id and the served rung).
+            trace_id: caller-assigned request id (front ends allocate via
+                :meth:`new_trace_id` so shed requests share the same id
+                space); None allocates one here.
 
         Raises:
             InvalidRequest: malformed SQL / unknown table / bad deadline.
@@ -286,6 +318,7 @@ class CategorizationService:
                 deadline,
                 budget,
                 collect_trace,
+                trace_id=trace_id,
             )
 
     def categorize_many(
@@ -294,6 +327,7 @@ class CategorizationService:
         deadline_ms: float | None = None,
         budget: str = RUNG_FULL,
         collect_trace: bool = False,
+        trace_id: str | None = None,
     ) -> list[ServeResult]:
         """Serve a batch of categorization requests against ONE epoch.
 
@@ -313,6 +347,9 @@ class CategorizationService:
             deadline_ms: time budget shared across the batch.
             budget: best rung any query of the batch may be served at.
             collect_trace: attach decision traces, as in :meth:`categorize`.
+            trace_id: the batch's root id; statement N is traced as
+                ``<root>#N`` so telemetry joins the whole batch to one
+                request (the root also decides sampling for the batch).
 
         Raises:
             InvalidRequest: empty batch, bad deadline/budget, or any
@@ -335,6 +372,7 @@ class CategorizationService:
                         f"batch statement {position}: {exc}", reason=exc.reason
                     ) from exc
             epoch = self.store.pin()
+            batch_id = trace_id or self.new_trace_id()
             return [
                 self._serve_pinned(
                     query,
@@ -343,8 +381,9 @@ class CategorizationService:
                     deadline,
                     budget,
                     collect_trace,
+                    trace_id=f"{batch_id}#{position}",
                 )
-                for query, normalized_sql in parsed
+                for position, (query, normalized_sql) in enumerate(parsed)
             ]
 
     def result_key(self, epoch_number: int, normalized_sql: str) -> str:
@@ -386,9 +425,70 @@ class CategorizationService:
         deadline: Deadline,
         budget: str,
         collect_trace: bool,
+        trace_id: str | None = None,
     ) -> ServeResult:
-        """Serve one already-parsed request against a pinned epoch."""
-        trace_id = f"req-{next(self._trace_ids):06d}"
+        """Serve one already-parsed request against a pinned epoch.
+
+        The telemetry shell around :meth:`_compute_pinned`: when a
+        pipeline is installed and this trace samples in, the computation
+        runs inside a :func:`telemetry.scope` (so the storage backend can
+        attribute shard timings to the request) and ships a ``service``
+        event — plus a ``decision`` digest for freshly computed trees.
+        With nothing installed this adds one global load and a branch.
+        """
+        if trace_id is None:
+            trace_id = self.new_trace_id()
+        pipeline = telemetry.active()
+        if pipeline is None or not pipeline.sampled(trace_id):
+            return self._compute_pinned(
+                query, normalized_sql, epoch, deadline, budget, collect_trace,
+                trace_id,
+            )
+        # Sampled: optionally force trace collection so the sink gets the
+        # tree's reasoning, not just its shape.  Cache hits skip the
+        # build entirely, so the forced collection only costs on misses.
+        collect = collect_trace or pipeline.collect_decisions
+        with telemetry.scope(trace_id):
+            result = self._compute_pinned(
+                query, normalized_sql, epoch, deadline, budget, collect, trace_id
+            )
+        tree = result.tree
+        pipeline.emit(
+            telemetry.SERVICE,
+            trace_id,
+            table=self.table.schema.name,
+            technique=self.technique,
+            backend=self.table.backend_name,
+            sql=result.sql,
+            rung=result.rung,
+            epoch=result.epoch,
+            cached=result.cached,
+            elapsed_ms=round(result.elapsed_ms, 3),
+            rows=len(result.rows),
+            **_tree_digest(tree),
+            degraded=result.degraded.reason if result.degraded else None,
+        )
+        # Decision events only for freshly computed trees: a cache hit
+        # would re-ship a trace recorded under another request's id.
+        if not result.cached and tree is not None and tree.decision_trace is not None:
+            pipeline.emit(
+                telemetry.DECISION,
+                trace_id,
+                **telemetry.decision_digest(tree.decision_trace),
+            )
+        return result
+
+    def _compute_pinned(
+        self,
+        query: Any,
+        normalized_sql: str,
+        epoch: Any,
+        deadline: Deadline,
+        budget: str,
+        collect_trace: bool,
+        trace_id: str,
+    ) -> ServeResult:
+        """Cache lookup, query execution, and the degradation ladder."""
         started = self._clock()
         cache_key = self.result_key(epoch.number, normalized_sql)
         if budget == RUNG_FULL:

@@ -111,3 +111,75 @@ class TestPrometheus:
         registry.count("odd", label='va"lue')
         text = export_prometheus(registry)
         assert 'label="va\\"lue"' in text
+
+
+class TestLabelEscaping:
+    """Regression: every escape the exposition format requires, round-tripped.
+
+    A SQL fragment in a label once shipped a raw newline, splitting the
+    sample across two lines and corrupting the whole scrape.
+    """
+
+    def test_backslash_quote_and_newline_all_escape(self):
+        registry = Instrumentation(enabled=True)
+        registry.count("odd", label='back\\slash "quoted"\nnewline')
+        text = export_prometheus(registry)
+        assert 'label="back\\\\slash \\"quoted\\"\\nnewline"' in text
+        # The sample stays on one physical line.
+        sample_lines = [l for l in text.splitlines() if l.startswith("repro_odd")]
+        assert len(sample_lines) == 1
+
+    def test_sql_like_label_value_survives(self):
+        registry = Instrumentation(enabled=True)
+        sql = 'SELECT * FROM "ListProperty"\nWHERE city = \'a\\b\''
+        registry.count("serve.sql", sql=sql)
+        text = export_prometheus(registry)
+        line = next(l for l in text.splitlines() if l.startswith("repro_serve_sql"))
+        assert "\n" not in line
+        assert '\\"ListProperty\\"' in line
+
+
+class TestDerivedCacheHitRatio:
+    def test_gauge_appears_at_scrape_time_from_counters(self):
+        registry = Instrumentation(enabled=True)
+        registry.count("service.cache_hits", 3)
+        registry.count("service.cache_misses", 1)
+        text = export_prometheus(registry)
+        assert "# TYPE repro_serve_cache_hit_ratio gauge" in text
+        assert "repro_serve_cache_hit_ratio 0.75" in text
+
+    def test_absent_without_any_cache_traffic(self, inst):
+        assert "cache_hit_ratio" not in export_prometheus(inst)
+
+    def test_label_split_series_still_sum(self):
+        registry = Instrumentation(enabled=True)
+        registry.count("service.cache_hits", 1, table="a")
+        registry.count("service.cache_hits", 1, table="b")
+        registry.count("service.cache_misses", 2)
+        assert "repro_serve_cache_hit_ratio 0.5" in export_prometheus(registry)
+
+
+class TestJsonDocument:
+    def test_snapshot_mirrors_the_jsonl_stream(self, inst):
+        from repro.perf import export_json, registry_snapshot
+
+        snapshot = registry_snapshot(inst)
+        assert {c["name"] for c in snapshot["counters"]} == {"cache.hit", "queries"}
+        assert snapshot["gauges"] == [
+            {"name": "result.size", "labels": {}, "value": 1754}
+        ]
+        assert [s["path"] for s in snapshot["spans"]] == [
+            "categorize", "categorize/level"
+        ]
+        assert snapshot["timers"][0]["name"] == "preprocess"
+        assert snapshot["histograms"][0]["count"] == 1
+
+        document = json.loads(export_json(inst))
+        assert document == json.loads(json.dumps(snapshot))
+
+    def test_export_json_does_not_mutate(self, inst):
+        from repro.perf import export_json
+
+        before = inst.report()
+        export_json(inst)
+        assert inst.report() == before

@@ -150,6 +150,23 @@ class TestEndpoints:
             _, _, health = _request(handle, "GET", "/healthz")
             assert health["epoch"] == 1  # batch of 2 published
 
+    def test_responses_carry_x_trace_id(self, make_service):
+        with running(make_service()) as handle:
+            _, headers, payload = _request(
+                handle, "POST", "/categorize", {"sql": SERVE_SQL}
+            )
+            assert headers["x-trace-id"] == payload["trace_id"]
+            _, headers, payload = _request(
+                handle, "POST", "/categorize_batch", {"sqls": [SQL_A, SQL_B]}
+            )
+            assert headers["x-trace-id"] == payload["trace_id"]
+            assert all(
+                r["trace_id"].startswith(payload["trace_id"] + "#")
+                for r in payload["results"]
+            )
+            _, headers, _ = _request(handle, "POST", "/record", {"sql": SQL_B})
+            assert headers["x-trace-id"].startswith("req-")
+
     def test_trace_request_bypasses_coalescing_and_traces(self, make_service):
         with running(make_service()) as handle:
             _, _, payload = _request(
@@ -394,6 +411,9 @@ class TestShedding:
             assert status == 503
             assert headers["retry-after"] == "2"
             assert payload["reason"] == "overload"
+            # Shed answers are still traceable end to end.
+            assert headers["x-trace-id"] == payload["trace_id"]
+            assert payload["trace_id"].startswith("req-")
             blocker.release.set()
             thread_a.join(timeout=30)
             thread_b.join(timeout=30)

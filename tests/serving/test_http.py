@@ -49,6 +49,18 @@ def _post(server, path, payload):
         return response.status, json.loads(response.read())
 
 
+def _post_with_headers(server, path, payload):
+    request = urllib.request.Request(
+        _url(server, path),
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        headers = {name.lower(): value for name, value in response.getheaders()}
+        return response.status, headers, json.loads(response.read())
+
+
 class TestEndpoints:
     def test_healthz(self, server):
         status, body = _get(server, "/healthz")
@@ -74,6 +86,23 @@ class TestEndpoints:
         assert payload["row_count"] > 0
         assert payload["trace_id"].startswith("req-")
         assert "rendering" in payload
+
+    def test_responses_carry_x_trace_id(self, server):
+        _, headers, payload = _post_with_headers(
+            server, "/categorize", {"sql": SERVE_SQL}
+        )
+        assert headers["x-trace-id"] == payload["trace_id"]
+        _, headers, payload = _post_with_headers(
+            server, "/categorize_batch", {"sqls": [SERVE_SQL, LOG_SQL]}
+        )
+        assert headers["x-trace-id"] == payload["trace_id"]
+        # Batch statements share the header's root id.
+        assert all(
+            r["trace_id"].startswith(payload["trace_id"] + "#")
+            for r in payload["results"]
+        )
+        _, headers, payload = _post_with_headers(server, "/record", {"sql": LOG_SQL})
+        assert headers["x-trace-id"].startswith("req-")
 
     def test_categorize_with_trace(self, server):
         _, payload = _post(server, "/categorize", {"sql": SERVE_SQL, "trace": True})
@@ -197,7 +226,7 @@ class TestClientDisconnects:
     ):
         # GET routes through _reply_or_disconnect too: a scraper that hangs
         # up mid-/healthz must be counted, not raise out of the handler.
-        def broken_reply(self, status, payload):
+        def broken_reply(self, status, payload, extra=None):
             raise BrokenPipeError("scraper went away")
 
         monkeypatch.setattr(ServiceHandler, "_reply", broken_reply)
@@ -217,7 +246,7 @@ class TestClientDisconnects:
         # Simulate the client vanishing exactly when the handler writes:
         # the handler thread must swallow the broken pipe and count it
         # instead of attempting a 500 on the same dead socket.
-        def broken_reply(self, status, payload):
+        def broken_reply(self, status, payload, extra=None):
             raise BrokenPipeError("client went away")
 
         monkeypatch.setattr(ServiceHandler, "_reply", broken_reply)
@@ -239,7 +268,7 @@ class TestClientDisconnects:
     ):
         # Error replies (400/503/500) go through _reply_or_disconnect: a
         # write failure there must not raise out of the handler thread.
-        def broken_reply(self, status, payload):
+        def broken_reply(self, status, payload, extra=None):
             raise ConnectionResetError("client went away")
 
         monkeypatch.setattr(ServiceHandler, "_reply", broken_reply)

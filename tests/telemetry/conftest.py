@@ -1,0 +1,52 @@
+"""Telemetry-suite fixtures: service factory, perf toggle, leak guard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import perf, telemetry
+from repro.serving.service import CategorizationService
+
+#: A broad query whose result set is worth categorizing (same as serving).
+SERVE_SQL = "SELECT * FROM ListProperty WHERE price <= 300000"
+LOG_SQL = "SELECT * FROM ListProperty WHERE bedroomcount = 3"
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_pipeline():
+    """Fail fast if a test leaves a pipeline installed process-wide."""
+    yield
+    leaked = telemetry.uninstall()
+    assert leaked is None, "test leaked an installed telemetry pipeline"
+
+
+@pytest.fixture
+def make_service(homes_table, statistics):
+    """Factory for services over the shared table with private statistics."""
+
+    def _make(**kwargs) -> CategorizationService:
+        kwargs.setdefault("batch_size", 8)
+        return CategorizationService(homes_table, statistics.copy(), **kwargs)
+
+    return _make
+
+
+@pytest.fixture
+def perf_on():
+    """Enable instrumentation for one test; yields the active registry."""
+    perf.reset()
+    perf.enable()
+    yield perf.ACTIVE
+    perf.reset()
+    perf.disable()
+
+
+def counter_total(inst, name: str) -> int:
+    """Sum a counter across its label series (``serve.rung`` et al.)."""
+    from repro.perf.instrument import split_series_key
+
+    return sum(
+        value
+        for key, value in inst.counters.items()
+        if split_series_key(key)[0] == name
+    )

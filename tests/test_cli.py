@@ -511,3 +511,98 @@ class TestRequestRepeatAndLoadgen:
         )
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_serve_telemetry_flags_parse(self, data_and_workload, capsys):
+        _, workload = data_and_workload
+        code = main(
+            [
+                "serve",
+                "--data", "/nonexistent.csv",
+                "--workload", str(workload),
+                "--telemetry-sink", "/tmp/events.jsonl",
+                "--telemetry-sample", "0.25",
+                "--telemetry-rotate-bytes", "4096",
+                "--telemetry-fsync", "always",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestPerfReportJson:
+    def test_json_document(self, data_and_workload, capsys):
+        data, workload = data_and_workload
+        code = main(
+            [
+                "perf-report",
+                "--data", str(data),
+                "--workload", str(workload),
+                "--query", TestCategorize.QUERY,
+                "--format", "json",
+            ]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert set(document) == {
+            "sampling", "counters", "gauges", "timers", "histograms", "spans"
+        }
+        assert any(c["name"] == "sql.queries_parsed" for c in document["counters"])
+
+
+class TestAudit:
+    @staticmethod
+    def _write_sink(path, events):
+        lines = [json.dumps({"type": "meta", "schema": "repro.telemetry.v1"})]
+        lines += [json.dumps(e) for e in events]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    @classmethod
+    def _sink(cls, path, complete=True):
+        events = [
+            {
+                "type": "frontend", "trace_id": "req-000001",
+                "route": "/categorize", "status": 200, "outcome": "ok",
+                "queue_ms": 1.0, "compute_ms": 4.0, "respond_ms": 0.2,
+            }
+        ]
+        if complete:
+            events.append(
+                {
+                    "type": "service", "trace_id": "req-000001",
+                    "table": "ListProperty", "technique": "greedy",
+                    "rung": "full", "cached": False, "chosen": ["price"],
+                }
+            )
+        cls._write_sink(path, events)
+        return path
+
+    def test_text_report(self, tmp_path, capsys):
+        sink = self._sink(tmp_path / "events.jsonl")
+        assert main(["audit", str(sink)]) == 0
+        out = capsys.readouterr().out
+        assert "Reconstruction" in out
+        assert "Latency waterfall" in out
+
+    def test_json_report_and_diff(self, tmp_path, capsys):
+        sink = self._sink(tmp_path / "events.jsonl")
+        baseline = self._sink(tmp_path / "baseline.jsonl")
+        code = main(
+            ["audit", str(sink), "--format", "json", "--diff", str(baseline)]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["report"]["requests"] == 1
+        assert document["report"]["partial"] == 0
+        assert document["diff"]["requests"] == {"current": 1, "baseline": 1}
+
+    def test_strict_fails_on_partial_traces(self, tmp_path, capsys):
+        sink = self._sink(tmp_path / "events.jsonl", complete=False)
+        assert main(["audit", str(sink)]) == 0  # lax: report only
+        assert main(["audit", str(sink), "--strict"]) == 1
+        err = capsys.readouterr().err
+        assert "strict: 1 partial trace(s)" in err
+
+    def test_missing_sink_file_is_reported(self, tmp_path, capsys):
+        code = main(["audit", str(tmp_path / "missing.jsonl")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
