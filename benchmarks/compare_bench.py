@@ -41,6 +41,7 @@ GATED_METRICS: tuple[tuple[str, str], ...] = (
     ("sharded_scale", "sharded_ms"),
     ("serving_load", "async_req_ms"),
     ("serving_load", "p99_ms"),
+    ("warm_start", "warm_boot_ms"),
     # Telemetry overhead gates on same-run ratios (installed vs no
     # pipeline), not raw microsecond latencies: on a ~50us warm path,
     # run-to-run machine drift alone can blow a 20% absolute budget.

@@ -1,0 +1,88 @@
+"""Performance: warm-start boot vs the cold CSV + workload path.
+
+A cold `repro serve` pays CSV parse + type coercion for the relation and
+a full preprocess pass over the workload log before it can answer a
+single request.  The warm path loads the same state from the snapshot
+pair (``table.snap`` + ``stats.snap``) written at the last clean
+shutdown — length-prefixed typed columns and pickled count tables, no
+parsing, no counting.  This bench times both boots over the bench-scale
+inputs and gates the ratio: if warm start ever degrades to within 5x of
+cold, the snapshot format has stopped paying for its complexity.
+
+Appends ``warm_start`` to ``BENCH_partition.json``; the regression gate
+(``benchmarks/compare_bench.py``) watches ``warm_boot_ms``.
+"""
+
+from repro.core.config import PAPER_CONFIG
+from repro.relational.csvio import read_csv, write_csv
+from repro.serving.warmstart import (
+    load_warm,
+    write_stats_snapshot,
+    write_table_snapshot,
+)
+from repro.study.report import format_table
+from repro.workload.preprocess import preprocess_workload
+
+from benchmarks.test_perf_partition import _append_bench_record, _timed
+
+#: Warm boot must beat the cold CSV + preprocess path by at least this much.
+REQUIRED_WARM_SPEEDUP = 5.0
+
+
+def test_perf_warm_start_boot(bench_homes, bench_workload, bench_statistics, tmp_path):
+    data = tmp_path / "homes.csv"
+    write_csv(bench_homes, data)
+    state = tmp_path / "state"
+    state.mkdir()
+    write_table_snapshot(bench_homes, state)
+    write_stats_snapshot(bench_statistics, state, epoch=3, journal_seq=0)
+    schema = bench_homes.schema
+
+    def cold_boot():
+        table = read_csv(schema, data)
+        statistics = preprocess_workload(
+            bench_workload, schema, PAPER_CONFIG.separation_intervals
+        )
+        return table, statistics
+
+    def warm_boot():
+        return load_warm(schema, state)
+
+    cold_seconds = _timed(cold_boot, repeats=3, statistic="min")
+    warm_seconds = _timed(warm_boot, repeats=5, statistic="min")
+
+    # The fast path must also be the *same* path: identical relation and
+    # count tables, not a cheaper approximation of them.
+    warm = load_warm(schema, state)
+    assert len(warm.table) == len(bench_homes)
+    assert warm.statistics.total_queries == bench_statistics.total_queries
+    assert warm.epoch == 3
+
+    speedup = cold_seconds / warm_seconds
+    print()
+    print(
+        format_table(
+            ["boot path", "seconds", "note"],
+            [
+                ["cold (CSV + preprocess)", f"{cold_seconds:.4f}",
+                 f"{len(bench_homes)} rows, "
+                 f"{bench_statistics.total_queries} queries"],
+                ["warm (snapshot pair)", f"{warm_seconds:.4f}",
+                 f"{speedup:.0f}x faster"],
+            ],
+            title="Warm-start boot",
+        )
+    )
+    _append_bench_record(
+        "warm_start",
+        {
+            "rows": len(bench_homes),
+            "queries": bench_statistics.total_queries,
+            "cold_boot_ms": round(cold_seconds * 1e3, 3),
+            "warm_boot_ms": round(warm_seconds * 1e3, 3),
+            "speedup": round(speedup, 2),
+        },
+    )
+    assert warm_seconds * REQUIRED_WARM_SPEEDUP <= cold_seconds, (
+        "warm start must stay much cheaper than the cold boot it replaces"
+    )

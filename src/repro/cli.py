@@ -16,6 +16,8 @@ Subcommands::
     repro serve           --data homes.csv --workload workload.sql \
                           [--host 127.0.0.1 --port 8765] [--lenient-csv] \
                           [--async --max-inflight 8 --max-queue 32] \
+                          [--warm-start state/ --journal-fsync always \
+                           --grace 5] \
                           [--telemetry-sink events.jsonl \
                            --telemetry-sample 0.1]
     repro audit           events.jsonl [events.jsonl.1 ...] \
@@ -225,6 +227,21 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("never", "rotate", "always"), default="rotate",
                        help="sink durability: fsync never, on rotation/close "
                             "(default), or every event")
+    serve.add_argument("--warm-start", type=Path, default=None, metavar="DIR",
+                       help="durable state directory: spill journal plus "
+                            "table/stats snapshots; boot warm from it when "
+                            "every checksum/version checks out, fall back "
+                            "cold (and replay the journal) otherwise, and "
+                            "re-snapshot on graceful shutdown "
+                            "(docs/serving.md)")
+    serve.add_argument("--journal-fsync",
+                       choices=("never", "rotate", "always"), default="always",
+                       help="spill-journal durability: fsync every append "
+                            "(default -- an acked /record survives SIGKILL), "
+                            "on segment rotation, or never")
+    serve.add_argument("--grace", type=float, default=5.0,
+                       help="seconds SIGTERM waits for in-flight requests "
+                            "to finish before exiting anyway")
     serve.set_defaults(handler=_cmd_serve)
 
     audit = subparsers.add_parser(
@@ -433,17 +450,50 @@ def _cmd_serve(args) -> int:
     from repro.serving.service import CategorizationService
 
     schema = load_schema(args.schema)
-    table = read_csv(
-        schema,
-        args.data,
-        strict=not args.lenient_csv,
-        backend=args.backend,
-        backend_options=_backend_options(args),
-    )
-    workload = Workload.load(args.workload)
-    statistics = preprocess_workload(
-        workload, schema, PAPER_CONFIG.separation_intervals
-    )
+    # Enabled before boot (not just before the first request) so recovery
+    # metrics — journal.replayed, warmstart.fallback, serve.warm_start —
+    # are visible on /metrics from the start.
+    perf.enable()
+    journal = None
+    warm = None
+    fallback = None
+    if args.warm_start is not None:
+        from repro.relational.snapio import SnapshotMismatch
+        from repro.serving.journal import SpillJournal
+        from repro.serving.warmstart import load_warm
+
+        journal = SpillJournal(
+            args.warm_start / "journal", fsync=args.journal_fsync
+        )
+        try:
+            warm = load_warm(
+                schema,
+                args.warm_start,
+                backend=args.backend,
+                backend_options=_backend_options(args),
+            )
+        except SnapshotMismatch as exc:
+            # Fail-stop honesty: a snapshot that does not fully check out
+            # is never served.  Count why, boot cold, replay everything.
+            perf.count("warmstart.fallback", reason=exc.reason)
+            fallback = exc.reason
+
+    if warm is not None:
+        table, statistics = warm.table, warm.statistics
+        initial_epoch, replay_after = warm.epoch, warm.journal_seq
+    else:
+        table = read_csv(
+            schema,
+            args.data,
+            strict=not args.lenient_csv,
+            backend=args.backend,
+            backend_options=_backend_options(args),
+        )
+        workload = Workload.load(args.workload)
+        statistics = preprocess_workload(
+            workload, schema, PAPER_CONFIG.separation_intervals
+        )
+        initial_epoch, replay_after = 0, 0
     service = CategorizationService(
         table,
         statistics,
@@ -451,8 +501,16 @@ def _cmd_serve(args) -> int:
         batch_size=args.batch_size,
         cache_capacity=args.cache_size,
         cache_ttl_s=args.cache_ttl,
+        journal=journal,
+        initial_epoch=initial_epoch,
     )
-    perf.enable()  # the /metrics endpoint should have data from request 1
+    replayed = 0
+    if journal is not None:
+        service.mark_boot(warm is not None, snapshot_epoch=initial_epoch)
+        replayed = service.recover_from_journal(after_seq=replay_after)
+        # Re-snapshot the caught-up state so the *next* boot is warm and
+        # replays (close to) nothing.
+        _persist_durable_state(service, table, args.warm_start, journal)
     pipeline = None
     if args.telemetry_sink is not None:
         sink = telemetry.RotatingJsonlSink(
@@ -467,6 +525,12 @@ def _cmd_serve(args) -> int:
         f"serving {schema.name} ({len(table)} rows, "
         f"{statistics.total_queries} workload queries)"
     )
+    if journal is not None:
+        boot = "warm" if warm is not None else f"cold ({fallback or 'no snapshot'})"
+        banner += (
+            f" [durable: {boot} boot, journal seq {journal.last_seq}, "
+            f"replayed {replayed}]"
+        )
     if pipeline is not None:
         banner += (
             f" [telemetry -> {args.telemetry_sink}, "
@@ -482,7 +546,16 @@ def _cmd_serve(args) -> int:
         else:
             _serve_threading(service, args, banner, endpoints)
     finally:
-        service.flush()
+        try:
+            service.flush()
+        except Exception as exc:  # a failed final publish must not mask exit
+            print(f"warning: final flush failed: {exc}", file=sys.stderr)
+        if journal is not None:
+            # Graceful exit: snapshot the final epoch and move the
+            # journal watermark past it, so the next boot replays
+            # nothing and a re-replay would be a no-op anyway.
+            _persist_durable_state(service, table, args.warm_start, journal)
+            journal.close()
         if pipeline is not None:
             telemetry.uninstall()
             pipeline.close()  # drains the queue tail into the sink
@@ -491,23 +564,86 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _persist_durable_state(service, table, directory: Path, journal) -> bool:
+    """Snapshot the current epoch and checkpoint the journal behind it.
+
+    Only safe when nothing is pending: the stats snapshot's watermark
+    claims every journal record up to ``journal.last_seq`` is folded in,
+    which a pending (unpublished) query would falsify.  Returns False —
+    leaving the previous snapshot and watermark untouched, so no query
+    can be lost — when a failed publish keeps queries pending or a
+    snapshot write fails.
+    """
+    from repro.serving.errors import PublishError
+    from repro.serving.warmstart import (
+        TABLE_SNAPSHOT,
+        write_stats_snapshot,
+        write_table_snapshot,
+    )
+
+    try:
+        service.flush()
+    except PublishError:
+        return False
+    if service.store.pending_count:
+        return False
+    try:
+        if not (directory / TABLE_SNAPSHOT).exists():
+            write_table_snapshot(table, directory)
+        epoch = service.store.pin()
+        write_stats_snapshot(
+            epoch.statistics, directory, epoch.number, journal.last_seq
+        )
+        journal.checkpoint(journal.last_seq)
+    except OSError as exc:
+        print(f"warning: could not persist durable state: {exc}", file=sys.stderr)
+        return False
+    return True
+
+
 def _serve_threading(service, args, banner: str, endpoints: str) -> None:
-    from repro.serving.http import make_server
+    import signal
+    import threading
+
+    from repro.serving.http import drain, make_server
 
     server = make_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
     print(f"{banner} on http://{host}:{port} [threading]")
     print(endpoints)
+    terminated = threading.Event()
+
+    def _on_sigterm(signum, frame):  # pragma: no cover - signal delivery
+        if terminated.is_set():
+            return
+        terminated.set()
+        # shutdown() blocks until the serve_forever loop exits; calling
+        # it from the signal handler (which interrupts that very loop on
+        # the main thread) would deadlock, so a helper thread does it.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = signal.signal(signal.SIGTERM, _on_sigterm)
     try:
         server.serve_forever()
+        if terminated.is_set():
+            print(f"draining (SIGTERM, grace {args.grace:g}s)")
+            if not drain(server, grace_s=args.grace):
+                print(
+                    f"grace period expired with {server.inflight} "
+                    "request(s) still in flight",
+                    file=sys.stderr,
+                )
     except KeyboardInterrupt:
         print("shutting down")
     finally:
+        signal.signal(signal.SIGTERM, previous)
         server.server_close()
 
 
 def _serve_async(service, args, banner: str, endpoints: str) -> None:
     import asyncio
+    import contextlib
+    import signal
 
     from repro.serving.aserve import AsyncFrontEnd
 
@@ -523,9 +659,32 @@ def _serve_async(service, args, banner: str, endpoints: str) -> None:
             f"max-queue {args.max_queue}]"
         )
         print(endpoints)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
         try:
-            await frontend.serve_forever()
+            loop.add_signal_handler(signal.SIGTERM, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-Unix loops
+            pass
+        try:
+            stopper = asyncio.ensure_future(stop.wait())
+            server_task = asyncio.ensure_future(frontend.serve_forever())
+            await asyncio.wait(
+                (stopper, server_task), return_when=asyncio.FIRST_COMPLETED
+            )
+            server_task.cancel()
+            stopper.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await server_task  # re-raise a real serve_forever failure
+            if stop.is_set():
+                print(f"draining (SIGTERM, grace {args.grace:g}s)")
+                if not await frontend.drain(args.grace):
+                    print(
+                        "grace period expired with requests still in flight",
+                        file=sys.stderr,
+                    )
         finally:
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.remove_signal_handler(signal.SIGTERM)
             await frontend.close()
 
     try:
@@ -569,13 +728,20 @@ def _cmd_request(args) -> int:
         print("error: --repeat must be >= 1", file=sys.stderr)
         return 2
 
+    from repro.serving.loadgen import connect_with_retry
+
     # One keep-alive connection for every repeat: each extra request costs
     # a round trip, not a TCP handshake (the async server is built around
-    # exactly this reuse).
+    # exactly this reuse).  The connect retries brief refusals so a client
+    # launched next to `repro serve` does not lose the startup race.
     parts = urlsplit(base if "//" in base else f"http://{base}")
-    connection = http.client.HTTPConnection(
-        parts.hostname or "127.0.0.1", parts.port or 80, timeout=30
-    )
+    try:
+        connection = connect_with_retry(
+            parts.hostname or "127.0.0.1", parts.port or 80, timeout_s=30
+        )
+    except OSError as exc:
+        print(f"error: cannot reach {base}: {exc}", file=sys.stderr)
+        return 2
     headers = {"Content-Type": "application/json"} if body is not None else {}
     latencies_ms: list[float] = []
     failures = 0

@@ -64,6 +64,12 @@ from repro.relational.expressions import (
     comparison_operator,
 )
 from repro.relational.schema import TableSchema
+from repro.relational.snapio import (
+    Container,
+    SnapshotMismatch,
+    base_manifest,
+    write_container,
+)
 from repro.relational.types import DataType
 
 #: Backend registry: name -> constructor taking the schema.
@@ -368,6 +374,20 @@ class DictColumn:
         ]
 
 
+def schema_fingerprint(schema: TableSchema) -> list[list[str]]:
+    """JSON-stable identity of a schema: ``[name, type, kind]`` per attribute.
+
+    Stored inside every warm-start snapshot and compared on load — a
+    snapshot written for a different relation (or a relation whose
+    declaration changed since) must fall back to cold start, not be
+    reinterpreted.
+    """
+    return [
+        [attribute.name, attribute.data_type.value, attribute.kind.value]
+        for attribute in schema
+    ]
+
+
 def _make_column(data_type: DataType) -> NumericColumn | DictColumn:
     if data_type is DataType.INT:
         return IntColumn()
@@ -437,6 +457,153 @@ class ColumnStore:
         for position, value in enumerate(column):
             buckets.setdefault(value, []).append(position)
         return {value: tuple(ids) for value, ids in buckets.items()}
+
+    # -- warm-start persistence --------------------------------------------
+
+    #: Bump when the block layout below changes: older snapshots then
+    #: fail stop (``reason="version"``) instead of being misread.
+    FORMAT_VERSION = 1
+
+    def dump(
+        self,
+        schema: TableSchema,
+        path: Any,
+        rename_hook: Any = None,
+    ) -> None:
+        """Serialize the typed arrays + dictionaries to one snapshot file.
+
+        The on-disk form is a :mod:`repro.relational.snapio` container:
+        raw ``array.tobytes()`` payloads per column (numeric data, null
+        positions, dictionary codes) plus a JSON manifest carrying the
+        schema fingerprint, row count, and each dictionary's decode list.
+        Loading is therefore a handful of ``frombytes`` memcpys — the
+        whole point of warm start is to skip per-value coercion.
+        """
+        rows = len(self._ordered[0]) if self._ordered else 0
+        manifest = base_manifest("columnstore", self.FORMAT_VERSION)
+        manifest["table"] = schema.name
+        manifest["schema"] = schema_fingerprint(schema)
+        manifest["rows"] = rows
+        columns: list[dict[str, Any]] = []
+        blocks: list[tuple[str, bytes]] = []
+        for name in schema.names():
+            column = self._columns[name]
+            if isinstance(column, DictColumn):
+                columns.append(
+                    {"name": name, "layout": "dict", "decode": column._decode}
+                )
+                blocks.append((f"col:{name}", column._codes.tobytes()))
+            else:
+                entry = {"name": name, "layout": "num",
+                         "typecode": column.typecode}
+                blocks.append((f"col:{name}", column._data.tobytes()))
+                if column._nulls:
+                    entry["nulls"] = True
+                    blocks.append(
+                        (f"nulls:{name}",
+                         array("q", sorted(column._nulls)).tobytes())
+                    )
+                columns.append(entry)
+        manifest["columns"] = columns
+        write_container(path, manifest, blocks, rename_hook=rename_hook)
+
+    @classmethod
+    def load(cls, schema: TableSchema, path: Any) -> tuple["ColumnStore", int]:
+        """Rebuild a store from :meth:`dump` output; return (store, rows).
+
+        Every CRC is verified by the container open and the manifest's
+        schema fingerprint must match ``schema`` exactly — any mismatch
+        raises :class:`~repro.relational.snapio.SnapshotMismatch`, which
+        the serving layer turns into a counted cold-start fallback
+        (never serve corrupt state).
+        """
+        with Container(path) as container:
+            manifest = container.manifest
+            if manifest.get("kind") != "columnstore":
+                raise SnapshotMismatch(
+                    f"{path}: not a columnstore snapshot "
+                    f"(kind={manifest.get('kind')!r})",
+                    reason="format",
+                )
+            if manifest.get("version") != cls.FORMAT_VERSION:
+                raise SnapshotMismatch(
+                    f"{path}: columnstore format version "
+                    f"{manifest.get('version')} (this build reads "
+                    f"{cls.FORMAT_VERSION})",
+                    reason="version",
+                )
+            if manifest.get("schema") != schema_fingerprint(schema):
+                raise SnapshotMismatch(
+                    f"{path}: snapshot schema does not match "
+                    f"{schema.name!r}",
+                    reason="schema",
+                )
+            rows = manifest.get("rows")
+            if not isinstance(rows, int) or rows < 0:
+                raise SnapshotMismatch(
+                    f"{path}: bad row count {rows!r}", reason="format"
+                )
+            store = cls(schema)
+            entries = {
+                entry.get("name"): entry
+                for entry in manifest.get("columns", [])
+            }
+            for name in schema.names():
+                entry = entries.get(name)
+                if entry is None:
+                    raise SnapshotMismatch(
+                        f"{path}: column {name!r} missing", reason="schema"
+                    )
+                column = store._columns[name]
+                block = container.block(f"col:{name}")
+                if entry.get("layout") == "dict":
+                    if not isinstance(column, DictColumn):
+                        raise SnapshotMismatch(
+                            f"{path}: column {name!r} layout mismatch",
+                            reason="schema",
+                        )
+                    column._codes.frombytes(block)
+                    column._decode = list(entry.get("decode", []))
+                    column._encode = {
+                        value: code
+                        for code, value in enumerate(column._decode)
+                    }
+                    if any(
+                        code >= len(column._decode)
+                        for code in column._codes
+                    ):
+                        raise SnapshotMismatch(
+                            f"{path}: column {name!r} has codes outside "
+                            "its dictionary",
+                            reason="format",
+                        )
+                elif entry.get("layout") == "num":
+                    if (
+                        not isinstance(column, NumericColumn)
+                        or entry.get("typecode") != column.typecode
+                    ):
+                        raise SnapshotMismatch(
+                            f"{path}: column {name!r} layout mismatch",
+                            reason="schema",
+                        )
+                    column._data.frombytes(block)
+                    if entry.get("nulls"):
+                        positions = array("q")
+                        positions.frombytes(container.block(f"nulls:{name}"))
+                        column._nulls = set(positions)
+                else:
+                    raise SnapshotMismatch(
+                        f"{path}: column {name!r} has unknown layout "
+                        f"{entry.get('layout')!r}",
+                        reason="format",
+                    )
+                if len(column) != rows:
+                    raise SnapshotMismatch(
+                        f"{path}: column {name!r} holds {len(column)} "
+                        f"values, manifest says {rows}",
+                        reason="format",
+                    )
+            return store, rows
 
     # -- column-at-a-time selection ----------------------------------------
 

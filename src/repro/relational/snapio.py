@@ -1,0 +1,252 @@
+"""Single-file binary snapshot containers (mmap-able, CRC-checked).
+
+The warm-start path (docs/serving.md, "Durability & warm start") persists
+two kinds of state — a :class:`~repro.relational.backends.ColumnStore`'s
+typed arrays and a statistics epoch — and both need the same envelope: a
+self-describing single file that loads with one ``mmap`` + a few
+``array.frombytes`` memcpys, and that **fails stop** on any damage
+rather than serving corrupt state.  This module is that envelope; the
+domain formats on top of it live in :mod:`repro.relational.backends`
+(``ColumnStore.dump/load``) and :mod:`repro.serving.warmstart`.
+
+Layout::
+
+    [8-byte magic "RPROSNP1"]
+    [u32 container version]
+    [u32 manifest length] [manifest JSON] [u32 CRC32(manifest)]
+    [block 0 bytes][block 1 bytes]...
+
+The manifest carries a ``blocks`` list of ``{name, length, crc32}``
+descriptors; block offsets are derived by accumulation, so the payload
+region is a plain concatenation that mmaps cleanly.  Every CRC (manifest
+and blocks) is verified at open — :class:`SnapshotMismatch` names what
+failed (``magic``, ``version``, ``crc``, ``schema``...), and callers
+translate it into a counted cold-start fallback.
+
+Writes are atomic: temp file in the same directory, fsync, rename,
+directory fsync.  A crash at any point leaves the previous snapshot (or
+none) — never a torn one.  ``rename_hook`` runs between the temp write
+and the rename so the serving layer can inject its "die before rename"
+crash point without this module knowing about fault injectors.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+import sys
+import zlib
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+MAGIC = b"RPROSNP1"
+CONTAINER_VERSION = 1
+
+_U32 = struct.Struct("<I")
+
+
+class SnapshotMismatch(ValueError):
+    """A snapshot file cannot be trusted (or understood) — fall back cold.
+
+    ``reason`` is a short machine-readable slug (``missing``, ``magic``,
+    ``version``, ``crc``, ``schema``, ``format``) used as the label on
+    the ``warmstart.fallback`` counter.
+    """
+
+    def __init__(self, message: str, reason: str = "format") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+def _fsync_dir(directory: Path) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def write_container(
+    path: str | Path,
+    manifest: dict[str, Any],
+    blocks: Iterable[tuple[str, bytes]],
+    rename_hook: Callable[[], None] | None = None,
+) -> None:
+    """Atomically write a container with ``manifest`` and named ``blocks``.
+
+    The manifest must not already contain a ``blocks`` key (this function
+    owns the descriptor list) and should record the native byte order —
+    :func:`base_manifest` seeds both conventions.
+    """
+    path = Path(path)
+    block_list = list(blocks)
+    manifest = dict(manifest)
+    manifest["blocks"] = [
+        {"name": name, "length": len(data), "crc32": zlib.crc32(data)}
+        for name, data in block_list
+    ]
+    encoded = json.dumps(manifest, separators=(",", ":")).encode("utf-8")
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(MAGIC)
+        handle.write(_U32.pack(CONTAINER_VERSION))
+        handle.write(_U32.pack(len(encoded)))
+        handle.write(encoded)
+        handle.write(_U32.pack(zlib.crc32(encoded)))
+        for _, data in block_list:
+            handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    if rename_hook is not None:
+        rename_hook()
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)
+
+
+def base_manifest(kind: str, version: int) -> dict[str, Any]:
+    """Seed manifest for a domain format: kind/version/byte order.
+
+    ``version`` is the *domain* format version (column layout, stats
+    schema...), distinct from :data:`CONTAINER_VERSION`; bump it whenever
+    the block layout changes so older readers fail stop instead of
+    misreading.
+    """
+    return {"kind": kind, "version": version, "byteorder": sys.byteorder}
+
+
+class Container:
+    """An opened, fully CRC-verified container (context manager).
+
+    Holds the mmap alive; :meth:`block` returns zero-copy memoryviews
+    into it, so consume the blocks (``array.frombytes`` copies) before
+    closing.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        try:
+            self._file = open(self.path, "rb")
+        except OSError as exc:
+            raise SnapshotMismatch(
+                f"snapshot missing: {exc}", reason="missing"
+            ) from exc
+        try:
+            size = os.fstat(self._file.fileno()).st_size
+            if size < len(MAGIC) + 2 * _U32.size:
+                raise SnapshotMismatch(
+                    f"{self.path.name}: too short to be a snapshot",
+                    reason="magic",
+                )
+            self._mmap = mmap.mmap(
+                self._file.fileno(), 0, access=mmap.ACCESS_READ
+            )
+            self._view = memoryview(self._mmap)
+            self._children: list[memoryview] = []
+            self.manifest = self._parse()
+        except SnapshotMismatch:
+            self.close()
+            raise
+        except Exception:
+            self.close()
+            raise
+
+    def _parse(self) -> dict[str, Any]:
+        view = self._view
+        if bytes(view[: len(MAGIC)]) != MAGIC:
+            raise SnapshotMismatch(
+                f"{self.path.name}: bad magic", reason="magic"
+            )
+        offset = len(MAGIC)
+        (container_version,) = _U32.unpack_from(view, offset)
+        offset += _U32.size
+        if container_version != CONTAINER_VERSION:
+            raise SnapshotMismatch(
+                f"{self.path.name}: container version {container_version} "
+                f"(this build reads {CONTAINER_VERSION})",
+                reason="version",
+            )
+        (manifest_len,) = _U32.unpack_from(view, offset)
+        offset += _U32.size
+        if offset + manifest_len + _U32.size > len(view):
+            raise SnapshotMismatch(
+                f"{self.path.name}: truncated manifest", reason="crc"
+            )
+        encoded = bytes(view[offset:offset + manifest_len])
+        offset += manifest_len
+        (manifest_crc,) = _U32.unpack_from(view, offset)
+        offset += _U32.size
+        if zlib.crc32(encoded) != manifest_crc:
+            raise SnapshotMismatch(
+                f"{self.path.name}: manifest CRC mismatch", reason="crc"
+            )
+        try:
+            manifest = json.loads(encoded)
+        except ValueError as exc:
+            raise SnapshotMismatch(
+                f"{self.path.name}: manifest not JSON: {exc}", reason="format"
+            ) from exc
+        if manifest.get("byteorder") not in (None, sys.byteorder):
+            raise SnapshotMismatch(
+                f"{self.path.name}: written on a {manifest['byteorder']}-endian "
+                f"machine, this one is {sys.byteorder}",
+                reason="format",
+            )
+        self._offsets: dict[str, tuple[int, int]] = {}
+        cursor = offset
+        for descriptor in manifest.get("blocks", []):
+            name, length = descriptor["name"], descriptor["length"]
+            if cursor + length > len(view):
+                raise SnapshotMismatch(
+                    f"{self.path.name}: block {name!r} truncated", reason="crc"
+                )
+            if zlib.crc32(view[cursor:cursor + length]) != descriptor["crc32"]:
+                raise SnapshotMismatch(
+                    f"{self.path.name}: block {name!r} CRC mismatch",
+                    reason="crc",
+                )
+            self._offsets[name] = (cursor, length)
+            cursor += length
+        return manifest
+
+    def block(self, name: str) -> memoryview:
+        """Zero-copy view of a named block (already CRC-verified)."""
+        try:
+            offset, length = self._offsets[name]
+        except KeyError:
+            raise SnapshotMismatch(
+                f"{self.path.name}: no block {name!r}", reason="format"
+            ) from None
+        view = self._view[offset:offset + length]
+        # Track every exported view: the mmap refuses to close while any
+        # is alive, so close() releases them (consumers copy via
+        # array.frombytes and never hold a block past the with-body).
+        self._children.append(view)
+        return view
+
+    def close(self) -> None:
+        for child in getattr(self, "_children", ()):
+            child.release()
+        self._children = []
+        view = getattr(self, "_view", None)
+        if view is not None:
+            view.release()
+            self._view = None
+        mapped = getattr(self, "_mmap", None)
+        if mapped is not None:
+            mapped.close()
+            self._mmap = None
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "Container":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -203,6 +203,26 @@ class Table:
             schema, columns, backend=backend, backend_options=backend_options
         )
 
+    @classmethod
+    def from_backend(
+        cls, schema: TableSchema, backend: Any, size: int
+    ) -> "Table":
+        """Adopt an already-populated storage backend without copying.
+
+        The warm-start path (`repro serve --warm-start`) deserializes a
+        :class:`~repro.relational.backends.ColumnStore` straight from a
+        snapshot file and wraps it here — re-running ``from_columns``
+        would pay a per-value materialization pass that the snapshot
+        format exists to avoid.  The caller vouches that ``backend``
+        holds ``size`` coerced rows matching ``schema``.
+        """
+        table = cls.__new__(cls)
+        table.schema = schema
+        table._backend = backend
+        table._size = size
+        table._groupby_indexes = {}
+        return table
+
     def insert(self, row: Mapping[str, Any]) -> None:
         """Append one tuple given as a mapping from attribute name to value.
 

@@ -21,8 +21,13 @@ under concurrent ingestion, deadlines, and injected faults:
   (`repro serve --async`).
 * :mod:`~repro.serving.loadgen` — the closed-loop load generator
   (`repro loadgen`).
+* :mod:`~repro.serving.journal` — the write-ahead spill journal that
+  makes acked ingestion survive process death.
+* :mod:`~repro.serving.warmstart` — snapshot pair (table + statistics)
+  behind `repro serve --warm-start`.
 
-See ``docs/serving.md`` for the design.
+See ``docs/serving.md`` for the design, including the "Durability &
+warm start" section covering the crash-safety layer.
 """
 
 from repro.serving.aserve import (
@@ -50,10 +55,23 @@ from repro.serving.errors import (
     PublishError,
     ServingError,
 )
-from repro.serving.faults import FaultInjector, FaultSpec, InjectedFault
+from repro.serving.faults import (
+    FaultInjector,
+    FaultSpec,
+    InjectedCrash,
+    InjectedFault,
+)
+from repro.serving.journal import FSYNC_POLICIES, SpillJournal
 from repro.serving.retry import CircuitBreaker, ResilientIngestor, RetryPolicy
 from repro.serving.service import CategorizationService, ResultCache, ServeResult
 from repro.serving.snapshot import EpochSnapshot, SnapshotStore
+from repro.serving.warmstart import (
+    SnapshotMismatch,
+    WarmState,
+    load_warm,
+    write_stats_snapshot,
+    write_table_snapshot,
+)
 
 from repro.serving.loadgen import DEFAULT_MIX, LoadReport, run_loadgen
 
@@ -81,7 +99,9 @@ __all__ = [
     "EpochSnapshot",
     "FaultInjector",
     "FaultSpec",
+    "FSYNC_POLICIES",
     "IngestionStalled",
+    "InjectedCrash",
     "InjectedFault",
     "InvalidRequest",
     "PublishError",
@@ -90,5 +110,11 @@ __all__ = [
     "RetryPolicy",
     "ServeResult",
     "ServingError",
+    "SnapshotMismatch",
     "SnapshotStore",
+    "SpillJournal",
+    "WarmState",
+    "load_warm",
+    "write_stats_snapshot",
+    "write_table_snapshot",
 ]

@@ -299,6 +299,30 @@ class AsyncFrontEnd:
         assert self._server is not None, "call start() first"
         await self._server.serve_forever()
 
+    async def drain(self, grace_s: float = 5.0) -> bool:
+        """Graceful shutdown: stop accepting, let in-flight work finish.
+
+        Closes the listening socket (established keep-alive connections
+        keep being answered), then waits up to ``grace_s`` for the
+        admission gate to empty — nothing executing, nothing queued.
+
+        Returns:
+            True when the gate drained inside the grace period; False
+            when it expired with work still in flight (counted on
+            ``aserve.drain_timeouts``) and the caller should close
+            anyway rather than hang forever.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = time.monotonic() + grace_s
+        while self.gate.inflight or self.gate.waiting:
+            if time.monotonic() >= deadline:
+                perf.count("aserve.drain_timeouts")
+                return False
+            await asyncio.sleep(0.01)
+        return True
+
     async def close(self) -> None:
         """Stop accepting, then release the executor."""
         if self._server is not None:

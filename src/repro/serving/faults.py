@@ -20,6 +20,19 @@ site                              fired
                                   directive drops the entry, simulating memory
                                   pressure)
 ``ingest.record``                 on every ingestion attempt
+``journal.append``                before any bytes of a journal record are
+                                  written (a crash here loses the unacked
+                                  record, durably nothing else)
+``journal.append.torn``           between a journal record's header and its
+                                  payload (a crash here leaves a torn tail
+                                  for recovery to truncate)
+``journal.append.synced``         after a journal record is written and
+                                  fsynced, before the append returns (a crash
+                                  here is the "durable but unacked" case)
+``journal.checkpoint.rename``     between writing a journal CHECKPOINT temp
+                                  file and atomically renaming it into place
+``warmstart.rename``              between writing a snapshot temp file and
+                                  atomically renaming it into place
 ================================  =============================================
 
 Everything is deterministic: firing decisions come from a seeded RNG (for
@@ -55,6 +68,22 @@ class InjectedFault(PublishError):
         self.site = site
 
 
+class InjectedCrash(RuntimeError):
+    """Raised by an armed ``crash`` site to simulate process death.
+
+    Deliberately *not* a :class:`~repro.serving.errors.PublishError` (or
+    any :class:`~repro.serving.errors.ServingError`): the retry machinery
+    and the journal's best-effort error absorption must not swallow it.
+    A test arms a crash site, lets the exception unwind the whole call
+    stack, drops every in-memory object, and then exercises recovery
+    from the on-disk state exactly as a restarted process would.
+    """
+
+    def __init__(self, site: str) -> None:
+        super().__init__(f"injected crash at {site!r}")
+        self.site = site
+
+
 @dataclass(frozen=True)
 class FaultSpec:
     """What one armed site does when it fires.
@@ -64,6 +93,9 @@ class FaultSpec:
         fail: raise :class:`InjectedFault` after any delay.
         evict: return an eviction directive to the call site (used by the
             result cache to drop the looked-up entry).
+        crash: raise :class:`InjectedCrash` after any delay — simulated
+            process death that no serving-layer handler absorbs (takes
+            precedence over ``fail``).
         rate: firing probability per hit, from the seeded RNG.
         every: fire deterministically on every n-th hit instead of
             randomly (takes precedence over ``rate``).
@@ -73,6 +105,7 @@ class FaultSpec:
     delay_s: float = 0.0
     fail: bool = False
     evict: bool = False
+    crash: bool = False
     rate: float = 1.0
     every: int | None = None
     limit: int | None = None
@@ -101,6 +134,7 @@ class FaultInjector:
         delay_s: float = 0.0,
         fail: bool = False,
         evict: bool = False,
+        crash: bool = False,
         rate: float = 1.0,
         every: int | None = None,
         limit: int | None = None,
@@ -114,6 +148,7 @@ class FaultInjector:
             delay_s=delay_s,
             fail=fail,
             evict=evict,
+            crash=crash,
             rate=rate,
             every=every,
             limit=limit,
@@ -135,6 +170,7 @@ class FaultInjector:
 
         Raises:
             InjectedFault: when a ``fail`` spec fired.
+            InjectedCrash: when a ``crash`` spec fired.
         """
         spec = self._specs.get(site)
         if spec is None:
@@ -152,6 +188,8 @@ class FaultInjector:
         perf.count("faults.fired", site=site)
         if spec.delay_s > 0.0:
             self._sleeper(spec.delay_s)
+        if spec.crash:
+            raise InjectedCrash(site)
         if spec.fail:
             raise InjectedFault(site)
         return spec.evict

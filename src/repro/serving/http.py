@@ -33,6 +33,7 @@ write failures on the error path are swallowed and counted on the
 
 from __future__ import annotations
 
+import contextlib
 import json
 import threading
 import time
@@ -148,18 +149,37 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     # -- routes --------------------------------------------------------------
 
+    def _track(self):
+        """The owning server's in-flight tracker (no-op off :class:`_Server`).
+
+        Handlers run on per-connection threads, so graceful drain needs a
+        server-side count of requests still inside a route body; both
+        route methods wrap themselves in this.
+        """
+        tracker = getattr(self.server, "track_request", None)
+        return tracker() if tracker is not None else contextlib.nullcontext()
+
     def do_GET(self) -> None:  # noqa: N802
         # GET replies go through the same swallow-and-count path as POST:
         # a client that hangs up mid-/metrics scrape must not raise a
         # BrokenPipeError out of the handler thread uncounted.
-        if self.path == "/healthz":
-            self._reply_or_disconnect(200, {"status": "ok", **self.service.health()})
-        elif self.path == "/metrics":
-            self._reply_or_disconnect(200, perf.export_prometheus())
-        else:
-            self._reply_or_disconnect(404, {"error": f"no such endpoint {self.path!r}"})
+        with self._track():
+            if self.path == "/healthz":
+                self._reply_or_disconnect(
+                    200, {"status": "ok", **self.service.health()}
+                )
+            elif self.path == "/metrics":
+                self._reply_or_disconnect(200, perf.export_prometheus())
+            else:
+                self._reply_or_disconnect(
+                    404, {"error": f"no such endpoint {self.path!r}"}
+                )
 
     def do_POST(self) -> None:  # noqa: N802
+        with self._track():
+            self._do_post()
+
+    def _do_post(self) -> None:
         # The threading server has no admission queue, so the telemetry
         # waterfall's queue stage is zero by construction; compute and
         # respond are timed around the handler body.
@@ -319,6 +339,53 @@ class _Server(ThreadingHTTPServer):
     # SYN_RECV until the server RSTs them.  Match the asyncio front end's
     # backlog so the two are comparable under load.
     request_queue_size = 128
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently inside a route body (drain's exit signal)."""
+        with self._inflight_lock:
+            return self._inflight
+
+    @contextlib.contextmanager
+    def track_request(self):
+        """Count one request in flight for the duration of its handler."""
+        with self._inflight_lock:
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
+
+
+def drain(server: ThreadingHTTPServer, grace_s: float = 5.0) -> bool:
+    """Gracefully stop a running server: no new work, finish what's started.
+
+    Stops the ``serve_forever`` dispatch loop (``shutdown()`` is a no-op
+    when something — a SIGTERM handler, say — already stopped it), then
+    waits up to ``grace_s`` for every in-flight handler to leave its
+    route body.  Must be called from a different thread than the one
+    running ``serve_forever``.
+
+    Returns:
+        True when the server drained inside the grace period; False when
+        it expired with handlers still running (counted on
+        ``http.drain_timeouts``) — the caller should ``server_close()``
+        regardless.
+    """
+    server.shutdown()
+    deadline = time.monotonic() + grace_s
+    while getattr(server, "inflight", 0):
+        if time.monotonic() >= deadline:
+            perf.count("http.drain_timeouts")
+            return False
+        time.sleep(0.02)
+    return True
 
 
 def make_server(

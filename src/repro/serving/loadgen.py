@@ -38,6 +38,40 @@ DEFAULT_MIX = (
     "SELECT * FROM ListProperty WHERE bathcount >= 2",
 )
 
+#: First-connect retry budget: ~2 s of 50 ms backoffs, enough to cover a
+#: `repro serve` still parsing its CSV / binding its socket.
+CONNECT_ATTEMPTS = 40
+CONNECT_BACKOFF_S = 0.05
+
+
+def connect_with_retry(
+    host: str,
+    port: int,
+    timeout_s: float,
+    attempts: int = CONNECT_ATTEMPTS,
+    backoff_s: float = CONNECT_BACKOFF_S,
+) -> http.client.HTTPConnection:
+    """An ``HTTPConnection`` whose TCP connect outlives the server's bind race.
+
+    Clients launched alongside ``repro serve`` (tests, scripts, CI) race
+    the server's startup: the first connect lands before the socket is
+    bound and dies with ``ConnectionRefusedError``.  Retry just that —
+    refusal is instant, so a short backoff loop costs nothing once the
+    server is up, and any *other* failure (timeout, unreachable host)
+    still raises immediately.
+    """
+    for attempt in range(attempts):
+        connection = http.client.HTTPConnection(host, port, timeout=timeout_s)
+        try:
+            connection.connect()
+            return connection
+        except ConnectionRefusedError:
+            connection.close()
+            if attempt + 1 == attempts:
+                raise
+            time.sleep(backoff_s)
+    raise AssertionError("unreachable")  # pragma: no cover
+
 
 @dataclass
 class LoadReport:
@@ -118,13 +152,22 @@ class _ClientWorker:
         self.errors = 0
 
     def run(self) -> None:
-        connection = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout_s
-        )
+        try:
+            connection = connect_with_retry(
+                self.host, self.port, timeout_s=self.timeout_s
+            )
+        except OSError:
+            # Never came up inside the retry budget: every request this
+            # client would have sent is an error, and the barrier breaks
+            # so the siblings bail out too instead of hanging on it.
+            self.errors += self.requests
+            self.barrier.abort()
+            return
         try:
             self.barrier.wait(timeout=self.timeout_s)
         except threading.BrokenBarrierError:
             self.errors += self.requests
+            connection.close()
             return
         try:
             for i in range(self.requests):
@@ -214,7 +257,10 @@ def run_loadgen(
     ]
     for thread in threads:
         thread.start()
-    barrier.wait(timeout=timeout_s)  # release every client at once
+    try:
+        barrier.wait(timeout=timeout_s)  # release every client at once
+    except threading.BrokenBarrierError:
+        pass  # a client aborted (connect failed); the report counts it
     started = time.perf_counter()
     for thread in threads:
         thread.join()

@@ -24,6 +24,17 @@ healthy without ever losing a logged query:
 Only a full spill raises (:class:`~repro.serving.errors.IngestionStalled`):
 silently dropping logged queries would skew ``NAttr``/``N`` statistics
 forever, which is the one failure this layer refuses to absorb.
+
+With a :class:`~repro.serving.journal.SpillJournal` attached, every
+*absorbed* query (pending, published, or spilled — not a refused one) is
+also appended to the durable journal before ``record_query`` returns, so
+the front end's ack happens-after the disk write and the conservation
+invariant extends across process death: a restarted server replays the
+journal suffix past its snapshot watermark (docs/serving.md, "Durability
+& warm start").  Journal I/O errors are counted
+(``journal.append_failures``) but do not fail ingestion — availability
+over durability, by choice; crank ``fsync="always"`` (the default) for
+the reverse trade.
 """
 
 from __future__ import annotations
@@ -35,6 +46,7 @@ from typing import Callable
 
 from repro import perf
 from repro.serving.errors import IngestionStalled, PublishError
+from repro.serving.journal import SpillJournal
 from repro.serving.snapshot import SnapshotStore
 from repro.workload.model import WorkloadQuery
 
@@ -186,6 +198,8 @@ class ResilientIngestor:
         retry: retry policy for failed publishes.
         breaker: circuit breaker fed publish outcomes.
         spill_limit: max queries held in the spill log while shedding.
+        journal: optional durable write-ahead journal; every absorbed
+            query is appended before ``record_query`` returns.
     """
 
     def __init__(
@@ -194,11 +208,13 @@ class ResilientIngestor:
         retry: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
         spill_limit: int = 1024,
+        journal: SpillJournal | None = None,
     ) -> None:
         self.store = store
         self.retry = retry or RetryPolicy()
         self.breaker = breaker or CircuitBreaker()
         self.spill_limit = spill_limit
+        self.journal = journal
         self._lock = threading.Lock()
         self._spill: list[WorkloadQuery] = []
         self._recorded = 0
@@ -242,6 +258,7 @@ class ResilientIngestor:
             self._recorded += 1
             if not self.breaker.allows():
                 self._shed_locked(query)
+                self._journal_locked(query)
                 return
             # Breaker closed (or half-open probe): replay any spill first
             # so epochs apply queries in arrival order.
@@ -249,6 +266,10 @@ class ResilientIngestor:
             self._spill = []
             for item in backlog:
                 self.store.append(item)
+            # The query is absorbed (pending at worst): make it durable
+            # before anything acks it.  A publish failure below does not
+            # un-absorb it, so journaling here covers every return path.
+            self._journal_locked(query)
             if not self.store.should_publish:
                 return
             pending = self.store.pending_count
@@ -277,6 +298,30 @@ class ResilientIngestor:
         self._spill.append(query)
         self._shed += 1
         perf.count("ingest.spilled")
+
+    def _journal_locked(self, query: WorkloadQuery) -> None:
+        """Durably journal an absorbed query (best effort on I/O errors)."""
+        if self.journal is None:
+            return
+        try:
+            self.journal.append(query.to_sql())
+        except OSError:
+            # Disk trouble must not take ingestion down with it; the
+            # in-memory path stays conserved, only crash-durability of
+            # this one query is lost — and counted.
+            perf.count("journal.append_failures")
+
+    def restore(self, query: WorkloadQuery) -> None:
+        """Re-ingest a journal-replayed query WITHOUT re-journaling it.
+
+        Recovery's half of the conservation invariant: the query counts
+        as recorded (it was, in a previous life) and lands in the pending
+        delta; the caller publishes via :meth:`flush` when the replay
+        batch is done.
+        """
+        with self._lock:
+            self._recorded += 1
+            self.store.append(query)
 
     def flush(self) -> None:
         """Replay any spill and publish everything pending (best effort).

@@ -51,8 +51,9 @@ from repro.serving.degrade import (
     Deadline,
     DegradationLadder,
 )
-from repro.serving.errors import Degraded, InvalidRequest
+from repro.serving.errors import Degraded, InvalidRequest, PublishError
 from repro.serving.faults import NULL_INJECTOR, FaultInjector
+from repro.serving.journal import SpillJournal
 from repro.serving.retry import CircuitBreaker, ResilientIngestor, RetryPolicy
 from repro.serving.snapshot import SnapshotStore
 from repro.sql.compiler import parse_query
@@ -220,6 +221,11 @@ class CategorizationService:
         retry / breaker / spill_limit: ingestion-resilience knobs, passed
             through to :class:`~repro.serving.retry.ResilientIngestor`.
         level_cost_hint_s: seed for the ladder's level-cost estimate.
+        journal: optional durable spill journal; recorded queries are
+            appended before they are acknowledged (docs/serving.md,
+            "Durability & warm start").
+        initial_epoch: epoch number of the seed statistics (non-zero on
+            a warm start resuming a persisted epoch).
     """
 
     def __init__(
@@ -237,6 +243,8 @@ class CategorizationService:
         breaker: CircuitBreaker | None = None,
         spill_limit: int = 1024,
         level_cost_hint_s: float = 0.0,
+        journal: SpillJournal | None = None,
+        initial_epoch: int = 0,
     ) -> None:
         if technique not in TECHNIQUES:
             raise ValueError(
@@ -248,14 +256,24 @@ class CategorizationService:
         self._faults = faults or NULL_INJECTOR
         self._clock = clock
         self.store = SnapshotStore(
-            statistics, batch_size=batch_size, clock=clock, faults=self._faults
+            statistics,
+            batch_size=batch_size,
+            clock=clock,
+            faults=self._faults,
+            initial_epoch=initial_epoch,
         )
+        self.journal = journal
         self.ingestor = ResilientIngestor(
             self.store,
             retry=retry,
             breaker=breaker or CircuitBreaker(clock=clock),
             spill_limit=spill_limit,
+            journal=journal,
         )
+        self._warm_start = False
+        self._snapshot_epoch = initial_epoch
+        self._replayed_on_boot = 0
+        perf.gauge("serve.warm_start", 0)
         self.ladder = DegradationLadder(
             faults=self._faults, level_cost_hint_s=level_cost_hint_s
         )
@@ -564,6 +582,57 @@ class CategorizationService:
         """Replay spill and publish everything pending."""
         self.ingestor.flush()
 
+    # -- durability ----------------------------------------------------------
+
+    def mark_boot(self, warm_start: bool, snapshot_epoch: int | None = None) -> None:
+        """Record how this service booted (for /healthz and /metrics).
+
+        Called by the CLI after the cold/warm decision; ``warm_start``
+        drives the ``serve.warm_start`` gauge the integration tests use
+        to prove a restart actually skipped regeneration.
+        """
+        self._warm_start = warm_start
+        if snapshot_epoch is not None:
+            self._snapshot_epoch = snapshot_epoch
+        perf.gauge("serve.warm_start", 1 if warm_start else 0)
+
+    def recover_from_journal(self, after_seq: int = 0) -> int:
+        """Replay journal records past ``after_seq`` into the statistics.
+
+        Each replayed record counts as recorded (it was acknowledged in a
+        previous process life) but is NOT re-journaled — it is already
+        durable.  The batch publishes at the end; a failing publish
+        leaves the replayed queries pending, which still conserves.
+
+        Returns:
+            How many records were folded back in.
+        """
+        if self.journal is None:
+            return 0
+        count = 0
+        with perf.span("journal.replay"):
+            for _seq, sql in self.journal.replay(after_seq):
+                try:
+                    query = parse_query(sql)
+                    entry = WorkloadQuery.from_query(query)
+                except (SqlError, ValueError):
+                    # A journaled statement this build cannot parse
+                    # (format drift) is counted, never fatal: recovery
+                    # must bring the server up.
+                    perf.count("journal.replay_errors")
+                    continue
+                self.ingestor.restore(entry)
+                count += 1
+            if count:
+                try:
+                    self.ingestor.flush()
+                except PublishError:
+                    pass  # replayed queries stay safely pending
+        self._replayed_on_boot += count
+        if count:
+            perf.count("journal.replayed", count)
+        return count
+
     # -- introspection -------------------------------------------------------
 
     @property
@@ -572,6 +641,7 @@ class CategorizationService:
 
     def health(self) -> dict[str, Any]:
         """Liveness summary for the /healthz endpoint and `repro request`."""
+        journal = self.journal
         return {
             "epoch": self.store.epoch_number,
             "pending": self.store.pending_count,
@@ -582,6 +652,18 @@ class CategorizationService:
             "cache_entries": len(self.cache),
             "table_rows": len(self.table),
             "backend": self.table.backend_name,
+            "durability": {
+                "journal": journal is not None,
+                "journal_segments": journal.segment_count if journal else 0,
+                "journal_bytes": journal.size_bytes if journal else 0,
+                "journal_last_seq": journal.last_seq if journal else 0,
+                "journal_truncated_records": (
+                    journal.truncated_records if journal else 0
+                ),
+                "replayed_on_boot": self._replayed_on_boot,
+                "warm_start": self._warm_start,
+                "snapshot_epoch": self._snapshot_epoch,
+            },
         }
 
     # -- helpers -------------------------------------------------------------

@@ -71,12 +71,16 @@ class SnapshotStore:
     """Epoch-versioned workload statistics: lock-free reads, batched writes.
 
     Args:
-        statistics: the seed statistics (epoch 0).  The store takes
-            ownership: callers must not mutate it afterwards.
+        statistics: the seed statistics (epoch ``initial_epoch``).  The
+            store takes ownership: callers must not mutate it afterwards.
         batch_size: pending queries per automatic publish; larger batches
             amortize the clone cost over more queries.
         clock: monotonic time source (injectable for tests).
         faults: fault injector wired to the ``snapshot.publish`` site.
+        initial_epoch: the seed statistics' epoch number.  0 for a cold
+            boot; a warm start (`repro serve --warm-start`) passes the
+            persisted epoch so numbering — and with it the epoch-scoped
+            result-cache keys — continues instead of resetting.
     """
 
     def __init__(
@@ -85,9 +89,12 @@ class SnapshotStore:
         batch_size: int = 64,
         clock: Callable[[], float] = time.monotonic,
         faults: FaultInjector | None = None,
+        initial_epoch: int = 0,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if initial_epoch < 0:
+            raise ValueError(f"initial_epoch must be >= 0, got {initial_epoch}")
         statistics.finalize_indexes()
         self._batch_size = batch_size
         self._clock = clock
@@ -95,7 +102,7 @@ class SnapshotStore:
         self._lock = threading.Lock()
         self._pending: list[WorkloadQuery] = []
         self._generation = 0  # even = stable, odd = publish in flight
-        self._epoch = EpochSnapshot(0, statistics)
+        self._epoch = EpochSnapshot(initial_epoch, statistics)
 
     # -- reader side ---------------------------------------------------------
 
