@@ -23,6 +23,7 @@ from repro import perf
 from repro.serving.aserve import start_in_thread
 from repro.serving.http import make_server, serve_in_thread
 from repro.serving.loadgen import run_loadgen
+from repro.serving.relation import Relation
 from repro.serving.service import CategorizationService
 from repro.study.report import format_table
 
@@ -47,7 +48,7 @@ def _fresh_service(bench_homes, bench_statistics) -> CategorizationService:
     # cache_capacity=0: a duplicate answered cheaply means the *front end*
     # deduplicated it, not the result cache.
     return CategorizationService(
-        bench_homes, bench_statistics.copy(), cache_capacity=0
+        Relation(bench_homes, bench_statistics.copy()), cache_capacity=0
     )
 
 

@@ -13,6 +13,7 @@ import time
 
 from repro.core.config import PAPER_CONFIG
 from repro.serving.degrade import RUNGS
+from repro.serving.relation import Relation
 from repro.serving.service import CategorizationService
 from repro.study.report import format_table
 
@@ -32,7 +33,7 @@ MAX_DEADLINE_OVERSHOOT = 10.0
 
 def test_perf_serving_hot_path(bench_homes, bench_statistics):
     service = CategorizationService(
-        bench_homes, bench_statistics.copy(), config=PAPER_CONFIG
+        Relation(bench_homes, bench_statistics.copy()), config=PAPER_CONFIG
     )
 
     def cold():
@@ -48,7 +49,7 @@ def test_perf_serving_hot_path(bench_homes, bench_statistics):
     # Deadline-enforced requests on an uncacheable service: every request
     # must come back near the budget, whatever rung that requires.
     bounded = CategorizationService(
-        bench_homes, bench_statistics.copy(), cache_capacity=0
+        Relation(bench_homes, bench_statistics.copy()), cache_capacity=0
     )
     deadline_samples = []
     rungs = set()

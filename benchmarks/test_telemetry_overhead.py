@@ -14,6 +14,7 @@ run-over-run.
 import time
 
 from repro import telemetry
+from repro.serving.relation import Relation
 from repro.serving.service import CategorizationService
 from repro.study.report import format_table
 from repro.telemetry import RotatingJsonlSink, TelemetryPipeline
@@ -42,7 +43,7 @@ def _trimmed_mean(samples):
 
 
 def test_telemetry_overhead(tmp_path, bench_homes, bench_statistics):
-    service = CategorizationService(bench_homes, bench_statistics.copy())
+    service = CategorizationService(Relation(bench_homes, bench_statistics.copy()))
     service.categorize(SERVE_SQL)  # fill the result cache
 
     sink = RotatingJsonlSink(tmp_path / "events.jsonl")

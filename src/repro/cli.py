@@ -20,14 +20,27 @@ Subcommands::
                            --grace 5] \
                           [--telemetry-sink events.jsonl \
                            --telemetry-sample 0.1]
+    repro serve           --dataset ListProperty=homes.csv,workload=workload.sql \
+                          --dataset Movies=@movies,rows=8000 \
+                          [--default-table ListProperty]
+    repro serve           --catalog catalog.toml
     repro audit           events.jsonl [events.jsonl.1 ...] \
                           [--format text|json] [--diff baseline.jsonl ...] \
-                          [--strict]
-    repro request         --sql "SELECT ..." [--deadline-ms 50] [--budget full] \
-                          [--record | --health | --metrics] [--repeat N]
+                          [--table Movies] [--strict]
+    repro request         --sql "SELECT ..." [--table Movies] [--deadline-ms 50] \
+                          [--budget full] [--record | --health | --metrics] \
+                          [--repeat N]
     repro request         --batch "SELECT ..." "SELECT ..." [--deadline-ms 200]
     repro loadgen         --url http://127.0.0.1:8765 --clients 32 --requests 10 \
-                          [--sql "SELECT ..." ...] [--deadline-ms 500] [--json]
+                          [--sql "SELECT ..." ...] [--table Movies] \
+                          [--deadline-ms 500] [--json]
+
+One ``repro serve`` process can serve several relations (docs/catalog.md):
+each ``--dataset NAME=SPEC`` or ``[datasets.NAME]`` TOML table opens an
+independent relation — own epochs, result cache, spill journal, and
+warm-start snapshots under ``--warm-start DIR/NAME/`` — and requests
+address one via ``table=``.  Requests that name no table resolve to the
+default relation and are answered with a ``Deprecation`` header.
 
 ``categorize``/``perf-report``/``serve`` accept ``--backend columnar`` to
 load the relation into the packed columnar store, or ``--backend sharded
@@ -124,6 +137,10 @@ def build_parser() -> argparse.ArgumentParser:
     cat.add_argument("--workload", type=Path, required=True, help="SQL log file")
     cat.add_argument("--query", required=True, help="SQL SELECT string")
     cat.add_argument("--schema", type=Path, default=None, help="schema JSON")
+    cat.add_argument("--table", default=None, metavar="NAME",
+                     help="relation name: picks the built-in schema "
+                          "(ListProperty, Movies) when --schema is absent, "
+                          "and cross-checks it otherwise")
     cat.add_argument(
         "--technique", choices=sorted(TECHNIQUES), default="cost-based"
     )
@@ -181,9 +198,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve = subparsers.add_parser(
         "serve", help="run the categorization service over HTTP"
     )
-    serve.add_argument("--data", type=Path, required=True, help="CSV relation")
-    serve.add_argument("--workload", type=Path, required=True, help="SQL log file")
+    serve.add_argument("--data", type=Path, default=None,
+                       help="CSV relation (legacy single-table form; "
+                            "pairs with --workload)")
+    serve.add_argument("--workload", type=Path, default=None,
+                       help="SQL log file for --data")
     serve.add_argument("--schema", type=Path, default=None, help="schema JSON")
+    serve.add_argument("--dataset", action="append", default=None,
+                       metavar="NAME=SPEC",
+                       help="serve relation NAME from SPEC — a CSV path or "
+                            "@generator, plus comma-separated key=value "
+                            "options; repeatable (e.g. "
+                            "Movies=@movies,rows=8000; docs/catalog.md)")
+    serve.add_argument("--catalog", type=Path, default=None, metavar="TOML",
+                       help="open every [datasets.NAME] relation in this "
+                            "catalog TOML file (docs/catalog.md)")
+    serve.add_argument("--default-table", default=None, metavar="NAME",
+                       help="relation answering table-less (legacy) requests; "
+                            "default: the catalog file's `default`, else the "
+                            "first relation")
     serve.add_argument(
         "--technique", choices=sorted(TECHNIQUES), default="cost-based"
     )
@@ -228,11 +261,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sink durability: fsync never, on rotation/close "
                             "(default), or every event")
     serve.add_argument("--warm-start", type=Path, default=None, metavar="DIR",
-                       help="durable state directory: spill journal plus "
-                            "table/stats snapshots; boot warm from it when "
-                            "every checksum/version checks out, fall back "
-                            "cold (and replay the journal) otherwise, and "
-                            "re-snapshot on graceful shutdown "
+                       help="durable state root: each relation keeps its own "
+                            "spill journal plus table/stats snapshots under "
+                            "DIR/<table>/; a relation boots warm when its "
+                            "checksums/versions check out, falls back cold "
+                            "(and replays its journal) otherwise, and "
+                            "re-snapshots on graceful shutdown "
                             "(docs/serving.md)")
     serve.add_argument("--journal-fsync",
                        choices=("never", "rotate", "always"), default="always",
@@ -258,6 +292,9 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="BASELINE",
                        help="baseline sink files to A/B against (rung mix, "
                             "chosen-attribute mix, cost margins)")
+    audit.add_argument("--table", default=None, metavar="NAME",
+                       help="restrict the report (and any --diff baseline) "
+                            "to traces that touched this relation")
     audit.add_argument("--strict", action="store_true",
                        help="exit 1 when any trace is partial or any event "
                             "orphaned (the CI smoke contract)")
@@ -269,6 +306,10 @@ def build_parser() -> argparse.ArgumentParser:
     req.add_argument("--url", default="http://127.0.0.1:8765",
                      help="base URL of the service")
     req.add_argument("--sql", default=None, help="SQL SELECT to categorize")
+    req.add_argument("--table", default=None, metavar="NAME",
+                     help="relation to address; omitting it resolves to the "
+                          "server's default table (and the response carries "
+                          "a Deprecation header)")
     req.add_argument("--batch", nargs="+", metavar="SQL", default=None,
                      help="several SQL SELECTs served against one pinned "
                           "epoch via POST /categorize_batch")
@@ -298,6 +339,9 @@ def build_parser() -> argparse.ArgumentParser:
     lg.add_argument("--sql", nargs="+", metavar="SQL", default=None,
                     help="query mix cycled across clients (default: built-in "
                          "duplicate-heavy ListProperty mix)")
+    lg.add_argument("--table", default=None, metavar="NAME",
+                    help="relation every request addresses; omitting it "
+                         "exercises the legacy default-table path")
     lg.add_argument("--clients", type=int, default=32,
                     help="concurrent closed-loop clients")
     lg.add_argument("--requests", type=int, default=10,
@@ -374,7 +418,7 @@ def _cmd_stats(args) -> int:
 
 
 def _cmd_categorize(args) -> int:
-    schema = load_schema(args.schema)
+    schema = load_schema(args.schema, table=args.table)
     table = read_csv(
         schema, args.data, backend=args.backend,
         backend_options=_backend_options(args),
@@ -445,72 +489,95 @@ def _cmd_perf_report(args) -> int:
     return 0
 
 
+def _serve_descriptors(args):
+    """Collect the dataset descriptors one ``repro serve`` should open.
+
+    Three sources converge (catalog file, repeated ``--dataset`` flags,
+    the legacy ``--data``/``--workload`` pair) and may be combined; the
+    legacy pair becomes an ordinary descriptor named after its schema.
+    """
+    from repro.catalog import (
+        DatasetDescriptor,
+        load_catalog_file,
+        parse_dataset_arg,
+    )
+
+    descriptors = []
+    default = args.default_table
+    if args.catalog is not None:
+        from_file, file_default = load_catalog_file(args.catalog)
+        descriptors.extend(from_file)
+        if default is None:
+            default = file_default
+    for text in args.dataset or ():
+        descriptors.append(parse_dataset_arg(text))
+    if (args.data is None) != (args.workload is None):
+        raise ValueError("--data and --workload go together")
+    if args.data is not None:
+        schema = load_schema(args.schema)
+        descriptors.append(
+            DatasetDescriptor(
+                name=schema.name,
+                source=args.data,
+                workload=args.workload,
+                schema=args.schema,
+                backend=args.backend,
+                workers=args.workers,
+                technique=args.technique,
+                lenient_csv=args.lenient_csv,
+            )
+        )
+    if not descriptors:
+        raise ValueError(
+            "serve needs at least one relation: "
+            "--data/--workload, --dataset NAME=SPEC, or --catalog TOML"
+        )
+    return descriptors, default
+
+
+def _relation_summary(service) -> str:
+    """One relation's banner fragment (rows, workload, boot story)."""
+    health = service.health()
+    durability = health["durability"]
+    queries = service.store.pin().statistics.total_queries
+    summary = (
+        f"{service.name} ({health['table_rows']} rows, "
+        f"{queries} workload queries)"
+    )
+    if durability["journal"]:
+        boot = "warm" if durability["warm_start"] else "cold"
+        summary += (
+            f" [durable: {boot} boot, "
+            f"journal seq {durability['journal_last_seq']}, "
+            f"replayed {durability['replayed_on_boot']}]"
+        )
+    return summary
+
+
 def _cmd_serve(args) -> int:
     from repro import telemetry
-    from repro.serving.service import CategorizationService
+    from repro.catalog import open_catalog
 
-    schema = load_schema(args.schema)
+    descriptors, default = _serve_descriptors(args)
     # Enabled before boot (not just before the first request) so recovery
     # metrics — journal.replayed, warmstart.fallback, serve.warm_start —
     # are visible on /metrics from the start.
     perf.enable()
-    journal = None
-    warm = None
-    fallback = None
-    if args.warm_start is not None:
-        from repro.relational.snapio import SnapshotMismatch
-        from repro.serving.journal import SpillJournal
-        from repro.serving.warmstart import load_warm
-
-        journal = SpillJournal(
-            args.warm_start / "journal", fsync=args.journal_fsync
+    try:
+        catalog = open_catalog(
+            descriptors,
+            default=default,
+            state_root=args.warm_start,
+            journal_fsync=args.journal_fsync,
+            service_options=dict(
+                batch_size=args.batch_size,
+                cache_capacity=args.cache_size,
+                cache_ttl_s=args.cache_ttl,
+            ),
         )
-        try:
-            warm = load_warm(
-                schema,
-                args.warm_start,
-                backend=args.backend,
-                backend_options=_backend_options(args),
-            )
-        except SnapshotMismatch as exc:
-            # Fail-stop honesty: a snapshot that does not fully check out
-            # is never served.  Count why, boot cold, replay everything.
-            perf.count("warmstart.fallback", reason=exc.reason)
-            fallback = exc.reason
-
-    if warm is not None:
-        table, statistics = warm.table, warm.statistics
-        initial_epoch, replay_after = warm.epoch, warm.journal_seq
-    else:
-        table = read_csv(
-            schema,
-            args.data,
-            strict=not args.lenient_csv,
-            backend=args.backend,
-            backend_options=_backend_options(args),
-        )
-        workload = Workload.load(args.workload)
-        statistics = preprocess_workload(
-            workload, schema, PAPER_CONFIG.separation_intervals
-        )
-        initial_epoch, replay_after = 0, 0
-    service = CategorizationService(
-        table,
-        statistics,
-        technique=args.technique,
-        batch_size=args.batch_size,
-        cache_capacity=args.cache_size,
-        cache_ttl_s=args.cache_ttl,
-        journal=journal,
-        initial_epoch=initial_epoch,
-    )
-    replayed = 0
-    if journal is not None:
-        service.mark_boot(warm is not None, snapshot_epoch=initial_epoch)
-        replayed = service.recover_from_journal(after_seq=replay_after)
-        # Re-snapshot the caught-up state so the *next* boot is warm and
-        # replays (close to) nothing.
-        _persist_durable_state(service, table, args.warm_start, journal)
+    except BaseException:
+        perf.disable()
+        raise
     pipeline = None
     if args.telemetry_sink is not None:
         sink = telemetry.RotatingJsonlSink(
@@ -521,15 +588,13 @@ def _cmd_serve(args) -> int:
         pipeline = telemetry.install(
             telemetry.TelemetryPipeline(sink, sample_rate=args.telemetry_sample)
         )
-    banner = (
-        f"serving {schema.name} ({len(table)} rows, "
-        f"{statistics.total_queries} workload queries)"
-    )
-    if journal is not None:
-        boot = "warm" if warm is not None else f"cold ({fallback or 'no snapshot'})"
-        banner += (
-            f" [durable: {boot} boot, journal seq {journal.last_seq}, "
-            f"replayed {replayed}]"
+    summaries = [_relation_summary(service) for service in catalog.services()]
+    if len(summaries) == 1:
+        banner = f"serving {summaries[0]}"
+    else:
+        banner = (
+            f"serving {len(summaries)} relations "
+            f"(default {catalog.default_name}): " + "; ".join(summaries)
         )
     if pipeline is not None:
         banner += (
@@ -538,76 +603,38 @@ def _cmd_serve(args) -> int:
         )
     endpoints = (
         "endpoints: GET /healthz /metrics, "
-        "POST /categorize /categorize_batch /record"
+        "POST /categorize /categorize_batch /record (table=...)"
     )
     try:
         if args.use_async:
-            _serve_async(service, args, banner, endpoints)
+            _serve_async(catalog, args, banner, endpoints)
         else:
-            _serve_threading(service, args, banner, endpoints)
+            _serve_threading(catalog, args, banner, endpoints)
     finally:
         try:
-            service.flush()
+            catalog.flush()
         except Exception as exc:  # a failed final publish must not mask exit
             print(f"warning: final flush failed: {exc}", file=sys.stderr)
-        if journal is not None:
-            # Graceful exit: snapshot the final epoch and move the
-            # journal watermark past it, so the next boot replays
+        if args.warm_start is not None:
+            # Graceful exit: snapshot each relation's final epoch and move
+            # its journal watermark past it, so the next boot replays
             # nothing and a re-replay would be a no-op anyway.
-            _persist_durable_state(service, table, args.warm_start, journal)
-            journal.close()
+            catalog.persist()
         if pipeline is not None:
             telemetry.uninstall()
             pipeline.close()  # drains the queue tail into the sink
-        table.close()
+        catalog.close()
         perf.disable()
     return 0
 
 
-def _persist_durable_state(service, table, directory: Path, journal) -> bool:
-    """Snapshot the current epoch and checkpoint the journal behind it.
-
-    Only safe when nothing is pending: the stats snapshot's watermark
-    claims every journal record up to ``journal.last_seq`` is folded in,
-    which a pending (unpublished) query would falsify.  Returns False —
-    leaving the previous snapshot and watermark untouched, so no query
-    can be lost — when a failed publish keeps queries pending or a
-    snapshot write fails.
-    """
-    from repro.serving.errors import PublishError
-    from repro.serving.warmstart import (
-        TABLE_SNAPSHOT,
-        write_stats_snapshot,
-        write_table_snapshot,
-    )
-
-    try:
-        service.flush()
-    except PublishError:
-        return False
-    if service.store.pending_count:
-        return False
-    try:
-        if not (directory / TABLE_SNAPSHOT).exists():
-            write_table_snapshot(table, directory)
-        epoch = service.store.pin()
-        write_stats_snapshot(
-            epoch.statistics, directory, epoch.number, journal.last_seq
-        )
-        journal.checkpoint(journal.last_seq)
-    except OSError as exc:
-        print(f"warning: could not persist durable state: {exc}", file=sys.stderr)
-        return False
-    return True
-
-
-def _serve_threading(service, args, banner: str, endpoints: str) -> None:
+def _serve_threading(catalog, args, banner: str, endpoints: str) -> None:
     import signal
     import threading
 
     from repro.serving.http import drain, make_server
 
-    server = make_server(service, host=args.host, port=args.port)
+    server = make_server(catalog, host=args.host, port=args.port)
     host, port = server.server_address[:2]
     print(f"{banner} on http://{host}:{port} [threading]")
     print(endpoints)
@@ -640,7 +667,7 @@ def _serve_threading(service, args, banner: str, endpoints: str) -> None:
         server.server_close()
 
 
-def _serve_async(service, args, banner: str, endpoints: str) -> None:
+def _serve_async(catalog, args, banner: str, endpoints: str) -> None:
     import asyncio
     import contextlib
     import signal
@@ -649,7 +676,7 @@ def _serve_async(service, args, banner: str, endpoints: str) -> None:
 
     async def main() -> None:
         frontend = AsyncFrontEnd(
-            service, max_inflight=args.max_inflight, max_queue=args.max_queue
+            catalog, max_inflight=args.max_inflight, max_queue=args.max_queue
         )
         await frontend.start(args.host, args.port)
         host, port = frontend.address
@@ -693,14 +720,25 @@ def _serve_async(service, args, banner: str, endpoints: str) -> None:
         print("shutting down")
 
 
+def _error_line(body: str) -> str:
+    """``code: message`` from a wire error envelope; the raw body otherwise."""
+    try:
+        error = json.loads(body)["error"]
+        return f"{error['code']}: {error['message']}"
+    except (ValueError, KeyError, TypeError):
+        return body.strip()
+
+
 def _cmd_request(args) -> int:
     import http.client
     import time
-    from urllib.parse import urlsplit
+    from urllib.parse import quote, urlsplit
 
     base = args.url.rstrip("/")
     if args.health or args.metrics:
         method, path, body = "GET", "/healthz" if args.health else "/metrics", None
+        if args.table is not None:
+            path += f"?table={quote(args.table)}"
     elif args.batch:
         payload: dict = {
             "sqls": list(args.batch),
@@ -709,10 +747,14 @@ def _cmd_request(args) -> int:
             "render": args.render,
             "trace": args.trace,
         }
+        if args.table is not None:
+            payload["table"] = args.table
         method, path, body = "POST", "/categorize_batch", json.dumps(payload)
     elif args.sql:
         path = "/record" if args.record else "/categorize"
         payload = {"sql": args.sql}
+        if args.table is not None:
+            payload["table"] = args.table
         if not args.record:
             payload.update(
                 deadline_ms=args.deadline_ms,
@@ -765,7 +807,7 @@ def _cmd_request(args) -> int:
 
     if args.repeat == 1:
         if last_status >= 400:
-            print(last_payload, end="", file=sys.stderr)
+            print(_error_line(last_payload), file=sys.stderr)
             return 2
         print(last_payload, end="")
         return 0
@@ -782,8 +824,12 @@ def _cmd_request(args) -> int:
         f"{percentile(latencies_ms, 0.5):.2f}  p99 "
         f"{percentile(latencies_ms, 0.99):.2f}  max {ordered[-1]:.2f}"
     )
-    print(f"last response ({last_status}):")
-    print(last_payload, end="")
+    if last_status >= 400:
+        print(f"last error ({last_status}):")
+        print(_error_line(last_payload), file=sys.stderr)
+    else:
+        print(f"last response ({last_status}):")
+        print(last_payload, end="")
     return 2 if failures else 0
 
 
@@ -795,10 +841,10 @@ def _cmd_audit(args) -> int:
         format_report,
     )
 
-    report = audit_files(args.events)
+    report = audit_files(args.events, table=args.table)
     diff = None
     if args.diff:
-        diff = diff_reports(report, audit_files(args.diff))
+        diff = diff_reports(report, audit_files(args.diff, table=args.table))
     if args.format == "json":
         document = {"report": report}
         if diff is not None:
@@ -830,6 +876,7 @@ def _cmd_loadgen(args) -> int:
         deadline_ms=args.deadline_ms,
         budget=args.budget,
         timeout_s=args.timeout,
+        table=args.table,
     )
     if args.as_json:
         print(json.dumps(report.as_dict(), indent=2))
@@ -841,6 +888,13 @@ def _cmd_loadgen(args) -> int:
         rungs = ", ".join(
             f"{rung}: {count}" for rung, count in sorted(report.rung_counts.items())
         ) or "none"
+        error_codes = ", ".join(
+            f"{code}: {count}"
+            for code, count in sorted(report.error_code_counts.items())
+        ) or "none"
+        title = f"loadgen: {args.url}"
+        if args.table is not None:
+            title += f" (table {args.table})"
         print(
             format_table(
                 ["metric", "value"],
@@ -855,20 +909,45 @@ def _cmd_loadgen(args) -> int:
                     ["latency p99 ms", f"{report.p99_ms:.2f}"],
                     ["statuses", statuses],
                     ["rungs", rungs],
+                    ["error codes", error_codes],
                     ["coalesced responses", report.coalesced],
                     ["shed (503)", report.shed],
                 ],
-                title=f"loadgen: {args.url}",
+                title=title,
             )
         )
-    # A response for every request (503s included) is the contract; a
-    # transport error means a request went unanswered.
-    return 1 if report.errors or report.responses < report.requests else 0
+    if report.client_errors:
+        for code, message in sorted(report.error_examples.items()):
+            print(f"{code}: {message}" if message else code, file=sys.stderr)
+    # A response for every request (503s included) is the contract: a
+    # transport error means a request went unanswered, and a 4xx means
+    # the run itself was misdirected (bad table, bad SQL).  Shed 503s
+    # stay an expected answer under overload.
+    return (
+        1
+        if report.errors
+        or report.responses < report.requests
+        or report.client_errors
+        else 0
+    )
 
 
-def load_schema(path: Path | None) -> TableSchema:
-    """Load a schema JSON, or return the built-in ListProperty schema."""
+def load_schema(path: Path | None, table: str | None = None) -> TableSchema:
+    """Resolve a schema: JSON file, built-in by ``table`` name, or ListProperty.
+
+    ``table`` picks a built-in schema (ListProperty, Movies) when no file
+    is given, and cross-checks the file's table name when one is.
+    """
     if path is None:
+        if table is not None:
+            from repro.catalog.descriptor import BUILTIN_SCHEMAS
+
+            if table not in BUILTIN_SCHEMAS:
+                raise ValueError(
+                    f"no built-in schema named {table!r}; choose from "
+                    f"{sorted(BUILTIN_SCHEMAS)} or pass --schema"
+                )
+            return BUILTIN_SCHEMAS[table]()
         return list_property_schema()
     payload = json.loads(Path(path).read_text(encoding="utf-8"))
     attributes = []
@@ -881,7 +960,13 @@ def load_schema(path: Path | None) -> TableSchema:
                 AttributeKind(kind) if kind else None,
             )
         )
-    return TableSchema(payload["name"], tuple(attributes))
+    schema = TableSchema(payload["name"], tuple(attributes))
+    if table is not None and schema.name != table:
+        raise ValueError(
+            f"--table {table!r} does not match the schema's table "
+            f"{schema.name!r}"
+        )
+    return schema
 
 
 if __name__ == "__main__":

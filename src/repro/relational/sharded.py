@@ -599,6 +599,7 @@ class ShardedBackend:
                 telemetry.emit(
                     "shards",
                     trace_id,
+                    table=self._schema.name,
                     op=_SHARD_OPS.get(fn.__name__, fn.__name__),
                     shards=len(pairs),
                     shard_ms=[round(elapsed * 1000.0, 3) for elapsed, _ in pairs],

@@ -25,6 +25,10 @@ under concurrent ingestion, deadlines, and injected faults:
   makes acked ingestion survive process death.
 * :mod:`~repro.serving.warmstart` — snapshot pair (table + statistics)
   behind `repro serve --warm-start`.
+* :mod:`~repro.serving.relation` — the per-relation state bundle
+  (table, statistics, namespace, journal) a
+  :class:`~repro.catalog.catalog.Catalog` builds one of per dataset
+  (docs/catalog.md).
 
 See ``docs/serving.md`` for the design, including the "Durability &
 warm start" section covering the crash-safety layer.
@@ -48,12 +52,16 @@ from repro.serving.degrade import (
     DegradationLadder,
 )
 from repro.serving.errors import (
+    ERROR_CODES,
     Degraded,
     DeadlineExceeded,
     IngestionStalled,
     InvalidRequest,
     PublishError,
     ServingError,
+    UnknownTable,
+    error_payload,
+    error_response,
 )
 from repro.serving.faults import (
     FaultInjector,
@@ -62,6 +70,7 @@ from repro.serving.faults import (
     InjectedFault,
 )
 from repro.serving.journal import FSYNC_POLICIES, SpillJournal
+from repro.serving.relation import Relation
 from repro.serving.retry import CircuitBreaker, ResilientIngestor, RetryPolicy
 from repro.serving.service import CategorizationService, ResultCache, ServeResult
 from repro.serving.snapshot import EpochSnapshot, SnapshotStore
@@ -85,6 +94,7 @@ __all__ = [
     "AsyncFrontEnd",
     "AsyncServerHandle",
     "DEFAULT_MIX",
+    "ERROR_CODES",
     "LoadReport",
     "Overloaded",
     "Singleflight",
@@ -105,6 +115,7 @@ __all__ = [
     "InjectedFault",
     "InvalidRequest",
     "PublishError",
+    "Relation",
     "ResilientIngestor",
     "ResultCache",
     "RetryPolicy",
@@ -113,7 +124,10 @@ __all__ = [
     "SnapshotMismatch",
     "SnapshotStore",
     "SpillJournal",
+    "UnknownTable",
     "WarmState",
+    "error_payload",
+    "error_response",
     "load_warm",
     "write_stats_snapshot",
     "write_table_snapshot",

@@ -59,12 +59,21 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Awaitable, Callable
+from urllib.parse import parse_qs, urlsplit
 
 from repro import perf, telemetry
 from repro.render.treeview import render_tree
 from repro.serving.degrade import RUNG_FULL
-from repro.serving.errors import IngestionStalled, InvalidRequest
-from repro.serving.http import MAX_BODY_BYTES, route_label
+from repro.serving.errors import (
+    CODE_INVALID_REQUEST,
+    CODE_NOT_FOUND,
+    CODE_SHED,
+    IngestionStalled,
+    InvalidRequest,
+    error_payload,
+    error_response,
+)
+from repro.serving.http import MAX_BODY_BYTES, _as_catalog, route_label
 from repro.serving.service import CategorizationService, ServeResult
 
 #: Response reason phrases for the statuses this front end emits.
@@ -243,10 +252,16 @@ class Singleflight:
 
 
 class AsyncFrontEnd:
-    """The asyncio HTTP front end over one :class:`CategorizationService`.
+    """The asyncio HTTP front end over a catalog of services.
 
     Args:
-        service: the (thread-safe) service every route delegates to.
+        service: the (thread-safe) service — or
+            :class:`~repro.catalog.catalog.Catalog` of services — every
+            route delegates to; a lone service is wrapped in a one-entry
+            catalog.  Requests pick their relation via a ``"table"``
+            body field or ``?table=`` parameter; table-less requests
+            resolve to the catalog's default relation and carry a
+            ``Deprecation: true`` response header (docs/catalog.md).
         max_inflight: executor slots for compute routes.
         max_queue: waiting-room bound; arrivals beyond it are shed.
         executor_workers: thread-pool size (default ``max_inflight``).
@@ -259,7 +274,7 @@ class AsyncFrontEnd:
 
     def __init__(
         self,
-        service: CategorizationService,
+        service: Any,
         max_inflight: int = 8,
         max_queue: int = 32,
         executor_workers: int | None = None,
@@ -269,7 +284,7 @@ class AsyncFrontEnd:
         keep_alive_timeout_s: float = 30.0,
         max_body_bytes: int = MAX_BODY_BYTES,
     ) -> None:
-        self.service = service
+        self.catalog = _as_catalog(service)
         self.gate = AdmissionGate(
             max_inflight=max_inflight,
             max_queue=max_queue,
@@ -286,6 +301,39 @@ class AsyncFrontEnd:
         )
         self._server: asyncio.AbstractServer | None = None
         self.address: tuple[str, int] | None = None
+
+    @property
+    def service(self) -> CategorizationService:
+        """The catalog's default service (single-table compatibility)."""
+        return self.catalog.default
+
+    def _resolve(
+        self,
+        request: HttpRequest,
+        payload: dict[str, Any] | None,
+        telem: dict[str, Any] | None = None,
+    ) -> tuple[CategorizationService, dict[str, str]]:
+        """Resolve the request's table (body field > query parameter).
+
+        Returns the extra response headers: a defaulted (table-less)
+        request carries ``Deprecation: true``.
+
+        Raises:
+            InvalidRequest: the ``table`` body field is not a string.
+            UnknownTable: the named table is not in the catalog.
+        """
+        table = payload.get("table") if payload else None
+        if table is not None and not isinstance(table, str):
+            raise InvalidRequest("'table' must be a string", reason="table")
+        if table is None:
+            query = urlsplit(request.path).query
+            if query:
+                values = parse_qs(query).get("table")
+                table = values[-1] if values else None
+        service, defaulted = self.catalog.resolve(table)
+        if telem is not None:
+            telem["table"] = service.name
+        return service, {"Deprecation": "true"} if defaulted else {}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -344,7 +392,13 @@ class AsyncFrontEnd:
                     await self._write_response(
                         writer,
                         400,
-                        _json_bytes({"error": str(exc), "reason": "request"}),
+                        _json_bytes(
+                            error_payload(
+                                CODE_INVALID_REQUEST,
+                                str(exc),
+                                {"reason": "request"},
+                            )
+                        ),
                         "application/json",
                         keep_alive=False,
                     )
@@ -488,8 +542,18 @@ class AsyncFrontEnd:
         telem["route"] = route
         try:
             if request.method == "GET" and route == "/healthz":
-                return self._ok({"status": "ok", **self.service.health()})
+                service, _ = self._resolve(request, None)
+                # Default-table fields stay at the top level for legacy
+                # single-table probes; the catalog map carries the rest.
+                return self._ok(
+                    {
+                        "status": "ok",
+                        **service.health(),
+                        **self.catalog.health(),
+                    }
+                )
             if request.method == "GET" and route == "/metrics":
+                self.catalog.record_gauges()
                 text = perf.export_prometheus()
                 return (
                     200,
@@ -498,23 +562,27 @@ class AsyncFrontEnd:
                     None,
                 )
             if request.method == "POST" and route == "/categorize":
-                telem["trace_id"] = self.service.new_trace_id()
+                telem["trace_id"] = self.catalog.new_trace_id()
                 return await self._categorize(request, telem)
             if request.method == "POST" and route == "/categorize_batch":
-                telem["trace_id"] = self.service.new_trace_id()
+                telem["trace_id"] = self.catalog.new_trace_id()
                 return await self._categorize_batch(request, telem)
             if request.method == "POST" and route == "/record":
-                telem["trace_id"] = self.service.new_trace_id()
+                telem["trace_id"] = self.catalog.new_trace_id()
                 return await self._record(request, telem)
-            return self._error(404, {"error": f"no such endpoint {request.path!r}"})
+            return self._error(
+                404,
+                error_payload(
+                    CODE_NOT_FOUND, f"no such endpoint {request.path!r}"
+                ),
+            )
         except Overloaded as exc:
             perf.count("aserve.shed", route=route)
             telem["outcome"] = "shed"
             extra = {"Retry-After": str(max(1, round(exc.retry_after_s)))}
-            payload = {
-                "error": "overloaded: admission queue full",
-                "reason": "overload",
-            }
+            payload = error_payload(
+                CODE_SHED, "overloaded: admission queue full", {"reason": "overload"}
+            )
             if telem.get("trace_id"):
                 extra["X-Trace-Id"] = telem["trace_id"]
                 payload["trace_id"] = telem["trace_id"]
@@ -522,18 +590,21 @@ class AsyncFrontEnd:
         except InvalidRequest as exc:
             perf.count("http.invalid_requests", reason=exc.reason)
             telem["outcome"] = "invalid"
-            return self._error(400, {"error": str(exc), "reason": exc.reason})
+            status, body = error_response(exc)
+            return self._error(status, body)
         except IngestionStalled as exc:
             telem["outcome"] = "stalled"
+            status, body = error_response(exc)
             return self._error(
-                503,
-                {"error": str(exc), "spilled": exc.spilled},
+                status,
+                body,
                 extra={"Retry-After": str(max(1, round(self.gate.retry_after_s)))},
             )
         except Exception as exc:  # pragma: no cover - last-resort guard
             perf.count("http.internal_errors")
             telem["outcome"] = "error"
-            return self._error(500, {"error": f"internal error: {exc}"})
+            status, body = error_response(exc)
+            return self._error(status, body)
 
     def _emit_frontend(
         self, telem: dict[str, Any], status: int, served: float
@@ -557,6 +628,7 @@ class AsyncFrontEnd:
             trace_id,
             frontend="async",
             route=telem.get("route"),
+            table=telem.get("table"),
             status=status,
             outcome=telem.get("outcome", "ok"),
             queue_ms=round(queue_ms, 3),
@@ -590,6 +662,7 @@ class AsyncFrontEnd:
         sql = payload.get("sql")
         if not isinstance(sql, str) or not sql.strip():
             raise InvalidRequest("body needs a non-empty 'sql' string", reason="sql")
+        service, extra = self._resolve(request, payload, telem)
         deadline_ms = payload.get("deadline_ms")
         budget = payload.get("budget", RUNG_FULL)
         collect_trace = bool(payload.get("trace", False))
@@ -601,7 +674,7 @@ class AsyncFrontEnd:
                 telem["pressure"] = round(pressure, 4)
                 effective = self._tightened(deadline_ms, pressure, telem)
                 return await self._run(
-                    self.service.categorize,
+                    service.categorize,
                     sql,
                     deadline_ms=effective,
                     budget=budget,
@@ -614,8 +687,10 @@ class AsyncFrontEnd:
         # different (cheaper) tree than the full-rung flight computes.
         if budget == RUNG_FULL and not collect_trace:
             # Validates the SQL up front too — invalid requests are
-            # rejected before they consume admission capacity.
-            key = self.service.coalescing_key(sql)
+            # rejected before they consume admission capacity.  The key
+            # is namespaced per relation, so one singleflight table can
+            # serve the whole catalog without cross-table sharing.
+            key = service.coalescing_key(sql)
             result, coalesced = await self.flights.run(key, lead)
         else:
             result, coalesced = await lead(), False
@@ -635,9 +710,10 @@ class AsyncFrontEnd:
             and result.tree.decision_trace is not None
         ):
             body["decision_trace"] = result.tree.decision_trace.as_dict()
+        body["table"] = service.name
         # Clients correlate on the id of the computation that answered
         # them — the leader's for coalesced followers (matching the body).
-        return self._ok(body, extra={"X-Trace-Id": result.trace_id})
+        return self._ok(body, extra={"X-Trace-Id": result.trace_id, **extra})
 
     async def _categorize_batch(
         self, request: HttpRequest, telem: dict[str, Any]
@@ -652,12 +728,13 @@ class AsyncFrontEnd:
             raise InvalidRequest(
                 "body needs a non-empty 'sqls' list of SQL strings", reason="sql"
             )
+        service, extra = self._resolve(request, payload, telem)
         trace_id = telem["trace_id"]
         async with self.gate.admit("/categorize_batch") as pressure:
             telem["admitted"] = time.perf_counter()
             telem["pressure"] = round(pressure, 4)
             results = await self._run(
-                self.service.categorize_many,
+                service.categorize_many,
                 sqls,
                 deadline_ms=self._tightened(
                     payload.get("deadline_ms"), pressure, telem
@@ -676,11 +753,12 @@ class AsyncFrontEnd:
         return self._ok(
             {
                 "trace_id": trace_id,
+                "table": service.name,
                 "epoch": results[0].epoch if results else None,
                 "count": len(bodies),
                 "results": bodies,
             },
-            extra={"X-Trace-Id": trace_id},
+            extra={"X-Trace-Id": trace_id, **extra},
         )
 
     async def _record(
@@ -690,12 +768,13 @@ class AsyncFrontEnd:
         sql = payload.get("sql")
         if not isinstance(sql, str) or not sql.strip():
             raise InvalidRequest("body needs a non-empty 'sql' string", reason="sql")
+        service, extra = self._resolve(request, payload, telem)
         async with self.gate.admit("/record"):
             telem["admitted"] = time.perf_counter()
-            await self._run(self.service.record_query, sql)
+            await self._run(service.record_query, sql)
         return self._ok(
-            {"status": "recorded", **self.service.health()},
-            extra={"X-Trace-Id": telem["trace_id"]},
+            {"status": "recorded", **service.health()},
+            extra={"X-Trace-Id": telem["trace_id"], **extra},
         )
 
     def _tightened(
@@ -781,12 +860,15 @@ class AsyncServerHandle:
 
 
 def start_in_thread(
-    service: CategorizationService,
+    service: Any,
     host: str = "127.0.0.1",
     port: int = 0,
     **options: Any,
 ) -> AsyncServerHandle:
     """Run an :class:`AsyncFrontEnd` on a daemon thread (tests, benches).
+
+    ``service`` may be a lone service or a catalog, as in
+    :class:`AsyncFrontEnd`.
 
     Blocks until the server is bound; returns a handle exposing the bound
     address and a ``stop()`` that tears the loop down cleanly.

@@ -26,6 +26,66 @@ drivers) can map failures to responses without string matching:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Mapping
+
+#: Stable machine-readable error codes shared by both HTTP front ends.
+#: Every error body on the wire is ``{"error": {"code", "message",
+#: "detail"}}`` with ``code`` drawn from this closed set — clients switch
+#: on the code, never on message text.
+CODE_INVALID_REQUEST = "InvalidRequest"
+CODE_SQL_ERROR = "SqlError"
+CODE_UNKNOWN_TABLE = "UnknownTable"
+CODE_SHED = "Shed"
+CODE_INGESTION_STALLED = "IngestionStalled"
+CODE_NOT_FOUND = "NotFound"
+CODE_INTERNAL = "InternalError"
+
+ERROR_CODES = frozenset(
+    {
+        CODE_INVALID_REQUEST,
+        CODE_SQL_ERROR,
+        CODE_UNKNOWN_TABLE,
+        CODE_SHED,
+        CODE_INGESTION_STALLED,
+        CODE_NOT_FOUND,
+        CODE_INTERNAL,
+    }
+)
+
+
+def error_payload(
+    code: str, message: str, detail: Mapping[str, Any] | None = None
+) -> dict[str, Any]:
+    """The one error-body serializer both front ends share.
+
+    ``detail`` carries structured context (reason slug, spill depth,
+    available tables); it is always present, possibly empty, so clients
+    can index into it unconditionally.
+    """
+
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown error code {code!r}")
+    return {"error": {"code": code, "message": message, "detail": dict(detail or {})}}
+
+
+def error_response(exc: Exception) -> tuple[int, dict[str, Any]]:
+    """Map a serving exception to ``(http_status, body)``.
+
+    The one place both front ends turn exceptions into wire errors, so
+    status codes and body shapes cannot drift apart.  Overload shedding
+    is front-end-specific (the threading server has no admission queue)
+    and handled where it is raised, with :func:`error_payload` and
+    :data:`CODE_SHED`.
+    """
+    if isinstance(exc, UnknownTable):
+        return 404, error_payload(exc.code, str(exc), exc.detail())
+    if isinstance(exc, InvalidRequest):
+        return 400, error_payload(exc.code, str(exc), exc.detail())
+    if isinstance(exc, IngestionStalled):
+        return 503, error_payload(
+            CODE_INGESTION_STALLED, str(exc), {"spilled": exc.spilled}
+        )
+    return 500, error_payload(CODE_INTERNAL, f"internal error: {exc}")
 
 
 class ServingError(Exception):
@@ -44,6 +104,43 @@ class InvalidRequest(ServingError):
     def __init__(self, message: str, reason: str = "request") -> None:
         super().__init__(message)
         self.reason = reason
+
+    @property
+    def code(self) -> str:
+        """Wire code: SQL parse failures get their own stable code."""
+        return CODE_SQL_ERROR if self.reason == "sql" else CODE_INVALID_REQUEST
+
+    def detail(self) -> dict[str, Any]:
+        return {"reason": self.reason}
+
+
+class UnknownTable(InvalidRequest):
+    """The request names a relation this catalog does not serve.
+
+    A subclass of :class:`InvalidRequest` so existing ``except`` clauses
+    keep working, but mapped to HTTP 404 with its own stable code and a
+    ``detail`` listing the relations the server *does* hold.
+    """
+
+    def __init__(self, table: str, available: tuple[str, ...] = ()) -> None:
+        served = ", ".join(sorted(available)) or "none"
+        super().__init__(
+            f"unknown table {table!r} (this server holds: {served})",
+            reason="table",
+        )
+        self.table = table
+        self.available = tuple(sorted(available))
+
+    @property
+    def code(self) -> str:
+        return CODE_UNKNOWN_TABLE
+
+    def detail(self) -> dict[str, Any]:
+        return {
+            "reason": self.reason,
+            "table": self.table,
+            "available": list(self.available),
+        }
 
 
 class DeadlineExceeded(ServingError):

@@ -21,10 +21,22 @@ Endpoints (JSON in, JSON out; no dependencies beyond ``http.server``):
                            current epoch/pending counts
 =========================  ==================================================
 
-Error mapping: :class:`~repro.serving.errors.InvalidRequest` → 400 with
-the ``reason`` slug (including malformed ``Content-Length`` headers);
+The server holds a :class:`~repro.catalog.catalog.Catalog`, so one
+process serves many relations.  Every route takes a **table dimension**:
+a ``"table"`` body field (POST) or a ``?table=`` query parameter; a
+request that names neither resolves to the catalog's default relation
+and is answered with a ``Deprecation: true`` header (docs/catalog.md).
+``/healthz`` enumerates every table (or narrows to ``?table=``), and
+``/metrics`` publishes per-table gauges under a ``table=`` label.
+
+Error mapping goes through the shared serializer
+(:func:`~repro.serving.errors.error_response`): every error body is
+``{"error": {"code", "message", "detail"}}`` —
+:class:`~repro.serving.errors.InvalidRequest` → 400 (code
+``InvalidRequest``/``SqlError``, including malformed ``Content-Length``
+headers), :class:`~repro.serving.errors.UnknownTable` → 404,
 :class:`~repro.serving.errors.IngestionStalled` → 503 (back off and
-retry); anything else → 500.  Degradation is *not* an error — a
+retry), anything else → 500.  Degradation is *not* an error — a
 SHOWTUPLES response is a 200 with ``"rung": "showtuples"``.  A client
 that hangs up mid-request gets nothing (there is nobody to answer):
 write failures on the error path are swallowed and counted on the
@@ -39,10 +51,17 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
+from urllib.parse import parse_qs, urlsplit
 
 from repro import perf, telemetry
 from repro.render.treeview import render_tree
-from repro.serving.errors import IngestionStalled, InvalidRequest
+from repro.serving.errors import (
+    CODE_NOT_FOUND,
+    IngestionStalled,
+    InvalidRequest,
+    error_payload,
+    error_response,
+)
 from repro.serving.service import CategorizationService
 
 MAX_BODY_BYTES = 1 << 20
@@ -59,9 +78,9 @@ def route_label(path: str) -> str:
 
 
 class ServiceHandler(BaseHTTPRequestHandler):
-    """Request handler bound to a service via :func:`make_server`."""
+    """Request handler bound to a catalog via :func:`make_server`."""
 
-    service: CategorizationService  # injected by make_server
+    catalog: Any  # Catalog, injected by make_server
     protocol_version = "HTTP/1.1"
 
     # -- plumbing ------------------------------------------------------------
@@ -147,6 +166,40 @@ class ServiceHandler(BaseHTTPRequestHandler):
             raise InvalidRequest("body must be a JSON object", reason="request")
         return payload
 
+    # -- table resolution ----------------------------------------------------
+
+    def _table_param(self) -> str | None:
+        """The ``?table=`` query parameter, if any (last one wins)."""
+        query = urlsplit(self.path).query
+        if not query:
+            return None
+        values = parse_qs(query).get("table")
+        return values[-1] if values else None
+
+    def _resolve(
+        self, payload: dict[str, Any] | None, telem: dict[str, Any] | None = None
+    ) -> tuple[CategorizationService, dict[str, str]]:
+        """Resolve the request's table to a service.
+
+        The body field wins over the query parameter.  Returns the extra
+        response headers: a defaulted (table-less) request carries
+        ``Deprecation: true`` so legacy clients can be found and
+        migrated.
+
+        Raises:
+            InvalidRequest: the ``table`` body field is not a string.
+            UnknownTable: the named table is not in the catalog.
+        """
+        table = payload.get("table") if payload else None
+        if table is not None and not isinstance(table, str):
+            raise InvalidRequest("'table' must be a string", reason="table")
+        if table is None:
+            table = self._table_param()
+        service, defaulted = self.catalog.resolve(table)
+        if telem is not None:
+            telem["table"] = service.name
+        return service, {"Deprecation": "true"} if defaulted else {}
+
     # -- routes --------------------------------------------------------------
 
     def _track(self):
@@ -164,15 +217,33 @@ class ServiceHandler(BaseHTTPRequestHandler):
         # a client that hangs up mid-/metrics scrape must not raise a
         # BrokenPipeError out of the handler thread uncounted.
         with self._track():
-            if self.path == "/healthz":
+            route = route_label(self.path)
+            if route == "/healthz":
+                try:
+                    service, _ = self._resolve(None)
+                except InvalidRequest as exc:
+                    status, body = error_response(exc)
+                    self._reply_or_disconnect(status, body)
+                    return
+                # Default-table fields stay at the top level for legacy
+                # single-table probes; the catalog map carries the rest.
                 self._reply_or_disconnect(
-                    200, {"status": "ok", **self.service.health()}
+                    200,
+                    {
+                        "status": "ok",
+                        **service.health(),
+                        **self.catalog.health(),
+                    },
                 )
-            elif self.path == "/metrics":
+            elif route == "/metrics":
+                self.catalog.record_gauges()
                 self._reply_or_disconnect(200, perf.export_prometheus())
             else:
                 self._reply_or_disconnect(
-                    404, {"error": f"no such endpoint {self.path!r}"}
+                    404,
+                    error_payload(
+                        CODE_NOT_FOUND, f"no such endpoint {self.path!r}"
+                    ),
                 )
 
     def do_POST(self) -> None:  # noqa: N802
@@ -186,25 +257,31 @@ class ServiceHandler(BaseHTTPRequestHandler):
         telem: dict[str, Any] = {"started": time.perf_counter()}
         try:
             payload = self._read_json()
-            if self.path == "/categorize":
+            route = route_label(self.path)
+            if route == "/categorize":
                 self._categorize(payload, telem)
-            elif self.path == "/categorize_batch":
+            elif route == "/categorize_batch":
                 self._categorize_batch(payload, telem)
-            elif self.path == "/record":
+            elif route == "/record":
                 self._record(payload, telem)
             else:
-                self._reply(404, {"error": f"no such endpoint {self.path!r}"})
+                self._reply(
+                    404,
+                    error_payload(
+                        CODE_NOT_FOUND, f"no such endpoint {self.path!r}"
+                    ),
+                )
         except InvalidRequest as exc:
             perf.count("http.invalid_requests", reason=exc.reason)
             telem["outcome"] = "invalid"
-            telem["status"] = 400
-            self._reply_or_disconnect(400, {"error": str(exc), "reason": exc.reason})
+            status, body = error_response(exc)
+            telem["status"] = status
+            self._reply_or_disconnect(status, body)
         except IngestionStalled as exc:
             telem["outcome"] = "stalled"
-            telem["status"] = 503
-            self._reply_or_disconnect(
-                503, {"error": str(exc), "spilled": exc.spilled}
-            )
+            status, body = error_response(exc)
+            telem["status"] = status
+            self._reply_or_disconnect(status, body)
         except (BrokenPipeError, ConnectionResetError):
             # The client hung up mid-request or mid-reply: there is nobody
             # left to answer, and a 500 written to the broken socket would
@@ -214,8 +291,9 @@ class ServiceHandler(BaseHTTPRequestHandler):
         except Exception as exc:  # pragma: no cover - last-resort guard
             perf.count("http.internal_errors")
             telem["outcome"] = "error"
-            telem["status"] = 500
-            self._reply_or_disconnect(500, {"error": f"internal error: {exc}"})
+            status, body = error_response(exc)
+            telem["status"] = status
+            self._reply_or_disconnect(status, body)
         finally:
             self._emit_frontend(telem)
 
@@ -231,6 +309,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
             trace_id,
             frontend="threading",
             route=route_label(self.path),
+            table=telem.get("table"),
             status=telem.get("status"),
             outcome=telem.get("outcome", "ok"),
             queue_ms=0.0,
@@ -247,12 +326,13 @@ class ServiceHandler(BaseHTTPRequestHandler):
         sql = payload.get("sql")
         if not isinstance(sql, str) or not sql.strip():
             raise InvalidRequest("body needs a non-empty 'sql' string", reason="sql")
-        trace_id = self.service.new_trace_id()
+        service, extra = self._resolve(payload, telem)
+        trace_id = self.catalog.new_trace_id()
         telem["trace_id"] = trace_id
         telem["deadline_ms"] = payload.get("deadline_ms")
         collect_trace = bool(payload.get("trace", False))
         computed = time.perf_counter()
-        result = self.service.categorize(
+        result = service.categorize(
             sql,
             deadline_ms=payload.get("deadline_ms"),
             budget=payload.get("budget", "full"),
@@ -270,7 +350,10 @@ class ServiceHandler(BaseHTTPRequestHandler):
             and result.tree.decision_trace is not None
         ):
             body["decision_trace"] = result.tree.decision_trace.as_dict()
-        self._reply(200, body, extra={"X-Trace-Id": result.trace_id})
+        body["table"] = service.name
+        self._reply(
+            200, body, extra={"X-Trace-Id": result.trace_id, **extra}
+        )
 
     def _categorize_batch(
         self, payload: dict[str, Any], telem: dict[str, Any]
@@ -285,11 +368,12 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 "body needs a non-empty 'sqls' list of SQL strings",
                 reason="sql",
             )
-        trace_id = self.service.new_trace_id()
+        service, extra = self._resolve(payload, telem)
+        trace_id = self.catalog.new_trace_id()
         telem["trace_id"] = trace_id
         telem["deadline_ms"] = payload.get("deadline_ms")
         computed = time.perf_counter()
-        results = self.service.categorize_many(
+        results = service.categorize_many(
             sqls,
             deadline_ms=payload.get("deadline_ms"),
             budget=payload.get("budget", "full"),
@@ -309,27 +393,29 @@ class ServiceHandler(BaseHTTPRequestHandler):
             200,
             {
                 "trace_id": trace_id,
+                "table": service.name,
                 "epoch": results[0].epoch if results else None,
                 "count": len(bodies),
                 "results": bodies,
             },
-            extra={"X-Trace-Id": trace_id},
+            extra={"X-Trace-Id": trace_id, **extra},
         )
 
     def _record(self, payload: dict[str, Any], telem: dict[str, Any]) -> None:
         sql = payload.get("sql")
         if not isinstance(sql, str) or not sql.strip():
             raise InvalidRequest("body needs a non-empty 'sql' string", reason="sql")
-        trace_id = self.service.new_trace_id()
+        service, extra = self._resolve(payload, telem)
+        trace_id = self.catalog.new_trace_id()
         telem["trace_id"] = trace_id
         computed = time.perf_counter()
-        self.service.record_query(sql)
+        service.record_query(sql)
         telem["compute_ms"] = (time.perf_counter() - computed) * 1000.0
         telem["status"] = 200
         self._reply(
             200,
-            {"status": "recorded", **self.service.health()},
-            extra={"X-Trace-Id": trace_id},
+            {"status": "recorded", **service.health()},
+            extra={"X-Trace-Id": trace_id, **extra},
         )
 
 
@@ -388,16 +474,35 @@ def drain(server: ThreadingHTTPServer, grace_s: float = 5.0) -> bool:
     return True
 
 
-def make_server(
-    service: CategorizationService, host: str = "127.0.0.1", port: int = 0
-) -> ThreadingHTTPServer:
-    """Build a threading HTTP server bound to ``service``.
+def _as_catalog(service_or_catalog: Any):
+    """Accept a lone service (wrapped in a one-entry catalog) or a catalog.
 
-    ``port=0`` picks a free port (read it back from
-    ``server.server_address``) — the form tests and the CLI's default
-    use.  Call ``serve_forever()`` (or :func:`serve_in_thread`) to run.
+    Anything that is not already a :class:`~repro.catalog.catalog.Catalog`
+    is treated as a single service — including delegating proxies the
+    tests use — so duck-typed service wrappers keep working.
     """
-    handler = type("BoundHandler", (ServiceHandler,), {"service": service})
+    from repro.catalog.catalog import Catalog
+
+    if isinstance(service_or_catalog, Catalog):
+        return service_or_catalog
+    return Catalog.of(service_or_catalog)
+
+
+def make_server(
+    service: Any, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """Build a threading HTTP server bound to a service or catalog.
+
+    A bare :class:`~repro.serving.service.CategorizationService` is
+    wrapped in a one-entry :class:`~repro.catalog.catalog.Catalog`, so
+    single-table callers keep working unchanged.  ``port=0`` picks a
+    free port (read it back from ``server.server_address``) — the form
+    tests and the CLI's default use.  Call ``serve_forever()`` (or
+    :func:`serve_in_thread`) to run.
+    """
+    handler = type(
+        "BoundHandler", (ServiceHandler,), {"catalog": _as_catalog(service)}
+    )
     return _Server((host, port), handler)
 
 

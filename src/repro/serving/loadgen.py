@@ -89,10 +89,25 @@ class LoadReport:
     status_counts: dict[int, int] = field(default_factory=dict)
     rung_counts: dict[str, int] = field(default_factory=dict)
     coalesced: int = 0
+    #: Wire error codes (``{"error": {"code": ...}}``) seen on >= 400
+    #: answers, with one example message each — what `repro loadgen`
+    #: prints so a misdirected run says "UnknownTable: ..." instead of
+    #: dumping raw bodies.
+    error_code_counts: dict[str, int] = field(default_factory=dict)
+    error_examples: dict[str, str] = field(default_factory=dict)
 
     @property
     def shed(self) -> int:
         return self.status_counts.get(503, 0)
+
+    @property
+    def client_errors(self) -> int:
+        """Answers that blame the request itself (4xx) — not shed 503s."""
+        return sum(
+            count
+            for status, count in self.status_counts.items()
+            if 400 <= status < 500
+        )
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -109,6 +124,7 @@ class LoadReport:
             "rung_counts": dict(sorted(self.rung_counts.items())),
             "coalesced": self.coalesced,
             "shed": self.shed,
+            "error_code_counts": dict(sorted(self.error_code_counts.items())),
         }
 
 
@@ -135,6 +151,7 @@ class _ClientWorker:
         budget: str,
         timeout_s: float,
         barrier: threading.Barrier,
+        table: str | None = None,
     ) -> None:
         self.index = index
         self.host = host
@@ -145,11 +162,14 @@ class _ClientWorker:
         self.budget = budget
         self.timeout_s = timeout_s
         self.barrier = barrier
+        self.table = table
         self.latencies_ms: list[float] = []
         self.statuses: Counter[int] = Counter()
         self.rungs: Counter[str] = Counter()
         self.coalesced = 0
         self.errors = 0
+        self.error_codes: Counter[str] = Counter()
+        self.error_examples: dict[str, str] = {}
 
     def run(self) -> None:
         try:
@@ -173,6 +193,8 @@ class _ClientWorker:
             for i in range(self.requests):
                 sql = self.sqls[(self.index + i) % len(self.sqls)]
                 payload: dict[str, Any] = {"sql": sql, "budget": self.budget}
+                if self.table is not None:
+                    payload["table"] = self.table
                 if self.deadline_ms is not None:
                     payload["deadline_ms"] = self.deadline_ms
                 body = json.dumps(payload)
@@ -197,16 +219,25 @@ class _ClientWorker:
                     continue
                 self.latencies_ms.append((time.perf_counter() - started) * 1000.0)
                 self.statuses[response.status] += 1
+                try:
+                    answer = json.loads(data)
+                except ValueError:
+                    answer = {}
                 if response.status == 200:
-                    try:
-                        answer = json.loads(data)
-                    except ValueError:
-                        answer = {}
                     rung = answer.get("rung")
                     if rung:
                         self.rungs[rung] += 1
                     if answer.get("coalesced"):
                         self.coalesced += 1
+                elif response.status >= 400:
+                    error = answer.get("error")
+                    if isinstance(error, dict) and error.get("code"):
+                        code = str(error["code"])
+                        message = str(error.get("message", ""))
+                    else:
+                        code, message = f"HTTP{response.status}", ""
+                    self.error_codes[code] += 1
+                    self.error_examples.setdefault(code, message)
         finally:
             connection.close()
 
@@ -219,6 +250,7 @@ def run_loadgen(
     deadline_ms: float | None = None,
     budget: str = "full",
     timeout_s: float = 60.0,
+    table: str | None = None,
 ) -> LoadReport:
     """Drive ``clients`` closed-loop clients against a running server.
 
@@ -231,6 +263,8 @@ def run_loadgen(
         deadline_ms / budget: forwarded on every request.
         timeout_s: per-request client timeout (a server that blows past
             it is counted as an error, never waited on forever).
+        table: relation to address on every request (``table=`` body
+            field); None exercises the legacy default-table path.
 
     Returns:
         A :class:`LoadReport` over all ``clients * requests_per_client``
@@ -247,7 +281,7 @@ def run_loadgen(
     workers = [
         _ClientWorker(
             index, host, port, list(sqls), requests_per_client,
-            deadline_ms, budget, timeout_s, barrier,
+            deadline_ms, budget, timeout_s, barrier, table=table,
         )
         for index in range(clients)
     ]
@@ -269,10 +303,15 @@ def run_loadgen(
     latencies = [sample for worker in workers for sample in worker.latencies_ms]
     statuses: Counter[int] = Counter()
     rungs: Counter[str] = Counter()
+    error_codes: Counter[str] = Counter()
+    error_examples: dict[str, str] = {}
     errors = coalesced = 0
     for worker in workers:
         statuses.update(worker.statuses)
         rungs.update(worker.rungs)
+        error_codes.update(worker.error_codes)
+        for code, message in worker.error_examples.items():
+            error_examples.setdefault(code, message)
         errors += worker.errors
         coalesced += worker.coalesced
     responses = sum(statuses.values())
@@ -289,4 +328,6 @@ def run_loadgen(
         status_counts=dict(statuses),
         rung_counts=dict(rungs),
         coalesced=coalesced,
+        error_code_counts=dict(error_codes),
+        error_examples=error_examples,
     )

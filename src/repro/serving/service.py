@@ -34,6 +34,7 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
@@ -51,9 +52,10 @@ from repro.serving.degrade import (
     Deadline,
     DegradationLadder,
 )
-from repro.serving.errors import Degraded, InvalidRequest, PublishError
+from repro.serving.errors import Degraded, InvalidRequest, PublishError, UnknownTable
 from repro.serving.faults import NULL_INJECTOR, FaultInjector
 from repro.serving.journal import SpillJournal
+from repro.serving.relation import Relation
 from repro.serving.retry import CircuitBreaker, ResilientIngestor, RetryPolicy
 from repro.serving.snapshot import SnapshotStore
 from repro.sql.compiler import parse_query
@@ -209,9 +211,21 @@ class ResultCache:
 class CategorizationService:
     """Request/response categorization over one relation.
 
+    The canonical constructor takes a
+    :class:`~repro.serving.relation.Relation` — the bundle of table, seed
+    statistics, namespace, and durability state the catalog builds per
+    dataset.  The original two-argument form
+    ``CategorizationService(table, statistics)`` still works as a
+    **deprecation shim**: it wraps its arguments into an ad-hoc Relation
+    and emits a :class:`DeprecationWarning` (see docs/catalog.md; the
+    guard in ``tests/test_deprecation_lint.py`` keeps new code off it).
+
     Args:
-        table: the relation queries run against.
-        statistics: seed workload statistics (becomes epoch 0).
+        relation: the :class:`~repro.serving.relation.Relation` to serve
+            (or, deprecated, a bare :class:`~repro.relational.table.Table`
+            combined with ``statistics``).
+        statistics: deprecated — seed workload statistics when ``relation``
+            is a bare table.  Must be None when a Relation is passed.
         config: categorizer tunables, fixed for the service's lifetime.
         technique: key into :data:`TECHNIQUES`.
         batch_size: ingestion batch per epoch publish.
@@ -221,17 +235,18 @@ class CategorizationService:
         retry / breaker / spill_limit: ingestion-resilience knobs, passed
             through to :class:`~repro.serving.retry.ResilientIngestor`.
         level_cost_hint_s: seed for the ladder's level-cost estimate.
-        journal: optional durable spill journal; recorded queries are
-            appended before they are acknowledged (docs/serving.md,
-            "Durability & warm start").
-        initial_epoch: epoch number of the seed statistics (non-zero on
-            a warm start resuming a persisted epoch).
+        journal: durable spill journal override; defaults to the
+            relation's own journal (docs/serving.md, "Durability & warm
+            start").
+        initial_epoch: epoch override; defaults to the relation's
+            ``initial_epoch`` (non-zero on a warm start resuming a
+            persisted epoch).
     """
 
     def __init__(
         self,
-        table: Table,
-        statistics: WorkloadStatistics,
+        relation: Relation | Table,
+        statistics: WorkloadStatistics | None = None,
         config: CategorizerConfig = PAPER_CONFIG,
         technique: str = "cost-based",
         batch_size: int = 64,
@@ -250,7 +265,39 @@ class CategorizationService:
             raise ValueError(
                 f"unknown technique {technique!r}; choose from {sorted(TECHNIQUES)}"
             )
-        self.table = table
+        if isinstance(relation, Relation):
+            if statistics is not None:
+                raise TypeError(
+                    "statistics travels inside the Relation; "
+                    "do not pass it separately"
+                )
+            if journal is None:
+                journal = relation.journal
+            if initial_epoch == 0:
+                initial_epoch = relation.initial_epoch
+        else:
+            # Deprecation shim: the pre-catalog single-table constructor.
+            if statistics is None:
+                raise TypeError(
+                    "CategorizationService(table, ...) needs statistics"
+                )
+            warnings.warn(
+                "CategorizationService(table, statistics) is deprecated; "
+                "pass a repro.serving.relation.Relation instead "
+                "(docs/catalog.md)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            relation = Relation(
+                table=relation,
+                statistics=statistics,
+                journal=journal,
+                initial_epoch=initial_epoch,
+            )
+        statistics = relation.statistics
+        self.relation = relation
+        self.table = relation.table
+        self.namespace = relation.namespace
         self.config = config
         self.technique = technique
         self._faults = faults or NULL_INJECTOR
@@ -273,7 +320,7 @@ class CategorizationService:
         self._warm_start = False
         self._snapshot_epoch = initial_epoch
         self._replayed_on_boot = 0
-        perf.gauge("serve.warm_start", 0)
+        perf.gauge("serve.warm_start", 0, table=self.name)
         self.ladder = DegradationLadder(
             faults=self._faults, level_cost_hint_s=level_cost_hint_s
         )
@@ -284,6 +331,11 @@ class CategorizationService:
             faults=self._faults,
         )
         self._trace_ids = itertools.count(1)
+
+    @property
+    def name(self) -> str:
+        """The served relation's name (the table's schema name)."""
+        return self.relation.name
 
     # -- read path -----------------------------------------------------------
 
@@ -411,10 +463,12 @@ class CategorizationService:
         rebuilt over the same data on a different storage backend:
         RowSets in cached trees are index views into one specific table.
         The async front end uses the same key shape to coalesce identical
-        in-flight requests (docs/serving.md).
+        in-flight requests (docs/serving.md); the leading namespace keeps
+        keys disjoint across a catalog's relations, which all share one
+        singleflight map.
         """
         return (
-            f"{epoch_number}:{self.technique}:"
+            f"{self.namespace}:{epoch_number}:{self.technique}:"
             f"{self.table.backend_name}:{normalized_sql}"
         )
 
@@ -594,7 +648,7 @@ class CategorizationService:
         self._warm_start = warm_start
         if snapshot_epoch is not None:
             self._snapshot_epoch = snapshot_epoch
-        perf.gauge("serve.warm_start", 1 if warm_start else 0)
+        perf.gauge("serve.warm_start", 1 if warm_start else 0, table=self.name)
 
     def recover_from_journal(self, after_seq: int = 0) -> int:
         """Replay journal records past ``after_seq`` into the statistics.
@@ -643,6 +697,8 @@ class CategorizationService:
         """Liveness summary for the /healthz endpoint and `repro request`."""
         journal = self.journal
         return {
+            "table": self.name,
+            "namespace": self.namespace,
             "epoch": self.store.epoch_number,
             "pending": self.store.pending_count,
             "breaker": self.ingestor.breaker.state,
@@ -689,11 +745,7 @@ class CategorizationService:
             raise InvalidRequest(f"bad SQL: {exc}", reason="sql") from exc
         if query.table_name != self.table.schema.name:
             perf.count("serve.errors", reason="table")
-            raise InvalidRequest(
-                f"unknown table {query.table_name!r} "
-                f"(this service serves {self.table.schema.name!r})",
-                reason="table",
-            )
+            raise UnknownTable(query.table_name, (self.table.schema.name,))
         try:
             normalized_sql = format_query(query.normalized())
         except ValueError:

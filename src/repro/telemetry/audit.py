@@ -103,6 +103,15 @@ class TraceGroup:
             self.other.append(event)
 
     @property
+    def table(self) -> str | None:
+        """The relation this request resolved to, when any event names it."""
+        for event in (*self.frontend, *self.service, *self.shards):
+            table = event.get("table")
+            if isinstance(table, str) and table:
+                return table
+        return None
+
+    @property
     def expects_service(self) -> bool:
         """True when a front-end event promises at least one service event."""
         return any(
@@ -164,10 +173,36 @@ def _delta_summary(values: list[float]) -> dict[str, float]:
 
 
 def build_report(
-    events: list[dict], skipped_lines: int = 0, files: list[str] | None = None
+    events: list[dict],
+    skipped_lines: int = 0,
+    files: list[str] | None = None,
+    table: str | None = None,
 ) -> dict[str, Any]:
-    """Aggregate events into the audit report (a JSON-ready dict)."""
+    """Aggregate events into the audit report (a JSON-ready dict).
+
+    ``table`` narrows the report to requests that resolved to one
+    relation (``repro audit --table``); requests whose events never name
+    a table are dropped by the filter.
+    """
     groups = group_traces(events)
+    if table is not None:
+        groups = {
+            root: group
+            for root, group in groups.items()
+            if group.table == table
+        }
+        events = [
+            event
+            for group in groups.values()
+            for bucket in (
+                group.frontend,
+                group.service,
+                group.decisions,
+                group.shards,
+                group.other,
+            )
+            for event in bucket
+        ]
     partial_ids = sorted(g.root for g in groups.values() if g.partial)
     orphaned = sum(g.orphaned_events() for g in groups.values())
 
@@ -242,8 +277,34 @@ def build_report(
             if isinstance(d_one, (int, float)):
                 delta_one.append(float(d_one))
 
+    per_table: dict[str, dict[str, Any]] = {}
+    for group in groups.values():
+        name = group.table or "<unresolved>"
+        slot = per_table.setdefault(
+            name,
+            {
+                "requests": 0,
+                "shed": 0,
+                "coalesced": 0,
+                "partial": 0,
+                "rungs": Counter(),
+            },
+        )
+        slot["requests"] += 1
+        slot["shed"] += sum(
+            1 for e in group.frontend if e.get("outcome") == "shed"
+        )
+        slot["coalesced"] += sum(1 for e in group.frontend if e.get("coalesced"))
+        slot["partial"] += 1 if group.partial else 0
+        slot["rungs"].update(str(e.get("rung")) for e in group.service)
+    tables = {
+        name: {**slot, "rungs": dict(slot["rungs"])}
+        for name, slot in sorted(per_table.items())
+    }
+
     return {
         "files": files or [],
+        "table_filter": table,
         "events": len(events),
         "skipped_lines": skipped_lines,
         "requests": len(groups),
@@ -251,6 +312,7 @@ def build_report(
         "partial": len(partial_ids),
         "partial_trace_ids": partial_ids[:MAX_LISTED_IDS],
         "orphaned_events": orphaned,
+        "tables": tables,
         "routes": dict(Counter(str(e.get("route")) for e in frontends)),
         "outcomes": dict(Counter(str(e.get("outcome")) for e in frontends)),
         "statuses": dict(Counter(str(e.get("status")) for e in frontends)),
@@ -274,11 +336,15 @@ def build_report(
     }
 
 
-def audit_files(paths: Iterable[Path | str]) -> dict[str, Any]:
+def audit_files(
+    paths: Iterable[Path | str], table: str | None = None
+) -> dict[str, Any]:
     """Load sink files and build their report in one step."""
     paths = [Path(p) for p in paths]
     events, skipped = load_events(paths)
-    return build_report(events, skipped, files=[str(p) for p in paths])
+    return build_report(
+        events, skipped, files=[str(p) for p in paths], table=table
+    )
 
 
 # -- diff mode ---------------------------------------------------------------
@@ -395,6 +461,30 @@ def format_report(report: dict[str, Any]) -> str:
         sections.append(
             format_table(
                 ["series", "count"], distribution_rows, title="Distributions"
+            )
+        )
+
+    tables = report.get("tables") or {}
+    if tables:
+        sections.append(
+            format_table(
+                ["table", "requests", "shed", "coalesced", "partial", "rungs"],
+                [
+                    [
+                        name,
+                        slot["requests"],
+                        slot["shed"],
+                        slot["coalesced"],
+                        slot["partial"],
+                        ", ".join(
+                            f"{rung}: {count}"
+                            for rung, count in sorted(slot["rungs"].items())
+                        )
+                        or "none",
+                    ]
+                    for name, slot in tables.items()
+                ],
+                title="Per-table",
             )
         )
 

@@ -7,6 +7,7 @@ join on the root):
 ``frontend``
     Emitted by the HTTP front end after the response bytes are written.
     Fields: ``frontend`` (``async`` | ``threading``), ``route``,
+    ``table`` (the resolved relation, None when resolution failed),
     ``status``, ``outcome`` (``ok`` | ``shed`` | ``invalid`` | ``stalled``
     | ``error``), the latency waterfall ``queue_ms`` (arrival ->
     admitted), ``compute_ms`` (admitted -> service returned),
@@ -32,8 +33,8 @@ join on the root):
     shipping all of it per sampled request would swamp the sink.
 
 ``shards``
-    One per parallelized kernel call on the sharded backend: ``op``
-    (``select`` | ``bucket`` | ``groupby``), ``shards``, per-shard
+    One per parallelized kernel call on the sharded backend: ``table``,
+    ``op`` (``select`` | ``bucket`` | ``groupby``), ``shards``, per-shard
     ``shard_ms``, and the parent-side ``elapsed_ms``.
 
 Every event also carries ``ts`` (wall-clock seconds).  Segments start

@@ -38,6 +38,7 @@ from repro.relational.csvio import read_csv
 from repro.render.treeview import render_tree
 from repro.serving.journal import SpillJournal
 from repro.serving.loadgen import connect_with_retry, run_loadgen
+from repro.serving.relation import Relation
 from repro.serving.service import CategorizationService
 from repro.workload.log import Workload
 from repro.workload.preprocess import preprocess_workload
@@ -89,19 +90,24 @@ def _read_banner(process) -> tuple[str, str]:
     return banner, match.group(0)
 
 
-def _post_records(url: str) -> list[str]:
-    """Record every payload in RECORD_SQLS; return only the *acked* ones."""
+def _post_records(
+    url: str, sqls: list[str] | None = None, table: str | None = None
+) -> list[str]:
+    """Record every payload; return only the *acked* ones."""
     parts = url.removeprefix("http://").split(":")
     connection = connect_with_retry(
         parts[0], int(parts[1]), timeout_s=STARTUP_TIMEOUT_S
     )
     acked = []
     try:
-        for sql in RECORD_SQLS:
+        for sql in sqls if sqls is not None else RECORD_SQLS:
+            payload: dict = {"sql": sql}
+            if table is not None:
+                payload["table"] = table
             connection.request(
                 "POST",
                 "/record",
-                json.dumps({"sql": sql}),
+                json.dumps(payload),
                 {"Content-Type": "application/json"},
             )
             response = connection.getresponse()
@@ -113,8 +119,8 @@ def _post_records(url: str) -> list[str]:
     return acked
 
 
-def _journal_contents(state: Path) -> list[str]:
-    journal = SpillJournal(state / "journal")
+def _journal_contents(state: Path, table: str = "ListProperty") -> list[str]:
+    journal = SpillJournal(state / table / "journal")
     try:
         return [sql for _seq, sql in journal.replay(0)]
     finally:
@@ -196,9 +202,11 @@ def test_sigkill_under_load_then_warm_restart(data_files, tmp_path):
             answer = json.loads(response.read())
         schema = list_property_schema()
         reference = CategorizationService(
-            read_csv(schema, data),
-            preprocess_workload(
-                Workload.load(workload), schema, PAPER_CONFIG.separation_intervals
+            Relation(
+                read_csv(schema, data),
+                preprocess_workload(
+                    Workload.load(workload), schema, PAPER_CONFIG.separation_intervals
+                ),
             ),
             batch_size=8,
         )
@@ -223,4 +231,105 @@ def test_sigkill_under_load_then_warm_restart(data_files, tmp_path):
             raise
 
     # SIGTERM is the graceful path: drain, flush, checkpoint, exit 0.
+    assert process.returncode == 0
+
+
+# -- per-relation durability in a multi-table catalog -------------------------
+
+MOVIES_RECORD_SQLS = [
+    f"SELECT * FROM Movies WHERE year >= {1960 + 5 * n}" for n in range(8)
+]
+
+
+def _spawn_catalog_server(state: Path, cwd: Path):
+    return subprocess.Popen(
+        [
+            sys.executable, "-u", "-m", "repro.cli", "serve",
+            "--dataset", "ListProperty=@homes,rows=1000,workload_queries=400",
+            "--dataset", "Movies=@movies,rows=1000,workload_queries=400",
+            "--port", "0",
+            "--async",
+            "--warm-start", str(state),
+            "--batch-size", "8",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={"PYTHONPATH": str(Path(__file__).resolve().parents[2] / "src")},
+        cwd=cwd,
+    )
+
+
+def test_sigkill_with_two_relations_recovers_each_independently(tmp_path):
+    """Each relation journals, replays, and snapshots on its own.
+
+    Records land in BOTH tables before the SIGKILL; afterwards each
+    table's journal must hold exactly its own acked queries (no
+    cross-contamination), and the warm restart must report per-table
+    replay counts and conservation on /healthz.
+    """
+    state = tmp_path / "state"
+
+    process = _spawn_catalog_server(state, tmp_path)
+    try:
+        banner, url = _read_banner(process)
+        assert "cold" in banner
+        homes_acked = _post_records(url, RECORD_SQLS, table="ListProperty")
+        movies_acked = _post_records(url, MOVIES_RECORD_SQLS, table="Movies")
+        assert homes_acked and movies_acked
+    finally:
+        process.kill()
+        process.wait(timeout=30)
+    assert process.returncode == -signal.SIGKILL
+
+    # Each relation's journal holds its own acks — and nothing else's.
+    frozen = tmp_path / "state-after-kill"
+    shutil.copytree(state, frozen)
+    homes_journaled = _journal_contents(frozen, "ListProperty")
+    movies_journaled = _journal_contents(frozen, "Movies")
+    assert set(homes_acked) <= set(homes_journaled)
+    assert set(movies_acked) <= set(movies_journaled)
+    assert not set(homes_journaled) & set(MOVIES_RECORD_SQLS)
+    assert not set(movies_journaled) & set(RECORD_SQLS)
+
+    process = _spawn_catalog_server(state, tmp_path)
+    try:
+        banner, url = _read_banner(process)
+        assert "warm boot" in banner
+
+        health = json.loads(_get(url, "/healthz"))
+        assert health["default_table"] == "ListProperty"
+        for table, journaled in (
+            ("ListProperty", homes_journaled),
+            ("Movies", movies_journaled),
+        ):
+            table_health = health["tables"][table]
+            durability = table_health["durability"]
+            assert durability["warm_start"] is True, table
+            assert durability["replayed_on_boot"] == len(journaled), table
+            assert (
+                table_health["published"]
+                + table_health["pending"]
+                + table_health["spilled"]
+                == table_health["recorded"]
+            ), table
+            assert table_health["recorded"] == len(journaled), table
+
+        # The per-table warm boot is observable on the scrape.
+        metrics = _get(url, "/metrics")
+        for table in ("ListProperty", "Movies"):
+            assert re.search(
+                r"^repro_serve_warm_start\{[^}]*table=\"%s\"[^}]*\} 1(\.0)?$"
+                % table,
+                metrics,
+                re.M,
+            ), f"warm-start gauge missing for {table}"
+    finally:
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            raise
+
     assert process.returncode == 0

@@ -13,6 +13,7 @@ import pytest
 
 from repro import perf
 from repro.serving.faults import FaultInjector
+from repro.serving.relation import Relation
 from repro.serving.service import CategorizationService
 
 #: Queries used across the suite (broad result set worth categorizing).
@@ -60,7 +61,8 @@ def make_service(homes_table, statistics):
 
     def _make(**kwargs) -> CategorizationService:
         kwargs.setdefault("batch_size", 8)
-        return CategorizationService(homes_table, statistics.copy(), **kwargs)
+        relation = Relation(homes_table, statistics.copy())
+        return CategorizationService(relation, **kwargs)
 
     return _make
 

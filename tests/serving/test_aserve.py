@@ -182,7 +182,8 @@ class TestErrorMapping:
                 handle, "POST", "/categorize", {"sql": "SELECT FROM WHERE"}
             )
             assert status == 400
-            assert payload["reason"] == "sql"
+            assert payload["error"]["code"] == "SqlError"
+            assert payload["error"]["detail"]["reason"] == "sql"
 
     def test_bad_json_is_400(self, make_service):
         with running(make_service()) as handle:
@@ -196,7 +197,8 @@ class TestErrorMapping:
                 response = connection.getresponse()
                 payload = json.loads(response.read())
                 assert response.status == 400
-                assert payload["reason"] == "request"
+                assert payload["error"]["code"] == "InvalidRequest"
+                assert payload["error"]["detail"]["reason"] == "request"
             finally:
                 connection.close()
 
@@ -376,7 +378,7 @@ class TestCoalescing:
                 handle, "POST", "/categorize", {"sql": "SELECT FROM WHERE"}
             )
         assert status == 400
-        assert payload["reason"] == "sql"
+        assert payload["error"]["code"] == "SqlError"
         assert perf_on.gauges.get("aserve.waiting", 0) == 0
 
 
@@ -410,7 +412,8 @@ class TestShedding:
             )
             assert status == 503
             assert headers["retry-after"] == "2"
-            assert payload["reason"] == "overload"
+            assert payload["error"]["code"] == "Shed"
+            assert payload["error"]["detail"]["reason"] == "overload"
             # Shed answers are still traceable end to end.
             assert headers["x-trace-id"] == payload["trace_id"]
             assert payload["trace_id"].startswith("req-")

@@ -110,17 +110,19 @@ class TestCacheKeyBackendTag:
         service = make_service()
         service.categorize(SERVE_SQL)
         (key,) = service.cache._entries.keys()
-        epoch, technique, backend, sql = key.split(":", 3)
+        namespace, epoch, technique, backend, sql = key.split(":", 4)
+        assert namespace == service.namespace
         assert backend == service.table.backend_name == "rows"
         assert technique == service.technique
         assert epoch == "0"
 
     def test_columnar_service_keys_differ(self, statistics):
         from repro.data.homes import generate_homes
+        from repro.serving.relation import Relation
         from repro.serving.service import CategorizationService
 
         table = generate_homes(rows=500, seed=7, backend="columnar")
-        service = CategorizationService(table, statistics.copy())
+        service = CategorizationService(Relation(table, statistics.copy()))
         service.categorize(SERVE_SQL)
         (key,) = service.cache._entries.keys()
         assert ":columnar:" in key
@@ -182,4 +184,5 @@ class TestHttpBatchEndpoint:
             )
         assert excinfo.value.code == 400
         body = json.loads(excinfo.value.read())
-        assert "batch statement 1" in body["error"]
+        assert body["error"]["code"] == "SqlError"
+        assert "batch statement 1" in body["error"]["message"]

@@ -125,8 +125,9 @@ class TestErrorMapping:
             _post(server, "/categorize", {"sql": "SELECT FROM WHERE"})
         assert excinfo.value.code == 400
         payload = json.loads(excinfo.value.read())
-        assert payload["reason"] == "sql"
-        assert "position" in payload["error"]
+        assert payload["error"]["code"] == "SqlError"
+        assert payload["error"]["detail"]["reason"] == "sql"
+        assert "position" in payload["error"]["message"]
 
     def test_missing_sql_is_400(self, server):
         with pytest.raises(urllib.error.HTTPError) as excinfo:

@@ -21,6 +21,7 @@ from repro.relational.table import Table
 from repro.relational.types import AttributeKind, DataType
 from repro.render.treeview import render_tree
 from repro.serving.journal import SpillJournal
+from repro.serving.relation import Relation
 from repro.serving.service import CategorizationService
 from repro.serving.warmstart import (
     STATS_SNAPSHOT,
@@ -127,7 +128,7 @@ def test_missing_snapshot_reports_missing(tmp_path):
 
 def test_stats_snapshot_roundtrips_the_tree(homes_table, statistics, tmp_path):
     """Warm-loaded statistics must categorize identically to the source."""
-    cold = CategorizationService(homes_table, statistics.copy())
+    cold = CategorizationService(Relation(homes_table, statistics.copy()))
     for sql in RECORD_SQLS:
         cold.record_query(sql)
     cold.flush()
@@ -141,7 +142,7 @@ def test_stats_snapshot_roundtrips_the_tree(homes_table, statistics, tmp_path):
     assert warm.statistics.total_queries == epoch.statistics.total_queries
 
     warmed = CategorizationService(
-        warm.table, warm.statistics, initial_epoch=warm.epoch
+        Relation(warm.table, warm.statistics, initial_epoch=warm.epoch)
     )
     for sql in (SERVE_SQL, LOG_SQL):
         reference = cold.categorize(sql)
@@ -183,7 +184,9 @@ def test_stats_snapshot_schema_mismatch_fails_stop(
 def _booted_service(homes_table, statistics, tmp_path, **kwargs):
     journal = SpillJournal(tmp_path / "journal")
     service = CategorizationService(
-        homes_table, statistics.copy(), journal=journal, batch_size=4, **kwargs
+        Relation(homes_table, statistics.copy(), journal=journal),
+        batch_size=4,
+        **kwargs,
     )
     return service, journal
 
@@ -207,8 +210,10 @@ def test_clean_shutdown_then_warm_boot_replays_nothing(
     restart_journal = SpillJournal(tmp_path / "journal")
     warm = load_warm(homes_table.schema, tmp_path)
     restarted = CategorizationService(
-        warm.table, warm.statistics,
-        journal=restart_journal, initial_epoch=warm.epoch,
+        Relation(
+            warm.table, warm.statistics,
+            journal=restart_journal, initial_epoch=warm.epoch,
+        )
     )
     replayed = restarted.recover_from_journal(after_seq=warm.journal_seq)
     assert replayed == 0  # the snapshot covers the whole journal
@@ -243,8 +248,10 @@ def test_crash_between_snapshots_replays_the_journal_suffix(
     warm = load_warm(homes_table.schema, tmp_path)
     assert warm.journal_seq == watermark
     restarted = CategorizationService(
-        warm.table, warm.statistics,
-        journal=restart_journal, initial_epoch=warm.epoch,
+        Relation(
+            warm.table, warm.statistics,
+            journal=restart_journal, initial_epoch=warm.epoch,
+        )
     )
     replayed = restarted.recover_from_journal(after_seq=warm.journal_seq)
     assert replayed == len(RECORD_SQLS) - 4
@@ -275,8 +282,10 @@ def test_double_replay_is_idempotent_across_repeated_crashes(
         boot_journal = SpillJournal(tmp_path / "journal")
         warm = load_warm(homes_table.schema, tmp_path)
         restarted = CategorizationService(
-            warm.table, warm.statistics,
-            journal=boot_journal, initial_epoch=warm.epoch,
+            Relation(
+                warm.table, warm.statistics,
+                journal=boot_journal, initial_epoch=warm.epoch,
+            )
         )
         assert restarted.recover_from_journal(
             after_seq=warm.journal_seq
@@ -313,7 +322,7 @@ def test_fallback_to_cold_replays_the_whole_journal(
     # every recorded query from the journal alone.
     restart_journal = SpillJournal(tmp_path / "journal")
     cold = CategorizationService(
-        homes_table, statistics.copy(), journal=restart_journal
+        Relation(homes_table, statistics.copy(), journal=restart_journal)
     )
     assert cold.recover_from_journal(after_seq=0) == len(RECORD_SQLS)
     assert cold.ingestor.conserved()

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import perf, telemetry
+from repro.serving.relation import Relation
 from repro.serving.service import CategorizationService
 
 #: A broad query whose result set is worth categorizing (same as serving).
@@ -26,7 +27,8 @@ def make_service(homes_table, statistics):
 
     def _make(**kwargs) -> CategorizationService:
         kwargs.setdefault("batch_size", 8)
-        return CategorizationService(homes_table, statistics.copy(), **kwargs)
+        relation = Relation(homes_table, statistics.copy())
+        return CategorizationService(relation, **kwargs)
 
     return _make
 

@@ -276,6 +276,7 @@ class TestServeAndRequest:
         from repro.core.config import PAPER_CONFIG
         from repro.relational.csvio import read_csv
         from repro.serving.http import make_server, serve_in_thread
+        from repro.serving.relation import Relation
         from repro.serving.service import CategorizationService
         from repro.workload.log import Workload
         from repro.workload.preprocess import preprocess_workload
@@ -287,7 +288,7 @@ class TestServeAndRequest:
         statistics = preprocess_workload(
             workload, schema, PAPER_CONFIG.separation_intervals
         )
-        service = CategorizationService(table, statistics, batch_size=4)
+        service = CategorizationService(Relation(table, statistics), batch_size=4)
         server = make_server(service, port=0)
         serve_in_thread(server)
         yield server
@@ -369,7 +370,8 @@ class TestServeAndRequest:
             ]
         )
         assert code == 2
-        assert "sql" in capsys.readouterr().err
+        # The wire error envelope is surfaced as "code: message".
+        assert capsys.readouterr().err.startswith("SqlError: ")
 
     def test_request_without_sql_errors(self, capsys):
         assert main(["request"]) == 2
@@ -396,10 +398,11 @@ class TestRequestRepeatAndLoadgen:
     def async_server(self, homes_table, statistics):
         """A live asyncio front end over the shared fixtures (free port)."""
         from repro.serving.aserve import start_in_thread
+        from repro.serving.relation import Relation
         from repro.serving.service import CategorizationService
 
         service = CategorizationService(
-            homes_table, statistics.copy(), batch_size=4
+            Relation(homes_table, statistics.copy()), batch_size=4
         )
         handle = start_in_thread(service, max_inflight=4)
         yield handle

@@ -1,0 +1,93 @@
+"""Deprecation guard: the legacy two-arg service constructor must not spread.
+
+``CategorizationService(table, statistics)`` still works — the shim wraps
+the pair in an ad-hoc :class:`~repro.serving.relation.Relation` and emits
+a ``DeprecationWarning`` — but no code in this repository may keep using
+it: new call sites pass a ``Relation``.  An AST scan enforces that, so
+the deprecation actually converges instead of accreting exceptions.
+"""
+
+from __future__ import annotations
+
+import ast
+import warnings
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SCAN_ROOTS = ("src", "tests", "benchmarks")
+
+#: Files allowed to make legacy calls — only the ones whose *job* is to
+#: exercise the shim.
+ALLOWED = {
+    Path("tests/test_deprecation_lint.py"),
+}
+
+
+def _legacy_calls(path: Path) -> list[int]:
+    """Line numbers of legacy ``CategorizationService(table, stats)`` calls.
+
+    Legacy means: two or more positional arguments, or a ``statistics=``
+    keyword — both only exist on the deprecated signature.  The
+    Relation-first form passes one positional (or ``relation=``).
+    """
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    lines = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+        if name != "CategorizationService":
+            continue
+        positional = [arg for arg in node.args if not isinstance(arg, ast.Starred)]
+        keywords = {kw.arg for kw in node.keywords}
+        if len(positional) >= 2 or "statistics" in keywords:
+            lines.append(node.lineno)
+    return lines
+
+
+def test_no_new_legacy_constructor_calls():
+    offenders = []
+    for root in SCAN_ROOTS:
+        for path in sorted((REPO_ROOT / root).rglob("*.py")):
+            relative = path.relative_to(REPO_ROOT)
+            if relative in ALLOWED:
+                continue
+            offenders.extend(f"{relative}:{line}" for line in _legacy_calls(path))
+    assert not offenders, (
+        "legacy CategorizationService(table, statistics) calls found — "
+        "pass a repro.serving.relation.Relation instead (docs/catalog.md): "
+        + ", ".join(offenders)
+    )
+
+
+class TestShim:
+    """The legacy form keeps working, loudly."""
+
+    def test_legacy_call_warns_and_serves(self, homes_table, statistics):
+        from repro.serving.service import CategorizationService
+
+        with pytest.warns(DeprecationWarning, match="Relation"):
+            service = CategorizationService(homes_table, statistics.copy())
+        assert service.name == "ListProperty"
+        assert service.namespace == "ListProperty"
+        result = service.categorize(
+            "SELECT * FROM ListProperty WHERE price <= 300000"
+        )
+        assert len(result.rows) > 0
+
+    def test_statistics_keyword_warns_too(self, homes_table, statistics):
+        from repro.serving.service import CategorizationService
+
+        with pytest.warns(DeprecationWarning):
+            CategorizationService(homes_table, statistics=statistics.copy())
+
+    def test_relation_form_is_silent(self, homes_table, statistics):
+        from repro.serving.relation import Relation
+        from repro.serving.service import CategorizationService
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            CategorizationService(Relation(homes_table, statistics.copy()))
